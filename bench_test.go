@@ -1,0 +1,246 @@
+// Package bench holds the top-level benchmark harness: one testing.B
+// benchmark per table and figure of the paper's evaluation (each runs
+// the corresponding experiment end-to-end and reports its headline
+// metrics), the ablation benches called out in DESIGN.md, and
+// micro-benchmarks of the core insert/query paths on a standing cluster.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The per-figure experiments are deterministic for a fixed seed, so the
+// reported custom metrics (medians, fractions, ratios) are stable; the
+// ns/op numbers measure the harness's own simulation cost.
+package bench
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mind/internal/cluster"
+	"mind/internal/experiments"
+	"mind/internal/mind"
+	"mind/internal/schema"
+	"mind/internal/transport/simnet"
+)
+
+const benchSeed = 20050405
+
+// benchScale keeps each figure regeneration to a few seconds; raise it
+// (≤1.0) for paper-scale runs via cmd/mindbench.
+const benchScale = 0.05
+
+// runExperiment executes one experiment per benchmark iteration and
+// republishes its headline values as benchmark metrics.
+func runExperiment(b *testing.B, id string, metricsOut []string) {
+	b.Helper()
+	var last *experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Run(id, benchSeed+int64(i), benchScale)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		last = rep
+	}
+	for _, m := range metricsOut {
+		if v, ok := last.Values[m]; ok {
+			b.ReportMetric(v, m)
+		}
+	}
+}
+
+func BenchmarkFig1Aggregation(b *testing.B) {
+	runExperiment(b, "fig1", []string{"reduction_w30_t50"})
+}
+
+func BenchmarkFig2StorageSkew(b *testing.B) {
+	runExperiment(b, "fig2", []string{"imbalance_index1", "imbalance_index2"})
+}
+
+func BenchmarkFig3Stationarity(b *testing.B) {
+	runExperiment(b, "fig3", []string{"day_mismatch_k2", "hour_mismatch_k2"})
+}
+
+func BenchmarkFig7InsertLatency(b *testing.B) {
+	runExperiment(b, "fig7", []string{"median_overall"})
+}
+
+func BenchmarkFig8SlowLink(b *testing.B) {
+	runExperiment(b, "fig8", []string{"worst_link_max_s"})
+}
+
+func BenchmarkFig9QueryCost(b *testing.B) {
+	runExperiment(b, "fig9", []string{"frac_le_4"})
+}
+
+func BenchmarkFig10QueryLatency(b *testing.B) {
+	runExperiment(b, "fig10", []string{"median_s", "p90_s"})
+}
+
+func BenchmarkFig11OutageHotspot(b *testing.B) {
+	runExperiment(b, "fig11", []string{"during_max_s", "before_median_s"})
+}
+
+func BenchmarkFig12LinkTraffic(b *testing.B) {
+	runExperiment(b, "fig12", []string{"max_link_frac_of_inserts"})
+}
+
+func BenchmarkFig13Balance(b *testing.B) {
+	runExperiment(b, "fig13", []string{"uniform_imbalance_i1", "balanced_imbalance_i1"})
+}
+
+func BenchmarkFig14LargeScaleInsert(b *testing.B) {
+	runExperiment(b, "fig14", []string{"median_s"})
+}
+
+func BenchmarkFig15HopCounts(b *testing.B) {
+	runExperiment(b, "fig15", []string{"insert_hops_le5", "query_nodes_le5"})
+}
+
+func BenchmarkFig16Robustness(b *testing.B) {
+	runExperiment(b, "fig16", []string{"one_15", "none_50", "full_50"})
+}
+
+func BenchmarkTable17Anomaly(b *testing.B) {
+	runExperiment(b, "table17", []string{"recall", "avg_response_s"})
+}
+
+// Ablation benches (DESIGN.md §5).
+
+func BenchmarkAblationCuts(b *testing.B) {
+	runExperiment(b, "ablation-cuts", []string{"uniform_imbalance", "balanced_imbalance"})
+}
+
+func BenchmarkAblationCutOrder(b *testing.B) {
+	runExperiment(b, "ablation-cutorder", nil)
+}
+
+func BenchmarkAblationHistGranularity(b *testing.B) {
+	runExperiment(b, "ablation-hist", []string{"imbalance_k2", "imbalance_k16"})
+}
+
+func BenchmarkAblationStore(b *testing.B) {
+	runExperiment(b, "ablation-store", []string{"kd_speedup"})
+}
+
+func BenchmarkAblationArchitectures(b *testing.B) {
+	runExperiment(b, "ablation-arch", []string{"mind_nodes", "flood_nodes"})
+}
+
+func BenchmarkAblationHistoryPointer(b *testing.B) {
+	runExperiment(b, "ablation-history", []string{"history_recall", "transfer_recall"})
+}
+
+func BenchmarkAblationRecovery(b *testing.B) {
+	runExperiment(b, "ablation-recovery", []string{"on_complete", "off_complete"})
+}
+
+// --- core-path micro benchmarks on a standing cluster --------------------
+
+func benchCluster(b *testing.B, n int) (*cluster.Cluster, *schema.Schema) {
+	b.Helper()
+	sch := &schema.Schema{
+		Tag: "bench",
+		Attrs: []schema.Attr{
+			{Name: "x", Kind: schema.KindUint, Max: 1 << 32},
+			{Name: "t", Kind: schema.KindTime, Max: 86400},
+			{Name: "y", Kind: schema.KindUint, Max: 1 << 20},
+			{Name: "p"},
+		},
+		IndexDims: 3,
+	}
+	c, err := cluster.New(cluster.Options{
+		N:    n,
+		Seed: benchSeed,
+		Sim:  simnet.Config{Seed: benchSeed, DefaultLatency: 5 * time.Millisecond},
+		Node: mind.DefaultConfig(benchSeed),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.CreateIndex(sch); err != nil {
+		b.Fatal(err)
+	}
+	c.Settle(3 * time.Second)
+	return c, sch
+}
+
+// BenchmarkInsertPath measures end-to-end routed insertion on a 32-node
+// overlay (simulation cost per insert, including all protocol work).
+func BenchmarkInsertPath(b *testing.B) {
+	c, sch := benchCluster(b, 32)
+	rng := uint64(1)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := schema.Record{next() % (1 << 32), next() % 86400, next() % (1 << 20), uint64(i)}
+		res, _, err := c.InsertWait(i%32, sch.Tag, rec)
+		if err != nil || !res.OK {
+			b.Fatalf("insert: %v %+v", err, res)
+		}
+	}
+}
+
+// BenchmarkQueryPath measures end-to-end decomposed range queries on a
+// 32-node overlay preloaded with 20k records.
+func BenchmarkQueryPath(b *testing.B) {
+	c, sch := benchCluster(b, 32)
+	rng := uint64(7)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	for i := 0; i < 20000; i++ {
+		rec := schema.Record{next() % (1 << 32), next() % 86400, next() % (1 << 20), uint64(i)}
+		if err := c.Nodes[i%32].Insert(sch.Tag, rec, nil); err != nil {
+			b.Fatal(err)
+		}
+		if i%500 == 0 {
+			// Drain in-flight inserts; the event queue never fully
+			// empties (heartbeats), so advance virtual time instead.
+			c.Settle(time.Second)
+		}
+	}
+	c.Settle(5 * time.Second)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := next() % 86100
+		q := schema.Rect{
+			Lo: []uint64{0, lo, 0},
+			Hi: []uint64{1 << 32, lo + 300, 1 << 20},
+		}
+		res, _, err := c.QueryWait(i%32, sch.Tag, q)
+		if err != nil || !res.Complete {
+			b.Fatalf("query %d incomplete: %v %+v", i, err, res)
+		}
+	}
+}
+
+// BenchmarkJoinProtocol measures the full join handshake cost as the
+// overlay grows to 64 nodes.
+func BenchmarkJoinProtocol(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := cluster.New(cluster.Options{
+			N:    64,
+			Seed: benchSeed + int64(i),
+			Sim:  simnet.Config{Seed: benchSeed + int64(i), DefaultLatency: 5 * time.Millisecond},
+			Node: mind.DefaultConfig(benchSeed),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !c.AllJoined() {
+			b.Fatal("not all joined")
+		}
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt for quick debugging edits

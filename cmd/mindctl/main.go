@@ -1,0 +1,158 @@
+// Command mindctl is the client CLI for a running MIND deployment. It
+// speaks the client protocol of §3.2 to any node:
+//
+//	mindctl -node 127.0.0.1:7001 create-index -preset index2 -horizon 86400
+//	mindctl -node 127.0.0.1:7001 insert -index index2-octets -rec 167772161,120,200000,2886729728,3
+//	mindctl -node 127.0.0.1:7001 query  -index index2-octets -lo 0,0,100000 -hi 4294967295,86400,2097152
+//	mindctl -node 127.0.0.1:7001 drop-index -index index2-octets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"mind/internal/schema"
+	"mind/internal/transport/tcpnet"
+	"mind/internal/wire"
+)
+
+func main() {
+	node := flag.String("node", "127.0.0.1:7001", "address of any MIND node")
+	timeout := flag.Duration("timeout", 30*time.Second, "RPC timeout")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		usage()
+	}
+	cmd, rest := args[0], args[1:]
+
+	ep, err := tcpnet.Listen("127.0.0.1:0")
+	if err != nil {
+		die("listen: %v", err)
+	}
+	defer ep.Close()
+
+	var mu sync.Mutex
+	respCh := make(chan wire.Message, 1)
+	ep.SetHandler(func(from string, data []byte) {
+		m, err := wire.Decode(data)
+		if err != nil {
+			return
+		}
+		mu.Lock()
+		select {
+		case respCh <- m:
+		default:
+		}
+		mu.Unlock()
+	})
+
+	var req wire.Message
+	switch cmd {
+	case "create-index":
+		req = buildCreateIndex(rest)
+	case "drop-index":
+		fs := flag.NewFlagSet("drop-index", flag.ExitOnError)
+		index := fs.String("index", "", "index tag")
+		fs.Parse(rest)
+		req = &wire.ClientDropIndex{ReqID: 1, Tag: *index}
+	case "insert":
+		fs := flag.NewFlagSet("insert", flag.ExitOnError)
+		index := fs.String("index", "", "index tag")
+		rec := fs.String("rec", "", "comma-separated attribute values")
+		fs.Parse(rest)
+		req = &wire.ClientInsert{ReqID: 1, Index: *index, Rec: parseU64s(*rec)}
+	case "query":
+		fs := flag.NewFlagSet("query", flag.ExitOnError)
+		index := fs.String("index", "", "index tag")
+		lo := fs.String("lo", "", "comma-separated lower bounds (indexed dims)")
+		hi := fs.String("hi", "", "comma-separated upper bounds (indexed dims)")
+		fs.Parse(rest)
+		req = &wire.ClientQuery{ReqID: 1, Index: *index,
+			Rect: schema.Rect{Lo: parseU64s(*lo), Hi: parseU64s(*hi)}}
+	default:
+		usage()
+	}
+
+	if err := ep.Send(*node, wire.Encode(req)); err != nil {
+		die("send: %v", err)
+	}
+	select {
+	case m := <-respCh:
+		printResp(m)
+	case <-time.After(*timeout):
+		die("timed out waiting for %s", *node)
+	}
+}
+
+func buildCreateIndex(rest []string) wire.Message {
+	fs := flag.NewFlagSet("create-index", flag.ExitOnError)
+	preset := fs.String("preset", "", "index1 | index2 | index3")
+	horizon := fs.Uint64("horizon", 86400*7, "timestamp horizon (unix seconds)")
+	fs.Parse(rest)
+	var sch *schema.Schema
+	switch *preset {
+	case "index1":
+		sch = schema.Index1(*horizon)
+	case "index2":
+		sch = schema.Index2(*horizon)
+	case "index3":
+		sch = schema.Index3(*horizon)
+	default:
+		die("create-index requires -preset index1|index2|index3")
+	}
+	return &wire.ClientCreateIndex{ReqID: 1, Schema: sch}
+}
+
+func printResp(m wire.Message) {
+	switch r := m.(type) {
+	case *wire.ClientAck:
+		if r.OK {
+			fmt.Printf("ok (hops=%d)\n", r.Hops)
+		} else {
+			die("error: %s", r.Error)
+		}
+	case *wire.ClientQueryResp:
+		fmt.Printf("complete=%v responders=%d records=%d\n", r.Complete, r.Responders, len(r.Recs))
+		for _, rec := range r.Recs {
+			parts := make([]string, len(rec))
+			for i, v := range rec {
+				parts[i] = strconv.FormatUint(v, 10)
+			}
+			fmt.Println("  " + strings.Join(parts, ","))
+		}
+	default:
+		die("unexpected response %s", m.Kind())
+	}
+}
+
+func parseU64s(s string) []uint64 {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]uint64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			die("bad number %q: %v", p, err)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: mindctl -node <addr> <create-index|drop-index|insert|query> [flags]")
+	os.Exit(2)
+}
+
+func die(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

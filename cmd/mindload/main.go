@@ -1,0 +1,147 @@
+// Command mindload drives a synthetic monitoring workload against a
+// running TCP MIND deployment: it creates the paper's Index-2 if absent,
+// streams aggregated-and-filtered flow records into the overlay through
+// one or more entry nodes, and periodically issues the §4.1 monitoring
+// queries, printing latency and recall statistics — a smoke/load tool
+// for real deployments.
+//
+//	mindload -nodes 127.0.0.1:7001,127.0.0.1:7002 -duration 60s -rate 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"mind/internal/aggregate"
+	"mind/internal/flowgen"
+	"mind/internal/metrics"
+	"mind/internal/schema"
+	"mind/internal/transport/tcpnet"
+	"mind/internal/wire"
+)
+
+func main() {
+	var (
+		nodesFlag = flag.String("nodes", "127.0.0.1:7001", "comma-separated MIND node addresses")
+		duration  = flag.Duration("duration", 30*time.Second, "how long to drive load")
+		rate      = flag.Float64("rate", 50, "synthetic flows per second per monitor")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		queryGap  = flag.Duration("query-every", 5*time.Second, "interval between monitoring queries")
+	)
+	flag.Parse()
+	nodes := strings.Split(*nodesFlag, ",")
+
+	ep, err := tcpnet.Listen("127.0.0.1:0")
+	if err != nil {
+		die("listen: %v", err)
+	}
+	defer ep.Close()
+
+	var mu sync.Mutex
+	insertLat := metrics.NewDist()
+	queryLat := metrics.NewDist()
+	pendingIns := map[uint64]time.Time{}
+	pendingQry := map[uint64]time.Time{}
+	inserted, failed, queries, incomplete := 0, 0, 0, 0
+	var reqSeq uint64
+
+	ep.SetHandler(func(from string, data []byte) {
+		m, err := wire.Decode(data)
+		if err != nil {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		switch r := m.(type) {
+		case *wire.ClientAck:
+			if t0, ok := pendingIns[r.ReqID]; ok {
+				delete(pendingIns, r.ReqID)
+				if r.OK {
+					inserted++
+					insertLat.AddDuration(time.Since(t0))
+				} else {
+					failed++
+				}
+			}
+		case *wire.ClientQueryResp:
+			if t0, ok := pendingQry[r.ReqID]; ok {
+				delete(pendingQry, r.ReqID)
+				queries++
+				queryLat.AddDuration(time.Since(t0))
+				if !r.Complete {
+					incomplete++
+				}
+			}
+		}
+	})
+
+	horizon := uint64(time.Now().Unix()) + 7*86400
+	idx2 := schema.Index2(horizon)
+	// Create the index (idempotent: an "already exists" error is fine).
+	ci := &wire.ClientCreateIndex{ReqID: 1, Schema: idx2}
+	if err := ep.Send(nodes[0], wire.Encode(ci)); err != nil {
+		die("create-index: %v", err)
+	}
+	time.Sleep(time.Second)
+
+	gcfg := flowgen.DefaultConfig(*seed)
+	gcfg.Routers = gcfg.Routers[:len(nodes)*2]
+	gcfg.BaseFlowsPerSec = *rate
+	g := flowgen.New(gcfg)
+
+	start := time.Now()
+	now := uint64(time.Now().Unix())
+	w := aggregate.NewWindower(aggregate.Config{WindowSec: 30}, func(ws uint64, aggs []*aggregate.Agg) {
+		for _, a := range aggs {
+			rec, ok := aggregate.Index2Record(ws, a)
+			if !ok {
+				continue
+			}
+			mu.Lock()
+			reqSeq++
+			id := reqSeq + 100
+			pendingIns[id] = time.Now()
+			mu.Unlock()
+			msg := &wire.ClientInsert{ReqID: id, Index: idx2.Tag, Rec: rec}
+			_ = ep.Send(nodes[a.Key.Node%len(nodes)], wire.Encode(msg))
+		}
+	})
+
+	lastQuery := time.Now()
+	for t := now; time.Since(start) < *duration; t++ {
+		g.GenerateSecond(t, func(f flowgen.Flow) { w.Add(f) })
+		if time.Since(lastQuery) >= *queryGap {
+			lastQuery = time.Now()
+			mu.Lock()
+			reqSeq++
+			id := reqSeq + 100
+			pendingQry[id] = time.Now()
+			mu.Unlock()
+			q := &wire.ClientQuery{ReqID: id, Index: idx2.Tag, Rect: schema.Rect{
+				Lo: []uint64{0, t - 300, 100_000},
+				Hi: []uint64{0xffffffff, t, schema.OctetsBound},
+			}}
+			_ = ep.Send(nodes[int(id)%len(nodes)], wire.Encode(q))
+		}
+		// Pace generation at ~1 simulated second per 100 ms of wall time.
+		time.Sleep(100 * time.Millisecond)
+	}
+	w.Flush()
+	time.Sleep(2 * time.Second) // drain acks
+
+	mu.Lock()
+	defer mu.Unlock()
+	fmt.Printf("inserts: %d acked, %d failed, %d outstanding\n", inserted, failed, len(pendingIns))
+	fmt.Printf("  latency %s\n", insertLat.Summarize())
+	fmt.Printf("queries: %d answered (%d incomplete), %d outstanding\n", queries, incomplete, len(pendingQry))
+	fmt.Printf("  latency %s\n", queryLat.Summarize())
+}
+
+func die(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,80 @@
+// Command mindnode runs one MIND node over real TCP. The first node of
+// a deployment bootstraps the overlay; every further node joins through
+// any running node:
+//
+//	mindnode -listen 127.0.0.1:7001                       # bootstrap
+//	mindnode -listen 127.0.0.1:7002 -join 127.0.0.1:7001  # join
+//
+// Clients (cmd/mindctl, or monitors embedding the client protocol) can
+// create indices, insert records and issue range queries against any
+// node's address.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mind/internal/mind"
+	"mind/internal/transport"
+	"mind/internal/transport/tcpnet"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", "127.0.0.1:0", "TCP address to listen on")
+		join        = flag.String("join", "", "address of an existing node to join through (empty = bootstrap)")
+		replication = flag.Int("replication", 1, "replicas per record (-1 = full)")
+		seed        = flag.Int64("seed", time.Now().UnixNano(), "randomness seed")
+		quiet       = flag.Bool("quiet", false, "suppress periodic status lines")
+	)
+	flag.Parse()
+
+	ep, err := tcpnet.Listen(*listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cfg := mind.DefaultConfig(*seed)
+	cfg.Replication = *replication
+	node := mind.NewNode(ep, transport.RealClock{}, cfg)
+
+	if *join == "" {
+		node.Bootstrap()
+		fmt.Printf("mindnode: bootstrapped overlay at %s\n", ep.Addr())
+	} else {
+		node.Join(*join)
+		deadline := time.Now().Add(30 * time.Second)
+		for !node.Joined() {
+			if time.Now().After(deadline) {
+				fmt.Fprintf(os.Stderr, "mindnode: join via %s timed out\n", *join)
+				os.Exit(1)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		fmt.Printf("mindnode: joined at %s with code %s\n", ep.Addr(), node.Code())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	tick := time.NewTicker(10 * time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-sig:
+			fmt.Println("mindnode: shutting down")
+			node.Close()
+			ep.Close()
+			return
+		case <-tick.C:
+			if !*quiet {
+				st := node.Stats()
+				fmt.Printf("mindnode: code=%s indices=%v stored=%d forwarded=%d replicated=%d\n",
+					node.Code(), node.Indices(), st.Stored, st.Forwarded, st.Replicated)
+			}
+		}
+	}
+}

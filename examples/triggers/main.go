@@ -1,0 +1,97 @@
+// Standing queries (triggers): the paper's footnote 1 notes that MIND
+// supports triggers with "minor mechanistic modifications" to the query
+// machinery. This example arms a trigger for suspiciously large flows
+// and then streams traffic containing an alpha flow: the matching
+// aggregates are pushed to the subscriber the moment their monitors
+// insert them — no polling.
+//
+//	go run ./examples/triggers
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mind/internal/aggregate"
+	"mind/internal/cluster"
+	"mind/internal/flowgen"
+	"mind/internal/mind"
+	"mind/internal/schema"
+	"mind/internal/transport/simnet"
+)
+
+func main() {
+	c, err := cluster.New(cluster.Options{
+		N:    10,
+		Seed: 23,
+		Sim:  simnet.Config{Seed: 23, DefaultLatency: 8 * time.Millisecond},
+		Node: mind.DefaultConfig(23),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx2 := schema.Index2(86400)
+	if err := c.CreateIndex(idx2); err != nil {
+		log.Fatal(err)
+	}
+
+	// Arm the alpha-flow trigger at node 7: any aggregate moving more
+	// than 1 MB lands in the subscriber's inbox as it is indexed.
+	alerts := 0
+	trigger := schema.Rect{
+		Lo: []uint64{0, 0, 1_000_000},
+		Hi: []uint64{0xffffffff, 86400, schema.OctetsBound},
+	}
+	id, err := c.Nodes[7].RegisterTrigger(idx2.Tag, trigger, func(e mind.TriggerEvent) {
+		alerts++
+		fmt.Printf("ALERT #%d from %s: %s → %s moved %d bytes in window %d\n",
+			alerts, e.From,
+			schema.FormatIPv4(e.Record[3]), schema.FormatIPv4(e.Record[0]),
+			e.Record[2], e.Record[1])
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c.Settle(2 * time.Second) // let the install decompose across owners
+	fmt.Printf("trigger %d armed: octets > 1MB, pushed on insert\n\n", id)
+
+	// Stream 5 minutes of traffic with an injected alpha flow.
+	gcfg := flowgen.DefaultConfig(23)
+	gcfg.BaseFlowsPerSec = 10
+	g := flowgen.New(gcfg)
+	g.Inject(flowgen.Anomaly{
+		Kind: flowgen.AlphaFlow, Start: 60, Duration: 90,
+		SrcPrefix: flowgen.SrcPrefix(7), DstPrefix: flowgen.DstPrefix(99),
+		DstPort: 443, Routers: []int{4}, Intensity: 60_000_000,
+	})
+	inserted := 0
+	w := aggregate.NewWindower(aggregate.Config{WindowSec: 30}, func(ws uint64, aggs []*aggregate.Agg) {
+		for _, a := range aggs {
+			if rec, ok := aggregate.Index2Record(ws, a); ok {
+				res, _, err := c.InsertWait(a.Key.Node%10, idx2.Tag, rec)
+				if err != nil || !res.OK {
+					log.Fatalf("insert: %v %+v", err, res)
+				}
+				inserted++
+			}
+		}
+	})
+	g.Generate(0, 300, func(f flowgen.Flow) { w.Add(f) })
+	w.Flush()
+	c.Settle(2 * time.Second)
+
+	fmt.Printf("\n%d records indexed, %d pushed alerts (no query was ever issued)\n", inserted, alerts)
+	if alerts == 0 {
+		log.Fatal("trigger never fired")
+	}
+
+	// Disarm and verify silence.
+	c.Nodes[7].RemoveTrigger(id)
+	c.Settle(2 * time.Second)
+	before := alerts
+	g.Generate(300, 360, func(f flowgen.Flow) { w.Add(f) })
+	w.Flush()
+	c.Settle(2 * time.Second)
+	fmt.Printf("after RemoveTrigger: %d new alerts\n", alerts-before)
+}

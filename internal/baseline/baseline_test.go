@@ -1,0 +1,153 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"mind/internal/schema"
+	"mind/internal/transport/simnet"
+)
+
+func sch() *schema.Schema {
+	return &schema.Schema{
+		Tag: "b",
+		Attrs: []schema.Attr{
+			{Name: "x", Max: 999},
+			{Name: "y", Max: 999},
+			{Name: "p"},
+		},
+		IndexDims: 2,
+	}
+}
+
+func TestFloodingQuery(t *testing.T) {
+	net := simnet.New(simnet.Config{Seed: 1, DefaultLatency: 10 * time.Millisecond})
+	n := 8
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("f%d", i)
+	}
+	nodes := make([]*FloodNode, n)
+	for i := range nodes {
+		ep, _ := net.Endpoint(addrs[i])
+		var peers []string
+		for j, a := range addrs {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		nodes[i] = NewFloodNode(ep, net.Clock(), sch(), peers)
+	}
+	r := rand.New(rand.NewSource(2))
+	total := 0
+	for i := 0; i < 160; i++ {
+		rec := schema.Record{r.Uint64() % 1000, r.Uint64() % 1000, uint64(i)}
+		nodes[i%n].Insert(rec)
+		total++
+	}
+	var res *QueryResult
+	full := schema.Rect{Lo: []uint64{0, 0}, Hi: []uint64{999, 999}}
+	if err := nodes[0].Query(full, 10*time.Second, func(q QueryResult) { res = &q }); err != nil {
+		t.Fatal(err)
+	}
+	net.RunUntil(func() bool { return res != nil }, 1_000_000)
+	if res == nil || !res.Complete {
+		t.Fatalf("flood query incomplete: %+v", res)
+	}
+	if len(res.Records) != total {
+		t.Fatalf("flood recall %d/%d", len(res.Records), total)
+	}
+	if res.Responders != n {
+		t.Fatalf("responders = %d, want all %d (flooding evaluates everywhere)", res.Responders, n)
+	}
+}
+
+func TestFloodingTimeoutOnDeadPeer(t *testing.T) {
+	net := simnet.New(simnet.Config{Seed: 3, DefaultLatency: time.Millisecond})
+	epA, _ := net.Endpoint("a")
+	epB, _ := net.Endpoint("b")
+	a := NewFloodNode(epA, net.Clock(), sch(), []string{"b"})
+	_ = NewFloodNode(epB, net.Clock(), sch(), []string{"a"})
+	net.Kill("b")
+	var res *QueryResult
+	a.Query(schema.Rect{Lo: []uint64{0, 0}, Hi: []uint64{999, 999}}, 2*time.Second, func(q QueryResult) { res = &q })
+	net.RunFor(5 * time.Second)
+	if res == nil || res.Complete {
+		t.Fatalf("query against dead peer should time out incomplete: %+v", res)
+	}
+}
+
+func TestFloodingSingleNode(t *testing.T) {
+	net := simnet.New(simnet.Config{Seed: 4})
+	ep, _ := net.Endpoint("solo")
+	n := NewFloodNode(ep, net.Clock(), sch(), nil)
+	n.Insert(schema.Record{1, 2, 3})
+	var res *QueryResult
+	n.Query(schema.Rect{Lo: []uint64{0, 0}, Hi: []uint64{999, 999}}, time.Second, func(q QueryResult) { res = &q })
+	if res == nil || !res.Complete || len(res.Records) != 1 {
+		t.Fatalf("solo flood: %+v", res)
+	}
+	if n.Len() != 1 {
+		t.Fatal("Len wrong")
+	}
+}
+
+func TestCentralized(t *testing.T) {
+	net := simnet.New(simnet.Config{Seed: 5, DefaultLatency: 15 * time.Millisecond})
+	sep, _ := net.Endpoint("server")
+	server := NewCentralServer(sep, sch())
+	n := 6
+	clients := make([]*CentralClient, n)
+	for i := range clients {
+		ep, _ := net.Endpoint(fmt.Sprintf("c%d", i))
+		clients[i] = NewCentralClient(ep, net.Clock(), "server")
+	}
+	r := rand.New(rand.NewSource(6))
+	acked := 0
+	for i := 0; i < 120; i++ {
+		rec := schema.Record{r.Uint64() % 1000, r.Uint64() % 1000, uint64(i)}
+		clients[i%n].Insert(rec, 5*time.Second, func(ok bool) {
+			if ok {
+				acked++
+			}
+		})
+	}
+	net.RunUntil(func() bool { return acked == 120 }, 1_000_000)
+	if acked != 120 || server.Len() != 120 {
+		t.Fatalf("central inserts: acked=%d stored=%d", acked, server.Len())
+	}
+	var res *QueryResult
+	q := schema.Rect{Lo: []uint64{0, 0}, Hi: []uint64{499, 999}}
+	clients[2].Query(q, 5*time.Second, func(r QueryResult) { res = &r })
+	net.RunUntil(func() bool { return res != nil }, 1_000_000)
+	if res == nil || !res.Complete || res.Responders != 1 {
+		t.Fatalf("central query: %+v", res)
+	}
+	for _, rec := range res.Records {
+		if rec[0] > 499 {
+			t.Fatal("central range filter broken")
+		}
+	}
+}
+
+func TestCentralizedServerDeath(t *testing.T) {
+	net := simnet.New(simnet.Config{Seed: 7, DefaultLatency: time.Millisecond})
+	sep, _ := net.Endpoint("server")
+	NewCentralServer(sep, sch())
+	cep, _ := net.Endpoint("c")
+	client := NewCentralClient(cep, net.Clock(), "server")
+	net.Kill("server")
+	insertOK := true
+	client.Insert(schema.Record{1, 1, 1}, time.Second, func(ok bool) { insertOK = ok })
+	var res *QueryResult
+	client.Query(schema.Rect{Lo: []uint64{0, 0}, Hi: []uint64{999, 999}}, time.Second, func(q QueryResult) { res = &q })
+	net.RunFor(3 * time.Second)
+	if insertOK {
+		t.Fatal("insert to dead server acked — the single point of failure §2.1 warns about")
+	}
+	if res == nil || res.Complete {
+		t.Fatalf("query to dead server completed: %+v", res)
+	}
+}

@@ -1,0 +1,325 @@
+package bitstr
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	if Empty.Len() != 0 || !Empty.IsEmpty() {
+		t.Fatalf("Empty not empty: %v", Empty)
+	}
+	if Empty.String() != "ε" {
+		t.Fatalf("Empty.String() = %q", Empty.String())
+	}
+	if !Empty.IsPrefixOf(MustParse("0110")) {
+		t.Fatal("empty code must be prefix of everything")
+	}
+}
+
+func TestParseString(t *testing.T) {
+	cases := []string{"0", "1", "01", "10", "0110", "111111", "0000000000000001"}
+	for _, s := range cases {
+		c, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if c.String() != s {
+			t.Errorf("Parse(%q).String() = %q", s, c.String())
+		}
+		if c.Len() != len(s) {
+			t.Errorf("Parse(%q).Len() = %d", s, c.Len())
+		}
+	}
+	if _, err := Parse("01x"); err == nil {
+		t.Error("Parse accepted invalid rune")
+	}
+	long := make([]byte, MaxLen+1)
+	for i := range long {
+		long[i] = '0'
+	}
+	if _, err := Parse(string(long)); err == nil {
+		t.Error("Parse accepted overlong code")
+	}
+}
+
+func TestNewAndUint64(t *testing.T) {
+	c := New(0b0110, 4)
+	if c.String() != "0110" {
+		t.Fatalf("New(0b0110,4) = %s", c)
+	}
+	if c.Uint64() != 0b0110 {
+		t.Fatalf("Uint64 = %b", c.Uint64())
+	}
+	if got := New(0, 0); !got.IsEmpty() {
+		t.Fatal("New(0,0) not empty")
+	}
+}
+
+func TestBitAppend(t *testing.T) {
+	c := Empty.Append(1).Append(0).Append(1)
+	if c.String() != "101" {
+		t.Fatalf("appended = %s", c)
+	}
+	for i, want := range []int{1, 0, 1} {
+		if c.Bit(i) != want {
+			t.Errorf("Bit(%d) = %d, want %d", i, c.Bit(i), want)
+		}
+	}
+}
+
+func TestPrefixParentSibling(t *testing.T) {
+	c := MustParse("011010")
+	if got := c.Prefix(3); got.String() != "011" {
+		t.Errorf("Prefix(3) = %s", got)
+	}
+	if got := c.Prefix(0); !got.IsEmpty() {
+		t.Errorf("Prefix(0) = %s", got)
+	}
+	if got := c.Parent(); got.String() != "01101" {
+		t.Errorf("Parent = %s", got)
+	}
+	if got := c.Sibling(); got.String() != "011011" {
+		t.Errorf("Sibling = %s", got)
+	}
+	if got := c.Sibling().Sibling(); !got.Equal(c) {
+		t.Errorf("Sibling twice = %s", got)
+	}
+}
+
+func TestFlipAndNeighborCode(t *testing.T) {
+	c := MustParse("0110")
+	if got := c.FlipBit(0); got.String() != "1110" {
+		t.Errorf("FlipBit(0) = %s", got)
+	}
+	if got := c.FlipBit(3); got.String() != "0111" {
+		t.Errorf("FlipBit(3) = %s", got)
+	}
+	// Neighbor codes per hypercube dimension.
+	wants := []string{"1", "00", "010", "0111"}
+	for i, w := range wants {
+		if got := c.NeighborCode(i); got.String() != w {
+			t.Errorf("NeighborCode(%d) = %s, want %s", i, got, w)
+		}
+	}
+}
+
+func TestIsPrefixOf(t *testing.T) {
+	a := MustParse("01")
+	b := MustParse("0110")
+	if !a.IsPrefixOf(b) {
+		t.Error("01 should be prefix of 0110")
+	}
+	if b.IsPrefixOf(a) {
+		t.Error("0110 should not be prefix of 01")
+	}
+	if !b.IsPrefixOf(b) {
+		t.Error("prefix must be non-strict")
+	}
+	if MustParse("00").IsPrefixOf(b) {
+		t.Error("00 is not prefix of 0110")
+	}
+}
+
+func TestCommonPrefixLen(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"0110", "0111", 3},
+		{"0110", "0110", 4},
+		{"0110", "1110", 0},
+		{"01", "0110", 2},
+		{"", "0110", 0},
+	}
+	for _, c := range cases {
+		a, b := MustParse(c.a), MustParse(c.b)
+		if got := a.CommonPrefixLen(b); got != c.want {
+			t.Errorf("CommonPrefixLen(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := b.CommonPrefixLen(a); got != c.want {
+			t.Errorf("CommonPrefixLen(%q,%q) = %d, want %d (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestOrdering(t *testing.T) {
+	ss := []string{"1", "0110", "0", "01", "1000", "0111", "011"}
+	codes := make([]Code, len(ss))
+	for i, s := range ss {
+		codes[i] = MustParse(s)
+	}
+	sort.Slice(codes, func(i, j int) bool { return codes[i].Less(codes[j]) })
+	want := []string{"0", "01", "011", "0110", "0111", "1", "1000"}
+	for i, w := range want {
+		if codes[i].String() != w {
+			t.Fatalf("sorted[%d] = %s, want %s", i, codes[i], w)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a, b := MustParse("01"), MustParse("0110")
+	if a.Compare(b) != -1 || b.Compare(a) != 1 || a.Compare(a) != 0 {
+		t.Error("Compare inconsistent")
+	}
+}
+
+func TestPackUnpack(t *testing.T) {
+	for _, s := range []string{"", "0", "1", "0110", "1111000011110000"} {
+		c := MustParse(s)
+		b, n := c.Pack()
+		if got := Unpack(b, n); !got.Equal(c) {
+			t.Errorf("Unpack(Pack(%q)) = %s", s, got)
+		}
+	}
+	// Unpack must sanitize stray bits past the declared length.
+	dirty := Unpack(^uint64(0), 3)
+	if dirty.String() != "111" {
+		t.Fatalf("Unpack dirty = %s", dirty)
+	}
+	if !dirty.Equal(MustParse("111")) {
+		t.Fatal("sanitized code must equal clean code")
+	}
+	if Unpack(0, MaxLen+10).Len() != MaxLen {
+		t.Fatal("Unpack must clamp overlong length")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Bit out of range", func() { MustParse("01").Bit(2) })
+	mustPanic("Parent of empty", func() { Empty.Parent() })
+	mustPanic("Sibling of empty", func() { Empty.Sibling() })
+	mustPanic("Prefix too long", func() { MustParse("01").Prefix(3) })
+	mustPanic("New bad length", func() { New(0, MaxLen+1) })
+	mustPanic("Append to full", func() {
+		c := Empty
+		for i := 0; i <= MaxLen; i++ {
+			c = c.Append(1)
+		}
+	})
+	mustPanic("FlipBit out of range", func() { MustParse("01").FlipBit(5) })
+}
+
+// randomCode draws a random code of length 0..MaxLen.
+func randomCode(r *rand.Rand) Code {
+	n := r.Intn(MaxLen + 1)
+	c := Empty
+	for i := 0; i < n; i++ {
+		c = c.Append(r.Intn(2))
+	}
+	return c
+}
+
+func TestQuickPrefixRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func() bool {
+		c := randomCode(r)
+		if c.IsEmpty() {
+			return true
+		}
+		k := r.Intn(c.Len())
+		p := c.Prefix(k)
+		return p.IsPrefixOf(c) && p.CommonPrefixLen(c) == k || p.Len() == k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickStringParseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	f := func() bool {
+		c := randomCode(r)
+		if c.IsEmpty() {
+			return true
+		}
+		got, err := Parse(c.String())
+		return err == nil && got.Equal(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSiblingInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	f := func() bool {
+		c := randomCode(r)
+		if c.IsEmpty() {
+			return true
+		}
+		s := c.Sibling()
+		return s.Len() == c.Len() &&
+			s.Sibling().Equal(c) &&
+			s.CommonPrefixLen(c) == c.Len()-1 &&
+			s.Parent().Equal(c.Parent())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickOrderingTotal(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	f := func() bool {
+		a, b := randomCode(r), randomCode(r)
+		// Exactly one of <, ==, > holds.
+		n := 0
+		if a.Less(b) {
+			n++
+		}
+		if b.Less(a) {
+			n++
+		}
+		if a.Equal(b) {
+			n++
+		}
+		return n == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPackUnpack(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	f := func() bool {
+		c := randomCode(r)
+		b, n := c.Pack()
+		return Unpack(b, n).Equal(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAppend(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := Empty
+		for j := 0; j < 32; j++ {
+			c = c.Append(j & 1)
+		}
+		_ = c
+	}
+}
+
+func BenchmarkCommonPrefixLen(b *testing.B) {
+	x := MustParse("011010110101101011010110")
+	y := MustParse("011010110101101011010111")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.CommonPrefixLen(y)
+	}
+}

@@ -1,0 +1,196 @@
+// Package cluster is the test-and-experiment harness: it assembles a
+// MIND deployment on the simulated network (optionally with the
+// geographic latency model of a real backbone deployment), drives joins,
+// inserts and queries in virtual time, and exposes blocking helpers that
+// pump the event loop until an operation completes.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"mind/internal/mind"
+	"mind/internal/schema"
+	"mind/internal/topo"
+	"mind/internal/transport/simnet"
+)
+
+// Options configures a cluster.
+type Options struct {
+	// N is the node count; ignored when Routers is set.
+	N int
+	// Routers places one node per backbone router and wires the
+	// geographic latency model (the §4.2 deployment style).
+	Routers []topo.Router
+	// Seed drives all randomness.
+	Seed int64
+	// Sim overrides simulator parameters; Latency and Seed are filled in
+	// by the cluster when unset.
+	Sim simnet.Config
+	// Node is the per-node configuration; Seed is varied per node.
+	Node mind.Config
+	// ConcurrentJoin joins all non-bootstrap nodes simultaneously
+	// instead of sequentially.
+	ConcurrentJoin bool
+}
+
+// Cluster is a running deployment.
+type Cluster struct {
+	Net    *simnet.Network
+	Nodes  []*mind.Node
+	byAddr map[string]*mind.Node
+	opts   Options
+}
+
+// addrOf names node i.
+func (o *Options) addrOf(i int) string {
+	if len(o.Routers) > 0 {
+		return topo.Addr(o.Routers[i])
+	}
+	return fmt.Sprintf("n%03d", i)
+}
+
+// New builds the network and nodes and completes all joins.
+func New(opts Options) (*Cluster, error) {
+	n := opts.N
+	if len(opts.Routers) > 0 {
+		n = len(opts.Routers)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: no nodes requested")
+	}
+	sim := opts.Sim
+	if sim.Seed == 0 {
+		sim.Seed = opts.Seed
+	}
+	if sim.Latency == nil && len(opts.Routers) > 0 {
+		sim.Latency = topo.LatencyFunc(opts.Routers, topo.Addr, 20*time.Millisecond)
+	}
+	net := simnet.New(sim)
+	c := &Cluster{Net: net, byAddr: make(map[string]*mind.Node), opts: opts}
+	for i := 0; i < n; i++ {
+		addr := opts.addrOf(i)
+		ep, err := net.Endpoint(addr)
+		if err != nil {
+			return nil, err
+		}
+		cfg := opts.Node
+		cfg.Seed = opts.Seed + int64(i)*7919
+		node := mind.NewNode(ep, net.Clock(), cfg)
+		c.Nodes = append(c.Nodes, node)
+		c.byAddr[addr] = node
+	}
+
+	c.Nodes[0].Bootstrap()
+	seed := c.Nodes[0].Addr()
+	if opts.ConcurrentJoin {
+		for _, nd := range c.Nodes[1:] {
+			nd.Join(seed)
+		}
+		if !net.RunUntil(c.AllJoined, 50_000_000) {
+			return nil, fmt.Errorf("cluster: concurrent join did not converge")
+		}
+	} else {
+		for _, nd := range c.Nodes[1:] {
+			nd.Join(seed)
+			nd := nd
+			if !net.RunUntil(nd.Joined, 10_000_000) {
+				return nil, fmt.Errorf("cluster: node %s failed to join", nd.Addr())
+			}
+		}
+	}
+	return c, nil
+}
+
+// AllJoined reports whether every node is in the overlay.
+func (c *Cluster) AllJoined() bool {
+	for _, nd := range c.Nodes {
+		if !nd.Joined() {
+			return false
+		}
+	}
+	return true
+}
+
+// Node returns the node at an address.
+func (c *Cluster) Node(addr string) *mind.Node { return c.byAddr[addr] }
+
+// Settle runs the network for a stretch of virtual time (heartbeats,
+// failure detection, takeovers).
+func (c *Cluster) Settle(d time.Duration) { c.Net.RunFor(d) }
+
+// CreateIndex creates the index from node 0 and waits until the flood
+// reaches every live node.
+func (c *Cluster) CreateIndex(sch *schema.Schema) error {
+	if err := c.Nodes[0].CreateIndex(sch, nil); err != nil {
+		return err
+	}
+	ok := c.Net.RunUntil(func() bool {
+		for _, nd := range c.Nodes {
+			if c.Net.IsDead(nd.Addr()) {
+				continue
+			}
+			if !nd.HasIndex(sch.Tag) {
+				return false
+			}
+		}
+		return true
+	}, 10_000_000)
+	if !ok {
+		return fmt.Errorf("cluster: index %q did not propagate", sch.Tag)
+	}
+	return nil
+}
+
+// InsertWait inserts from the given node and pumps the network until the
+// ack (or timeout) arrives. It returns the result and the virtual-time
+// insertion latency.
+func (c *Cluster) InsertWait(from int, tag string, rec schema.Record) (mind.InsertResult, time.Duration, error) {
+	var res mind.InsertResult
+	done := false
+	start := c.Net.Now()
+	err := c.Nodes[from].Insert(tag, rec, func(r mind.InsertResult) {
+		res = r
+		done = true
+	})
+	if err != nil {
+		return res, 0, err
+	}
+	c.Net.RunUntil(func() bool { return done }, 50_000_000)
+	return res, c.Net.Now().Sub(start), nil
+}
+
+// QueryWait queries from the given node and pumps the network until the
+// result callback fires. It returns the result and the virtual-time
+// query latency.
+func (c *Cluster) QueryWait(from int, tag string, rect schema.Rect) (mind.QueryResult, time.Duration, error) {
+	var res mind.QueryResult
+	done := false
+	start := c.Net.Now()
+	err := c.Nodes[from].Query(tag, rect, func(r mind.QueryResult) {
+		res = r
+		done = true
+	})
+	if err != nil {
+		return res, 0, err
+	}
+	c.Net.RunUntil(func() bool { return done }, 50_000_000)
+	return res, c.Net.Now().Sub(start), nil
+}
+
+// Kill fails a node at the network level (it stops receiving and its
+// sends vanish), as in the §4.4 robustness experiment.
+func (c *Cluster) Kill(i int) { c.Net.Kill(c.Nodes[i].Addr()) }
+
+// StorageByNode returns each live node's primary record count for an
+// index (Fig 13).
+func (c *Cluster) StorageByNode(tag string) map[string]int {
+	out := make(map[string]int, len(c.Nodes))
+	for _, nd := range c.Nodes {
+		if c.Net.IsDead(nd.Addr()) {
+			continue
+		}
+		out[nd.Addr()] = nd.StoredRecords(tag)
+	}
+	return out
+}

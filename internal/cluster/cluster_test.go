@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"mind/internal/mind"
+	"mind/internal/schema"
+	"mind/internal/topo"
+	"mind/internal/transport/simnet"
+)
+
+func sch() *schema.Schema {
+	return &schema.Schema{
+		Tag: "c",
+		Attrs: []schema.Attr{
+			{Name: "x", Max: 999},
+			{Name: "t", Kind: schema.KindTime, Max: 86400},
+			{Name: "y", Max: 999},
+		},
+		IndexDims: 3,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+}
+
+func TestSequentialAndConcurrentBuild(t *testing.T) {
+	for _, conc := range []bool{false, true} {
+		c, err := New(Options{
+			N:              10,
+			Seed:           3,
+			Sim:            simnet.Config{Seed: 3, DefaultLatency: 5 * time.Millisecond},
+			Node:           mind.DefaultConfig(3),
+			ConcurrentJoin: conc,
+		})
+		if err != nil {
+			t.Fatalf("concurrent=%v: %v", conc, err)
+		}
+		if !c.AllJoined() || len(c.Nodes) != 10 {
+			t.Fatalf("concurrent=%v: cluster incomplete", conc)
+		}
+		if c.Node(c.Nodes[4].Addr()) != c.Nodes[4] {
+			t.Error("Node lookup broken")
+		}
+	}
+}
+
+func TestRouterPlacement(t *testing.T) {
+	c, err := New(Options{
+		Routers: topo.AbileneRouters(),
+		Seed:    5,
+		Node:    mind.DefaultConfig(5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Nodes) != 11 {
+		t.Fatalf("nodes = %d", len(c.Nodes))
+	}
+	if c.Nodes[0].Addr() != "abilene-ATLA" {
+		t.Errorf("addr = %s", c.Nodes[0].Addr())
+	}
+}
+
+func TestEndToEndHelpers(t *testing.T) {
+	c, err := New(Options{
+		N:    6,
+		Seed: 7,
+		Sim:  simnet.Config{Seed: 7, DefaultLatency: 5 * time.Millisecond},
+		Node: mind.DefaultConfig(7),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateIndex(sch()); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(2 * time.Second)
+	res, lat, err := c.InsertWait(2, "c", schema.Record{1, 2, 3})
+	if err != nil || !res.OK {
+		t.Fatalf("insert: %v %+v", err, res)
+	}
+	if lat < 0 {
+		t.Fatal("negative latency")
+	}
+	qr, _, err := c.QueryWait(5, "c", schema.Rect{Lo: []uint64{0, 0, 0}, Hi: []uint64{999, 86400, 999}})
+	if err != nil || !qr.Complete || len(qr.Records) != 1 {
+		t.Fatalf("query: %v %+v", err, qr)
+	}
+	st := c.StorageByNode("c")
+	total := 0
+	for _, v := range st {
+		total += v
+	}
+	if total != 1 || len(st) != 6 {
+		t.Fatalf("storage map: %v", st)
+	}
+	c.Kill(3)
+	st = c.StorageByNode("c")
+	if len(st) != 5 {
+		t.Fatalf("dead node still reported: %v", st)
+	}
+}
+
+func TestCreateIndexSkipsDeadNodes(t *testing.T) {
+	c, err := New(Options{
+		N:    5,
+		Seed: 9,
+		Sim:  simnet.Config{Seed: 9, DefaultLatency: 5 * time.Millisecond},
+		Node: mind.DefaultConfig(9),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Kill(4)
+	if err := c.CreateIndex(sch()); err != nil {
+		t.Fatalf("create with dead node: %v", err)
+	}
+}

@@ -1,0 +1,170 @@
+// Package drilldown automates the §7 workflow the paper leaves to the
+// operator: "a network operator would arrive at this by programmatically
+// querying progressively smaller traffic volumes" (§5). Starting from a
+// coarse suspicion — a wide hyper-rectangle known (or suspected) to
+// contain anomalous records — Hunt bisects the attribute space,
+// re-querying only the halves that still match, until it has isolated
+// minimal anomalous regions whose result sets are small enough to hand
+// to packet-level analysis at the identified monitors.
+package drilldown
+
+import (
+	"fmt"
+	"sort"
+
+	"mind/internal/schema"
+)
+
+// QueryFunc resolves one range query; complete=false responses abort the
+// hunt (partial data would mislead the refinement). cluster.Cluster and
+// mind.Node are adapted trivially.
+type QueryFunc func(rect schema.Rect) (records []schema.Record, complete bool, err error)
+
+// Config tunes the refinement.
+type Config struct {
+	// SmallEnough stops refining a region once it matches at most this
+	// many records (they become a Finding). Default 8.
+	SmallEnough int
+	// MaxQueries bounds the total number of queries issued. Default 64.
+	MaxQueries int
+	// FrozenDims lists dimensions never bisected (typically the
+	// timestamp dimension, already pinned to the suspicious window).
+	FrozenDims []int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SmallEnough == 0 {
+		c.SmallEnough = 8
+	}
+	if c.MaxQueries == 0 {
+		c.MaxQueries = 64
+	}
+	return c
+}
+
+// Finding is one isolated anomalous region.
+type Finding struct {
+	Rect    schema.Rect
+	Records []schema.Record
+}
+
+// Result summarizes a hunt.
+type Result struct {
+	Findings []Finding
+	Queries  int
+	// Truncated is true when MaxQueries ran out before refinement
+	// finished; remaining coarse regions are reported as findings.
+	Truncated bool
+}
+
+// Hunt refines the starting rectangle into minimal anomalous regions.
+func Hunt(query QueryFunc, start schema.Rect, cfg Config) (*Result, error) {
+	if !start.Valid() {
+		return nil, fmt.Errorf("drilldown: invalid start rect")
+	}
+	cfg = cfg.withDefaults()
+	frozen := make(map[int]bool, len(cfg.FrozenDims))
+	for _, d := range cfg.FrozenDims {
+		if d < 0 || d >= start.Dims() {
+			return nil, fmt.Errorf("drilldown: frozen dim %d out of range", d)
+		}
+		frozen[d] = true
+	}
+
+	res := &Result{}
+	queue := []schema.Rect{start.Clone()}
+	for len(queue) > 0 {
+		rect := queue[0]
+		queue = queue[1:]
+		if res.Queries >= cfg.MaxQueries {
+			// Out of budget: report what we have at current granularity.
+			res.Truncated = true
+			recs, complete, err := query(rect)
+			res.Queries++
+			if err != nil {
+				return nil, err
+			}
+			if complete && len(recs) > 0 {
+				res.Findings = append(res.Findings, Finding{Rect: rect, Records: recs})
+			}
+			continue
+		}
+		recs, complete, err := query(rect)
+		res.Queries++
+		if err != nil {
+			return nil, err
+		}
+		if !complete {
+			return nil, fmt.Errorf("drilldown: incomplete query response for %v", rect)
+		}
+		if len(recs) == 0 {
+			continue
+		}
+		dim, ok := widestSplittable(rect, frozen)
+		if !ok || len(recs) <= cfg.SmallEnough {
+			res.Findings = append(res.Findings, Finding{Rect: rect, Records: recs})
+			continue
+		}
+		lo, hi := bisect(rect, dim)
+		queue = append(queue, lo, hi)
+	}
+	sortFindings(res.Findings)
+	return res, nil
+}
+
+// widestSplittable picks the unfrozen dimension with the largest
+// remaining extent; ok is false when nothing can split further.
+func widestSplittable(rect schema.Rect, frozen map[int]bool) (int, bool) {
+	best, bestSpan := -1, uint64(0)
+	for d := range rect.Lo {
+		if frozen[d] {
+			continue
+		}
+		span := rect.Hi[d] - rect.Lo[d]
+		if span > bestSpan {
+			best, bestSpan = d, span
+		}
+	}
+	return best, best >= 0 && bestSpan >= 1
+}
+
+// bisect splits the rect at the midpoint of one dimension.
+func bisect(rect schema.Rect, dim int) (schema.Rect, schema.Rect) {
+	mid := rect.Lo[dim] + (rect.Hi[dim]-rect.Lo[dim])/2
+	lo, hi := rect.Clone(), rect.Clone()
+	lo.Hi[dim] = mid
+	hi.Lo[dim] = mid + 1
+	return lo, hi
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i].Rect, fs[j].Rect
+		for d := range a.Lo {
+			if a.Lo[d] != b.Lo[d] {
+				return a.Lo[d] < b.Lo[d]
+			}
+		}
+		return false
+	})
+}
+
+// MonitorSet extracts the distinct values of one payload attribute
+// (conventionally the monitor/node id) across all findings — the §5
+// "which routers saw it" correlation.
+func MonitorSet(fs []Finding, attrIndex int) []uint64 {
+	set := map[uint64]bool{}
+	for _, f := range fs {
+		for _, r := range f.Records {
+			if attrIndex < len(r) {
+				set[r[attrIndex]] = true
+			}
+		}
+	}
+	out := make([]uint64, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

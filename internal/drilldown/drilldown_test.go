@@ -1,0 +1,191 @@
+package drilldown
+
+import (
+	"fmt"
+	"testing"
+
+	"mind/internal/schema"
+)
+
+// oracleQuery builds a QueryFunc over an in-memory record set.
+func oracleQuery(recs []schema.Record, dims int, queries *int) QueryFunc {
+	return func(rect schema.Rect) ([]schema.Record, bool, error) {
+		*queries++
+		var out []schema.Record
+		for _, r := range recs {
+			in := true
+			for d := 0; d < dims; d++ {
+				if r[d] < rect.Lo[d] || r[d] > rect.Hi[d] {
+					in = false
+					break
+				}
+			}
+			if in {
+				out = append(out, r)
+			}
+		}
+		return out, true, nil
+	}
+}
+
+func TestHuntIsolatesTwoClusters(t *testing.T) {
+	// Two anomalous clusters far apart in a 2-D space; the hunt must
+	// isolate both without scanning everything.
+	var recs []schema.Record
+	for i := 0; i < 5; i++ {
+		recs = append(recs, schema.Record{uint64(100 + i), uint64(200 + i), 7})
+		recs = append(recs, schema.Record{uint64(9000 + i), uint64(8000 + i), 8})
+	}
+	n := 0
+	q := oracleQuery(recs, 2, &n)
+	start := schema.Rect{Lo: []uint64{0, 0}, Hi: []uint64{9999, 9999}}
+	res, err := Hunt(q, start, Config{SmallEnough: 5, MaxQueries: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) < 2 {
+		t.Fatalf("findings = %d, want >= 2 clusters isolated", len(res.Findings))
+	}
+	total := 0
+	for _, f := range res.Findings {
+		total += len(f.Records)
+		if len(f.Records) > 5 {
+			t.Errorf("finding with %d records exceeds SmallEnough", len(f.Records))
+		}
+		if !f.Rect.Valid() {
+			t.Error("invalid finding rect")
+		}
+	}
+	if total != len(recs) {
+		t.Fatalf("findings cover %d records, want all %d", total, len(recs))
+	}
+	// The two clusters must land in separate findings.
+	for _, f := range res.Findings {
+		has7, has8 := false, false
+		for _, r := range f.Records {
+			if r[2] == 7 {
+				has7 = true
+			}
+			if r[2] == 8 {
+				has8 = true
+			}
+		}
+		if has7 && has8 {
+			t.Error("clusters not separated")
+		}
+	}
+	if res.Truncated {
+		t.Error("hunt should fit the budget")
+	}
+}
+
+func TestHuntEmptySpace(t *testing.T) {
+	n := 0
+	q := oracleQuery(nil, 2, &n)
+	start := schema.Rect{Lo: []uint64{0, 0}, Hi: []uint64{999, 999}}
+	res, err := Hunt(q, start, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) != 0 || res.Queries != 1 {
+		t.Fatalf("empty hunt: %+v", res)
+	}
+}
+
+func TestHuntFrozenDims(t *testing.T) {
+	// Records differ only along dim 1, which is frozen: the hunt cannot
+	// separate them and must report one finding spanning the frozen dim.
+	recs := []schema.Record{
+		{50, 10, 0},
+		{50, 900, 0},
+	}
+	n := 0
+	q := oracleQuery(recs, 2, &n)
+	start := schema.Rect{Lo: []uint64{50, 0}, Hi: []uint64{50, 999}}
+	res, err := Hunt(q, start, Config{SmallEnough: 1, FrozenDims: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) != 1 || len(res.Findings[0].Records) != 2 {
+		t.Fatalf("frozen hunt: %+v", res)
+	}
+	// Invalid frozen dim rejected.
+	if _, err := Hunt(q, start, Config{FrozenDims: []int{5}}); err == nil {
+		t.Error("bad frozen dim accepted")
+	}
+}
+
+func TestHuntBudgetTruncation(t *testing.T) {
+	var recs []schema.Record
+	for i := 0; i < 64; i++ {
+		recs = append(recs, schema.Record{uint64(i * 150), uint64(i * 140), uint64(i)})
+	}
+	n := 0
+	q := oracleQuery(recs, 2, &n)
+	start := schema.Rect{Lo: []uint64{0, 0}, Hi: []uint64{9999, 9999}}
+	res, err := Hunt(q, start, Config{SmallEnough: 1, MaxQueries: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Fatal("budget exhaustion not reported")
+	}
+	// Even truncated, everything matching is reported somewhere.
+	total := 0
+	for _, f := range res.Findings {
+		total += len(f.Records)
+	}
+	if total != len(recs) {
+		t.Fatalf("truncated findings cover %d/%d records", total, len(recs))
+	}
+}
+
+func TestHuntIncompleteQueryFails(t *testing.T) {
+	q := func(rect schema.Rect) ([]schema.Record, bool, error) {
+		return []schema.Record{{1, 1}}, false, nil
+	}
+	start := schema.Rect{Lo: []uint64{0, 0}, Hi: []uint64{99, 99}}
+	if _, err := Hunt(q, start, Config{}); err == nil {
+		t.Fatal("incomplete responses must abort the hunt")
+	}
+	qe := func(rect schema.Rect) ([]schema.Record, bool, error) {
+		return nil, true, fmt.Errorf("boom")
+	}
+	if _, err := Hunt(qe, start, Config{}); err == nil {
+		t.Fatal("query error must propagate")
+	}
+	if _, err := Hunt(q, schema.Rect{}, Config{}); err == nil {
+		t.Fatal("invalid start rect accepted")
+	}
+}
+
+func TestMonitorSet(t *testing.T) {
+	fs := []Finding{
+		{Records: []schema.Record{{1, 2, 9}, {1, 2, 4}}},
+		{Records: []schema.Record{{3, 4, 9}}},
+	}
+	got := MonitorSet(fs, 2)
+	if len(got) != 2 || got[0] != 4 || got[1] != 9 {
+		t.Fatalf("MonitorSet = %v", got)
+	}
+	if len(MonitorSet(fs, 99)) != 0 {
+		t.Error("out-of-range attribute must yield empty set")
+	}
+}
+
+func TestWidestSplittable(t *testing.T) {
+	rect := schema.Rect{Lo: []uint64{0, 0, 5}, Hi: []uint64{10, 1000, 5}}
+	d, ok := widestSplittable(rect, nil)
+	if !ok || d != 1 {
+		t.Fatalf("widest = %d, %v", d, ok)
+	}
+	// Degenerate rect: nothing to split.
+	point := schema.Rect{Lo: []uint64{5, 5}, Hi: []uint64{5, 5}}
+	if _, ok := widestSplittable(point, nil); ok {
+		t.Error("point rect reported splittable")
+	}
+	lo, hi := bisect(rect, 1)
+	if lo.Hi[1] != 500 || hi.Lo[1] != 501 {
+		t.Errorf("bisect = %v / %v", lo, hi)
+	}
+}

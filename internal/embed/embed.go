@@ -1,0 +1,338 @@
+// Package embed implements MIND's locality-preserving data-space
+// embedding (§3.4–3.7): the mapping between a k-dimensional attribute
+// space and the bit-string code space shared with the hypercube overlay.
+//
+// The data space is recursively cut by axis-aligned hyper-planes, one
+// dimension per level in round-robin order. Each cut appends one bit to
+// the code of a region: values at or below the cut get bit 0, values
+// above it get bit 1. A data point therefore maps to a code of any
+// desired depth, and an axis-aligned query rectangle maps to the code
+// prefix of the smallest region that contains it, plus a decomposition
+// into deeper regions it straddles.
+//
+// A Tree carries an explicit, histogram-balanced cut array down to a
+// configurable depth (the §3.7 balanced cuts computed from the previous
+// day's distribution); below the explicit depth, cuts fall back to
+// midpoints of the enclosing region. A Tree with explicit depth zero is
+// the uniform (unbalanced) embedding of Fig 5 top-left.
+package embed
+
+import (
+	"fmt"
+
+	"mind/internal/bitstr"
+	"mind/internal/histogram"
+	"mind/internal/schema"
+)
+
+// MaxDepth bounds code depth; it matches bitstr.MaxLen.
+const MaxDepth = bitstr.MaxLen
+
+// Tree is an immutable cut tree over a bounded data space. The explicit
+// levels form a complete binary tree stored in breadth-first order:
+// level d occupies cuts[2^d-1 : 2^(d+1)-1], and the cut dimension at
+// level d is d mod dims for every node of that level.
+type Tree struct {
+	bounds   []uint64
+	expDepth int
+	cuts     []uint64 // len == 1<<expDepth - 1
+}
+
+// Uniform builds the embedding with midpoint cuts everywhere.
+func Uniform(bounds []uint64) *Tree {
+	return &Tree{bounds: append([]uint64(nil), bounds...)}
+}
+
+// Balanced builds an embedding whose first depth levels are median cuts
+// derived from the histogram (each cut divides the region's estimated
+// weight in half); deeper levels use midpoint cuts. Empty or degenerate
+// regions fall back to midpoint cuts, so the tree is total.
+func Balanced(h *histogram.Hist, depth int) (*Tree, error) {
+	if depth < 0 || depth > MaxDepth {
+		return nil, fmt.Errorf("embed: balanced depth %d out of range [0,%d]", depth, MaxDepth)
+	}
+	if depth > 24 {
+		return nil, fmt.Errorf("embed: balanced depth %d too deep for explicit storage", depth)
+	}
+	bounds := h.Bounds()
+	t := &Tree{
+		bounds:   bounds,
+		expDepth: depth,
+		cuts:     make([]uint64, (1<<uint(depth))-1),
+	}
+	if depth == 0 {
+		return t, nil
+	}
+	dims := len(bounds)
+	lo := make([]uint64, dims)
+	hi := append([]uint64(nil), bounds...)
+	t.build(h, 0, 0, lo, hi, dims)
+	return t, nil
+}
+
+// build fills cuts[] for the subtree rooted at BFS index idx, level d,
+// owning the region [lo, hi].
+func (t *Tree) build(h *histogram.Hist, idx, d int, lo, hi []uint64, dims int) {
+	if d >= t.expDepth {
+		return
+	}
+	dim := d % dims
+	cut, ok := h.SplitValue(lo, hi, dim)
+	if !ok {
+		cut = midpoint(lo[dim], hi[dim])
+	}
+	t.cuts[idx] = cut
+	// Left child: region with x_dim <= cut.
+	oldLo, oldHi := lo[dim], hi[dim]
+	hi[dim] = cut
+	t.build(h, 2*idx+1, d+1, lo, hi, dims)
+	hi[dim] = oldHi
+	// Right child: region with x_dim > cut. It can be empty when the cut
+	// pinned to the top of a degenerate interval; keep the midpoint
+	// convention (cut < hi guaranteed unless lo == hi).
+	if cut < oldHi {
+		lo[dim] = cut + 1
+		t.build(h, 2*idx+2, d+1, lo, hi, dims)
+		lo[dim] = oldLo
+	} else {
+		// Degenerate: fill the right subtree with the same degenerate
+		// region's midpoints so lookups stay total.
+		lo[dim] = oldHi
+		t.build(h, 2*idx+2, d+1, lo, hi, dims)
+		lo[dim] = oldLo
+	}
+}
+
+func midpoint(lo, hi uint64) uint64 { return lo + (hi-lo)/2 }
+
+// Dims returns the data-space dimensionality.
+func (t *Tree) Dims() int { return len(t.bounds) }
+
+// Bounds returns the per-dimension inclusive upper bounds.
+func (t *Tree) Bounds() []uint64 { return append([]uint64(nil), t.bounds...) }
+
+// ExplicitDepth returns the number of histogram-balanced levels.
+func (t *Tree) ExplicitDepth() int { return t.expDepth }
+
+// cutValue returns the cut coordinate for the region at level d reached
+// by the code prefix path (the first d bits of the path), given the
+// region's current interval [lo, hi] along the cut dimension.
+func (t *Tree) cutValue(path bitstr.Code, d int, lo, hi uint64) uint64 {
+	if d < t.expDepth {
+		idx := (1 << uint(d)) - 1 + int(path.Prefix(d).Uint64())
+		c := t.cuts[idx]
+		// Clamp a stale/degenerate explicit cut into the interval so both
+		// halves stay well-formed.
+		if c < lo {
+			c = lo
+		}
+		if c > hi {
+			c = hi
+		}
+		return c
+	}
+	return midpoint(lo, hi)
+}
+
+// PointCode maps point p to its depth-bit code. Out-of-bound coordinates
+// are clamped to the dimension bound (§4.1: such tuples are assigned the
+// largest range). It panics on arity mismatch or excessive depth.
+func (t *Tree) PointCode(p []uint64, depth int) bitstr.Code {
+	if len(p) != len(t.bounds) {
+		panic(fmt.Sprintf("embed: point dims %d != %d", len(p), len(t.bounds)))
+	}
+	if depth < 0 || depth > MaxDepth {
+		panic(fmt.Sprintf("embed: depth %d out of range", depth))
+	}
+	dims := len(t.bounds)
+	lo := make([]uint64, dims)
+	hi := append([]uint64(nil), t.bounds...)
+	code := bitstr.Empty
+	for d := 0; d < depth; d++ {
+		dim := d % dims
+		v := p[dim]
+		if v > t.bounds[dim] {
+			v = t.bounds[dim]
+		}
+		cut := t.cutValue(code, d, lo[dim], hi[dim])
+		if v <= cut || cut == hi[dim] {
+			// cut == hi means the right half is empty; everything left.
+			code = code.Append(0)
+			hi[dim] = cut
+		} else {
+			code = code.Append(1)
+			lo[dim] = cut + 1
+		}
+	}
+	return code
+}
+
+// CodeRect returns the region of the data space owned by code c.
+func (t *Tree) CodeRect(c bitstr.Code) schema.Rect {
+	dims := len(t.bounds)
+	lo := make([]uint64, dims)
+	hi := append([]uint64(nil), t.bounds...)
+	for d := 0; d < c.Len(); d++ {
+		dim := d % dims
+		cut := t.cutValue(c.Prefix(d), d, lo[dim], hi[dim])
+		if c.Bit(d) == 0 {
+			hi[dim] = cut
+		} else {
+			if cut >= hi[dim] {
+				// Degenerate right branch of a pinned cut: empty region,
+				// represented as the top coordinate alone.
+				lo[dim] = hi[dim]
+			} else {
+				lo[dim] = cut + 1
+			}
+		}
+	}
+	return schema.Rect{Lo: lo, Hi: hi}
+}
+
+// QueryCode maps query rectangle q to the code of the smallest region
+// that wholly contains it, descending at most maxDepth levels. This is
+// the code a query is greedy-routed towards (§3.6).
+func (t *Tree) QueryCode(q schema.Rect, maxDepth int) bitstr.Code {
+	if len(q.Lo) != len(t.bounds) {
+		panic("embed: query dims mismatch")
+	}
+	if maxDepth > MaxDepth {
+		maxDepth = MaxDepth
+	}
+	dims := len(t.bounds)
+	lo := make([]uint64, dims)
+	hi := append([]uint64(nil), t.bounds...)
+	code := bitstr.Empty
+	for d := 0; d < maxDepth; d++ {
+		dim := d % dims
+		qLo, qHi := q.Lo[dim], q.Hi[dim]
+		if qHi > t.bounds[dim] {
+			qHi = t.bounds[dim]
+		}
+		if qLo > t.bounds[dim] {
+			qLo = t.bounds[dim]
+		}
+		cut := t.cutValue(code, d, lo[dim], hi[dim])
+		switch {
+		case qHi <= cut || cut == hi[dim]:
+			code = code.Append(0)
+			hi[dim] = cut
+		case qLo > cut:
+			code = code.Append(1)
+			lo[dim] = cut + 1
+		default:
+			return code // query straddles the cut
+		}
+	}
+	return code
+}
+
+// SubQuery is one piece of a decomposed query: the region code to route
+// to and the query rectangle clipped to that region.
+type SubQuery struct {
+	Code bitstr.Code
+	Rect schema.Rect
+}
+
+// Children returns the non-empty child regions of a region code with
+// their rects, mirroring the rule Decompose applies: the right branch of
+// a cut pinned to the region's top coordinate is empty and omitted.
+func (t *Tree) Children(region bitstr.Code) []SubQuery {
+	if region.Len() >= MaxDepth {
+		return nil
+	}
+	dims := len(t.bounds)
+	lo := make([]uint64, dims)
+	hi := append([]uint64(nil), t.bounds...)
+	for d := 0; d < region.Len(); d++ {
+		dim := d % dims
+		cut := t.cutValue(region.Prefix(d), d, lo[dim], hi[dim])
+		if region.Bit(d) == 0 {
+			hi[dim] = cut
+		} else {
+			if cut >= hi[dim] {
+				lo[dim] = hi[dim]
+			} else {
+				lo[dim] = cut + 1
+			}
+		}
+	}
+	d := region.Len()
+	dim := d % dims
+	cut := t.cutValue(region, d, lo[dim], hi[dim])
+	var out []SubQuery
+	leftLo := append([]uint64(nil), lo...)
+	leftHi := append([]uint64(nil), hi...)
+	leftHi[dim] = cut
+	out = append(out, SubQuery{Code: region.Append(0), Rect: schema.Rect{Lo: leftLo, Hi: leftHi}})
+	if cut < hi[dim] {
+		rightLo := append([]uint64(nil), lo...)
+		rightHi := append([]uint64(nil), hi...)
+		rightLo[dim] = cut + 1
+		out = append(out, SubQuery{Code: region.Append(1), Rect: schema.Rect{Lo: rightLo, Hi: rightHi}})
+	}
+	return out
+}
+
+// Decompose splits query rectangle q into sub-queries at code depth
+// depth: every depth-bit region the query intersects yields one SubQuery
+// with the clipped rectangle. The first node whose region abuts the query
+// performs this split before fanning sub-queries out on the overlay
+// (§3.6). The number of sub-queries is bounded by 2^depth.
+func (t *Tree) Decompose(q schema.Rect, depth int) []SubQuery {
+	if len(q.Lo) != len(t.bounds) {
+		panic("embed: query dims mismatch")
+	}
+	if depth < 0 || depth > MaxDepth {
+		panic(fmt.Sprintf("embed: depth %d out of range", depth))
+	}
+	// Clamp the query into bounds once.
+	qc := q.Clone()
+	for i := range qc.Lo {
+		if qc.Lo[i] > t.bounds[i] {
+			qc.Lo[i] = t.bounds[i]
+		}
+		if qc.Hi[i] > t.bounds[i] {
+			qc.Hi[i] = t.bounds[i]
+		}
+	}
+	dims := len(t.bounds)
+	lo := make([]uint64, dims)
+	hi := append([]uint64(nil), t.bounds...)
+	var out []SubQuery
+	t.decompose(qc, bitstr.Empty, 0, depth, lo, hi, dims, &out)
+	return out
+}
+
+func (t *Tree) decompose(q schema.Rect, code bitstr.Code, d, depth int, lo, hi []uint64, dims int, out *[]SubQuery) {
+	if d == depth {
+		// Clip q to the region [lo, hi].
+		sub := q.Clone()
+		for i := 0; i < dims; i++ {
+			if sub.Lo[i] < lo[i] {
+				sub.Lo[i] = lo[i]
+			}
+			if sub.Hi[i] > hi[i] {
+				sub.Hi[i] = hi[i]
+			}
+		}
+		*out = append(*out, SubQuery{Code: code, Rect: sub})
+		return
+	}
+	dim := d % dims
+	cut := t.cutValue(code, d, lo[dim], hi[dim])
+	oldLo, oldHi := lo[dim], hi[dim]
+	// Left side: region x_dim in [lo, cut].
+	if q.Lo[dim] <= cut {
+		hi[dim] = cut
+		t.decompose(q, code.Append(0), d+1, depth, lo, hi, dims, out)
+		hi[dim] = oldHi
+	}
+	// Right side: region x_dim in [cut+1, hi]; empty when cut == hi.
+	if cut < oldHi && q.Hi[dim] > cut {
+		lo[dim] = cut + 1
+		t.decompose(q, code.Append(1), d+1, depth, lo, hi, dims, out)
+		lo[dim] = oldLo
+	}
+}

@@ -1,0 +1,68 @@
+package embed
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire format (little-endian):
+//
+//	u32 dims | dims × u64 bound | u32 expDepth | (2^expDepth - 1) × u64 cut
+//
+// Cut trees travel to joining nodes together with index definitions, and
+// when the daily balanced cuts are installed on every node (§3.7).
+
+// Marshal encodes the tree.
+func (t *Tree) Marshal() []byte {
+	d := len(t.bounds)
+	buf := make([]byte, 0, 4+8*d+4+8*len(t.cuts))
+	var tmp [8]byte
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(d))
+	buf = append(buf, tmp[:4]...)
+	for _, b := range t.bounds {
+		binary.LittleEndian.PutUint64(tmp[:], b)
+		buf = append(buf, tmp[:]...)
+	}
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(t.expDepth))
+	buf = append(buf, tmp[:4]...)
+	for _, c := range t.cuts {
+		binary.LittleEndian.PutUint64(tmp[:], c)
+		buf = append(buf, tmp[:]...)
+	}
+	return buf
+}
+
+// Unmarshal decodes a tree produced by Marshal.
+func Unmarshal(data []byte) (*Tree, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("embed: short header")
+	}
+	d := int(binary.LittleEndian.Uint32(data[:4]))
+	data = data[4:]
+	if d <= 0 || d > 64 {
+		return nil, fmt.Errorf("embed: bad dimensionality %d", d)
+	}
+	if len(data) < 8*d+4 {
+		return nil, fmt.Errorf("embed: truncated bounds")
+	}
+	t := &Tree{bounds: make([]uint64, d)}
+	for i := range t.bounds {
+		t.bounds[i] = binary.LittleEndian.Uint64(data[:8])
+		data = data[8:]
+	}
+	t.expDepth = int(binary.LittleEndian.Uint32(data[:4]))
+	data = data[4:]
+	if t.expDepth < 0 || t.expDepth > 24 {
+		return nil, fmt.Errorf("embed: bad explicit depth %d", t.expDepth)
+	}
+	n := (1 << uint(t.expDepth)) - 1
+	if len(data) != 8*n {
+		return nil, fmt.Errorf("embed: cut payload %d bytes, want %d", len(data), 8*n)
+	}
+	t.cuts = make([]uint64, n)
+	for i := range t.cuts {
+		t.cuts[i] = binary.LittleEndian.Uint64(data[:8])
+		data = data[8:]
+	}
+	return t, nil
+}

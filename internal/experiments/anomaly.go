@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"mind/internal/cluster"
+	"mind/internal/detect"
+	"mind/internal/flowgen"
+	"mind/internal/metrics"
+	"mind/internal/topo"
+	"mind/internal/transport/simnet"
+)
+
+// Table17 reproduces the §5 anomaly-detection experiment (Fig 17's
+// table): an 11-node overlay congruent to the Abilene backbone holds
+// Index-1 and Index-2; ~25 minutes of traffic with injected anomalies
+// (alpha flows, DoS floods, a port scan) is aggregated and inserted;
+// then the paper's two query templates are issued around each anomaly:
+//
+//	Index-1: fanout > 1500 within a 5-minute window (DoS, scans)
+//	Index-2: total size > 4,000,000 within a 5-minute window (alpha)
+//
+// Reported per anomaly: result-set size (a small superset of the ground
+// truth), whether the ground truth was recalled, the average response
+// time across all 11 origins, and the monitor set the matching records
+// identify — the §5 "which routers saw the DoS path" correlation. An
+// independent off-line centralized detector over the same flows
+// cross-checks the ground truth.
+func Table17(seed int64, scale float64) (*Report, error) {
+	r := newReport("table17", "Real-world-style anomaly detection via MIND queries (Fig 17)")
+	routers := topo.AbileneRouters()
+	c, err := cluster.New(cluster.Options{
+		Routers: routers,
+		Seed:    seed,
+		Sim: simnet.Config{
+			Seed:        seed,
+			Latency:     topo.LatencyFunc(routers, topo.Addr, 10*time.Millisecond),
+			JitterFrac:  0.2,
+			ServiceTime: 5 * time.Millisecond,
+		},
+		Node: nodeConfig(seed),
+	})
+	if err != nil {
+		return nil, err
+	}
+	ix := paperIndices(86400 * 2)
+	if err := c.CreateIndex(ix.i1); err != nil {
+		return nil, err
+	}
+	if err := c.CreateIndex(ix.i2); err != nil {
+		return nil, err
+	}
+	c.Settle(5 * time.Second)
+
+	// ~25 minutes of traffic (the paper's trace slice) with the standard
+	// anomaly mix.
+	wallStart := uint64(13 * 3600)
+	dur := uint64(25 * 60)
+	gcfg := flowgen.DefaultConfig(seed + 11)
+	gcfg.Routers = routers
+	gcfg.BaseFlowsPerSec = 60 * scale
+	if gcfg.BaseFlowsPerSec < 10 {
+		gcfg.BaseFlowsPerSec = 10
+	}
+	g := flowgen.New(gcfg)
+	truth := g.StandardAnomalies(wallStart)
+
+	// Off-line detector ground-truth cross-check over the same flows.
+	det := detect.New(detect.Config{})
+	recs := buildWorkloadTap(g, wallStart, wallStart+dur, ix, true, true, false, det.Add)
+	events := det.Finish()
+	offlineRecall := detect.Recall(events, truth, 300)
+
+	driveInserts(c, recs, wallStart)
+	c.Settle(5 * time.Second)
+
+	tb := metrics.NewTable("anomaly", "time", "query_index", "result_size", "truth", "recalled", "avg_resp_s", "monitors")
+	recalled := 0
+	var respSum float64
+	var respN int
+	for _, a := range truth {
+		idx2 := a.Kind == flowgen.AlphaFlow || a.Kind == flowgen.PortAbuse
+		tag := ix.i1.Tag
+		if idx2 {
+			tag = ix.i2.Tag
+		}
+		rect := a.GroundTruthRect(idx2, ix.horizon)
+
+		var sizes []int
+		var hit bool
+		monitors := map[uint64]bool{}
+		lat := metrics.NewDist()
+		for from := range c.Nodes {
+			res, d, err := c.QueryWait(from, tag, rect)
+			if err != nil || !res.Complete {
+				continue
+			}
+			lat.AddDuration(d)
+			sizes = append(sizes, len(res.Records))
+			for _, rec := range res.Records {
+				if rec[0] == a.DstPrefix && rec[3] == a.SrcPrefix {
+					hit = true
+					monitors[rec[4]] = true
+				}
+			}
+		}
+		if hit {
+			recalled++
+		}
+		size := 0
+		if len(sizes) > 0 {
+			size = sizes[0]
+		}
+		respSum += lat.Mean() * float64(lat.N())
+		respN += lat.N()
+		tb.Row(a.Kind.String(),
+			fmt.Sprintf("+%dm", (a.Start-wallStart)/60),
+			tag, size, a.Kind.String(), hit, lat.Mean(), monitorNames(routers, monitors))
+		r.Values[fmt.Sprintf("result_size_%s_%d", a.Kind, a.Start)] = float64(size)
+	}
+	r.table(tb)
+
+	r.Values["recall"] = float64(recalled) / float64(len(truth))
+	r.Values["avg_response_s"] = respSum / float64(respN)
+	r.Values["offline_detector_recall"] = offlineRecall
+	r.notef("paper: perfect recall on all anomalies, small superset result sets, ~1–2 s average "+
+		"response; measured recall %.0f%%, avg response %.2f s; off-line centralized detector recall %.0f%% "+
+		"on the same trace", 100*r.Values["recall"], r.Values["avg_response_s"], 100*offlineRecall)
+	return r, nil
+}
+
+// monitorNames renders a set of node-attribute values as router codes.
+func monitorNames(routers []topo.Router, set map[uint64]bool) string {
+	var ids []int
+	for v := range set {
+		ids = append(ids, int(v))
+	}
+	sort.Ints(ids)
+	names := make([]string, 0, len(ids))
+	for _, id := range ids {
+		if id < len(routers) {
+			names = append(names, routers[id].Name)
+		}
+	}
+	return strings.Join(names, ",")
+}

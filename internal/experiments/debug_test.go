@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mind/internal/cluster"
+	"mind/internal/flowgen"
+	"mind/internal/schema"
+	"mind/internal/transport/simnet"
+)
+
+// TestDebugEscalation replays the fig16 kill escalation at replication 1
+// and reports per-step completion, live-code tiling and uncovered
+// regions.
+func TestDebugEscalation(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	seed := int64(20050405)
+	n := 102
+	routers := fabricateRouters(n)
+	nodeCfg := nodeConfig(seed)
+	nodeCfg.Replication = 1
+	nodeCfg.QueryTimeout = 15 * time.Second
+	c, err := cluster.New(cluster.Options{
+		Routers: routers,
+		Seed:    seed,
+		Sim: simnet.Config{
+			Seed:           seed,
+			DefaultLatency: 2 * time.Millisecond,
+			ServiceTime:    2 * time.Millisecond,
+		},
+		Node: nodeCfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := paperIndices(86400 * 4)
+	if err := c.CreateIndex(ix.i1); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(10 * time.Second)
+
+	wallStart := uint64(10 * 3600)
+	dur := uint64(240)
+	gcfg := flowgen.DefaultConfig(seed + 5)
+	gcfg.Routers = routers
+	gcfg.BaseFlowsPerSec = 8
+	g := flowgen.New(gcfg)
+	recs := buildWorkload(g, wallStart, wallStart+dur, ix, true, false, false)
+	samples := driveInserts(c, recs, wallStart)
+	var oracle []schema.Record
+	for i, s := range samples {
+		if s.ok {
+			oracle = append(oracle, recs[i].rec)
+		}
+	}
+	t.Logf("oracle %d records", len(oracle))
+
+	rng := xorshift(uint64(seed)*31 + 40503)
+	perm := make([]int, n-1)
+	for i := range perm {
+		perm[i] = i + 1
+	}
+	for i := len(perm) - 1; i > 0; i-- {
+		j := int(rng.next() % uint64(i+1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	killed := 0
+	for _, f := range []float64{0.15, 0.30, 0.50} {
+		want := int(f * float64(n))
+		for killed < want {
+			c.Kill(perm[killed])
+			killed++
+		}
+		c.Settle(6*nodeCfg.Overlay.FailAfter + 10*time.Second)
+		tile := 0.0
+		for _, nd := range c.Nodes {
+			if !c.Net.IsDead(nd.Addr()) {
+				tile += 1 / float64(uint64(1)<<uint(nd.Code().Len()))
+			}
+		}
+		okQ, mismatch, incomplete := 0, 0, 0
+		matched := 0
+		for q := 0; q < 20; q++ {
+			from := int(rng.next() % uint64(n))
+			for c.Net.IsDead(c.Nodes[from].Addr()) {
+				from = (from + 1) % n
+			}
+			a, b := rng.next()%(1<<32), rng.next()%(1<<32)
+			if a > b {
+				a, b = b, a
+			}
+			floor := 16 + rng.next()%32
+			rect := schema.Rect{
+				Lo: []uint64{a, wallStart, floor},
+				Hi: []uint64{b, wallStart + dur, schema.FanoutBound},
+			}
+			wantN := 0
+			for _, rec := range oracle {
+				if rect.ContainsRecord(ix.i1, rec) {
+					wantN++
+				}
+			}
+			if wantN > 0 {
+				matched++
+			}
+			res, _, err := c.QueryWait(from, ix.i1.Tag, rect)
+			if err != nil {
+				continue
+			}
+			switch {
+			case res.Complete && len(res.Records) == wantN:
+				okQ++
+			case !res.Complete:
+				incomplete++
+				if incomplete <= 2 {
+					t.Logf("  incomplete: uncovered=%v", res.Uncovered)
+				}
+			default:
+				mismatch++
+				if mismatch <= 2 {
+					t.Logf("  mismatch: got=%d want=%d", len(res.Records), wantN)
+				}
+			}
+		}
+		t.Logf("frac=%.2f tile=%.4f ok=%d mismatch=%d incomplete=%d matchedQueries=%d",
+			f, tile, okQ, mismatch, incomplete, matched)
+	}
+}
+
+// TestDebugFig16 is a diagnostic harness for the robustness experiment:
+// it replays the fig16 setup with zero failures and reports any query
+// whose result diverges from the oracle.
+func TestDebugFig16(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	seed := int64(20050405)
+	n := 102
+	routers := fabricateRouters(n)
+	nodeCfg := nodeConfig(seed)
+	nodeCfg.Replication = 1
+	nodeCfg.QueryTimeout = 15 * time.Second
+	c, err := cluster.New(cluster.Options{
+		Routers: routers,
+		Seed:    seed,
+		Sim: simnet.Config{
+			Seed:           seed,
+			DefaultLatency: 2 * time.Millisecond,
+			ServiceTime:    2 * time.Millisecond,
+		},
+		Node: nodeCfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := paperIndices(86400 * 4)
+	if err := c.CreateIndex(ix.i1); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(10 * time.Second)
+
+	wallStart := uint64(10 * 3600)
+	dur := uint64(300)
+	gcfg := flowgen.DefaultConfig(seed + 5)
+	gcfg.Routers = routers
+	gcfg.BaseFlowsPerSec = 8
+	g := flowgen.New(gcfg)
+	recs := buildWorkload(g, wallStart, wallStart+dur, ix, true, false, false)
+	samples := driveInserts(c, recs, wallStart)
+	var oracle []schema.Record
+	failed := 0
+	for i, s := range samples {
+		if s.ok {
+			oracle = append(oracle, recs[i].rec)
+		} else {
+			failed++
+		}
+	}
+	t.Logf("workload: %d records, %d insert failures, oracle %d", len(recs), failed, len(oracle))
+	c.Settle(5 * time.Second)
+
+	rng := xorshift(uint64(seed)*31 + 40503)
+	bad := 0
+	for q := 0; q < 30; q++ {
+		from := int(rng.next() % uint64(n))
+		floor := 16 + rng.next()%300
+		rect := schema.Rect{
+			Lo: []uint64{0, wallStart, floor},
+			Hi: []uint64{0xffffffff, wallStart + dur, schema.FanoutBound},
+		}
+		want := map[string]int{}
+		wantN := 0
+		for _, rec := range oracle {
+			if rect.ContainsRecord(ix.i1, rec) {
+				want[fmt.Sprint([]uint64(rec))]++
+				wantN++
+			}
+		}
+		res, _, err := c.QueryWait(from, ix.i1.Tag, rect)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Complete && len(res.Records) == wantN {
+			continue
+		}
+		bad++
+		got := map[string]int{}
+		for _, rec := range res.Records {
+			got[fmt.Sprint([]uint64(rec))]++
+		}
+		t.Logf("q%d floor=%d complete=%v got=%d want=%d uncovered=%v", q, floor, res.Complete, len(res.Records), wantN, res.Uncovered)
+		shown := 0
+		for k, wc := range want {
+			if got[k] != wc && shown < 3 {
+				t.Logf("  want %s ×%d, got ×%d", k, wc, got[k])
+				shown++
+			}
+		}
+		for k, gc := range got {
+			if want[k] != gc && shown < 6 {
+				t.Logf("  got %s ×%d, want ×%d", k, gc, want[k])
+				shown++
+			}
+		}
+	}
+	t.Logf("bad queries: %d/30", bad)
+
+	// Locate a known-missing record: which node stores it, and does its
+	// point code fall inside that node's region?
+	missing := schema.Record{2919441408, 36000, 33, 1251264512, 2}
+	inOracle := false
+	for _, rec := range oracle {
+		same := len(rec) == len(missing)
+		for i := range rec {
+			if rec[i] != missing[i] {
+				same = false
+			}
+		}
+		if same {
+			inOracle = true
+		}
+	}
+	t.Logf("missing record in oracle: %v", inOracle)
+	tree, _ := c.Nodes[0].CutTree(ix.i1.Tag, 0)
+	pc := tree.PointCode(missing.Point(ix.i1), 24)
+	t.Logf("missing record point code: %s", pc)
+	for _, nd := range c.Nodes {
+		full := ix.i1.FullRect()
+		var holds bool
+		if nd.StoredRecords(ix.i1.Tag) > 0 {
+			res2, _, _ := c.QueryWait(0, ix.i1.Tag, schema.Rect{
+				Lo: []uint64{missing[0], missing[1], missing[2]},
+				Hi: []uint64{missing[0], missing[1], missing[2]},
+			})
+			_ = res2
+		}
+		_ = full
+		_ = holds
+	}
+	// Who actually stores it?
+	pointRect := schema.Rect{
+		Lo: []uint64{missing[0], missing[1], missing[2]},
+		Hi: []uint64{missing[0], missing[1], missing[2]},
+	}
+	for _, nd := range c.Nodes {
+		for _, rec := range nd.LocalQuery(ix.i1.Tag, pointRect) {
+			if rec[4] == missing[4] && rec[3] == missing[3] {
+				t.Logf("record physically at %s (code %s)", nd.Addr(), nd.Code())
+			}
+		}
+	}
+	// Point query for the missing record.
+	res3, _, _ := c.QueryWait(0, ix.i1.Tag, schema.Rect{
+		Lo: []uint64{missing[0], missing[1], missing[2]},
+		Hi: []uint64{missing[0], missing[1], missing[2]},
+	})
+	t.Logf("point query: complete=%v got=%d", res3.Complete, len(res3.Records))
+	for _, nd := range c.Nodes {
+		code := nd.Code()
+		if code.IsPrefixOf(pc) {
+			t.Logf("owner of %s is %s (code %s), primary=%d", pc, nd.Addr(), code, nd.StoredRecords(ix.i1.Tag))
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package flowgen
+
+import (
+	"fmt"
+
+	"mind/internal/schema"
+)
+
+// AnomalyKind enumerates the anomaly classes of §5 (following Lakhina et
+// al.'s taxonomy) plus the port-abuse pattern Index-3 targets.
+type AnomalyKind uint8
+
+const (
+	// AlphaFlow is an unusually large point-to-point transfer.
+	AlphaFlow AnomalyKind = iota
+	// DoS is a flood of small flows from (near-)spoofed sources in one
+	// prefix to a single destination.
+	DoS
+	// PortScan probes many hosts of a destination prefix from one source.
+	PortScan
+	// PortAbuse tunnels bulk traffic over a well-known port (e.g. DNS
+	// tunneling), producing anomalous per-connection sizes.
+	PortAbuse
+)
+
+var anomalyNames = map[AnomalyKind]string{
+	AlphaFlow: "alpha-flow",
+	DoS:       "dos",
+	PortScan:  "port-scan",
+	PortAbuse: "port-abuse",
+}
+
+func (k AnomalyKind) String() string {
+	if s, ok := anomalyNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("anomaly(%d)", uint8(k))
+}
+
+// Anomaly describes one injected event; the fields double as the ground
+// truth the §5 recall experiment checks MIND's query results against.
+type Anomaly struct {
+	Kind     AnomalyKind
+	Start    uint64 // unix seconds
+	Duration uint64 // seconds
+	// SrcPrefix and DstPrefix are the /24 network parts involved.
+	SrcPrefix uint64
+	DstPrefix uint64
+	DstPort   uint16
+	// Routers are the monitors on the anomaly's path (indices into
+	// Config.Routers); a MIND query response identifies exactly this set.
+	Routers []int
+	// Intensity scales the anomaly: total octets for alpha flows and
+	// port abuse, flows-per-second for DoS, probed hosts for scans.
+	Intensity uint64
+}
+
+// Active reports whether the anomaly emits at second t.
+func (a *Anomaly) Active(t uint64) bool {
+	return t >= a.Start && t < a.Start+a.Duration
+}
+
+// Inject registers an anomaly; its flows will be interleaved by
+// Generate. Returns the anomaly's index in the ledger.
+func (g *Generator) Inject(a Anomaly) int {
+	if len(a.Routers) == 0 {
+		a.Routers = []int{g.rng.Intn(len(g.cfg.Routers))}
+	}
+	g.anomalies = append(g.anomalies, a)
+	return len(g.anomalies) - 1
+}
+
+// Anomalies returns the ground-truth ledger.
+func (g *Generator) Anomalies() []Anomaly {
+	return append([]Anomaly(nil), g.anomalies...)
+}
+
+// emitAnomalySecond generates one second of an active anomaly's flows.
+func (g *Generator) emitAnomalySecond(a *Anomaly, t uint64, emit func(Flow)) {
+	if !a.Active(t) {
+		return
+	}
+	switch a.Kind {
+	case AlphaFlow:
+		// One huge flow per window slice, seen by every router on the
+		// path. Per-second share of the total intensity.
+		per := a.Intensity / a.Duration
+		if per == 0 {
+			per = a.Intensity
+		}
+		for _, node := range a.Routers {
+			emit(Flow{
+				Node:    node,
+				SrcIP:   a.SrcPrefix | 7,
+				DstIP:   a.DstPrefix | 9,
+				DstPort: a.DstPort,
+				Start:   t,
+				Octets:  per,
+				Packets: per / 1200,
+			})
+		}
+	case DoS:
+		// Intensity small flows per second from rotating sources within
+		// the prefix toward one destination host.
+		for i := uint64(0); i < a.Intensity; i++ {
+			src := a.SrcPrefix | (1 + (i*37+t*11)%254)
+			for _, node := range a.Routers {
+				emit(Flow{
+					Node:    node,
+					SrcIP:   src,
+					DstIP:   a.DstPrefix | 1,
+					DstPort: a.DstPort,
+					Start:   t,
+					Octets:  60,
+					Packets: 1,
+				})
+			}
+		}
+	case PortScan:
+		// One source sweeps Intensity hosts per second in the dst /24.
+		for i := uint64(0); i < a.Intensity; i++ {
+			dst := a.DstPrefix | (1 + (i+t*a.Intensity)%254)
+			for _, node := range a.Routers {
+				emit(Flow{
+					Node:    node,
+					SrcIP:   a.SrcPrefix | 13,
+					DstIP:   dst,
+					DstPort: a.DstPort,
+					Start:   t,
+					Octets:  40,
+					Packets: 1,
+				})
+			}
+		}
+	case PortAbuse:
+		// A steady stream of oversized "DNS" connections.
+		per := a.Intensity / a.Duration
+		if per == 0 {
+			per = a.Intensity
+		}
+		for c := 0; c < 4; c++ {
+			for _, node := range a.Routers {
+				emit(Flow{
+					Node:    node,
+					SrcIP:   a.SrcPrefix | uint64(20+c),
+					DstIP:   a.DstPrefix | 5,
+					DstPort: a.DstPort,
+					Start:   t,
+					Octets:  per / 4,
+					Packets: per / 4800,
+				})
+			}
+		}
+	}
+}
+
+// StandardAnomalies injects a §5-like mix relative to epoch: three alpha
+// flows, two DoS attacks and one port scan, and returns the ledger. The
+// placements echo Fig 17's timeline (events at distinct 5-minute
+// windows).
+func (g *Generator) StandardAnomalies(epoch uint64) []Anomaly {
+	mk := func(a Anomaly) { g.Inject(a) }
+	mk(Anomaly{Kind: AlphaFlow, Start: epoch + 5*60, Duration: 120,
+		SrcPrefix: SrcPrefix(11), DstPrefix: DstPrefix(3), DstPort: 80,
+		Routers: []int{1, 4, 3}, Intensity: 80_000_000})
+	mk(Anomaly{Kind: AlphaFlow, Start: epoch + 10*60, Duration: 90,
+		SrcPrefix: SrcPrefix(200), DstPrefix: DstPrefix(42), DstPort: 443,
+		Routers: []int{7, 8}, Intensity: 60_000_000})
+	mk(Anomaly{Kind: AlphaFlow, Start: epoch + 15*60, Duration: 150,
+		SrcPrefix: SrcPrefix(31), DstPrefix: DstPrefix(77), DstPort: 80,
+		Routers: []int{0, 10, 6, 2}, Intensity: 120_000_000})
+	mk(Anomaly{Kind: DoS, Start: epoch + 19*60, Duration: 120,
+		SrcPrefix: SrcPrefix(500), DstPrefix: DstPrefix(9), DstPort: 80,
+		Routers: []int{1, 4, 2, 5, 6, 8}, Intensity: 90})
+	mk(Anomaly{Kind: DoS, Start: epoch + 21*60, Duration: 90,
+		SrcPrefix: SrcPrefix(640), DstPrefix: DstPrefix(101), DstPort: 53,
+		Routers: []int{1, 4}, Intensity: 70})
+	mk(Anomaly{Kind: PortScan, Start: epoch + 19*60 + 30, Duration: 100,
+		SrcPrefix: SrcPrefix(900), DstPrefix: DstPrefix(55), DstPort: 3306,
+		Routers: []int{9}, Intensity: 60})
+	return g.Anomalies()
+}
+
+// GroundTruthRect returns the Index-1 or Index-2 query hyper-rectangle
+// circumscribing the anomaly over a surrounding 5-minute window, the way
+// the §5 experiment frames its detection queries.
+func (a *Anomaly) GroundTruthRect(index2 bool, horizon uint64) schema.Rect {
+	winStart := a.Start - a.Start%300
+	winEnd := winStart + 300
+	if winEnd > horizon {
+		winEnd = horizon
+	}
+	if a.Kind == AlphaFlow || a.Kind == PortAbuse || index2 {
+		// Index-2 style: (dst, ts, octets) with octets above a volume
+		// threshold. The paper's §5 query asks for size > 4,000,000 even
+		// though the index bound is 2 MB — values past the bound are
+		// clamped into the topmost region (§4.1), so the query floor
+		// clamps the same way.
+		floor := uint64(4_000_000)
+		if floor > schema.OctetsBound {
+			floor = schema.OctetsBound
+		}
+		return schema.Rect{
+			Lo: []uint64{0, winStart, floor},
+			Hi: []uint64{0xffffffff, winEnd - 1, schema.OctetsBound},
+		}
+	}
+	// Index-1 style: (dst, ts, fanout) with high fanout.
+	return schema.Rect{
+		Lo: []uint64{0, winStart, 1500},
+		Hi: []uint64{0xffffffff, winEnd - 1, schema.FanoutBound},
+	}
+}

@@ -1,0 +1,71 @@
+package histogram
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Wire format (all little-endian):
+//
+//	u32 k | u32 dims | dims × u64 bound | u64 total-bits | cells × f64
+//
+// Histograms travel on the overlay when nodes report their local data
+// distributions to the designated aggregation node and when the balanced
+// cuts' source histogram is installed everywhere (§3.7).
+
+// Marshal encodes the histogram.
+func (h *Hist) Marshal() []byte {
+	d := len(h.bounds)
+	buf := make([]byte, 0, 8+8*d+8+8*len(h.counts))
+	var tmp [8]byte
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(h.k))
+	binary.LittleEndian.PutUint32(tmp[4:8], uint32(d))
+	buf = append(buf, tmp[:8]...)
+	for _, b := range h.bounds {
+		binary.LittleEndian.PutUint64(tmp[:], b)
+		buf = append(buf, tmp[:]...)
+	}
+	binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(h.total))
+	buf = append(buf, tmp[:]...)
+	for _, c := range h.counts {
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(c))
+		buf = append(buf, tmp[:]...)
+	}
+	return buf
+}
+
+// Unmarshal decodes a histogram produced by Marshal.
+func Unmarshal(data []byte) (*Hist, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("histogram: short header")
+	}
+	k := int(binary.LittleEndian.Uint32(data[:4]))
+	d := int(binary.LittleEndian.Uint32(data[4:8]))
+	data = data[8:]
+	if d <= 0 || d > 64 {
+		return nil, fmt.Errorf("histogram: bad dimensionality %d", d)
+	}
+	if len(data) < 8*d+8 {
+		return nil, fmt.Errorf("histogram: truncated bounds")
+	}
+	bounds := make([]uint64, d)
+	for i := range bounds {
+		bounds[i] = binary.LittleEndian.Uint64(data[:8])
+		data = data[8:]
+	}
+	h, err := New(k, bounds)
+	if err != nil {
+		return nil, err
+	}
+	h.total = math.Float64frombits(binary.LittleEndian.Uint64(data[:8]))
+	data = data[8:]
+	if len(data) != 8*len(h.counts) {
+		return nil, fmt.Errorf("histogram: cell payload %d bytes, want %d", len(data), 8*len(h.counts))
+	}
+	for i := range h.counts {
+		h.counts[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[:8]))
+		data = data[8:]
+	}
+	return h, nil
+}

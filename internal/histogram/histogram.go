@@ -1,0 +1,364 @@
+// Package histogram implements the approximate multi-dimensional
+// histograms MIND uses to drive its load balancing (§3.7) and the
+// mismatch metric of Appendix A used to quantify the day-to-day
+// stationarity of traffic distributions (§2.2, Fig 3).
+//
+// A Hist partitions a d-dimensional data space, bounded per dimension,
+// into k equal-width bins per dimension (k^d cells in total; k is the
+// paper's "histogram granularity"). Cell counts are float64 so that
+// merged and scaled histograms remain exact enough for median cuts.
+package histogram
+
+import (
+	"fmt"
+	"math"
+)
+
+// MaxCells bounds the dense cell array; a histogram over many dimensions
+// must use a coarse granularity (Fig 3's six-attribute histograms use
+// k = 2..4).
+const MaxCells = 1 << 24
+
+// Hist is a d-dimensional equi-width histogram.
+type Hist struct {
+	k      int       // bins per dimension
+	bounds []uint64  // inclusive upper bound per dimension
+	width  []uint64  // bin width per dimension (width*k > bound)
+	counts []float64 // k^d cells, row-major with dimension 0 slowest
+	total  float64
+}
+
+// New creates an empty histogram with k bins per dimension over the space
+// [0, bounds[i]] in each dimension i.
+func New(k int, bounds []uint64) (*Hist, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("histogram: granularity %d < 1", k)
+	}
+	d := len(bounds)
+	if d == 0 {
+		return nil, fmt.Errorf("histogram: zero dimensions")
+	}
+	cells := 1
+	for i := 0; i < d; i++ {
+		if cells > MaxCells/k {
+			return nil, fmt.Errorf("histogram: %d^%d cells exceeds limit %d", k, d, MaxCells)
+		}
+		cells *= k
+	}
+	h := &Hist{
+		k:      k,
+		bounds: append([]uint64(nil), bounds...),
+		width:  make([]uint64, d),
+		counts: make([]float64, cells),
+	}
+	for i, b := range bounds {
+		// width is the smallest w with k*w > bound, so every value in
+		// [0, bound] maps to a bin in [0, k).
+		h.width[i] = b/uint64(k) + 1
+	}
+	return h, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(k int, bounds []uint64) *Hist {
+	h, err := New(k, bounds)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// K returns the per-dimension granularity.
+func (h *Hist) K() int { return h.k }
+
+// Dims returns the dimensionality.
+func (h *Hist) Dims() int { return len(h.bounds) }
+
+// Bounds returns the per-dimension inclusive upper bounds.
+func (h *Hist) Bounds() []uint64 { return append([]uint64(nil), h.bounds...) }
+
+// Cells returns the total number of cells.
+func (h *Hist) Cells() int { return len(h.counts) }
+
+// Total returns the total weight added.
+func (h *Hist) Total() float64 { return h.total }
+
+// bin maps a coordinate to its bin index along dimension dim, clamping
+// out-of-bound values into the topmost bin.
+func (h *Hist) bin(dim int, v uint64) int {
+	if v > h.bounds[dim] {
+		v = h.bounds[dim]
+	}
+	b := int(v / h.width[dim])
+	if b >= h.k {
+		b = h.k - 1
+	}
+	return b
+}
+
+// cellIndex flattens per-dimension bin coordinates.
+func (h *Hist) cellIndex(bins []int) int {
+	idx := 0
+	for _, b := range bins {
+		idx = idx*h.k + b
+	}
+	return idx
+}
+
+// Add accumulates weight w at point p (clamped into bounds).
+func (h *Hist) Add(p []uint64, w float64) {
+	if len(p) != len(h.bounds) {
+		panic(fmt.Sprintf("histogram: point dims %d != %d", len(p), len(h.bounds)))
+	}
+	idx := 0
+	for i, v := range p {
+		idx = idx*h.k + h.bin(i, v)
+	}
+	h.counts[idx] += w
+	h.total += w
+}
+
+// AddPoint accumulates unit weight at p.
+func (h *Hist) AddPoint(p []uint64) { h.Add(p, 1) }
+
+// SameShape reports whether two histograms have identical granularity and
+// bounds and can be merged or compared.
+func (h *Hist) SameShape(o *Hist) bool {
+	if h.k != o.k || len(h.bounds) != len(o.bounds) {
+		return false
+	}
+	for i := range h.bounds {
+		if h.bounds[i] != o.bounds[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge adds o's cells into h. The histograms must have the same shape.
+// MIND's designated node merges the per-node histograms this way when it
+// collects the daily distribution (§3.7).
+func (h *Hist) Merge(o *Hist) error {
+	if !h.SameShape(o) {
+		return fmt.Errorf("histogram: shape mismatch (k=%d/%d, d=%d/%d)", h.k, o.k, len(h.bounds), len(o.bounds))
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	return nil
+}
+
+// Clone deep-copies the histogram.
+func (h *Hist) Clone() *Hist {
+	c := &Hist{
+		k:      h.k,
+		bounds: append([]uint64(nil), h.bounds...),
+		width:  append([]uint64(nil), h.width...),
+		counts: append([]float64(nil), h.counts...),
+		total:  h.total,
+	}
+	return c
+}
+
+// Reset zeroes all cells.
+func (h *Hist) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total = 0
+}
+
+// Count returns the weight in the cell addressed by per-dimension bins.
+func (h *Hist) Count(bins []int) float64 {
+	if len(bins) != len(h.bounds) {
+		panic("histogram: wrong bin coordinate arity")
+	}
+	for i, b := range bins {
+		if b < 0 || b >= h.k {
+			panic(fmt.Sprintf("histogram: bin %d out of range on dim %d", b, i))
+		}
+	}
+	return h.counts[h.cellIndex(bins)]
+}
+
+// CellCounts exposes the raw flattened cell array (read-only use).
+func (h *Hist) CellCounts() []float64 { return h.counts }
+
+// Mismatch computes the Appendix A metric between two same-shaped
+// histograms, normalized to a fraction of the data:
+//
+//	MF = Σ_x |I_i(x) − I_j(x)| / (total_i + total_j)
+//
+// For equal totals N this equals the paper's Σ|…|/2 expressed as a
+// fraction of N: 0 means identical distributions, 1 means completely
+// disjoint. It upper-bounds the fraction of data that must move to
+// re-balance day j onto day i's allocation.
+func (h *Hist) Mismatch(o *Hist) (float64, error) {
+	if !h.SameShape(o) {
+		return 0, fmt.Errorf("histogram: shape mismatch")
+	}
+	denom := h.total + o.total
+	if denom == 0 {
+		return 0, nil
+	}
+	var sum float64
+	for i := range h.counts {
+		sum += math.Abs(h.counts[i] - o.counts[i])
+	}
+	return sum / denom, nil
+}
+
+// overlap returns the fraction of bin b (along dim) covered by the value
+// interval [lo, hi], both inclusive, assuming a uniform intra-bin
+// distribution.
+func (h *Hist) overlap(dim, b int, lo, hi uint64) float64 {
+	w := h.width[dim]
+	bLo := uint64(b) * w
+	// Inclusive upper edge of the bin, clamped to the dimension bound so
+	// the topmost bin absorbs clamped values.
+	bHi := bLo + w - 1
+	if b == h.k-1 && h.bounds[dim] > bHi {
+		bHi = h.bounds[dim]
+	}
+	if hi < bLo || lo > bHi {
+		return 0
+	}
+	cLo, cHi := lo, hi
+	if cLo < bLo {
+		cLo = bLo
+	}
+	if cHi > bHi {
+		cHi = bHi
+	}
+	return float64(cHi-cLo+1) / float64(bHi-bLo+1)
+}
+
+// CountRange estimates the weight inside the hyper-rectangle given by
+// inclusive per-dimension intervals [lo[i], hi[i]], pro-rating straddled
+// bins uniformly.
+func (h *Hist) CountRange(lo, hi []uint64) float64 {
+	if len(lo) != len(h.bounds) || len(hi) != len(h.bounds) {
+		panic("histogram: wrong range arity")
+	}
+	d := len(h.bounds)
+	// Per-dimension list of (bin, fraction) with nonzero overlap.
+	type binFrac struct {
+		bin  int
+		frac float64
+	}
+	perDim := make([][]binFrac, d)
+	for i := 0; i < d; i++ {
+		bLo, bHi := h.bin(i, lo[i]), h.bin(i, hi[i])
+		for b := bLo; b <= bHi; b++ {
+			if f := h.overlap(i, b, lo[i], hi[i]); f > 0 {
+				perDim[i] = append(perDim[i], binFrac{b, f})
+			}
+		}
+		if len(perDim[i]) == 0 {
+			return 0
+		}
+	}
+	// Enumerate the cross product of overlapping bins.
+	var sum float64
+	idx := make([]int, d)
+	for {
+		cell := 0
+		frac := 1.0
+		for i := 0; i < d; i++ {
+			bf := perDim[i][idx[i]]
+			cell = cell*h.k + bf.bin
+			frac *= bf.frac
+		}
+		sum += h.counts[cell] * frac
+		// Advance the odometer.
+		i := d - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(perDim[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return sum
+		}
+	}
+}
+
+// SplitValue finds a coordinate v along dimension dim that divides the
+// weight of the hyper-rectangle [lo, hi] as evenly as possible: the
+// estimated weight of the half with x_dim <= v is as close as possible to
+// half the rectangle's weight. This is the balanced-cut primitive of
+// §3.7. The returned v always satisfies lo[dim] <= v < hi[dim] so both
+// halves are non-empty; ok is false when the rectangle is degenerate
+// (single coordinate along dim) or carries no weight, in which case the
+// caller should fall back to a midpoint cut.
+func (h *Hist) SplitValue(lo, hi []uint64, dim int) (v uint64, ok bool) {
+	if lo[dim] >= hi[dim] {
+		return lo[dim], false
+	}
+	total := h.CountRange(lo, hi)
+	if total <= 0 {
+		return 0, false
+	}
+	half := total / 2
+
+	// Walk bins along dim, accumulating slab weights.
+	sLo := append([]uint64(nil), lo...)
+	sHi := append([]uint64(nil), hi...)
+	bLo, bHi := h.bin(dim, lo[dim]), h.bin(dim, hi[dim])
+	var cum float64
+	for b := bLo; b <= bHi; b++ {
+		// Slab = rect restricted to bin b along dim (clipped to rect).
+		w := h.width[dim]
+		slabLo := uint64(b) * w
+		slabHi := slabLo + w - 1
+		if b == h.k-1 {
+			slabHi = h.bounds[dim]
+		}
+		if slabLo < lo[dim] {
+			slabLo = lo[dim]
+		}
+		if slabHi > hi[dim] {
+			slabHi = hi[dim]
+		}
+		sLo[dim], sHi[dim] = slabLo, slabHi
+		sw := h.CountRange(sLo, sHi)
+		if cum+sw >= half && sw > 0 {
+			// Interpolate within the slab assuming uniform density.
+			need := half - cum
+			span := float64(slabHi - slabLo)
+			off := uint64(math.Round(span * (need / sw)))
+			v := slabLo + off
+			if v >= hi[dim] {
+				v = hi[dim] - 1
+			}
+			if v < lo[dim] {
+				v = lo[dim]
+			}
+			return v, true
+		}
+		cum += sw
+	}
+	// All weight at/near the top; cut just below the top coordinate.
+	return hi[dim] - 1, true
+}
+
+// HeaviestCell returns the per-dimension bin coordinates and weight of the
+// heaviest cell; useful for diagnostics and skew reporting (Fig 2).
+func (h *Hist) HeaviestCell() ([]int, float64) {
+	best, bi := -1.0, 0
+	for i, c := range h.counts {
+		if c > best {
+			best, bi = c, i
+		}
+	}
+	d := len(h.bounds)
+	bins := make([]int, d)
+	for i := d - 1; i >= 0; i-- {
+		bins[i] = bi % h.k
+		bi /= h.k
+	}
+	return bins, best
+}

@@ -1,0 +1,373 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, []uint64{10}); err == nil {
+		t.Error("accepted k=0")
+	}
+	if _, err := New(2, nil); err == nil {
+		t.Error("accepted zero dimensions")
+	}
+	if _, err := New(1024, []uint64{1, 1, 1}); err == nil {
+		t.Error("accepted oversized cell array")
+	}
+	h, err := New(4, []uint64{99, 999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.K() != 4 || h.Dims() != 2 || h.Cells() != 16 || h.Total() != 0 {
+		t.Errorf("shape wrong: k=%d d=%d cells=%d", h.K(), h.Dims(), h.Cells())
+	}
+}
+
+func TestAddAndBinning(t *testing.T) {
+	h := MustNew(4, []uint64{99}) // bins of width 25: [0,24] [25,49] [50,74] [75,99]
+	h.AddPoint([]uint64{0})
+	h.AddPoint([]uint64{24})
+	h.AddPoint([]uint64{25})
+	h.AddPoint([]uint64{99})
+	h.AddPoint([]uint64{500}) // clamps into top bin
+	if got := h.Count([]int{0}); got != 2 {
+		t.Errorf("bin0 = %v", got)
+	}
+	if got := h.Count([]int{1}); got != 1 {
+		t.Errorf("bin1 = %v", got)
+	}
+	if got := h.Count([]int{3}); got != 2 {
+		t.Errorf("bin3 = %v (clamping)", got)
+	}
+	if h.Total() != 5 {
+		t.Errorf("total = %v", h.Total())
+	}
+}
+
+func TestAddWeighted(t *testing.T) {
+	h := MustNew(2, []uint64{9, 9})
+	h.Add([]uint64{1, 1}, 2.5)
+	h.Add([]uint64{7, 7}, 0.5)
+	if h.Count([]int{0, 0}) != 2.5 || h.Count([]int{1, 1}) != 0.5 {
+		t.Error("weighted add wrong")
+	}
+	if h.Total() != 3 {
+		t.Errorf("total = %v", h.Total())
+	}
+}
+
+func TestFullUint64Bound(t *testing.T) {
+	h := MustNew(8, []uint64{^uint64(0)})
+	h.AddPoint([]uint64{0})
+	h.AddPoint([]uint64{^uint64(0)})
+	if h.Count([]int{0}) != 1 || h.Count([]int{7}) != 1 {
+		t.Error("extreme values mis-binned")
+	}
+}
+
+func TestMergeAndClone(t *testing.T) {
+	a := MustNew(4, []uint64{99})
+	b := MustNew(4, []uint64{99})
+	a.AddPoint([]uint64{10})
+	b.AddPoint([]uint64{10})
+	b.AddPoint([]uint64{80})
+	c := a.Clone()
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count([]int{0}) != 2 || a.Count([]int{3}) != 1 || a.Total() != 3 {
+		t.Error("merge wrong")
+	}
+	if c.Total() != 1 {
+		t.Error("clone aliases storage")
+	}
+	d := MustNew(8, []uint64{99})
+	if err := a.Merge(d); err == nil {
+		t.Error("merged mismatched shapes")
+	}
+	e := MustNew(4, []uint64{100})
+	if a.SameShape(e) {
+		t.Error("different bounds reported same shape")
+	}
+	a.Reset()
+	if a.Total() != 0 || a.Count([]int{0}) != 0 {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestMismatch(t *testing.T) {
+	a := MustNew(2, []uint64{99})
+	b := MustNew(2, []uint64{99})
+	for i := 0; i < 10; i++ {
+		a.AddPoint([]uint64{10})
+		b.AddPoint([]uint64{10})
+	}
+	m, err := a.Mismatch(b)
+	if err != nil || m != 0 {
+		t.Errorf("identical mismatch = %v, %v", m, err)
+	}
+	// Completely disjoint: a all-low, b all-high.
+	c := MustNew(2, []uint64{99})
+	for i := 0; i < 10; i++ {
+		c.AddPoint([]uint64{90})
+	}
+	m, _ = a.Mismatch(c)
+	if m != 1 {
+		t.Errorf("disjoint mismatch = %v, want 1", m)
+	}
+	// Half moved: 10 low vs 5 low + 5 high => |10-5|+|0-5| = 10, /20 = 0.5.
+	d := MustNew(2, []uint64{99})
+	for i := 0; i < 5; i++ {
+		d.AddPoint([]uint64{10})
+		d.AddPoint([]uint64{90})
+	}
+	m, _ = a.Mismatch(d)
+	if m != 0.5 {
+		t.Errorf("half mismatch = %v", m)
+	}
+	if _, err := a.Mismatch(MustNew(4, []uint64{99})); err == nil {
+		t.Error("mismatch across shapes accepted")
+	}
+	empty1, empty2 := MustNew(2, []uint64{99}), MustNew(2, []uint64{99})
+	if m, _ := empty1.Mismatch(empty2); m != 0 {
+		t.Error("two empty histograms must have zero mismatch")
+	}
+}
+
+func TestCountRangeExactBins(t *testing.T) {
+	h := MustNew(4, []uint64{99})
+	for i := 0; i < 8; i++ {
+		h.AddPoint([]uint64{uint64(i * 12)}) // spread over bins 0..3
+	}
+	if got := h.CountRange([]uint64{0}, []uint64{99}); math.Abs(got-8) > 1e-9 {
+		t.Errorf("full range = %v", got)
+	}
+	// Bin 0 covers [0,24]; points 0,12,24 are in it.
+	if got := h.CountRange([]uint64{0}, []uint64{24}); math.Abs(got-3) > 1e-9 {
+		t.Errorf("bin0 range = %v", got)
+	}
+}
+
+func TestCountRangeFractional(t *testing.T) {
+	h := MustNew(1, []uint64{99}) // single bin [0,99]
+	h.Add([]uint64{0}, 100)
+	// Half the bin → half the weight under the uniform assumption.
+	got := h.CountRange([]uint64{0}, []uint64{49})
+	if math.Abs(got-50) > 1e-9 {
+		t.Errorf("fractional = %v, want 50", got)
+	}
+	got = h.CountRange([]uint64{25}, []uint64{74})
+	if math.Abs(got-50) > 1e-9 {
+		t.Errorf("interior fractional = %v, want 50", got)
+	}
+}
+
+func TestCountRangeMultiDim(t *testing.T) {
+	h := MustNew(2, []uint64{99, 99})
+	h.Add([]uint64{10, 10}, 4) // cell (0,0)
+	h.Add([]uint64{10, 80}, 2) // cell (0,1)
+	h.Add([]uint64{80, 80}, 1) // cell (1,1)
+	if got := h.CountRange([]uint64{0, 0}, []uint64{99, 99}); math.Abs(got-7) > 1e-9 {
+		t.Errorf("full = %v", got)
+	}
+	if got := h.CountRange([]uint64{0, 0}, []uint64{49, 99}); math.Abs(got-6) > 1e-9 {
+		t.Errorf("left half = %v", got)
+	}
+	if got := h.CountRange([]uint64{50, 50}, []uint64{99, 99}); math.Abs(got-1) > 1e-9 {
+		t.Errorf("top-right = %v", got)
+	}
+}
+
+func TestSplitValueBalances(t *testing.T) {
+	h := MustNew(8, []uint64{799})
+	// Heavy skew: 90 points in [0,99], 10 in [700,799].
+	for i := 0; i < 90; i++ {
+		h.AddPoint([]uint64{uint64(i)})
+	}
+	for i := 0; i < 10; i++ {
+		h.AddPoint([]uint64{uint64(700 + i*9)})
+	}
+	v, ok := h.SplitValue([]uint64{0}, []uint64{799}, 0)
+	if !ok {
+		t.Fatal("split failed")
+	}
+	lo := h.CountRange([]uint64{0}, []uint64{v})
+	hi := h.CountRange([]uint64{v + 1}, []uint64{799})
+	if math.Abs(lo-hi) > 0.15*(lo+hi) {
+		t.Errorf("split at %d: lo=%v hi=%v (imbalanced)", v, lo, hi)
+	}
+	if v >= 200 {
+		t.Errorf("split at %d but 90%% of mass is below 100", v)
+	}
+}
+
+func TestSplitValueDegenerate(t *testing.T) {
+	h := MustNew(4, []uint64{99})
+	if _, ok := h.SplitValue([]uint64{5}, []uint64{5}, 0); ok {
+		t.Error("split of single-coordinate interval should fail")
+	}
+	if _, ok := h.SplitValue([]uint64{0}, []uint64{99}, 0); ok {
+		t.Error("split of empty histogram should fail")
+	}
+	h.AddPoint([]uint64{42})
+	v, ok := h.SplitValue([]uint64{0}, []uint64{99}, 0)
+	if !ok || v >= 99 {
+		t.Errorf("split = %d, %v; must leave both halves non-empty", v, ok)
+	}
+}
+
+func TestSplitValueMultiDim(t *testing.T) {
+	h := MustNew(4, []uint64{99, 99})
+	// All weight in the x-low half; split along y inside that half should
+	// still balance.
+	for i := 0; i < 100; i++ {
+		h.AddPoint([]uint64{uint64(i % 40), uint64(i)})
+	}
+	v, ok := h.SplitValue([]uint64{0, 0}, []uint64{49, 99}, 1)
+	if !ok {
+		t.Fatal("split failed")
+	}
+	lo := h.CountRange([]uint64{0, 0}, []uint64{49, v})
+	hi := h.CountRange([]uint64{0, v + 1}, []uint64{49, 99})
+	if math.Abs(lo-hi) > 0.2*(lo+hi) {
+		t.Errorf("y-split at %d: lo=%v hi=%v", v, lo, hi)
+	}
+}
+
+func TestHeaviestCell(t *testing.T) {
+	h := MustNew(4, []uint64{99, 99})
+	h.Add([]uint64{80, 10}, 5)
+	h.Add([]uint64{10, 10}, 2)
+	bins, w := h.HeaviestCell()
+	if bins[0] != 3 || bins[1] != 0 || w != 5 {
+		t.Errorf("heaviest = %v, %v", bins, w)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	h := MustNew(4, []uint64{99, ^uint64(0), 12345})
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		h.AddPoint([]uint64{r.Uint64() % 100, r.Uint64(), r.Uint64() % 12346})
+	}
+	got, err := Unmarshal(h.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.SameShape(h) || got.Total() != h.Total() {
+		t.Fatal("shape/total lost")
+	}
+	m, err := got.Mismatch(h)
+	if err != nil || m != 0 {
+		t.Fatalf("round-trip mismatch = %v, %v", m, err)
+	}
+}
+
+func TestUnmarshalCorrupt(t *testing.T) {
+	h := MustNew(2, []uint64{99})
+	h.AddPoint([]uint64{1})
+	good := h.Marshal()
+	cases := [][]byte{
+		nil,
+		good[:4],
+		good[:len(good)-3],
+		append(append([]byte{}, good...), 0, 0, 0),
+	}
+	for i, c := range cases {
+		if _, err := Unmarshal(c); err == nil {
+			t.Errorf("corrupt case %d accepted", i)
+		}
+	}
+	// Absurd dimensionality.
+	bad := append([]byte{}, good...)
+	bad[4] = 200
+	if _, err := Unmarshal(bad); err == nil {
+		t.Error("bad dims accepted")
+	}
+}
+
+func TestQuickMismatchMetricProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	mk := func() *Hist {
+		h := MustNew(4, []uint64{999})
+		n := 1 + r.Intn(50)
+		for i := 0; i < n; i++ {
+			h.AddPoint([]uint64{r.Uint64() % 1000})
+		}
+		return h
+	}
+	f := func() bool {
+		a, b := mk(), mk()
+		mab, err1 := a.Mismatch(b)
+		mba, err2 := b.Mismatch(a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		// Symmetric, in [0,1], zero iff compared with self.
+		self, _ := a.Mismatch(a)
+		return mab == mba && mab >= 0 && mab <= 1 && self == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCountRangeAdditive(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	f := func() bool {
+		h := MustNew(8, []uint64{999})
+		for i := 0; i < 100; i++ {
+			h.AddPoint([]uint64{r.Uint64() % 1000})
+		}
+		cut := 1 + r.Uint64()%998
+		lo := h.CountRange([]uint64{0}, []uint64{cut})
+		hi := h.CountRange([]uint64{cut + 1}, []uint64{999})
+		return math.Abs(lo+hi-h.Total()) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSplitBothSidesNonEmptyRange(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	f := func() bool {
+		h := MustNew(8, []uint64{999})
+		n := 1 + r.Intn(200)
+		for i := 0; i < n; i++ {
+			h.AddPoint([]uint64{r.Uint64() % 1000})
+		}
+		v, ok := h.SplitValue([]uint64{0}, []uint64{999}, 0)
+		if !ok {
+			return false
+		}
+		return v < 999 // both [0,v] and [v+1,999] non-empty coordinate ranges
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	h := MustNew(16, []uint64{^uint64(0), 86400, 5024})
+	p := []uint64{123456789, 4242, 100}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.AddPoint(p)
+	}
+}
+
+func BenchmarkCountRange3D(b *testing.B) {
+	h := MustNew(16, []uint64{4294967295, 86400, 5024})
+	r := rand.New(rand.NewSource(15))
+	for i := 0; i < 10000; i++ {
+		h.AddPoint([]uint64{r.Uint64() % 4294967296, r.Uint64() % 86401, r.Uint64() % 5025})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.CountRange([]uint64{1 << 30, 1000, 16}, []uint64{3 << 30, 40000, 5024})
+	}
+}

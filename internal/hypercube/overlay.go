@@ -1,0 +1,613 @@
+// Package hypercube implements MIND's overlay: node codes forming the
+// leaves of a binary partition of the code space, the modified Adler
+// join protocol with deadlock-free serialization of concurrent joins
+// (§3.3, Fig 4), greedy longest-prefix hypercube routing (§3.5),
+// expanding-ring recovery from routing dead-ends, heartbeat-based
+// failure detection and sibling takeover (§3.8).
+//
+// An Overlay is one node's view of the hypercube. It owns the join and
+// maintenance message kinds; routed data messages belong to the host
+// (the mind node), which uses Owns/NextHop/RingRecover to move them.
+package hypercube
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"mind/internal/bitstr"
+	"mind/internal/transport"
+	"mind/internal/wire"
+)
+
+// Callbacks let the host react to overlay events. All callbacks are
+// invoked without the overlay lock held and may call back into the
+// overlay. Any callback may be nil.
+type Callbacks struct {
+	// OnJoined fires when this node's join completes; the accept message
+	// carries the index definitions to install.
+	OnJoined func(accept *wire.JoinAccept)
+	// OnSplit fires on the split-target side after a committed join:
+	// this node's code deepened from oldCode to newCode and the joiner
+	// now owns the sibling region.
+	OnSplit func(oldCode, newCode bitstr.Code, joiner wire.NodeInfo)
+	// OnTakeover fires after this node shortened its code to absorb a
+	// dead sibling region.
+	OnTakeover func(dead, oldCode bitstr.Code)
+	// OnResume re-injects a routed message recovered by an
+	// expanding-ring probe, exactly as if it had just arrived.
+	OnResume func(from string, payload []byte)
+	// CanResume lets the host volunteer to resume a probed message even
+	// without a better prefix match — e.g. because it holds replicas
+	// covering the target region (§3.8 fail-over).
+	CanResume func(target bitstr.Code) bool
+	// OnContactDead fires when a contact is declared failed.
+	OnContactDead func(info wire.NodeInfo)
+	// IndexDefs supplies the current index definitions included in join
+	// accepts.
+	IndexDefs func() []wire.IndexDef
+}
+
+type contact struct {
+	info     wire.NodeInfo
+	lastSeen time.Time
+	// probing marks a silent contact whose liveness is being checked via
+	// an overlay-routed probe before it is declared failed (§3.8: a
+	// flaky link is not a dead peer).
+	probing   bool
+	suspectAt time.Time
+	// unreachable marks a contact we cannot reach directly (no ack past
+	// FailAfter) even though it may still be alive: routing skips it
+	// while reconnection attempts continue (§3.8's transient-link
+	// handling).
+	unreachable bool
+	// attestedAt is when a liveness probe last vouched for this contact.
+	// Attestation defers the death declaration but is second-hand: it
+	// never counts as first-hand contact (lastSeen), or circular
+	// attestation chains would keep dead nodes "alive" forever.
+	attestedAt time.Time
+}
+
+// Overlay is one node's overlay state machine. All exported methods are
+// safe for concurrent use.
+type Overlay struct {
+	mu    sync.Mutex
+	ep    transport.Endpoint
+	clock transport.Clock
+	cfg   Config
+	cb    Callbacks
+	rng   *rand.Rand
+
+	joined bool
+	code   bitstr.Code
+
+	contacts map[string]*contact
+
+	joining *joinAttempt
+	split   *splitState
+	pending *pendingPrepare
+
+	hbTimer transport.Timer
+	hbSeq   uint64
+	closed  bool
+	// repairAttempts counts consecutive failed level-repair lookups per
+	// neighbor level; persistent emptiness despite repair is the
+	// evidence that the level's whole region is dead.
+	repairAttempts map[int]int
+
+	seenProbes   map[uint64]bool
+	probeSeq     uint64
+	livenessSeq  uint64
+	livenessWait map[uint64]func(alive bool)
+}
+
+type joinAttempt struct {
+	reqID   uint64
+	seed    string
+	timer   transport.Timer
+	attempt int
+}
+
+type splitState struct {
+	reqID      uint64
+	joinerAddr string
+	waiting    map[string]bool // contact addrs yet to approve
+	timer      transport.Timer
+}
+
+type pendingPrepare struct {
+	target wire.NodeInfo
+	at     time.Time
+}
+
+// New creates an overlay bound to the endpoint and clock. The returned
+// overlay is idle: call Bootstrap to found a new hypercube or Join to
+// enter an existing one. The host must route incoming overlay-kind
+// messages to Handle.
+func New(ep transport.Endpoint, clock transport.Clock, cfg Config, seed int64, cb Callbacks) *Overlay {
+	return &Overlay{
+		ep:             ep,
+		clock:          clock,
+		cfg:            cfg,
+		cb:             cb,
+		rng:            rand.New(rand.NewSource(seed)),
+		contacts:       make(map[string]*contact),
+		seenProbes:     make(map[uint64]bool),
+		livenessWait:   make(map[uint64]func(bool)),
+		repairAttempts: make(map[int]int),
+	}
+}
+
+// Bootstrap makes this node the first node of a new hypercube, owning
+// the whole code space with the empty code.
+func (o *Overlay) Bootstrap() {
+	o.mu.Lock()
+	o.joined = true
+	o.code = bitstr.Empty
+	o.mu.Unlock()
+	o.startHeartbeats()
+}
+
+// Code returns the node's current overlay code.
+func (o *Overlay) Code() bitstr.Code {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.code
+}
+
+// Joined reports whether the node is part of the overlay.
+func (o *Overlay) Joined() bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.joined
+}
+
+// Addr returns the node's transport address.
+func (o *Overlay) Addr() string { return o.ep.Addr() }
+
+// Info returns the node's identity.
+func (o *Overlay) Info() wire.NodeInfo {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return wire.NodeInfo{Addr: o.ep.Addr(), Code: o.code}
+}
+
+// Contacts returns a snapshot of all known contacts.
+func (o *Overlay) Contacts() []wire.NodeInfo {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]wire.NodeInfo, 0, len(o.contacts))
+	for _, c := range o.contacts {
+		out = append(out, c.info)
+	}
+	return out
+}
+
+// Close stops timers; the overlay becomes inert.
+func (o *Overlay) Close() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.closed = true
+	if o.hbTimer != nil {
+		o.hbTimer.Stop()
+	}
+	if o.joining != nil && o.joining.timer != nil {
+		o.joining.timer.Stop()
+	}
+	if o.split != nil && o.split.timer != nil {
+		o.split.timer.Stop()
+	}
+}
+
+// send encodes and transmits a message, ignoring transport errors (the
+// protocol layers recover via retries and heartbeats).
+func (o *Overlay) send(to string, m wire.Message) {
+	_ = o.ep.Send(to, wire.Encode(m))
+}
+
+// learn records or refreshes a contact. Callers hold o.mu. Contacts in a
+// prefix relation with our own code (transient takeover states) are kept
+// for liveness tracking but naturally drop out of routing. Per-level
+// contact counts are capped; the freshest contacts win.
+func (o *Overlay) learn(info wire.NodeInfo) {
+	if info.Addr == "" || info.Addr == o.ep.Addr() {
+		return
+	}
+	now := o.clock.Now()
+	if c, ok := o.contacts[info.Addr]; ok {
+		c.info = info
+		c.lastSeen = now
+		return
+	}
+	// Enforce the per-level cap by evicting the stalest same-level
+	// contact if necessary.
+	lvl := o.levelOf(info.Code)
+	var same []*contact
+	for _, c := range o.contacts {
+		if o.levelOf(c.info.Code) == lvl {
+			same = append(same, c)
+		}
+	}
+	if len(same) >= o.cfg.MaxContactsPerLevel {
+		stalest := same[0]
+		for _, c := range same[1:] {
+			if c.lastSeen.Before(stalest.lastSeen) {
+				stalest = c
+			}
+		}
+		delete(o.contacts, stalest.info.Addr)
+	}
+	o.contacts[info.Addr] = &contact{info: info, lastSeen: now}
+}
+
+// touch refreshes a contact's liveness on any inbound traffic.
+func (o *Overlay) touch(addr string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if c, ok := o.contacts[addr]; ok {
+		c.lastSeen = o.clock.Now()
+		c.unreachable = false
+		c.probing = false
+	}
+}
+
+// levelOf returns the neighbor level (dimension) of a code relative to
+// our own: the length of the common prefix. Callers hold o.mu.
+func (o *Overlay) levelOf(c bitstr.Code) int {
+	return o.code.CommonPrefixLen(c)
+}
+
+// removeContact drops a contact. Callers hold o.mu.
+func (o *Overlay) removeContact(addr string) {
+	delete(o.contacts, addr)
+}
+
+// --- Heartbeats and failure handling -------------------------------------
+
+func (o *Overlay) startHeartbeats() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.scheduleHeartbeatLocked()
+}
+
+func (o *Overlay) scheduleHeartbeatLocked() {
+	if o.closed || o.cfg.HeartbeatInterval <= 0 {
+		return
+	}
+	o.hbTimer = o.clock.AfterFunc(o.cfg.HeartbeatInterval, o.heartbeatTick)
+}
+
+// heartbeatTick sends heartbeats to all contacts and sweeps for failed
+// ones. A contact that has been silent past FailAfter is first probed
+// for liveness through the overlay (another node may still reach it even
+// if our direct link is down); only a negative or absent probe reply
+// declares it dead (§3.8).
+func (o *Overlay) heartbeatTick() {
+	o.mu.Lock()
+	if o.closed || !o.joined {
+		o.scheduleHeartbeatLocked()
+		o.mu.Unlock()
+		return
+	}
+	o.hbSeq++
+	self := wire.NodeInfo{Addr: o.ep.Addr(), Code: o.code}
+	now := o.clock.Now()
+	var targets []string
+	var dead []wire.NodeInfo
+	var probe []wire.NodeInfo
+	for addr, c := range o.contacts {
+		silent := now.Sub(c.lastSeen)
+		switch {
+		case silent <= o.cfg.FailAfter:
+			c.probing = false
+			c.unreachable = false
+			targets = append(targets, addr)
+		case !c.probing:
+			// Direct silence past FailAfter: stop routing through this
+			// contact and check with its other neighbors whether it is
+			// dead or merely unreachable from here.
+			c.probing = true
+			c.unreachable = true
+			c.suspectAt = now
+			probe = append(probe, c.info)
+			targets = append(targets, addr) // keep attempting reconnection
+		case now.Sub(c.suspectAt) > o.cfg.FailAfter && c.attestedAt.Before(c.suspectAt):
+			// Probe window elapsed and no attestation arrived within it:
+			// dead.
+			dead = append(dead, c.info)
+			delete(o.contacts, addr)
+		case now.Sub(c.suspectAt) > o.cfg.FailAfter:
+			// Attested alive during this window: restart the probe
+			// cycle; if the attestations dry up, a later window declares
+			// it dead.
+			c.probing = false
+			targets = append(targets, addr)
+		default:
+			targets = append(targets, addr)
+		}
+	}
+	// Overlay repair: a neighbor level with no contacts left (all died)
+	// would make every route through that dimension dead-end. Route a
+	// lookup into the missing level's subtree; the responder (and its
+	// neighborhood) refills the level. A level that stays empty through
+	// several repair rounds is evidence that its whole region is dead —
+	// which triggers the §3.8 takeover rules for the sibling and uncle
+	// regions.
+	var repair []bitstr.Code
+	var deadSibling, deadUncle bool
+	uncleLevel := -1
+	if o.code.Len() > 0 {
+		levelsAlive := make([]bool, o.code.Len())
+		for _, c := range o.contacts {
+			l := o.levelOf(c.info.Code)
+			if l < len(levelsAlive) {
+				levelsAlive[l] = true
+			}
+		}
+		for i, alive := range levelsAlive {
+			if alive {
+				o.repairAttempts[i] = 0
+				continue
+			}
+			o.repairAttempts[i]++
+			t := o.code.NeighborCode(i)
+			for t.Len() < o.cfg.LookupDepth && t.Len() < bitstr.MaxLen {
+				t = t.Append(int(o.rng.Uint64() & 1))
+			}
+			repair = append(repair, t)
+		}
+		if o.repairAttempts[o.code.Len()-1] >= 4 {
+			deadSibling = true
+		} else {
+			for i := o.code.Len() - 2; i >= 0; i-- {
+				if o.repairAttempts[i] >= 4 {
+					deadUncle = true
+					uncleLevel = i
+					break
+				}
+			}
+		}
+	}
+	sibCode := bitstr.Empty
+	uncleCode := bitstr.Empty
+	if deadSibling {
+		sibCode = o.code.Sibling()
+		o.repairAttempts = make(map[int]int)
+	} else if deadUncle {
+		uncleCode = o.code.NeighborCode(uncleLevel)
+		o.repairAttempts = make(map[int]int)
+	}
+	seq := o.hbSeq
+	o.scheduleHeartbeatLocked()
+	o.mu.Unlock()
+
+	if deadSibling {
+		o.maybeTakeover(wire.NodeInfo{Code: sibCode})
+	} else if deadUncle {
+		o.maybeRelocate(wire.NodeInfo{Code: uncleCode})
+	}
+
+	for _, addr := range targets {
+		o.send(addr, &wire.Heartbeat{From: self, Seq: seq})
+	}
+	for _, t := range repair {
+		o.handleJoinLookup(o.ep.Addr(), &wire.JoinLookup{JoinerAddr: o.ep.Addr(), Target: t})
+	}
+	for _, s := range probe {
+		s := s
+		o.ProbeLiveness(s, func(alive bool) {
+			o.mu.Lock()
+			c, ok := o.contacts[s.Addr]
+			if ok && alive {
+				// Someone with first-hand knowledge can still reach it:
+				// not dead, just a flaky link. Defer the death verdict
+				// (second-hand — lastSeen stays untouched) and keep it
+				// suspended from routing; reconnection continues.
+				c.attestedAt = o.clock.Now()
+			}
+			o.mu.Unlock()
+		})
+	}
+	for _, d := range dead {
+		o.contactFailed(d)
+	}
+}
+
+// contactFailed processes a declared-dead contact: notify the host and
+// run the takeover rules of §3.8 — the direct sibling rule, and the
+// recursive "a node in the sibling sub-tree takes over" rule via
+// relocation.
+func (o *Overlay) contactFailed(dead wire.NodeInfo) {
+	if o.cb.OnContactDead != nil {
+		o.cb.OnContactDead(dead)
+	}
+	if o.maybeTakeover(dead) {
+		return
+	}
+	o.maybeRelocate(dead)
+}
+
+// maybeTakeover shortens our code if the dead node was the last known
+// inhabitant of our sibling region; it reports whether a takeover
+// happened. Recursive collapses happen naturally as further failures are
+// detected.
+func (o *Overlay) maybeTakeover(dead wire.NodeInfo) bool {
+	o.mu.Lock()
+	if !o.joined || o.code.IsEmpty() {
+		o.mu.Unlock()
+		return false
+	}
+	sib := o.code.Sibling()
+	if !sib.IsPrefixOf(dead.Code) {
+		o.mu.Unlock()
+		return false
+	}
+	// Another live inhabitant of the sibling region blocks takeover.
+	for _, c := range o.contacts {
+		if sib.IsPrefixOf(c.info.Code) {
+			o.mu.Unlock()
+			return false
+		}
+	}
+	oldCode := o.code
+	o.code = o.code.Parent()
+	o.repairAttempts = make(map[int]int)
+	self := wire.NodeInfo{Addr: o.ep.Addr(), Code: o.code}
+	var peers []string
+	for addr := range o.contacts {
+		peers = append(peers, addr)
+	}
+	o.mu.Unlock()
+
+	sort.Strings(peers)
+	for _, addr := range peers {
+		o.send(addr, &wire.Takeover{From: self, OldCode: oldCode, Dead: dead.Code})
+	}
+	if o.cb.OnTakeover != nil {
+		o.cb.OnTakeover(sib, oldCode)
+	}
+	return true
+}
+
+// maybeRelocate implements the recursive rule for dead subtrees (§3.8:
+// "if both a node and its sibling fail, then a node in the sibling
+// sub-tree takes over", applied recursively): when an ancestor-sibling
+// region of our code (the region across dimension i, below our direct
+// sibling level) has no live inhabitants, one node from the surviving
+// side relocates — adopts the dead region's code — and leaves its old
+// region to its direct sibling, who absorbs it through the normal rule
+// upon seeing the relocation announcement.
+//
+// Exactly one node qualifies as the relocator for a given dead region:
+// the one whose code continues past the branch dimension with all 1
+// bits (the rightmost leaf of the surviving side), provided its direct
+// sibling region is alive to absorb its old region. Uniqueness prevents
+// two nodes adopting the same code concurrently.
+func (o *Overlay) maybeRelocate(dead wire.NodeInfo) {
+	o.mu.Lock()
+	if !o.joined || o.code.Len() < 2 {
+		o.mu.Unlock()
+		return
+	}
+	i := o.code.CommonPrefixLen(dead.Code)
+	if i >= o.code.Len()-1 || i >= dead.Code.Len() {
+		// The direct-sibling dimension belongs to the normal takeover
+		// rule; prefix-related codes are inconsistent input.
+		o.mu.Unlock()
+		return
+	}
+	region := o.code.NeighborCode(i)
+	// Relocator uniqueness: every bit after the branch dimension is 1.
+	for b := i + 1; b < o.code.Len(); b++ {
+		if o.code.Bit(b) != 1 {
+			o.mu.Unlock()
+			return
+		}
+	}
+	sib := o.code.Sibling()
+	regionAlive, sibAlive := false, false
+	for _, c := range o.contacts {
+		if region.IsPrefixOf(c.info.Code) {
+			regionAlive = true
+		}
+		if sib.IsPrefixOf(c.info.Code) {
+			sibAlive = true
+		}
+	}
+	if regionAlive || !sibAlive {
+		o.mu.Unlock()
+		return
+	}
+	oldCode := o.code
+	o.code = region
+	o.repairAttempts = make(map[int]int)
+	self := wire.NodeInfo{Addr: o.ep.Addr(), Code: o.code}
+	var peers []string
+	for addr := range o.contacts {
+		peers = append(peers, addr)
+	}
+	o.mu.Unlock()
+
+	sort.Strings(peers)
+	for _, addr := range peers {
+		o.send(addr, &wire.Takeover{From: self, OldCode: oldCode, Dead: dead.Code})
+	}
+	if o.cb.OnTakeover != nil {
+		o.cb.OnTakeover(region, oldCode)
+	}
+}
+
+// Handle dispatches an overlay-kind message. It reports whether the
+// message kind belongs to the overlay (false means the host should
+// process it).
+func (o *Overlay) Handle(from string, m wire.Message) bool {
+	o.touch(from)
+	switch msg := m.(type) {
+	case *wire.JoinLookup:
+		o.handleJoinLookup(from, msg)
+	case *wire.JoinLookupResp:
+		o.handleJoinLookupResp(msg)
+	case *wire.JoinRequest:
+		o.handleJoinRequest(from, msg)
+	case *wire.JoinPrepare:
+		o.handleJoinPrepare(from, msg)
+	case *wire.JoinPrepareResp:
+		o.handleJoinPrepareResp(msg)
+	case *wire.JoinAbort:
+		o.handleJoinAbort(msg)
+	case *wire.JoinAccept:
+		o.handleJoinAccept(msg)
+	case *wire.JoinReject:
+		o.handleJoinReject(msg)
+	case *wire.JoinCommit:
+		o.handleJoinCommit(msg)
+	case *wire.Heartbeat:
+		o.handleHeartbeat(from, msg)
+	case *wire.HeartbeatAck:
+		o.handleHeartbeatAck(msg)
+	case *wire.Takeover:
+		o.handleTakeover(msg)
+	case *wire.RingProbe:
+		o.handleRingProbe(from, msg)
+	case *wire.LivenessProbe:
+		o.handleLivenessProbe(from, msg)
+	case *wire.LivenessReply:
+		o.handleLivenessReply(msg)
+	default:
+		return false
+	}
+	return true
+}
+
+func (o *Overlay) handleHeartbeat(from string, m *wire.Heartbeat) {
+	o.mu.Lock()
+	o.learn(m.From)
+	self := wire.NodeInfo{Addr: o.ep.Addr(), Code: o.code}
+	o.mu.Unlock()
+	o.send(from, &wire.HeartbeatAck{From: self, Seq: m.Seq})
+}
+
+func (o *Overlay) handleHeartbeatAck(m *wire.HeartbeatAck) {
+	o.mu.Lock()
+	o.learn(m.From)
+	o.mu.Unlock()
+}
+
+func (o *Overlay) handleTakeover(m *wire.Takeover) {
+	o.mu.Lock()
+	// Drop any contact matching the dead code, refresh the sender.
+	for addr, c := range o.contacts {
+		if c.info.Code.Equal(m.Dead) && addr != m.From.Addr {
+			delete(o.contacts, addr)
+		}
+	}
+	o.learn(m.From)
+	o.mu.Unlock()
+	// If the sender relocated AWAY from a region in our sibling subtree
+	// (its new code is not an extension of the old), that region is now
+	// vacated: absorb it through the normal rule.
+	if !m.From.Code.IsPrefixOf(m.OldCode) {
+		o.maybeTakeover(wire.NodeInfo{Addr: "", Code: m.OldCode})
+	}
+}

@@ -1,0 +1,58 @@
+package mind
+
+import (
+	"mind/internal/wire"
+)
+
+// Client-facing RPC handling: §3.2's interface invoked remotely. A
+// client outside the overlay sends ClientInsert / ClientQuery /
+// ClientCreateIndex / ClientDropIndex to any node; the node executes the
+// operation on the client's behalf and replies directly.
+
+func (n *Node) handleClientInsert(from string, m *wire.ClientInsert) {
+	err := n.Insert(m.Index, m.Rec, func(res InsertResult) {
+		ack := &wire.ClientAck{ReqID: m.ReqID, OK: res.OK, Hops: uint8(res.Hops)}
+		if res.Err != nil {
+			ack.Error = res.Err.Error()
+		}
+		n.send(from, ack)
+	})
+	if err != nil {
+		n.send(from, &wire.ClientAck{ReqID: m.ReqID, OK: false, Error: err.Error()})
+	}
+}
+
+func (n *Node) handleClientQuery(from string, m *wire.ClientQuery) {
+	err := n.Query(m.Index, m.Rect, func(res QueryResult) {
+		resp := &wire.ClientQueryResp{
+			ReqID:      m.ReqID,
+			Complete:   res.Complete,
+			Responders: uint32(res.Responders),
+		}
+		for _, rec := range res.Records {
+			resp.Recs = append(resp.Recs, rec)
+		}
+		n.send(from, resp)
+	})
+	if err != nil {
+		n.send(from, &wire.ClientQueryResp{ReqID: m.ReqID, Complete: false})
+	}
+}
+
+func (n *Node) handleClientCreateIndex(from string, m *wire.ClientCreateIndex) {
+	err := n.CreateIndex(m.Schema, nil)
+	ack := &wire.ClientAck{ReqID: m.ReqID, OK: err == nil}
+	if err != nil {
+		ack.Error = err.Error()
+	}
+	n.send(from, ack)
+}
+
+func (n *Node) handleClientDropIndex(from string, m *wire.ClientDropIndex) {
+	err := n.DropIndex(m.Tag)
+	ack := &wire.ClientAck{ReqID: m.ReqID, OK: err == nil}
+	if err != nil {
+		ack.Error = err.Error()
+	}
+	n.send(from, ack)
+}

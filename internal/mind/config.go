@@ -1,0 +1,73 @@
+package mind
+
+import (
+	"time"
+
+	"mind/internal/hypercube"
+)
+
+// Config tunes a MIND node.
+type Config struct {
+	// Overlay is the hypercube protocol configuration.
+	Overlay hypercube.Config
+	// Seed drives node-local randomness (join sampling, request ids).
+	Seed int64
+
+	// Replication is the number of replicas per stored record, placed at
+	// the hypercube neighbors sharing the longest code prefixes (§3.8):
+	// 0 disables replication, ReplicateAll replicates at one contact per
+	// neighbor level ("full replication" in Fig 16).
+	Replication int
+
+	// InsertDepthSlack is how many bits past the local code length the
+	// insertion target code is computed to; receivers extend it further
+	// when their codes are deeper.
+	InsertDepthSlack int
+
+	// InsertTimeout bounds how long an originator waits for an
+	// insertion ack before reporting failure.
+	InsertTimeout time.Duration
+	// QueryTimeout bounds how long an originator waits for complete
+	// query coverage before returning partial results.
+	QueryTimeout time.Duration
+
+	// VersionSeconds is the length of one index version period (the
+	// paper versions indices daily: 86400).
+	VersionSeconds uint64
+
+	// HistoryTTL is how long after a split the joiner forwards
+	// sub-queries to its split sibling for data stored before the split
+	// (§3.4's history pointer; "the pointer will be dropped once the
+	// data have aged").
+	HistoryTTL time.Duration
+	// TransferOnSplit, when set, moves the joiner-region records from
+	// the split target to the joiner instead of using a history pointer.
+	// The paper avoids data movement; this mode exists as an ablation.
+	TransferOnSplit bool
+
+	// HistCollectWait is how long the designated aggregation node waits
+	// after the first histogram report before computing balanced cuts.
+	HistCollectWait time.Duration
+	// BalancedCutDepth is the explicit depth of installed balanced cut
+	// trees.
+	BalancedCutDepth int
+}
+
+// ReplicateAll selects full replication (one replica per neighbor level).
+const ReplicateAll = -1
+
+// DefaultConfig returns production-shaped defaults.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Overlay:          hypercube.DefaultConfig(),
+		Seed:             seed,
+		Replication:      1,
+		InsertDepthSlack: 16,
+		InsertTimeout:    30 * time.Second,
+		QueryTimeout:     30 * time.Second,
+		VersionSeconds:   86400,
+		HistoryTTL:       10 * time.Minute,
+		HistCollectWait:  5 * time.Second,
+		BalancedCutDepth: 10,
+	}
+}

@@ -1,0 +1,137 @@
+package mind
+
+import (
+	"mind/internal/bitstr"
+	"mind/internal/embed"
+	"mind/internal/schema"
+)
+
+// coverSet tracks which code-space regions of a query have been answered.
+// The originator adds each response's cover code; sibling regions
+// collapse into their parent, so complete coverage of the query region
+// reduces to containing a prefix of it (§3.6: the originator determines
+// completion by examining which nodes responded).
+type coverSet struct {
+	covered map[bitstr.Code]bool
+}
+
+func newCoverSet() *coverSet {
+	return &coverSet{covered: make(map[bitstr.Code]bool)}
+}
+
+// Add records a covered region and collapses complete sibling pairs.
+func (c *coverSet) Add(code bitstr.Code) {
+	// Already implied by a shallower covered region?
+	for k := code; ; {
+		if c.covered[k] {
+			return
+		}
+		if k.IsEmpty() {
+			break
+		}
+		k = k.Parent()
+	}
+	for {
+		c.covered[code] = true
+		if code.IsEmpty() {
+			return
+		}
+		sib := code.Sibling()
+		if !c.covered[sib] {
+			return
+		}
+		delete(c.covered, code)
+		delete(c.covered, sib)
+		code = code.Parent()
+	}
+}
+
+// Covers reports whether the region is fully covered.
+func (c *coverSet) Covers(region bitstr.Code) bool {
+	for k := region; ; {
+		if c.covered[k] {
+			return true
+		}
+		if k.IsEmpty() {
+			return false
+		}
+		k = k.Parent()
+	}
+}
+
+// Len returns the number of stored (collapsed) cover codes.
+func (c *coverSet) Len() int { return len(c.covered) }
+
+// hasExtension reports whether any covered code lies strictly inside the
+// region — i.e. descending could still find coverage.
+func (c *coverSet) hasExtension(region bitstr.Code) bool {
+	for k := range c.covered {
+		if region.IsPrefixOf(k) {
+			return true
+		}
+	}
+	return false
+}
+
+// CoversRect reports whether the covered codes account for every part of
+// the region that intersects the query rectangle. Sub-queries are only
+// issued for rect-intersecting regions (§3.6), so regions disjoint from
+// the rect are complete by vacuity; this walk descends the cut tree,
+// skipping such regions, until every intersecting branch hits a covered
+// code.
+func (c *coverSet) CoversRect(tree *embed.Tree, rect schema.Rect, region bitstr.Code) bool {
+	// Clamp the rect into the tree bounds once (out-of-bound query edges
+	// behave as the topmost coordinate, like clamped records).
+	q := rect.Clone()
+	bounds := tree.Bounds()
+	for i := range q.Lo {
+		if q.Lo[i] > bounds[i] {
+			q.Lo[i] = bounds[i]
+		}
+		if q.Hi[i] > bounds[i] {
+			q.Hi[i] = bounds[i]
+		}
+	}
+	return c.coversRect(tree, q, region)
+}
+
+// MissingRegions collects up to limit uncovered rect-intersecting
+// regions under the given region — diagnostics for incomplete queries.
+func (c *coverSet) MissingRegions(tree *embed.Tree, rect schema.Rect, region bitstr.Code, limit int) []bitstr.Code {
+	var out []bitstr.Code
+	var walk func(r bitstr.Code)
+	walk = func(r bitstr.Code) {
+		if len(out) >= limit || c.Covers(r) {
+			return
+		}
+		if r.Len() >= bitstr.MaxLen || !c.hasExtension(r) {
+			out = append(out, r)
+			return
+		}
+		for _, child := range tree.Children(r) {
+			if child.Rect.Intersects(rect) {
+				walk(child.Code)
+			}
+		}
+	}
+	walk(region)
+	return out
+}
+
+func (c *coverSet) coversRect(tree *embed.Tree, rect schema.Rect, region bitstr.Code) bool {
+	if c.Covers(region) {
+		return true
+	}
+	if region.Len() >= bitstr.MaxLen || !c.hasExtension(region) {
+		return false
+	}
+	for _, child := range tree.Children(region) {
+		if !child.Rect.Intersects(rect) {
+			continue
+		}
+		if !c.coversRect(tree, rect, child.Code) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,176 @@
+package mind
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mind/internal/bitstr"
+	"mind/internal/embed"
+	"mind/internal/schema"
+)
+
+func TestCoverSetBasics(t *testing.T) {
+	c := newCoverSet()
+	region := bitstr.MustParse("01")
+	if c.Covers(region) {
+		t.Fatal("empty set covers")
+	}
+	c.Add(bitstr.MustParse("010"))
+	if c.Covers(region) {
+		t.Fatal("half covered reported complete")
+	}
+	c.Add(bitstr.MustParse("011"))
+	if !c.Covers(region) {
+		t.Fatal("sibling pair did not collapse to cover region")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("collapsed set size = %d", c.Len())
+	}
+}
+
+func TestCoverSetShallowerWins(t *testing.T) {
+	c := newCoverSet()
+	c.Add(bitstr.MustParse("0"))
+	if !c.Covers(bitstr.MustParse("0110")) {
+		t.Fatal("shallow cover does not imply deep region")
+	}
+	// Adding an implied deeper code is a no-op.
+	c.Add(bitstr.MustParse("01"))
+	if c.Len() != 1 {
+		t.Fatalf("implied add grew set to %d", c.Len())
+	}
+}
+
+func TestCoverSetEmptyCode(t *testing.T) {
+	c := newCoverSet()
+	c.Add(bitstr.Empty)
+	if !c.Covers(bitstr.MustParse("10101")) || !c.Covers(bitstr.Empty) {
+		t.Fatal("root cover incomplete")
+	}
+}
+
+func TestCoverSetDeepCollapse(t *testing.T) {
+	c := newCoverSet()
+	// Cover all 8 regions at depth 3 in shuffled order.
+	order := []string{"000", "101", "011", "110", "001", "100", "010", "111"}
+	for i, s := range order {
+		c.Add(bitstr.MustParse(s))
+		complete := c.Covers(bitstr.Empty)
+		if i < len(order)-1 && complete {
+			t.Fatalf("complete after %d/8 regions", i+1)
+		}
+	}
+	if !c.Covers(bitstr.Empty) || c.Len() != 1 {
+		t.Fatalf("full collapse failed: len=%d", c.Len())
+	}
+}
+
+func TestCoverSetDuplicates(t *testing.T) {
+	c := newCoverSet()
+	c.Add(bitstr.MustParse("00"))
+	c.Add(bitstr.MustParse("00"))
+	if c.Covers(bitstr.MustParse("0")) {
+		t.Fatal("duplicate adds faked coverage")
+	}
+	c.Add(bitstr.MustParse("01"))
+	if !c.Covers(bitstr.MustParse("0")) {
+		t.Fatal("coverage after dedup broken")
+	}
+}
+
+func TestQuickCoverSetCompleteness(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	f := func() bool {
+		// Pick a region and a partition depth; cover a random subset of
+		// its depth-d subregions. Covers(region) must hold iff the
+		// subset is the full partition.
+		region := bitstr.Empty
+		for i := 0; i < r.Intn(4); i++ {
+			region = region.Append(r.Intn(2))
+		}
+		d := 1 + r.Intn(4)
+		total := 1 << uint(d)
+		skip := r.Intn(total + 1) // index to leave out; == total means cover all
+		c := newCoverSet()
+		for i := 0; i < total; i++ {
+			if i == skip {
+				continue
+			}
+			sub := region
+			for b := d - 1; b >= 0; b-- {
+				sub = sub.Append(i >> uint(b) & 1)
+			}
+			c.Add(sub)
+		}
+		return c.Covers(region) == (skip == total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoversRectSkipsDisjointRegions(t *testing.T) {
+	// Only regions intersecting the query rect need coverage.
+	tr := embedUniform2()
+	c := newCoverSet()
+	// Query confined to the 00 region (low halves of both dims).
+	rect := rect2(0, 0, 10, 10)
+	// Covering only "00" must complete the whole space's root region.
+	c.Add(bitstr.MustParse("00"))
+	if !c.CoversRect(tr, rect, bitstr.Empty) {
+		t.Fatal("rect-confined coverage not recognized")
+	}
+	// A rect spanning both dim-0 halves needs both sides.
+	wide := rect2(0, 0, 99, 10)
+	c2 := newCoverSet()
+	c2.Add(bitstr.MustParse("00"))
+	if c2.CoversRect(tr, wide, bitstr.Empty) {
+		t.Fatal("half coverage accepted for a spanning rect")
+	}
+	c2.Add(bitstr.MustParse("10"))
+	if !c2.CoversRect(tr, wide, bitstr.Empty) {
+		t.Fatal("both intersecting regions covered but not recognized")
+	}
+}
+
+func TestMissingRegionsDiagnostics(t *testing.T) {
+	tr := embedUniform2()
+	c := newCoverSet()
+	wide := rect2(0, 0, 99, 99)
+	c.Add(bitstr.MustParse("00"))
+	c.Add(bitstr.MustParse("01"))
+	c.Add(bitstr.MustParse("11"))
+	missing := c.MissingRegions(tr, wide, bitstr.Empty, 8)
+	if len(missing) != 1 || missing[0].String() != "10" {
+		t.Fatalf("missing = %v, want [10]", missing)
+	}
+	// Complete coverage → nothing missing.
+	c.Add(bitstr.MustParse("10"))
+	if got := c.MissingRegions(tr, wide, bitstr.Empty, 8); len(got) != 0 {
+		t.Fatalf("missing after completion = %v", got)
+	}
+	// Limit respected.
+	empty := newCoverSet()
+	if got := empty.MissingRegions(tr, wide, bitstr.Empty, 1); len(got) != 1 {
+		t.Fatalf("limit ignored: %v", got)
+	}
+}
+
+func embedUniform2() *embed.Tree { return embed.Uniform([]uint64{99, 99}) }
+
+func rect2(lo0, lo1, hi0, hi1 uint64) schema.Rect {
+	return schema.Rect{Lo: []uint64{lo0, lo1}, Hi: []uint64{hi0, hi1}}
+}
+
+func TestRecHashDistinct(t *testing.T) {
+	a := recHash([]uint64{1, 2, 3})
+	b := recHash([]uint64{1, 2, 4})
+	c := recHash([]uint64{1, 2, 3})
+	if a == b {
+		t.Error("different records hash equal")
+	}
+	if a != c {
+		t.Error("hash not deterministic")
+	}
+}

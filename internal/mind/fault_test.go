@@ -1,0 +1,182 @@
+package mind_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"mind/internal/cluster"
+	"mind/internal/mind"
+	"mind/internal/transport/simnet"
+)
+
+// newTestNode attaches a fresh MIND node to a cluster's network.
+func newTestNode(ep *simnet.Endpoint, c *cluster.Cluster) *mind.Node {
+	return mind.NewNode(ep, c.Net.Clock(), testNodeCfg(555))
+}
+
+// Failure-injection tests: the robustness machinery of §3.8 under
+// message loss, link cuts and concurrent node failures.
+
+func TestInsertsSurviveMessageLoss(t *testing.T) {
+	c := mkCluster(t, 10, 41, func(o *cluster.Options) {
+		o.Sim.LossProb = 0.03
+		o.Node.InsertTimeout = 30 * time.Second
+	})
+	if err := c.CreateIndex(testSchema()); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(3 * time.Second)
+	r := rand.New(rand.NewSource(42))
+	ok := 0
+	n := 150
+	for i := 0; i < n; i++ {
+		res, _, err := c.InsertWait(i%10, "test-index", randRec(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.OK {
+			ok++
+		}
+	}
+	// Inserts are single-shot routed datagrams here (the TCP transport
+	// retransmits; simnet loss is adversarial): with ~4 routed hops plus
+	// replication and a direct ack, ~15-20% loss of acks is expected at
+	// 3% per-message loss. The bulk must still land.
+	if float64(ok) < 0.7*float64(n) {
+		t.Fatalf("only %d/%d inserts acked under 3%% loss", ok, n)
+	}
+}
+
+func TestQueriesCompleteAfterLinkCut(t *testing.T) {
+	c := mkCluster(t, 8, 43, nil)
+	sch := testSchema()
+	if err := c.CreateIndex(sch); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(3 * time.Second)
+	r := rand.New(rand.NewSource(44))
+	for i := 0; i < 100; i++ {
+		res, _, _ := c.InsertWait(i%8, "test-index", randRec(r))
+		if !res.OK {
+			t.Fatal("insert failed")
+		}
+	}
+	// Cut two transit links toward node 1 (but none adjacent to the
+	// query originator — responders answer the originator directly, so
+	// a cut originator link would block responses by design, the §4.2
+	// pathology). Greedy routes through the cut links black-hole until
+	// unreachability detection; afterwards routing must flow around via
+	// other contacts or the expanding ring.
+	origin := 5
+	c.Net.CutLink(c.Nodes[0].Addr(), c.Nodes[1].Addr())
+	c.Net.CutLink(c.Nodes[2].Addr(), c.Nodes[1].Addr())
+	// Let unreachability detection mark the cut links.
+	c.Settle(8 * time.Second)
+	ok := 0
+	for i := 0; i < 10; i++ {
+		qr, _, err := c.QueryWait(origin, "test-index", fullRect())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qr.Complete && len(qr.Records) == 100 {
+			ok++
+		}
+	}
+	if ok < 8 {
+		t.Fatalf("only %d/10 full-recall queries with two links cut", ok)
+	}
+}
+
+func TestConcurrentSiblingFailureLosesOnlyUnreplicated(t *testing.T) {
+	// Kill a node AND its replica holder simultaneously: with m=1 that
+	// data is gone; the rest must still be answerable once timeouts and
+	// takeovers settle.
+	c := mkCluster(t, 12, 45, func(o *cluster.Options) {
+		o.Node.Replication = 1
+		o.Node.QueryTimeout = 8 * time.Second
+	})
+	sch := testSchema()
+	if err := c.CreateIndex(sch); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(3 * time.Second)
+	r := rand.New(rand.NewSource(46))
+	n := 240
+	for i := 0; i < n; i++ {
+		res, _, _ := c.InsertWait(i%12, "test-index", randRec(r))
+		if !res.OK {
+			t.Fatal("insert failed")
+		}
+	}
+	// Find a sibling pair (codes differing in the last bit).
+	var a, b = -1, -1
+	for i := range c.Nodes {
+		for j := range c.Nodes {
+			if i != j && c.Nodes[i].Code().Sibling().Equal(c.Nodes[j].Code()) {
+				a, b = i, j
+			}
+		}
+	}
+	if a < 0 {
+		t.Skip("no exact sibling pair in this topology")
+	}
+	lost := c.Nodes[a].StoredRecords("test-index") + c.Nodes[b].StoredRecords("test-index")
+	c.Kill(a)
+	c.Kill(b)
+	c.Settle(30 * time.Second)
+
+	qr, _, err := c.QueryWait((a+1)%12, "test-index", fullRect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Records) < n-lost {
+		t.Fatalf("recall %d, want at least %d (only the dead pair's %d records may vanish)",
+			len(qr.Records), n-lost, lost)
+	}
+	if len(qr.Records) > n {
+		t.Fatalf("duplicates: %d records from %d inserts", len(qr.Records), n)
+	}
+}
+
+func TestChurnJoinDuringInserts(t *testing.T) {
+	// Nodes joining while inserts stream must not lose records.
+	c := mkCluster(t, 4, 47, nil)
+	sch := testSchema()
+	if err := c.CreateIndex(sch); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(2 * time.Second)
+	r := rand.New(rand.NewSource(48))
+	total := 0
+	insertBatch := func(k int) {
+		for i := 0; i < k; i++ {
+			res, _, _ := c.InsertWait(i%len(c.Nodes), "test-index", randRec(r))
+			if res.OK {
+				total++
+			}
+		}
+	}
+	insertBatch(60)
+	// Two staggered joins with inserts in between.
+	for j := 0; j < 2; j++ {
+		ep, err := c.Net.Endpoint(map[int]string{0: "late-a", 1: "late-b"}[j])
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd := newTestNode(ep, c)
+		nd.Join(c.Nodes[0].Addr())
+		if !c.Net.RunUntil(nd.Joined, 10_000_000) {
+			t.Fatal("late join stuck")
+		}
+		insertBatch(40)
+	}
+	c.Settle(3 * time.Second)
+	qr, _, err := c.QueryWait(1, "test-index", fullRect())
+	if err != nil || !qr.Complete {
+		t.Fatalf("query: %v %+v", err, qr)
+	}
+	if len(qr.Records) != total {
+		t.Fatalf("recall %d/%d across mid-stream joins", len(qr.Records), total)
+	}
+}

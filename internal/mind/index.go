@@ -1,0 +1,203 @@
+package mind
+
+import (
+	"fmt"
+	"time"
+
+	"mind/internal/bitstr"
+	"mind/internal/embed"
+	"mind/internal/schema"
+	"mind/internal/store"
+	"mind/internal/wire"
+)
+
+// index is one distributed index's node-local state: schema, the cut
+// tree of each version, primary storage, and replica storage for the
+// regions this node backs up (§3.8).
+type index struct {
+	sch  *schema.Schema
+	base *embed.Tree            // version-independent default embedding
+	vers map[uint32]*embed.Tree // per-version balanced cuts (§3.7)
+
+	primary  *store.Versioned
+	replicas *store.Versioned
+	// replicaOwners records the owner codes whose data we replicate,
+	// enabling fail-over answers for their regions.
+	replicaOwners map[bitstr.Code]bool
+	// seen dedups record ids against ring-recovery double delivery.
+	seen map[uint64]bool
+
+	// History pointer (§3.4): after this node joined by splitting
+	// histAddr's region, sub-queries are forwarded there until
+	// histUntil, because pre-split data stayed behind.
+	histAddr  string
+	histUntil time.Time
+
+	// triggers are the standing queries installed at this node for the
+	// regions it owns (paper footnote 1).
+	triggers []*trigger
+
+	timeAttr int // index of the KindTime attribute among indexed dims, or -1
+}
+
+func newIndex(sch *schema.Schema, base *embed.Tree) *index {
+	ix := &index{
+		sch:           sch,
+		base:          base,
+		vers:          make(map[uint32]*embed.Tree),
+		primary:       store.NewVersioned(sch),
+		replicas:      store.NewVersioned(sch),
+		replicaOwners: make(map[bitstr.Code]bool),
+		seen:          make(map[uint64]bool),
+		timeAttr:      -1,
+	}
+	for i := 0; i < sch.IndexDims; i++ {
+		if sch.Attrs[i].Kind == schema.KindTime {
+			ix.timeAttr = i
+			break
+		}
+	}
+	return ix
+}
+
+// tree returns the embedding for a version, falling back to the base.
+func (ix *index) tree(v uint32) *embed.Tree {
+	if t, ok := ix.vers[v]; ok {
+		return t
+	}
+	return ix.base
+}
+
+// version maps a record to its version by the time attribute.
+func (ix *index) version(rec schema.Record, versionSeconds uint64) uint32 {
+	if ix.timeAttr < 0 || versionSeconds == 0 {
+		return 0
+	}
+	return uint32(rec[ix.timeAttr] / versionSeconds)
+}
+
+// queryVersions lists the versions a query rectangle's time range spans.
+func (ix *index) queryVersions(rect schema.Rect, versionSeconds uint64) []uint32 {
+	if ix.timeAttr < 0 || versionSeconds == 0 {
+		return []uint32{0}
+	}
+	lo := rect.Lo[ix.timeAttr] / versionSeconds
+	hi := rect.Hi[ix.timeAttr] / versionSeconds
+	if hi-lo > 4096 {
+		hi = lo + 4096 // sanity bound on unbounded time wildcards
+	}
+	out := make([]uint32, 0, hi-lo+1)
+	for v := lo; v <= hi; v++ {
+		out = append(out, uint32(v))
+	}
+	return out
+}
+
+// groupVersionsByTree groups versions that share an embedding, so one
+// overlay query can serve all of them.
+func (ix *index) groupVersionsByTree(versions []uint32) map[*embed.Tree][]uint32 {
+	out := make(map[*embed.Tree][]uint32)
+	for _, v := range versions {
+		t := ix.tree(v)
+		out[t] = append(out[t], v)
+	}
+	return out
+}
+
+// def serializes the index definition for join transfers and index
+// creation floods.
+func (ix *index) def() wire.IndexDef {
+	d := wire.IndexDef{Schema: ix.sch}
+	if ix.base != nil {
+		d.Versions = append(d.Versions, wire.VersionDef{Version: baseVersionSentinel, Tree: ix.base.Marshal()})
+	}
+	for v, t := range ix.vers {
+		d.Versions = append(d.Versions, wire.VersionDef{Version: v, Tree: t.Marshal()})
+	}
+	return d
+}
+
+// baseVersionSentinel marks the base tree inside an IndexDef's version
+// list.
+const baseVersionSentinel = ^uint32(0)
+
+// indexFromDef reconstructs an index from a wire definition.
+func indexFromDef(d wire.IndexDef) (*index, error) {
+	if err := d.Schema.Validate(); err != nil {
+		return nil, err
+	}
+	var base *embed.Tree
+	vers := make(map[uint32]*embed.Tree)
+	for _, vd := range d.Versions {
+		t, err := embed.Unmarshal(vd.Tree)
+		if err != nil {
+			return nil, fmt.Errorf("index %q version %d: %w", d.Schema.Tag, vd.Version, err)
+		}
+		if vd.Version == baseVersionSentinel {
+			base = t
+		} else {
+			vers[vd.Version] = t
+		}
+	}
+	if base == nil {
+		base = embed.Uniform(d.Schema.Bounds())
+	}
+	ix := newIndex(d.Schema, base)
+	ix.vers = vers
+	return ix, nil
+}
+
+// storeRecord inserts into primary storage with RecID dedup; it reports
+// whether the record was new.
+func (ix *index) storeRecord(v uint32, recID uint64, rec schema.Record) bool {
+	if ix.seen[recID] {
+		return false
+	}
+	ix.seen[recID] = true
+	ix.primary.Insert(v, rec)
+	return true
+}
+
+// storeReplica inserts into replica storage.
+func (ix *index) storeReplica(owner bitstr.Code, v uint32, recID uint64, rec schema.Record) {
+	key := recID ^ 0x9e3779b97f4a7c15 // replica dedup namespace
+	if ix.seen[key] {
+		return
+	}
+	ix.seen[key] = true
+	ix.replicaOwners[owner] = true
+	ix.replicas.Insert(v, rec)
+}
+
+// absorbReplicas merges replicated data for a dead region into primary
+// storage after a takeover (§3.8: the sibling serves the failed node's
+// hyper-rectangle from its replicas).
+func (ix *index) absorbReplicas(dead bitstr.Code) {
+	matched := false
+	for owner := range ix.replicaOwners {
+		if dead.IsPrefixOf(owner) || owner.IsPrefixOf(dead) {
+			matched = true
+		}
+	}
+	if !matched {
+		return
+	}
+	// Replica stores are not segregated by owner; absorbing moves every
+	// replicated record whose point falls inside the dead region.
+	for _, v := range ix.replicas.Versions() {
+		rs := ix.replicas.Version(v)
+		tree := ix.tree(v)
+		rs.All(func(rec schema.Record) bool {
+			p := rec.Point(ix.sch)
+			if dead.IsPrefixOf(tree.PointCode(p, dead.Len())) {
+				ix.primary.Insert(v, rec)
+			}
+			return true
+		})
+	}
+}
+
+// historyActive reports whether the history pointer still applies.
+func (ix *index) historyActive(now time.Time) bool {
+	return ix.histAddr != "" && now.Before(ix.histUntil)
+}

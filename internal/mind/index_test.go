@@ -1,0 +1,188 @@
+package mind
+
+import (
+	"testing"
+	"time"
+
+	"mind/internal/bitstr"
+	"mind/internal/embed"
+	"mind/internal/schema"
+	"mind/internal/wire"
+)
+
+func ixSchema() *schema.Schema {
+	return &schema.Schema{
+		Tag: "ix",
+		Attrs: []schema.Attr{
+			{Name: "x", Kind: schema.KindUint, Max: 999},
+			{Name: "t", Kind: schema.KindTime, Max: 86400 * 10},
+			{Name: "y", Kind: schema.KindUint, Max: 999},
+			{Name: "p"},
+		},
+		IndexDims: 3,
+	}
+}
+
+func newTestIndex() *index {
+	sch := ixSchema()
+	return newIndex(sch, embed.Uniform(sch.Bounds()))
+}
+
+func TestIndexVersionMapping(t *testing.T) {
+	ix := newTestIndex()
+	if ix.timeAttr != 1 {
+		t.Fatalf("timeAttr = %d", ix.timeAttr)
+	}
+	rec := schema.Record{1, 86400*3 + 7, 2, 3}
+	if v := ix.version(rec, 86400); v != 3 {
+		t.Errorf("version = %d, want 3", v)
+	}
+	if v := ix.version(rec, 0); v != 0 {
+		t.Errorf("versionSeconds=0 must map to version 0, got %d", v)
+	}
+	// Index without a time attribute: always version 0.
+	sch := &schema.Schema{Tag: "nt", Attrs: []schema.Attr{{Name: "a", Max: 9}}, IndexDims: 1}
+	nt := newIndex(sch, embed.Uniform(sch.Bounds()))
+	if nt.timeAttr != -1 || nt.version(schema.Record{5}, 86400) != 0 {
+		t.Error("no-time index version mapping wrong")
+	}
+}
+
+func TestQueryVersionsSpan(t *testing.T) {
+	ix := newTestIndex()
+	rect := schema.Rect{Lo: []uint64{0, 86400 - 10, 0}, Hi: []uint64{999, 2*86400 + 10, 999}}
+	vs := ix.queryVersions(rect, 86400)
+	if len(vs) != 3 || vs[0] != 0 || vs[2] != 2 {
+		t.Fatalf("versions = %v", vs)
+	}
+	// Bound the explosion on full-range time wildcards.
+	wild := schema.Rect{Lo: []uint64{0, 0, 0}, Hi: []uint64{999, ^uint64(0), 999}}
+	vs = ix.queryVersions(wild, 1)
+	if len(vs) > 4097 {
+		t.Fatalf("unbounded version span: %d", len(vs))
+	}
+}
+
+func TestGroupVersionsByTree(t *testing.T) {
+	ix := newTestIndex()
+	balanced := embed.Uniform(ix.sch.Bounds())
+	ix.vers[2] = balanced
+	groups := ix.groupVersionsByTree([]uint32{0, 1, 2, 3})
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	if len(groups[ix.base]) != 3 || len(groups[balanced]) != 1 {
+		t.Fatalf("group sizes wrong: %v", groups)
+	}
+}
+
+func TestIndexDefRoundTrip(t *testing.T) {
+	ix := newTestIndex()
+	ix.vers[5] = embed.Uniform(ix.sch.Bounds())
+	def := ix.def()
+	got, err := indexFromDef(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.sch.Tag != "ix" || got.base == nil {
+		t.Fatal("def round trip lost schema/base")
+	}
+	if _, ok := got.vers[5]; !ok {
+		t.Fatal("version tree lost")
+	}
+	// Codes agree after round trip.
+	p := []uint64{500, 86400, 250}
+	if !got.tree(0).PointCode(p, 10).Equal(ix.tree(0).PointCode(p, 10)) {
+		t.Fatal("round-tripped tree disagrees")
+	}
+	// Bad defs rejected.
+	if _, err := indexFromDef(wire.IndexDef{Schema: &schema.Schema{}}); err == nil {
+		t.Error("invalid schema accepted")
+	}
+	bad := def
+	bad.Versions = []wire.VersionDef{{Version: 1, Tree: []byte{1, 2, 3}}}
+	if _, err := indexFromDef(bad); err == nil {
+		t.Error("corrupt tree accepted")
+	}
+}
+
+func TestIndexDefMissingBaseGetsUniform(t *testing.T) {
+	d := wire.IndexDef{Schema: ixSchema()}
+	ix, err := indexFromDef(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.base == nil {
+		t.Fatal("no default base tree")
+	}
+}
+
+func TestStoreRecordDedup(t *testing.T) {
+	ix := newTestIndex()
+	rec := schema.Record{1, 2, 3, 4}
+	if !ix.storeRecord(0, 42, rec) {
+		t.Fatal("first store rejected")
+	}
+	if ix.storeRecord(0, 42, rec) {
+		t.Fatal("duplicate RecID accepted (ring double-delivery would duplicate data)")
+	}
+	if ix.primary.Len() != 1 {
+		t.Fatalf("stored = %d", ix.primary.Len())
+	}
+	// A replica with the same id is in a different dedup namespace.
+	ix.storeReplica(bitstr.MustParse("01"), 0, 42, rec)
+	if ix.replicas.Len() != 1 {
+		t.Fatal("replica with same RecID rejected")
+	}
+	ix.storeReplica(bitstr.MustParse("01"), 0, 42, rec)
+	if ix.replicas.Len() != 1 {
+		t.Fatal("duplicate replica accepted")
+	}
+}
+
+func TestAbsorbReplicas(t *testing.T) {
+	ix := newTestIndex()
+	owner := ix.base.PointCode([]uint64{10, 10, 10}, 3)
+	// Replicas: one inside the owner region, one outside it.
+	inside := schema.Record{10, 10, 10, 1}
+	var outside schema.Record
+	for v := uint64(0); ; v += 37 {
+		cand := schema.Record{v % 1000, 20, 900, 2}
+		if !owner.IsPrefixOf(ix.base.PointCode(cand.Point(ix.sch), owner.Len())) {
+			outside = cand
+			break
+		}
+	}
+	ix.storeReplica(owner, 0, 1, inside)
+	ix.storeReplica(owner, 0, 2, outside)
+	ix.absorbReplicas(owner)
+	if ix.primary.Len() != 1 {
+		t.Fatalf("absorbed %d records, want exactly the in-region one", ix.primary.Len())
+	}
+	got := ix.primary.QueryAll(ix.sch.FullRect())
+	if got[0][3] != 1 {
+		t.Fatal("wrong record absorbed")
+	}
+	// No-op when no owner matches.
+	before := ix.primary.Len()
+	ix.absorbReplicas(bitstr.MustParse("111111"))
+	if ix.primary.Len() != before {
+		t.Fatal("absorb for unknown region moved data")
+	}
+}
+
+func TestHistoryActive(t *testing.T) {
+	ix := newTestIndex()
+	now := time.Unix(1000, 0)
+	if ix.historyActive(now) {
+		t.Fatal("no pointer must be inactive")
+	}
+	ix.histAddr = "sib"
+	ix.histUntil = now.Add(time.Minute)
+	if !ix.historyActive(now) {
+		t.Fatal("pointer should be active")
+	}
+	if ix.historyActive(now.Add(2 * time.Minute)) {
+		t.Fatal("pointer should expire")
+	}
+}

@@ -1,0 +1,261 @@
+package mind
+
+import (
+	"fmt"
+	"sort"
+
+	"mind/internal/bitstr"
+	"mind/internal/transport"
+	"mind/internal/wire"
+
+	"mind/internal/schema"
+)
+
+// InsertResult reports the outcome of one insertion to its originator.
+type InsertResult struct {
+	OK       bool
+	Hops     int    // overlay hops the record travelled
+	StoredAt string // owner node address
+	Err      error
+}
+
+type insertOp struct {
+	cb    func(InsertResult)
+	timer transport.Timer
+}
+
+// Insert hashes the record to its data-space code and greedy-routes it
+// to the owner node (§3.5). The callback fires on ack or timeout; it may
+// be nil for fire-and-forget insertion.
+func (n *Node) Insert(tag string, rec schema.Record, cb func(InsertResult)) error {
+	n.mu.Lock()
+	ix, ok := n.indices[tag]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("mind: unknown index %q", tag)
+	}
+	if err := ix.sch.CheckRecord(rec); err != nil {
+		n.mu.Unlock()
+		return err
+	}
+	v := ix.version(rec, n.cfg.VersionSeconds)
+	tree := ix.tree(v)
+	depth := clampDepth(n.ov.Code().Len() + n.cfg.InsertDepthSlack)
+	target := tree.PointCode(rec.Point(ix.sch), depth)
+	reqID := n.nextReq()
+	recID := n.nextRecID()
+	op := &insertOp{cb: cb}
+	if cb != nil {
+		n.inserts[reqID] = op
+		op.timer = n.clock.AfterFunc(n.cfg.InsertTimeout, func() { n.finishInsert(reqID, InsertResult{OK: false, Err: errTimeout}) })
+	}
+	n.mu.Unlock()
+
+	msg := &wire.Insert{
+		ReqID:      reqID,
+		OriginAddr: n.ep.Addr(),
+		Index:      tag,
+		Version:    v,
+		RecID:      recID,
+		Rec:        rec,
+		Target:     target,
+	}
+	n.handleInsert(n.ep.Addr(), msg, wire.Encode(msg))
+	return nil
+}
+
+var errTimeout = fmt.Errorf("mind: operation timed out")
+
+func clampDepth(d int) int {
+	if d > bitstr.MaxLen {
+		return bitstr.MaxLen
+	}
+	if d < 1 {
+		return 1
+	}
+	return d
+}
+
+func (n *Node) finishInsert(reqID uint64, res InsertResult) {
+	n.mu.Lock()
+	op, ok := n.inserts[reqID]
+	if !ok {
+		n.mu.Unlock()
+		return
+	}
+	delete(n.inserts, reqID)
+	if op.timer != nil {
+		op.timer.Stop()
+	}
+	n.mu.Unlock()
+	if op.cb != nil {
+		op.cb(res)
+	}
+}
+
+// handleInsert processes a routed insertion at any hop.
+func (n *Node) handleInsert(from string, m *wire.Insert, raw []byte) {
+	if !n.ov.Joined() {
+		return
+	}
+	target := m.Target
+	if n.ov.Owns(target) {
+		myCode := n.ov.Code()
+		if target.Len() < myCode.Len() {
+			// Target code too shallow to discriminate among the nodes in
+			// its region: recompute it deeper from the record itself
+			// (§3.5: the computed code may not exactly match a node's
+			// code). Point codes are prefix-stable, so the extension
+			// preserves routing progress.
+			n.mu.Lock()
+			ix, ok := n.indices[m.Index]
+			var deeper bitstr.Code
+			if ok {
+				tree := ix.tree(m.Version)
+				depth := clampDepth(myCode.Len() + n.cfg.InsertDepthSlack)
+				deeper = tree.PointCode(schema.Record(m.Rec).Point(ix.sch), depth)
+			}
+			n.mu.Unlock()
+			if !ok {
+				return
+			}
+			ext := *m
+			ext.Target = deeper
+			if n.ov.Owns(deeper) {
+				n.storeAsOwner(&ext)
+			} else {
+				ext.Hops++
+				n.forwardInsert(&ext)
+			}
+			return
+		}
+		n.storeAsOwner(m)
+		return
+	}
+	fwd := *m
+	fwd.Hops++
+	n.forwardInsert(&fwd)
+}
+
+func (n *Node) forwardInsert(m *wire.Insert) {
+	if next, ok := n.ov.NextHop(m.Target); ok {
+		n.mu.Lock()
+		n.forwarded++
+		n.tupleLinks[n.ep.Addr()+"→"+next]++
+		n.mu.Unlock()
+		n.send(next, m)
+		return
+	}
+	// Dead end: recover via expanding-ring broadcast (§3.8).
+	n.ov.RingRecover(m.Target, wire.Encode(m))
+}
+
+// storeAsOwner stores the record, replicates it, and acks the origin.
+func (n *Node) storeAsOwner(m *wire.Insert) {
+	n.mu.Lock()
+	ix, ok := n.indices[m.Index]
+	if !ok {
+		n.mu.Unlock()
+		return
+	}
+	isNew := ix.storeRecord(m.Version, m.RecID, m.Rec)
+	var fired []*trigger
+	if isNew {
+		n.stored++
+		fired = ix.fireTriggers(n.clock.Now(), m.RecID, m.Rec)
+	}
+	myInfo := n.ov.Info()
+	replicas := n.replicaSetLocked()
+	n.mu.Unlock()
+
+	for _, tr := range fired {
+		fire := &wire.TriggerFire{
+			TriggerID: tr.id,
+			Index:     m.Index,
+			From:      myInfo,
+			RecID:     m.RecID,
+			Rec:       m.Rec,
+		}
+		if tr.subscriber == n.ep.Addr() {
+			n.handleTriggerFire(fire)
+		} else {
+			n.send(tr.subscriber, fire)
+		}
+	}
+
+	if isNew && len(replicas) > 0 {
+		rep := &wire.Replicate{
+			Index:     m.Index,
+			Version:   m.Version,
+			RecID:     m.RecID,
+			Rec:       m.Rec,
+			OwnerCode: myInfo.Code,
+		}
+		for _, addr := range replicas {
+			n.send(addr, rep)
+		}
+	}
+	if m.ReqID != 0 {
+		if m.OriginAddr == n.ep.Addr() {
+			n.finishInsert(m.ReqID, InsertResult{OK: true, Hops: int(m.Hops), StoredAt: myInfo.Addr})
+		} else {
+			n.send(m.OriginAddr, &wire.InsertAck{ReqID: m.ReqID, StoredAt: myInfo, Hops: m.Hops})
+		}
+	}
+}
+
+// replicaSetLocked picks the replica target addresses per §3.8: the
+// contacts with the longest common code prefixes, one per level, deepest
+// levels first; Replication levels in total (all levels for
+// ReplicateAll). Callers hold n.mu.
+func (n *Node) replicaSetLocked() []string {
+	m := n.cfg.Replication
+	if m == 0 {
+		return nil
+	}
+	myCode := n.ov.Code()
+	type cand struct {
+		addr  string
+		level int
+		code  bitstr.Code
+	}
+	best := make(map[int]cand) // level → chosen contact
+	for _, c := range n.ov.Contacts() {
+		lvl := myCode.CommonPrefixLen(c.Code)
+		if lvl >= myCode.Len() {
+			continue // prefix-related: transient state
+		}
+		cur, ok := best[lvl]
+		if !ok || c.Code.Len() < cur.code.Len() || (c.Code.Len() == cur.code.Len() && c.Addr < cur.addr) {
+			best[lvl] = cand{addr: c.Addr, level: lvl, code: c.Code}
+		}
+	}
+	levels := make([]int, 0, len(best))
+	for lvl := range best {
+		levels = append(levels, lvl)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(levels)))
+	if m > 0 && len(levels) > m {
+		levels = levels[:m]
+	}
+	out := make([]string, 0, len(levels))
+	for _, lvl := range levels {
+		out = append(out, best[lvl].addr)
+	}
+	return out
+}
+
+func (n *Node) handleInsertAck(m *wire.InsertAck) {
+	n.finishInsert(m.ReqID, InsertResult{OK: true, Hops: int(m.Hops), StoredAt: m.StoredAt.Addr})
+}
+
+func (n *Node) handleReplicate(m *wire.Replicate) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ix, ok := n.indices[m.Index]
+	if !ok {
+		return
+	}
+	ix.storeReplica(m.OwnerCode, m.Version, m.RecID, m.Rec)
+	n.replicated++
+}

@@ -1,0 +1,661 @@
+// Package mind implements the MIND node: the distributed
+// multi-dimensional index system of the paper, glued together from the
+// hypercube overlay (routing, joins, failure recovery), the
+// locality-preserving data-space embedding, per-index versioned local
+// storage, replication, and the daily histogram-driven re-balancing.
+//
+// The public surface mirrors §3.2's interface: CreateIndex, DropIndex,
+// Insert and Query, callable on any node of the overlay.
+package mind
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"mind/internal/bitstr"
+	"mind/internal/embed"
+	"mind/internal/hypercube"
+	"mind/internal/schema"
+	"mind/internal/store"
+	"mind/internal/transport"
+	"mind/internal/wire"
+)
+
+// Node is one MIND instance.
+type Node struct {
+	mu    sync.Mutex
+	ep    transport.Endpoint
+	clock transport.Clock
+	cfg   Config
+	ov    *hypercube.Overlay
+	rng   *rand.Rand
+
+	indices map[string]*index
+	inserts map[uint64]*insertOp
+	queries map[uint64]*queryOp
+	seenOps map[uint64]bool // flood dedup (create/drop/hist-install)
+
+	collect map[string]*histCollect // designated-node histogram state
+
+	triggerSubs map[uint64]*triggerSub // subscriber-side standing queries
+
+	reqSeq  uint64
+	recSeq  uint64
+	addrTag uint64 // origin-unique record id namespace
+
+	// Stats counters (read via Stats).
+	forwarded  uint64
+	stored     uint64
+	replicated uint64
+	// tupleLinks counts insert tuples sent per outgoing overlay link
+	// ("self→peer"), the Fig 12 metric.
+	tupleLinks map[string]uint64
+}
+
+// NewNode creates a node bound to an endpoint and clock. The node
+// installs itself as the endpoint's handler.
+func NewNode(ep transport.Endpoint, clock transport.Clock, cfg Config) *Node {
+	n := &Node{
+		ep:         ep,
+		clock:      clock,
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		indices:    make(map[string]*index),
+		inserts:    make(map[uint64]*insertOp),
+		queries:    make(map[uint64]*queryOp),
+		seenOps:    make(map[uint64]bool),
+		collect:    make(map[string]*histCollect),
+		addrTag:    hashAddr(ep.Addr()),
+		tupleLinks: make(map[string]uint64),
+	}
+	n.ov = hypercube.New(ep, clock, cfg.Overlay, cfg.Seed^0x5f5e100, hypercube.Callbacks{
+		OnJoined:      n.onJoined,
+		OnSplit:       n.onSplit,
+		OnTakeover:    n.onTakeover,
+		OnResume:      n.onResume,
+		CanResume:     n.canResumeFromReplicas,
+		OnContactDead: nil,
+		IndexDefs:     n.indexDefs,
+	})
+	ep.SetHandler(n.dispatch)
+	return n
+}
+
+func hashAddr(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Bootstrap founds a new overlay with this node.
+func (n *Node) Bootstrap() { n.ov.Bootstrap() }
+
+// Join enters an existing overlay through the seed node.
+func (n *Node) Join(seed string) { n.ov.Join(seed) }
+
+// Joined reports overlay membership.
+func (n *Node) Joined() bool { return n.ov.Joined() }
+
+// Addr returns the node's transport address.
+func (n *Node) Addr() string { return n.ep.Addr() }
+
+// Code returns the node's overlay code.
+func (n *Node) Code() bitstr.Code { return n.ov.Code() }
+
+// Overlay exposes the underlying overlay (read-mostly; used by tests and
+// the experiment harness).
+func (n *Node) Overlay() *hypercube.Overlay { return n.ov }
+
+// Close stops the node's timers.
+func (n *Node) Close() { n.ov.Close() }
+
+// Stats is a snapshot of node-level counters.
+type Stats struct {
+	Forwarded  uint64 // routed messages passed on
+	Stored     uint64 // records stored as primary owner
+	Replicated uint64 // replica records stored
+}
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return Stats{Forwarded: n.forwarded, Stored: n.stored, Replicated: n.replicated}
+}
+
+// TupleLinkCounts snapshots how many insert tuples this node sent over
+// each outgoing overlay link (Fig 12's per-link traffic).
+func (n *Node) TupleLinkCounts() map[string]uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[string]uint64, len(n.tupleLinks))
+	for k, v := range n.tupleLinks {
+		out[k] = v
+	}
+	return out
+}
+
+// send encodes and transmits, ignoring transport-level errors.
+func (n *Node) send(to string, m wire.Message) {
+	_ = n.ep.Send(to, wire.Encode(m))
+}
+
+// nextReq issues a node-unique request id.
+func (n *Node) nextReq() uint64 {
+	n.reqSeq++
+	return n.addrTag&0xffffffff00000000 | n.reqSeq&0xffffffff
+}
+
+// nextRecID issues an origin-unique record id.
+func (n *Node) nextRecID() uint64 {
+	n.recSeq++
+	return n.addrTag&0xffffffff00000000 | n.recSeq&0xffffffff
+}
+
+// dispatch is the endpoint handler: decode, give the overlay first
+// claim, then handle data/control messages.
+func (n *Node) dispatch(from string, data []byte) {
+	m, err := wire.Decode(data)
+	if err != nil {
+		return // corrupt frame; drop
+	}
+	n.handleMessage(from, m, data)
+}
+
+func (n *Node) handleMessage(from string, m wire.Message, raw []byte) {
+	if n.ov.Handle(from, m) {
+		return
+	}
+	switch msg := m.(type) {
+	case *wire.Insert:
+		n.handleInsert(from, msg, raw)
+	case *wire.InsertAck:
+		n.handleInsertAck(msg)
+	case *wire.Replicate:
+		n.handleReplicate(msg)
+	case *wire.Query:
+		n.handleQuery(from, msg, raw)
+	case *wire.SubQuery:
+		n.handleSubQuery(from, msg, raw)
+	case *wire.QueryResp:
+		n.handleQueryResp(msg)
+	case *wire.CreateIndex:
+		n.handleCreateIndex(msg)
+	case *wire.DropIndex:
+		n.handleDropIndex(msg)
+	case *wire.HistReport:
+		n.handleHistReport(from, msg, raw)
+	case *wire.HistInstall:
+		n.handleHistInstall(msg)
+	case *wire.ClientInsert:
+		n.handleClientInsert(from, msg)
+	case *wire.ClientQuery:
+		n.handleClientQuery(from, msg)
+	case *wire.ClientCreateIndex:
+		n.handleClientCreateIndex(from, msg)
+	case *wire.ClientDropIndex:
+		n.handleClientDropIndex(from, msg)
+	case *wire.TriggerInstall:
+		n.handleTriggerInstall(from, msg)
+	case *wire.TriggerFire:
+		n.handleTriggerFire(msg)
+	case *wire.TriggerRemove:
+		n.handleTriggerRemove(msg)
+	case *wire.RetireVersion:
+		n.handleRetireVersion(msg)
+	case *wire.RegionRecall:
+		n.handleRegionRecall(msg)
+	}
+}
+
+// handleRegionRecall re-inserts replica records (and stranded primary
+// records of regions this node no longer owns) that fall inside the
+// recalled region; normal greedy routing delivers them to the region's
+// new owner. Content-identical duplicates from multiple replica holders
+// are collapsed by the originator-side dedup on queries.
+func (n *Node) handleRegionRecall(m *wire.RegionRecall) {
+	if !n.markOp(m.OpID) {
+		return
+	}
+	n.flood(m)
+
+	n.mu.Lock()
+	myCode := n.ov.Code()
+	type out struct {
+		tag     string
+		version uint32
+		rec     schema.Record
+		target  bitstr.Code
+	}
+	var outs []out
+	for tag, ix := range n.indices {
+		scan := func(vs *store.Versioned, includeOwned bool) {
+			for _, v := range vs.Versions() {
+				tree := ix.tree(v)
+				vs.Version(v).All(func(rec schema.Record) bool {
+					pc := tree.PointCode(rec.Point(ix.sch), clampDepth(m.Region.Len()+n.cfg.InsertDepthSlack))
+					if !m.Region.IsPrefixOf(pc) {
+						return true
+					}
+					if !includeOwned && myCode.IsPrefixOf(pc) {
+						return true // we already serve it
+					}
+					outs = append(outs, out{tag: tag, version: v, rec: rec, target: pc})
+					return true
+				})
+			}
+		}
+		scan(ix.replicas, false)
+		// Stranded primary data: records this node still holds for a
+		// region it relocated away from.
+		for _, v := range ix.primary.Versions() {
+			tree := ix.tree(v)
+			ix.primary.Version(v).All(func(rec schema.Record) bool {
+				pc := tree.PointCode(rec.Point(ix.sch), clampDepth(m.Region.Len()+n.cfg.InsertDepthSlack))
+				if m.Region.IsPrefixOf(pc) && !myCode.IsPrefixOf(pc) {
+					outs = append(outs, out{tag: tag, version: v, rec: rec, target: pc})
+				}
+				return true
+			})
+		}
+	}
+	recIDs := make([]uint64, len(outs))
+	for i := range outs {
+		recIDs[i] = n.nextRecID()
+	}
+	n.mu.Unlock()
+
+	for i, o := range outs {
+		msg := &wire.Insert{
+			ReqID:      0, // recall: no ack
+			OriginAddr: n.ep.Addr(),
+			Index:      o.tag,
+			Version:    o.version,
+			RecID:      recIDs[i],
+			Rec:        o.rec,
+			Target:     o.target,
+		}
+		n.handleInsert(n.ep.Addr(), msg, nil)
+	}
+}
+
+// RetireVersion deletes one index version's records and cut tree on
+// every node — the §3.7 version-management operation the paper deferred
+// to future work. Old daily versions are retired once their data has
+// aged out of any query horizon.
+func (n *Node) RetireVersion(tag string, version uint32) error {
+	n.mu.Lock()
+	if _, ok := n.indices[tag]; !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("mind: unknown index %q", tag)
+	}
+	opID := n.nextReq()
+	n.seenOps[opID] = true
+	n.mu.Unlock()
+	n.retireLocal(tag, version)
+	n.flood(&wire.RetireVersion{OpID: opID, Index: tag, Version: version})
+	return nil
+}
+
+func (n *Node) retireLocal(tag string, version uint32) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ix, ok := n.indices[tag]; ok {
+		ix.primary.Drop(version)
+		ix.replicas.Drop(version)
+		delete(ix.vers, version)
+	}
+}
+
+func (n *Node) handleRetireVersion(m *wire.RetireVersion) {
+	if !n.markOp(m.OpID) {
+		return
+	}
+	n.retireLocal(m.Index, m.Version)
+	n.flood(m)
+}
+
+// onResume re-injects a routed message recovered by an expanding-ring
+// probe.
+func (n *Node) onResume(from string, payload []byte) {
+	n.dispatch(from, payload)
+}
+
+// canResumeFromReplicas volunteers this node as the resumption point for
+// a ring-probed message whose target region it holds replicas for: a
+// dead region's sub-queries then fail over to its replica holders even
+// when greedy routing would never land there (§3.8).
+func (n *Node) canResumeFromReplicas(target bitstr.Code) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, ix := range n.indices {
+		for owner := range ix.replicaOwners {
+			if owner.IsPrefixOf(target) || target.IsPrefixOf(owner) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// indexDefs snapshots all index definitions for join accepts.
+func (n *Node) indexDefs() []wire.IndexDef {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]wire.IndexDef, 0, len(n.indices))
+	for _, ix := range n.indices {
+		out = append(out, ix.def())
+	}
+	return out
+}
+
+// onJoined installs the indices received in the join accept and arms the
+// history pointer toward the split sibling (§3.4).
+func (n *Node) onJoined(accept *wire.JoinAccept) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, d := range accept.Indices {
+		if _, exists := n.indices[d.Schema.Tag]; exists {
+			continue
+		}
+		ix, err := indexFromDef(d)
+		if err != nil {
+			continue
+		}
+		if !n.cfg.TransferOnSplit && n.cfg.HistoryTTL > 0 {
+			ix.histAddr = accept.Sibling.Addr
+			ix.histUntil = n.clock.Now().Add(n.cfg.HistoryTTL)
+		}
+		n.indices[d.Schema.Tag] = ix
+	}
+}
+
+// onSplit runs on the split-target side. In TransferOnSplit mode the
+// joiner-region records move to the joiner; otherwise they stay here and
+// the joiner's history pointer finds them.
+func (n *Node) onSplit(oldCode, newCode bitstr.Code, joiner wire.NodeInfo) {
+	if !n.cfg.TransferOnSplit {
+		return
+	}
+	n.mu.Lock()
+	type push struct {
+		tag     string
+		version uint32
+		rec     schema.Record
+	}
+	var pushes []push
+	for tag, ix := range n.indices {
+		for _, v := range ix.primary.Versions() {
+			tree := ix.tree(v)
+			st := ix.primary.Version(v)
+			var keep []schema.Record
+			st.All(func(rec schema.Record) bool {
+				p := rec.Point(ix.sch)
+				if joiner.Code.IsPrefixOf(tree.PointCode(p, joiner.Code.Len())) {
+					pushes = append(pushes, push{tag, v, rec})
+				} else {
+					keep = append(keep, rec)
+				}
+				return true
+			})
+			if len(keep) < st.Len() {
+				ix.primary.Drop(v)
+				for _, rec := range keep {
+					ix.primary.Insert(v, rec)
+				}
+			}
+		}
+	}
+	n.mu.Unlock()
+	for _, p := range pushes {
+		n.mu.Lock()
+		recID := n.nextRecID()
+		n.mu.Unlock()
+		n.send(joiner.Addr, &wire.Insert{
+			ReqID:      0, // transfer: no ack expected
+			OriginAddr: n.ep.Addr(),
+			Index:      p.tag,
+			Version:    p.version,
+			RecID:      recID,
+			Rec:        p.rec,
+			Target:     joiner.Code,
+		})
+	}
+}
+
+// onTakeover absorbs replicated data for the dead sibling region into
+// primary storage, then re-replicates the merged store to the node's
+// new replica set. Without re-replication, a node that absorbed its
+// sibling's data holds the only copy (its own replica target WAS the
+// dead sibling), so a later failure would lose both — re-replication is
+// what lets one-replica MIND ride out gradual failures (§3.8, Fig 16).
+func (n *Node) onTakeover(dead, oldCode bitstr.Code) {
+	n.mu.Lock()
+	type pushRec struct {
+		tag     string
+		version uint32
+		rec     schema.Record
+	}
+	var pushes []pushRec
+	for tag, ix := range n.indices {
+		ix.absorbReplicas(dead)
+		if n.cfg.Replication == 0 {
+			continue
+		}
+		// Re-replicate only the absorbed region's records: the rest of
+		// the store was replicated when it was stored, and re-pushing
+		// everything on every takeover would storm the network during
+		// failure cascades.
+		for _, v := range ix.primary.Versions() {
+			tree := ix.tree(v)
+			ix.primary.Version(v).All(func(rec schema.Record) bool {
+				if dead.Len() > 0 {
+					pc := tree.PointCode(rec.Point(ix.sch), dead.Len())
+					if !dead.IsPrefixOf(pc) {
+						return true
+					}
+				}
+				pushes = append(pushes, pushRec{tag: tag, version: v, rec: rec})
+				return true
+			})
+		}
+	}
+	replicas := n.replicaSetLocked()
+	owner := n.ov.Code()
+	recIDs := make([]uint64, len(pushes))
+	for i := range pushes {
+		recIDs[i] = n.nextRecID()
+	}
+	n.mu.Unlock()
+
+	for i, p := range pushes {
+		rep := &wire.Replicate{
+			Index:     p.tag,
+			Version:   p.version,
+			RecID:     recIDs[i],
+			Rec:       p.rec,
+			OwnerCode: owner,
+		}
+		for _, addr := range replicas {
+			n.send(addr, rep)
+		}
+	}
+
+	// Recall any surviving replicas of the adopted region from the rest
+	// of the overlay: after a relocation takeover this node starts with
+	// an empty store for the region, and even after a sibling takeover
+	// stragglers may exist at other replica levels.
+	n.mu.Lock()
+	opID := n.nextReq()
+	n.seenOps[opID] = true
+	n.mu.Unlock()
+	recall := &wire.RegionRecall{OpID: opID, Region: dead}
+	n.flood(recall)
+}
+
+// --- Index lifecycle -----------------------------------------------------
+
+// CreateIndex installs a new index locally and floods its definition
+// across the overlay (§3.4). A nil tree gets the uniform embedding; pass
+// a histogram-balanced tree to start balanced (§3.7).
+func (n *Node) CreateIndex(sch *schema.Schema, tree *embed.Tree) error {
+	if err := sch.Validate(); err != nil {
+		return err
+	}
+	if tree == nil {
+		tree = embed.Uniform(sch.Bounds())
+	}
+	if tree.Dims() != sch.IndexDims {
+		return fmt.Errorf("mind: tree dims %d != schema dims %d", tree.Dims(), sch.IndexDims)
+	}
+	n.mu.Lock()
+	if _, exists := n.indices[sch.Tag]; exists {
+		n.mu.Unlock()
+		return fmt.Errorf("mind: index %q already exists", sch.Tag)
+	}
+	ix := newIndex(sch.Clone(), tree)
+	n.indices[sch.Tag] = ix
+	opID := n.nextReq()
+	n.seenOps[opID] = true
+	def := ix.def()
+	n.mu.Unlock()
+
+	n.flood(&wire.CreateIndex{OpID: opID, Def: def})
+	return nil
+}
+
+// DropIndex removes an index locally and floods the removal.
+func (n *Node) DropIndex(tag string) error {
+	n.mu.Lock()
+	if _, exists := n.indices[tag]; !exists {
+		n.mu.Unlock()
+		return fmt.Errorf("mind: unknown index %q", tag)
+	}
+	delete(n.indices, tag)
+	opID := n.nextReq()
+	n.seenOps[opID] = true
+	n.mu.Unlock()
+
+	n.flood(&wire.DropIndex{OpID: opID, Tag: tag})
+	return nil
+}
+
+// Indices lists the tags of installed indices.
+func (n *Node) Indices() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.indices))
+	for tag := range n.indices {
+		out = append(out, tag)
+	}
+	return out
+}
+
+// HasIndex reports whether the named index is installed.
+func (n *Node) HasIndex(tag string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, ok := n.indices[tag]
+	return ok
+}
+
+// StoredRecords returns the primary record count for an index (all
+// versions), for storage-distribution experiments (Fig 13).
+func (n *Node) StoredRecords(tag string) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ix, ok := n.indices[tag]
+	if !ok {
+		return 0
+	}
+	return ix.primary.Len()
+}
+
+// StoredRecordsVersion returns the primary record count of one index
+// version.
+func (n *Node) StoredRecordsVersion(tag string, version uint32) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ix, ok := n.indices[tag]
+	if !ok || !ix.primary.Has(version) {
+		return 0
+	}
+	return ix.primary.Version(version).Len()
+}
+
+// LocalQuery resolves a range query against this node's primary storage
+// only (no routing) — the view a co-located monitor or a diagnostic tool
+// sees of one node's shard.
+func (n *Node) LocalQuery(tag string, rect schema.Rect) []schema.Record {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ix, ok := n.indices[tag]
+	if !ok {
+		return nil
+	}
+	return ix.primary.QueryAll(rect)
+}
+
+// ReplicaRecords returns the replica record count for an index.
+func (n *Node) ReplicaRecords(tag string) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ix, ok := n.indices[tag]
+	if !ok {
+		return 0
+	}
+	return ix.replicas.Len()
+}
+
+// flood sends a control message to every contact; receivers re-flood
+// once per OpID.
+func (n *Node) flood(m wire.Message) {
+	contacts := n.ov.Contacts()
+	sort.Slice(contacts, func(i, j int) bool { return contacts[i].Addr < contacts[j].Addr })
+	for _, c := range contacts {
+		n.send(c.Addr, m)
+	}
+}
+
+// markOp dedups a flooded operation id; it reports whether the op is new.
+func (n *Node) markOp(opID uint64) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.seenOps[opID] {
+		return false
+	}
+	n.seenOps[opID] = true
+	if len(n.seenOps) > 65536 {
+		n.seenOps = map[uint64]bool{opID: true}
+	}
+	return true
+}
+
+func (n *Node) handleCreateIndex(m *wire.CreateIndex) {
+	if !n.markOp(m.OpID) {
+		return
+	}
+	n.mu.Lock()
+	if _, exists := n.indices[m.Def.Schema.Tag]; !exists {
+		if ix, err := indexFromDef(m.Def); err == nil {
+			n.indices[m.Def.Schema.Tag] = ix
+		}
+	}
+	n.mu.Unlock()
+	n.flood(m)
+}
+
+func (n *Node) handleDropIndex(m *wire.DropIndex) {
+	if !n.markOp(m.OpID) {
+		return
+	}
+	n.mu.Lock()
+	delete(n.indices, m.Tag)
+	n.mu.Unlock()
+	n.flood(m)
+}

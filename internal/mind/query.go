@@ -1,0 +1,487 @@
+package mind
+
+import (
+	"fmt"
+
+	"mind/internal/bitstr"
+	"mind/internal/embed"
+	"mind/internal/schema"
+	"mind/internal/transport"
+	"mind/internal/wire"
+)
+
+// QueryResult is delivered to the query callback.
+type QueryResult struct {
+	// Records are the deduplicated matching records.
+	Records []schema.Record
+	// Complete is true when every region of the query space was covered
+	// by a response (§3.6: negative responses count, so completeness is
+	// detectable); false means the timeout elapsed first.
+	Complete bool
+	// Responders is the number of distinct nodes that answered — the
+	// query-cost metric of Figs 9 and 15.
+	Responders int
+	// MaxHops is the largest overlay hop count any sub-query travelled.
+	MaxHops int
+	// Err is non-nil for failures other than incompleteness.
+	Err error
+	// Uncovered lists sample "version:regionCode" pairs that never
+	// received a covering response; populated only on incomplete
+	// results, for diagnostics.
+	Uncovered []string
+}
+
+type queryOp struct {
+	cb         func(QueryResult)
+	rect       schema.Rect
+	tries      map[uint32]*coverSet
+	regions    map[uint32]bitstr.Code // region each version's trie must cover
+	trees      map[uint32]*embed.Tree // embedding per version, for the coverage walk
+	recIDs     map[uint64]bool
+	records    []schema.Record
+	responders map[string]bool
+	maxHops    int
+	timer      transport.Timer
+}
+
+// Query resolves a multi-dimensional range query against an index
+// (§3.6): the query is greedy-routed to the first node whose region
+// abuts it, split there into per-region sub-queries, and all results
+// return directly to this node. The callback fires once, with complete
+// results or with whatever arrived by the timeout.
+func (n *Node) Query(tag string, rect schema.Rect, cb func(QueryResult)) error {
+	if !rect.Valid() {
+		return fmt.Errorf("mind: invalid query rect")
+	}
+	n.mu.Lock()
+	ix, ok := n.indices[tag]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("mind: unknown index %q", tag)
+	}
+	if rect.Dims() != ix.sch.IndexDims {
+		n.mu.Unlock()
+		return fmt.Errorf("mind: query dims %d != index dims %d", rect.Dims(), ix.sch.IndexDims)
+	}
+	versions := ix.queryVersions(rect, n.cfg.VersionSeconds)
+	groups := ix.groupVersionsByTree(versions)
+	reqID := n.nextReq()
+	op := &queryOp{
+		cb:         cb,
+		rect:       rect.Clone(),
+		tries:      make(map[uint32]*coverSet),
+		regions:    make(map[uint32]bitstr.Code),
+		trees:      make(map[uint32]*embed.Tree),
+		recIDs:     make(map[uint64]bool),
+		responders: make(map[string]bool),
+	}
+	maxDepth := clampDepth(n.ov.Code().Len() + n.cfg.InsertDepthSlack)
+	type dispatch struct {
+		msg *wire.Query
+	}
+	var dispatches []dispatch
+	for tree, vs := range groups {
+		qcode := tree.QueryCode(rect, maxDepth)
+		vlist := make([]uint64, len(vs))
+		for i, v := range vs {
+			op.tries[v] = newCoverSet()
+			op.regions[v] = qcode
+			op.trees[v] = tree
+			vlist[i] = uint64(v)
+		}
+		dispatches = append(dispatches, dispatch{msg: &wire.Query{
+			ReqID:      reqID,
+			OriginAddr: n.ep.Addr(),
+			Index:      tag,
+			Versions:   vlist,
+			Rect:       rect.Clone(),
+			Target:     qcode,
+		}})
+	}
+	n.queries[reqID] = op
+	op.timer = n.clock.AfterFunc(n.cfg.QueryTimeout, func() { n.finishQuery(reqID, false) })
+	n.mu.Unlock()
+
+	for _, d := range dispatches {
+		n.handleQuery(n.ep.Addr(), d.msg, nil)
+	}
+	return nil
+}
+
+func (n *Node) finishQuery(reqID uint64, complete bool) {
+	n.mu.Lock()
+	op, ok := n.queries[reqID]
+	if !ok {
+		n.mu.Unlock()
+		return
+	}
+	delete(n.queries, reqID)
+	if op.timer != nil {
+		op.timer.Stop()
+	}
+	res := QueryResult{
+		Records:    op.records,
+		Complete:   complete,
+		Responders: len(op.responders),
+		MaxHops:    op.maxHops,
+	}
+	if !complete {
+		for v, trie := range op.tries {
+			for _, miss := range trie.MissingRegions(op.trees[v], op.rect, op.regions[v], 4) {
+				res.Uncovered = append(res.Uncovered, fmt.Sprintf("v%d:%s", v, miss))
+			}
+		}
+	}
+	n.mu.Unlock()
+	if op.cb != nil {
+		op.cb(res)
+	}
+}
+
+// handleQuery processes a routed query at any hop; the owner of the
+// query code splits it.
+func (n *Node) handleQuery(from string, m *wire.Query, raw []byte) {
+	if !n.ov.Joined() {
+		return
+	}
+	if !n.ov.Owns(m.Target) {
+		fwd := *m
+		fwd.Hops++
+		if next, ok := n.ov.NextHop(m.Target); ok {
+			n.mu.Lock()
+			n.forwarded++
+			n.mu.Unlock()
+			n.send(next, &fwd)
+		} else {
+			n.ov.RingRecover(m.Target, wire.Encode(&fwd))
+		}
+		return
+	}
+	// First abutting node: split into sub-queries (§3.6).
+	n.mu.Lock()
+	ix, ok := n.indices[m.Index]
+	n.mu.Unlock()
+	if !ok || len(m.Versions) == 0 {
+		return
+	}
+	tree := ix.tree(uint32(m.Versions[0]))
+	myCode := n.ov.Code()
+	if myCode.Len() <= m.Target.Len() {
+		// The whole query fits inside this node's region.
+		n.answerSubQuery(&wire.SubQuery{
+			ReqID: m.ReqID, OriginAddr: m.OriginAddr, Index: m.Index,
+			Versions: m.Versions, Rect: m.Rect, RegionCode: m.Target, Hops: m.Hops,
+		})
+		return
+	}
+	for _, sub := range tree.Decompose(m.Rect, myCode.Len()) {
+		sq := &wire.SubQuery{
+			ReqID:      m.ReqID,
+			OriginAddr: m.OriginAddr,
+			Index:      m.Index,
+			Versions:   m.Versions,
+			Rect:       sub.Rect,
+			RegionCode: sub.Code,
+			Hops:       m.Hops,
+		}
+		if sub.Code.Equal(myCode) {
+			n.answerSubQuery(sq)
+		} else {
+			n.routeSubQuery(sq)
+		}
+	}
+}
+
+// routeSubQuery forwards a sub-query toward its region, with replica
+// fail-over and ring recovery at dead ends.
+func (n *Node) routeSubQuery(m *wire.SubQuery) {
+	if next, ok := n.ov.NextHop(m.RegionCode); ok {
+		fwd := *m
+		fwd.Hops++
+		n.mu.Lock()
+		n.forwarded++
+		n.mu.Unlock()
+		n.send(next, &fwd)
+		return
+	}
+	// Dead end: the region's nodes are unreachable. Serve from replicas
+	// if this node backs the region up (§3.8), else probe the ring.
+	if n.answerFromReplicas(m) {
+		return
+	}
+	n.ov.RingRecover(m.RegionCode, wire.Encode(m))
+}
+
+// handleSubQuery processes a sub-query at any hop.
+func (n *Node) handleSubQuery(from string, m *wire.SubQuery, raw []byte) {
+	if !n.ov.Joined() {
+		return
+	}
+	if m.Historic {
+		// History-pointer forward: answer from local storage directly.
+		n.answerSubQuery(m)
+		return
+	}
+	myCode := n.ov.Code()
+	region := m.RegionCode
+	switch {
+	case myCode.IsPrefixOf(region) || myCode.Equal(region):
+		// The region is (inside) ours.
+		n.answerSubQuery(m)
+	case region.IsPrefixOf(myCode):
+		// The region covers several nodes here: re-split at our depth.
+		n.mu.Lock()
+		ix, ok := n.indices[m.Index]
+		n.mu.Unlock()
+		if !ok || len(m.Versions) == 0 {
+			return
+		}
+		tree := ix.tree(uint32(m.Versions[0]))
+		for _, sub := range tree.Decompose(m.Rect, myCode.Len()) {
+			sq := &wire.SubQuery{
+				ReqID:      m.ReqID,
+				OriginAddr: m.OriginAddr,
+				Index:      m.Index,
+				Versions:   m.Versions,
+				Rect:       sub.Rect,
+				RegionCode: sub.Code,
+				Hops:       m.Hops,
+			}
+			if sub.Code.Equal(myCode) {
+				n.answerSubQuery(sq)
+			} else {
+				n.routeSubQuery(sq)
+			}
+		}
+	default:
+		n.routeSubQuery(m)
+	}
+}
+
+// answerSubQuery resolves a sub-query from local storage and responds
+// directly to the originator. With an active history pointer the local
+// records go back without a coverage claim and the pointer target
+// provides the covering answer for pre-split data (§3.4).
+func (n *Node) answerSubQuery(m *wire.SubQuery) {
+	n.mu.Lock()
+	ix, ok := n.indices[m.Index]
+	if !ok {
+		n.mu.Unlock()
+		return
+	}
+	versions := make([]uint32, len(m.Versions))
+	for i, v := range m.Versions {
+		versions[i] = uint32(v)
+	}
+	recs := ix.primary.Query(versions, m.Rect)
+	histActive := ix.historyActive(n.clock.Now())
+	histAddr := ix.histAddr
+	self := n.ov.Info()
+	n.mu.Unlock()
+
+	resp := &wire.QueryResp{
+		ReqID:    m.ReqID,
+		From:     self,
+		HasCover: !histActive,
+		Cover:    m.RegionCode,
+		Versions: m.Versions,
+		Hops:     m.Hops,
+	}
+	for _, r := range recs {
+		resp.RecID = append(resp.RecID, recHash(r))
+		resp.Recs = append(resp.Recs, r)
+	}
+	n.respond(m.OriginAddr, resp)
+
+	if histActive {
+		// Delegate coverage to the split sibling, which still holds the
+		// pre-split records of this region.
+		fwd := *m
+		fwd.Historic = true
+		fwd.Hops++
+		n.send(histAddr, &fwd)
+	}
+}
+
+// answerFromReplicas serves a dead region's sub-query from replicated
+// data; it reports whether it produced a covering answer.
+func (n *Node) answerFromReplicas(m *wire.SubQuery) bool {
+	n.mu.Lock()
+	ix, ok := n.indices[m.Index]
+	if !ok {
+		n.mu.Unlock()
+		return false
+	}
+	region := m.RegionCode
+	var coveringOwner *bitstr.Code
+	var within []bitstr.Code // owners strictly inside the region
+	for owner := range ix.replicaOwners {
+		switch {
+		case owner.IsPrefixOf(region):
+			o := owner
+			coveringOwner = &o
+		case region.IsPrefixOf(owner):
+			within = append(within, owner)
+		}
+	}
+	if coveringOwner == nil && len(within) == 0 {
+		n.mu.Unlock()
+		return false
+	}
+	versions := make([]uint32, len(m.Versions))
+	for i, v := range m.Versions {
+		versions[i] = uint32(v)
+	}
+	self := n.ov.Info()
+
+	if coveringOwner != nil {
+		// Our replica of the owner includes everything in the region.
+		recs := filterToRegion(ix, versions, m.Rect, region)
+		n.mu.Unlock()
+		resp := &wire.QueryResp{
+			ReqID: m.ReqID, From: self, HasCover: true, Cover: region,
+			Versions: m.Versions, Hops: m.Hops,
+		}
+		for _, r := range recs {
+			resp.RecID = append(resp.RecID, recHash(r))
+			resp.Recs = append(resp.Recs, r)
+		}
+		n.respond(m.OriginAddr, resp)
+		return true
+	}
+
+	// Replicas cover only parts of the region: answer those parts and
+	// re-route the rest (which will recurse through fail-over/ring).
+	depth := within[0].Len()
+	for _, o := range within {
+		if o.Len() < depth {
+			depth = o.Len()
+		}
+	}
+	ownerSet := make(map[bitstr.Code]bool, len(within))
+	for _, o := range within {
+		ownerSet[o.Prefix(depth)] = true
+	}
+	tree := ix.tree(versions[0])
+	subs := tree.Decompose(m.Rect, depth)
+	type pending struct {
+		covered bool
+		sq      *wire.SubQuery
+		recs    []schema.Record
+	}
+	var work []pending
+	for _, sub := range subs {
+		sq := &wire.SubQuery{
+			ReqID: m.ReqID, OriginAddr: m.OriginAddr, Index: m.Index,
+			Versions: m.Versions, Rect: sub.Rect, RegionCode: sub.Code, Hops: m.Hops,
+		}
+		if ownerSet[sub.Code] {
+			work = append(work, pending{covered: true, sq: sq, recs: filterToRegion(ix, versions, sub.Rect, sub.Code)})
+		} else {
+			work = append(work, pending{covered: false, sq: sq})
+		}
+	}
+	n.mu.Unlock()
+
+	for _, p := range work {
+		if p.covered {
+			resp := &wire.QueryResp{
+				ReqID: p.sq.ReqID, From: self, HasCover: true, Cover: p.sq.RegionCode,
+				Versions: p.sq.Versions, Hops: p.sq.Hops,
+			}
+			for _, r := range p.recs {
+				resp.RecID = append(resp.RecID, recHash(r))
+				resp.Recs = append(resp.Recs, r)
+			}
+			n.respond(p.sq.OriginAddr, resp)
+		} else {
+			// Re-dispatch through the full sub-query logic: the piece
+			// may be (inside) this node's own region, in which case it
+			// must be answered from primary storage, not re-routed into
+			// a dead end.
+			n.handleSubQuery(n.ep.Addr(), p.sq, nil)
+		}
+	}
+	return true
+}
+
+// filterToRegion queries the replica store and keeps records inside the
+// region. Callers hold n.mu.
+func filterToRegion(ix *index, versions []uint32, rect schema.Rect, region bitstr.Code) []schema.Record {
+	var out []schema.Record
+	for _, v := range versions {
+		tree := ix.tree(v)
+		if !ix.replicas.Has(v) {
+			continue
+		}
+		for _, r := range ix.replicas.Version(v).Query(rect) {
+			if region.IsPrefixOf(tree.PointCode(r.Point(ix.sch), region.Len())) {
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+// respond delivers a query response, short-circuiting self-addressed
+// ones.
+func (n *Node) respond(origin string, resp *wire.QueryResp) {
+	if origin == n.ep.Addr() {
+		n.handleQueryResp(resp)
+		return
+	}
+	n.send(origin, resp)
+}
+
+// recHash derives a content id for record-level dedup across duplicate
+// responses (replica fail-over, ring double-delivery).
+func recHash(r []uint64) uint64 {
+	var h uint64 = 14695981039346656037
+	for _, v := range r {
+		for i := 0; i < 8; i++ {
+			h ^= v >> (8 * uint(i)) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+// handleQueryResp assembles responses at the originator.
+func (n *Node) handleQueryResp(m *wire.QueryResp) {
+	n.mu.Lock()
+	op, ok := n.queries[m.ReqID]
+	if !ok {
+		n.mu.Unlock()
+		return // late or duplicate completion
+	}
+	op.responders[m.From.Addr] = true
+	if int(m.Hops) > op.maxHops {
+		op.maxHops = int(m.Hops)
+	}
+	for i, id := range m.RecID {
+		if !op.recIDs[id] {
+			op.recIDs[id] = true
+			op.records = append(op.records, schema.Record(m.Recs[i]))
+		}
+	}
+	complete := false
+	if m.HasCover {
+		for _, v64 := range m.Versions {
+			v := uint32(v64)
+			if trie, ok := op.tries[v]; ok {
+				trie.Add(m.Cover)
+			}
+		}
+		complete = true
+		for v, trie := range op.tries {
+			if !trie.CoversRect(op.trees[v], op.rect, op.regions[v]) {
+				complete = false
+				break
+			}
+		}
+	}
+	n.mu.Unlock()
+	if complete {
+		n.finishQuery(m.ReqID, true)
+	}
+}

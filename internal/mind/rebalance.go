@@ -1,0 +1,197 @@
+package mind
+
+import (
+	"fmt"
+
+	"mind/internal/bitstr"
+	"mind/internal/embed"
+	"mind/internal/histogram"
+	"mind/internal/schema"
+	"mind/internal/transport"
+	"mind/internal/wire"
+)
+
+// The §3.7 load-balancing loop, which the paper's prototype computed
+// off-line: once per version period, every node reports an approximate
+// multi-dimensional histogram of its local data distribution to a
+// designated node (the owner of the all-zero code); the designated node
+// merges the reports, computes balanced cuts for the *next* version, and
+// floods them. Historical data is never migrated — the new cuts only
+// shape where the next version's data lands.
+
+// designatedTarget is the code the histogram reports route toward: deep
+// in the all-zero corner, so the owner of code 0^k receives them.
+var designatedTarget = bitstr.New(0, 24)
+
+type histCollect struct {
+	tag     string
+	day     uint32
+	merged  *histogram.Hist
+	reports int
+	timer   transport.Timer
+}
+
+// LocalHistogram builds the k-granularity histogram of one version of an
+// index's primary data, expressed as the PREDICTED distribution of the
+// NEXT version: the §3.7 stationarity assumption says tomorrow's traffic
+// looks like today's shifted one day, so each record's timestamp is
+// projected into the next version period. Balanced cuts computed from
+// this histogram then land inside the next day's actual time range —
+// without the projection, every time cut would fall outside it and the
+// timestamp dimension would stop contributing to balance.
+func (n *Node) LocalHistogram(tag string, day uint32, k int) (*histogram.Hist, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ix, ok := n.indices[tag]
+	if !ok {
+		return nil, fmt.Errorf("mind: unknown index %q", tag)
+	}
+	h, err := histogram.New(k, ix.sch.Bounds())
+	if err != nil {
+		return nil, err
+	}
+	vs := n.cfg.VersionSeconds
+	if ix.primary.Has(day) {
+		ix.primary.Version(day).All(func(rec schema.Record) bool {
+			p := schemaPoint(ix, rec)
+			if ix.timeAttr >= 0 && vs > 0 {
+				shifted := p[ix.timeAttr]%vs + uint64(day+1)*vs
+				if b := ix.sch.Attrs[ix.timeAttr].Bound(); shifted > b {
+					shifted = b
+				}
+				p[ix.timeAttr] = shifted
+			}
+			h.AddPoint(p)
+			return true
+		})
+	}
+	return h, nil
+}
+
+func schemaPoint(ix *index, rec []uint64) []uint64 {
+	p := make([]uint64, ix.sch.IndexDims)
+	for i := 0; i < ix.sch.IndexDims; i++ {
+		v := rec[i]
+		if b := ix.sch.Attrs[i].Bound(); v > b {
+			v = b
+		}
+		p[i] = v
+	}
+	return p
+}
+
+// ReportHistogram computes this node's local histogram for the given
+// version and routes it to the designated aggregation node. The
+// experiment harness (or a daily timer in a deployment) calls this on
+// every node at the end of a version period.
+func (n *Node) ReportHistogram(tag string, day uint32, k int) error {
+	h, err := n.LocalHistogram(tag, day, k)
+	if err != nil {
+		return err
+	}
+	msg := &wire.HistReport{
+		Index:    tag,
+		Day:      day,
+		NodeAddr: n.ep.Addr(),
+		Hist:     h.Marshal(),
+	}
+	n.handleHistReport(n.ep.Addr(), msg, nil)
+	return nil
+}
+
+func (n *Node) handleHistReport(from string, m *wire.HistReport, raw []byte) {
+	if !n.ov.Joined() {
+		return
+	}
+	if !n.ov.Owns(designatedTarget) {
+		fwd := *m
+		fwd.Hops++
+		if next, ok := n.ov.NextHop(designatedTarget); ok {
+			n.send(next, &fwd)
+		} else {
+			n.ov.RingRecover(designatedTarget, wire.Encode(&fwd))
+		}
+		return
+	}
+	// Designated node: merge the report.
+	h, err := histogram.Unmarshal(m.Hist)
+	if err != nil {
+		return
+	}
+	key := fmt.Sprintf("%s/%d", m.Index, m.Day)
+	n.mu.Lock()
+	c, ok := n.collect[key]
+	if !ok {
+		c = &histCollect{tag: m.Index, day: m.Day, merged: h}
+		n.collect[key] = c
+		c.timer = n.clock.AfterFunc(n.cfg.HistCollectWait, func() { n.finalizeRebalance(key) })
+		n.mu.Unlock()
+		return
+	}
+	if err := c.merged.Merge(h); err == nil {
+		c.reports++
+	}
+	n.mu.Unlock()
+}
+
+// finalizeRebalance computes the next version's balanced cuts from the
+// merged histogram and floods them.
+func (n *Node) finalizeRebalance(key string) {
+	n.mu.Lock()
+	c, ok := n.collect[key]
+	if !ok {
+		n.mu.Unlock()
+		return
+	}
+	delete(n.collect, key)
+	depth := n.cfg.BalancedCutDepth
+	merged := c.merged
+	n.mu.Unlock()
+
+	tree, err := embed.Balanced(merged, depth)
+	if err != nil {
+		return
+	}
+	n.InstallCuts(c.tag, c.day+1, tree)
+}
+
+// InstallCuts installs a cut tree for an index version locally and
+// floods it to the overlay. Exposed so experiments can also install
+// off-line-computed cuts, exactly as the paper's evaluation did.
+func (n *Node) InstallCuts(tag string, version uint32, tree *embed.Tree) {
+	n.mu.Lock()
+	opID := n.nextReq()
+	n.seenOps[opID] = true
+	if ix, ok := n.indices[tag]; ok && tree.Dims() == ix.sch.IndexDims {
+		ix.vers[version] = tree
+	}
+	n.mu.Unlock()
+	n.flood(&wire.HistInstall{OpID: opID, Index: tag, Version: version, Tree: tree.Marshal()})
+}
+
+func (n *Node) handleHistInstall(m *wire.HistInstall) {
+	if !n.markOp(m.OpID) {
+		return
+	}
+	tree, err := embed.Unmarshal(m.Tree)
+	if err == nil {
+		n.mu.Lock()
+		if ix, ok := n.indices[m.Index]; ok && tree.Dims() == ix.sch.IndexDims {
+			ix.vers[m.Version] = tree
+		}
+		n.mu.Unlock()
+	}
+	n.flood(m)
+}
+
+// CutTree returns the embedding in effect for an index version (tests
+// and experiments).
+func (n *Node) CutTree(tag string, version uint32) (*embed.Tree, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ix, ok := n.indices[tag]
+	if !ok {
+		return nil, fmt.Errorf("mind: unknown index %q", tag)
+	}
+	return ix.tree(version), nil
+}

@@ -1,0 +1,97 @@
+package mind_test
+
+import (
+	"testing"
+	"time"
+
+	"mind/internal/cluster"
+	"mind/internal/schema"
+)
+
+// TestLocalHistogramProjectsTimestamps pins the §3.7 stationarity
+// projection: the histogram of day-d data describes the PREDICTED day
+// d+1 distribution, i.e. each record's timestamp shifted one version
+// period forward, so balanced cuts computed from it land inside the
+// next day's time range.
+func TestLocalHistogramProjectsTimestamps(t *testing.T) {
+	c := mkCluster(t, 1, 61, nil) // VersionSeconds = 3600 in the test config
+	sch := testSchema()
+	if err := c.CreateIndex(sch); err != nil {
+		t.Fatal(err)
+	}
+	// Version-0 records: timestamps in [100, 3040] — strictly inside the
+	// first hour, away from bin edges.
+	for i := 0; i < 50; i++ {
+		rec := schema.Record{uint64(i * 100), uint64(100 + i*60), uint64(i * 90), uint64(i)}
+		res, _, _ := c.InsertWait(0, "test-index", rec)
+		if !res.OK {
+			t.Fatal("insert failed")
+		}
+	}
+	// Granularity 24 over the 86400 time bound gives 3601-second bins
+	// aligned with the hourly version period, so the projection is
+	// visible at bin resolution.
+	h, err := c.Nodes[0].LocalHistogram("test-index", 0, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != 50 {
+		t.Fatalf("histogram total = %v", h.Total())
+	}
+	// The mass must sit in the projected window (second hour), not the
+	// source window (first hour).
+	inOrig := h.CountRange([]uint64{0, 0, 0}, []uint64{9999, 3600, 9999})
+	inNext := h.CountRange([]uint64{0, 3601, 0}, []uint64{9999, 7201, 9999})
+	if inOrig > 1 {
+		t.Errorf("%.1f records left in the source window", inOrig)
+	}
+	if inNext < 49 {
+		t.Errorf("projected window holds %.1f/50 records", inNext)
+	}
+}
+
+// TestHistogramCollectionDesignatedNode checks that reports from every
+// node reach the all-zero-code owner and exactly one install flood
+// results.
+func TestHistogramCollectionDesignatedNode(t *testing.T) {
+	c := mkCluster(t, 8, 63, func(o *cluster.Options) {
+		o.Node.HistCollectWait = 2 * time.Second
+		o.Node.BalancedCutDepth = 5
+	})
+	sch := testSchema()
+	if err := c.CreateIndex(sch); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(2 * time.Second)
+	for i := 0; i < 100; i++ {
+		rec := schema.Record{uint64(i % 300), uint64(i * 30 % 3600), uint64(i % 500), uint64(i)}
+		res, _, _ := c.InsertWait(i%8, "test-index", rec)
+		if !res.OK {
+			t.Fatal("insert failed")
+		}
+	}
+	for _, nd := range c.Nodes {
+		if err := nd.ReportHistogram("test-index", 0, 6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Settle(20 * time.Second)
+	// Every node ends with the same version-1 balanced tree.
+	probe := []uint64{100, 3605, 100}
+	var refCode string
+	for _, nd := range c.Nodes {
+		tr, err := nd.CutTree("test-index", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.ExplicitDepth() != 5 {
+			t.Fatalf("%s: depth %d", nd.Addr(), tr.ExplicitDepth())
+		}
+		code := tr.PointCode(probe, 10).String()
+		if refCode == "" {
+			refCode = code
+		} else if code != refCode {
+			t.Fatalf("inconsistent installed trees: %s vs %s", code, refCode)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package mind_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"mind/internal/mind"
+	"mind/internal/schema"
+	"mind/internal/transport"
+	"mind/internal/transport/tcpnet"
+	"mind/internal/wire"
+)
+
+// TestTCPIntegration runs a 4-node MIND deployment over real TCP
+// sockets: join, index flood, routed inserts, decomposed queries, and
+// the client RPC surface (§3.2's remote invocation).
+func TestTCPIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real sockets and timers")
+	}
+	clock := transport.RealClock{}
+	var nodes []*mind.Node
+	var eps []*tcpnet.Endpoint
+	for i := 0; i < 4; i++ {
+		ep, err := tcpnet.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := mind.DefaultConfig(int64(100 + i))
+		cfg.Overlay.HeartbeatInterval = 300 * time.Millisecond
+		cfg.Overlay.FailAfter = 1500 * time.Millisecond
+		cfg.Overlay.JoinTimeout = 2 * time.Second
+		cfg.InsertTimeout = 10 * time.Second
+		cfg.QueryTimeout = 10 * time.Second
+		nodes = append(nodes, mind.NewNode(ep, clock, cfg))
+		eps = append(eps, ep)
+	}
+	defer func() {
+		for i := range nodes {
+			nodes[i].Close()
+			eps[i].Close()
+		}
+	}()
+
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(20 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timeout waiting for %s", what)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	nodes[0].Bootstrap()
+	for i := 1; i < 4; i++ {
+		nodes[i].Join(eps[0].Addr())
+		i := i
+		waitFor("join", nodes[i].Joined)
+	}
+
+	sch := testSchema()
+	if err := nodes[1].CreateIndex(sch, nil); err != nil {
+		t.Fatal(err)
+	}
+	waitFor("index flood", func() bool {
+		for _, nd := range nodes {
+			if !nd.HasIndex(sch.Tag) {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Inserts from every node.
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	okCount := 0
+	for i := 0; i < 40; i++ {
+		rec := schema.Record{uint64(i * 250), uint64(i * 2000), uint64(i * 249), uint64(i)}
+		wg.Add(1)
+		err := nodes[i%4].Insert(sch.Tag, rec, func(res mind.InsertResult) {
+			mu.Lock()
+			if res.OK {
+				okCount++
+			}
+			mu.Unlock()
+			wg.Done()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("insert acks stalled")
+	}
+	if okCount != 40 {
+		t.Fatalf("acked %d/40 inserts", okCount)
+	}
+
+	// Full-range query.
+	qdone := make(chan mind.QueryResult, 1)
+	if err := nodes[3].Query(sch.Tag, fullRect(), func(r mind.QueryResult) { qdone <- r }); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-qdone:
+		if !r.Complete || len(r.Records) != 40 {
+			t.Fatalf("query: complete=%v records=%d", r.Complete, len(r.Records))
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("query stalled")
+	}
+
+	// Client RPC from an endpoint outside the overlay.
+	client, err := tcpnet.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	resp := make(chan wire.Message, 4)
+	client.SetHandler(func(from string, data []byte) {
+		if m, err := wire.Decode(data); err == nil {
+			resp <- m
+		}
+	})
+	// Insert via RPC.
+	ins := &wire.ClientInsert{ReqID: 7, Index: sch.Tag, Rec: []uint64{123, 456, 789, 999}}
+	if err := client.Send(eps[2].Addr(), wire.Encode(ins)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-resp:
+		ack, ok := m.(*wire.ClientAck)
+		if !ok || !ack.OK || ack.ReqID != 7 {
+			t.Fatalf("client insert ack: %#v", m)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("client insert stalled")
+	}
+	// Query via RPC.
+	cq := &wire.ClientQuery{ReqID: 8, Index: sch.Tag, Rect: schema.Rect{
+		Lo: []uint64{123, 0, 0}, Hi: []uint64{123, 86400, 9999},
+	}}
+	if err := client.Send(eps[0].Addr(), wire.Encode(cq)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-resp:
+		qr, ok := m.(*wire.ClientQueryResp)
+		if !ok || !qr.Complete || len(qr.Recs) != 1 || qr.Recs[0][3] != 999 {
+			t.Fatalf("client query resp: %#v", m)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("client query stalled")
+	}
+	// Unknown-index RPC errors cleanly.
+	bad := &wire.ClientQuery{ReqID: 9, Index: "ghost", Rect: fullRect()}
+	if err := client.Send(eps[0].Addr(), wire.Encode(bad)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-resp:
+		qr, ok := m.(*wire.ClientQueryResp)
+		if !ok || qr.Complete {
+			t.Fatalf("ghost query resp: %#v", m)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("ghost query stalled")
+	}
+}

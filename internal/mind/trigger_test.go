@@ -1,0 +1,179 @@
+package mind_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"mind/internal/mind"
+	"mind/internal/schema"
+)
+
+func TestTriggerFiresOnMatchingInserts(t *testing.T) {
+	c := mkCluster(t, 8, 31, nil)
+	sch := testSchema()
+	if err := c.CreateIndex(sch); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(2 * time.Second)
+
+	// Standing query: x in [100,200], any time, y in [0,500].
+	rect := schema.Rect{Lo: []uint64{100, 0, 0}, Hi: []uint64{200, 86400, 500}}
+	var events []mind.TriggerEvent
+	id, err := c.Nodes[2].RegisterTrigger("test-index", rect, func(e mind.TriggerEvent) {
+		events = append(events, e)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == 0 {
+		t.Fatal("zero trigger id")
+	}
+	c.Settle(2 * time.Second) // let the install decompose and land
+
+	// Matching and non-matching inserts from various nodes.
+	match := []schema.Record{
+		{150, 1000, 250, 1},
+		{100, 2000, 0, 2},
+		{200, 3000, 500, 3},
+	}
+	miss := []schema.Record{
+		{99, 1000, 250, 4},
+		{150, 1000, 501, 5},
+		{5000, 1000, 100, 6},
+	}
+	for i, rec := range append(append([]schema.Record{}, match...), miss...) {
+		res, _, err := c.InsertWait(i%8, "test-index", rec)
+		if err != nil || !res.OK {
+			t.Fatalf("insert: %v %+v", err, res)
+		}
+	}
+	c.Settle(2 * time.Second)
+
+	if len(events) != len(match) {
+		t.Fatalf("trigger fired %d times, want %d", len(events), len(match))
+	}
+	got := map[uint64]bool{}
+	for _, e := range events {
+		if e.Index != "test-index" || e.TriggerID != id || e.From == "" {
+			t.Errorf("bad event %+v", e)
+		}
+		got[e.Record[3]] = true
+	}
+	for _, rec := range match {
+		if !got[rec[3]] {
+			t.Errorf("matching record %v not pushed", rec)
+		}
+	}
+}
+
+func TestTriggerRemove(t *testing.T) {
+	c := mkCluster(t, 6, 33, nil)
+	sch := testSchema()
+	if err := c.CreateIndex(sch); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(2 * time.Second)
+	fired := 0
+	full := fullRect()
+	id, err := c.Nodes[0].RegisterTrigger("test-index", full, func(mind.TriggerEvent) { fired++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(2 * time.Second)
+	res, _, _ := c.InsertWait(1, "test-index", schema.Record{1, 1, 1, 1})
+	if !res.OK {
+		t.Fatal("insert failed")
+	}
+	c.Settle(time.Second)
+	if fired != 1 {
+		t.Fatalf("fired = %d before removal", fired)
+	}
+	c.Nodes[0].RemoveTrigger(id)
+	c.Settle(2 * time.Second)
+	res, _, _ = c.InsertWait(2, "test-index", schema.Record{2, 2, 2, 2})
+	if !res.OK {
+		t.Fatal("insert failed")
+	}
+	c.Settle(time.Second)
+	if fired != 1 {
+		t.Fatalf("fired = %d after removal, want still 1", fired)
+	}
+}
+
+func TestTriggerExpiry(t *testing.T) {
+	c := mkCluster(t, 4, 35, nil)
+	sch := testSchema()
+	if err := c.CreateIndex(sch); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(2 * time.Second)
+	fired := 0
+	if _, err := c.Nodes[0].RegisterTrigger("test-index", fullRect(), func(mind.TriggerEvent) { fired++ }); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(2 * time.Second)
+	// Let the TTL lapse in virtual time, then insert.
+	c.Settle(mind.TriggerTTL + time.Minute)
+	res, _, _ := c.InsertWait(1, "test-index", schema.Record{3, 3, 3, 3})
+	if !res.OK {
+		t.Fatal("insert failed")
+	}
+	c.Settle(time.Second)
+	if fired != 0 {
+		t.Fatalf("expired trigger fired %d times", fired)
+	}
+}
+
+func TestTriggerValidation(t *testing.T) {
+	c := mkCluster(t, 2, 37, nil)
+	if _, err := c.Nodes[0].RegisterTrigger("nope", fullRect(), nil); err == nil {
+		t.Error("trigger on unknown index accepted")
+	}
+	if err := c.CreateIndex(testSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Nodes[0].RegisterTrigger("test-index", schema.Rect{}, nil); err == nil {
+		t.Error("invalid rect accepted")
+	}
+	bad := schema.Rect{Lo: []uint64{0}, Hi: []uint64{1}}
+	if _, err := c.Nodes[0].RegisterTrigger("test-index", bad, nil); err == nil {
+		t.Error("wrong-arity rect accepted")
+	}
+}
+
+func TestRetireVersion(t *testing.T) {
+	c := mkCluster(t, 6, 39, nil) // hourly versions
+	sch := testSchema()
+	if err := c.CreateIndex(sch); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(2 * time.Second)
+	r := rand.New(rand.NewSource(40))
+	for i := 0; i < 60; i++ {
+		ts := uint64(i%2) * 3600 // versions 0 and 1
+		rec := schema.Record{r.Uint64() % 10000, ts + uint64(i), r.Uint64() % 10000, uint64(i)}
+		res, _, _ := c.InsertWait(i%6, "test-index", rec)
+		if !res.OK {
+			t.Fatal("insert failed")
+		}
+	}
+	qr, _, _ := c.QueryWait(0, "test-index", fullRect())
+	if len(qr.Records) != 60 {
+		t.Fatalf("pre-retire records = %d", len(qr.Records))
+	}
+	if err := c.Nodes[3].RetireVersion("test-index", 0); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(2 * time.Second)
+	qr, _, _ = c.QueryWait(1, "test-index", fullRect())
+	if !qr.Complete {
+		t.Fatal("post-retire query incomplete")
+	}
+	if len(qr.Records) != 30 {
+		t.Fatalf("post-retire records = %d, want 30 (version 1 only)", len(qr.Records))
+	}
+	if err := c.Nodes[0].RetireVersion("nope", 0); err == nil {
+		t.Error("retire on unknown index accepted")
+	}
+}

@@ -1,0 +1,108 @@
+package schema
+
+import "fmt"
+
+// The three canonical indices the paper evaluates (§4.1). Each indexes the
+// first three attributes of an aggregated flow record and carries the rest
+// as payload. Attribute bounds follow §4.1: fanout capped at 5024, octets
+// at 2 MB, flow size at 128 KB (values above the cap land in the topmost
+// region), timestamps bounded by a configurable horizon.
+
+// Default attribute bounds from the paper (§4.1, footnote 3).
+const (
+	FanoutBound   = 5024
+	OctetsBound   = 2 * 1024 * 1024
+	FlowSizeBound = 128 * 1024
+)
+
+// Filter thresholds used when inserting aggregated flow records (§4.1):
+// records below the threshold are deemed uninteresting and not inserted.
+const (
+	FanoutThreshold   = 16
+	OctetsThreshold   = 80 * 1024
+	FlowSizeThreshold = 1536 // 1.5 KB
+)
+
+// Index1 builds the port-scan detection index:
+//
+//	(dest_prefix, timestamp, fanout | source_prefix, node)
+//
+// where fanout is the number of short connection attempts from hosts in
+// the source prefix to hosts in the destination prefix in the window.
+func Index1(timeHorizon uint64) *Schema {
+	return &Schema{
+		Tag: "index1-fanout",
+		Attrs: []Attr{
+			{Name: "dest_prefix", Kind: KindIPv4, Max: 0xffffffff},
+			{Name: "timestamp", Kind: KindTime, Max: timeHorizon},
+			{Name: "fanout", Kind: KindUint, Max: FanoutBound},
+			{Name: "source_prefix", Kind: KindIPv4, Max: 0xffffffff},
+			{Name: "node", Kind: KindNode},
+		},
+		IndexDims: 3,
+	}
+}
+
+// Index2 builds the alpha-flow / large-volume index:
+//
+//	(dest_prefix, timestamp, octets | source_prefix, node)
+func Index2(timeHorizon uint64) *Schema {
+	return &Schema{
+		Tag: "index2-octets",
+		Attrs: []Attr{
+			{Name: "dest_prefix", Kind: KindIPv4, Max: 0xffffffff},
+			{Name: "timestamp", Kind: KindTime, Max: timeHorizon},
+			{Name: "octets", Kind: KindUint, Max: OctetsBound},
+			{Name: "source_prefix", Kind: KindIPv4, Max: 0xffffffff},
+			{Name: "node", Kind: KindNode},
+		},
+		IndexDims: 3,
+	}
+}
+
+// Index3 builds the port-abuse index (unexpected per-connection volumes on
+// well-known ports):
+//
+//	(dest_prefix, timestamp, flow_size | source_prefix, dest_port, node)
+func Index3(timeHorizon uint64) *Schema {
+	return &Schema{
+		Tag: "index3-flowsize",
+		Attrs: []Attr{
+			{Name: "dest_prefix", Kind: KindIPv4, Max: 0xffffffff},
+			{Name: "timestamp", Kind: KindTime, Max: timeHorizon},
+			{Name: "flow_size", Kind: KindUint, Max: FlowSizeBound},
+			{Name: "source_prefix", Kind: KindIPv4, Max: 0xffffffff},
+			{Name: "dest_port", Kind: KindPort, Max: 65535},
+			{Name: "node", Kind: KindNode},
+		},
+		IndexDims: 3,
+	}
+}
+
+// IPv4 packs four octets into an attribute value.
+func IPv4(a, b, c, d byte) uint64 {
+	return uint64(a)<<24 | uint64(b)<<16 | uint64(c)<<8 | uint64(d)
+}
+
+// Prefix24 masks an IPv4 attribute value down to its /24 prefix key.
+func Prefix24(ip uint64) uint64 { return ip &^ 0xff }
+
+// PrefixRange returns the inclusive address range [lo, hi] covered by the
+// IPv4 prefix ip/plen, for building prefix range queries.
+func PrefixRange(ip uint64, plen int) (lo, hi uint64) {
+	if plen < 0 || plen > 32 {
+		panic(fmt.Sprintf("schema: invalid prefix length %d", plen))
+	}
+	mask := uint64(0xffffffff)
+	if plen < 32 {
+		mask = ^uint64(0) << (32 - uint(plen)) & 0xffffffff
+	}
+	lo = ip & mask
+	hi = lo | (^mask & 0xffffffff)
+	return lo, hi
+}
+
+// FormatIPv4 renders an IPv4 attribute value in dotted quad form.
+func FormatIPv4(ip uint64) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}

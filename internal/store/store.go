@@ -1,0 +1,316 @@
+// Package store implements the local storage engine of a MIND node. The
+// paper's prototype delegated per-node storage to MySQL via JDBC (§3.9);
+// this implementation provides the same contract — insert multi-attribute
+// records, resolve orthogonal range queries — with an embedded in-memory
+// k-d tree, so the system has no external dependencies.
+//
+// A Store holds the records of one index (or one daily version of one
+// index) at one node. Stores are not safe for concurrent use; the owning
+// node serializes access (the paper's prototype likewise funnels all
+// database access through a single DAC queue).
+package store
+
+import (
+	"math/bits"
+
+	"mind/internal/schema"
+)
+
+// Store is the contract the MIND node requires of its storage engine.
+type Store interface {
+	// Insert adds one record. The record's indexed attributes position it
+	// in the data space; payload attributes ride along.
+	Insert(rec schema.Record)
+	// Query returns all records whose indexed point (clamped to the
+	// schema bounds) falls inside rect.
+	Query(rect schema.Rect) []schema.Record
+	// Len returns the number of stored records.
+	Len() int
+	// All streams every stored record; used for replication hand-off.
+	All(yield func(rec schema.Record) bool)
+}
+
+// KD is a k-d tree over the indexed dimensions of one schema. The split
+// dimension cycles with depth. The tree self-balances by rebuilding with
+// median splits whenever an insertion path exceeds a logarithmic depth
+// bound, which keeps monotone insertion orders (timestamps, sequential
+// prefixes) from degrading the tree into a list.
+type KD struct {
+	sch  *schema.Schema
+	root *kdNode
+	size int
+}
+
+type kdNode struct {
+	point       []uint64 // clamped indexed coordinates
+	rec         schema.Record
+	left, right *kdNode
+}
+
+// NewKD creates an empty k-d store for the schema.
+func NewKD(sch *schema.Schema) *KD {
+	return &KD{sch: sch}
+}
+
+// Len returns the number of stored records.
+func (t *KD) Len() int { return t.size }
+
+// depthLimit returns the rebuild threshold: generous enough that random
+// orders never trigger it, tight enough that adversarial orders stay
+// O(log n) after rebuild.
+func (t *KD) depthLimit() int {
+	if t.size < 16 {
+		return 16
+	}
+	return 3*bits.Len(uint(t.size)) + 4
+}
+
+// Insert adds a record.
+func (t *KD) Insert(rec schema.Record) {
+	p := rec.Point(t.sch)
+	dims := t.sch.Dims()
+	n := &kdNode{point: p, rec: rec}
+	t.size++
+	if t.root == nil {
+		t.root = n
+		return
+	}
+	cur := t.root
+	depth := 0
+	for {
+		dim := depth % dims
+		if p[dim] < cur.point[dim] {
+			if cur.left == nil {
+				cur.left = n
+				break
+			}
+			cur = cur.left
+		} else {
+			if cur.right == nil {
+				cur.right = n
+				break
+			}
+			cur = cur.right
+		}
+		depth++
+	}
+	if depth+1 > t.depthLimit() {
+		t.rebuild()
+	}
+}
+
+// rebuild reconstructs a balanced tree with median splits.
+func (t *KD) rebuild() {
+	nodes := make([]*kdNode, 0, t.size)
+	var collect func(n *kdNode)
+	collect = func(n *kdNode) {
+		if n == nil {
+			return
+		}
+		collect(n.left)
+		n2 := n
+		collect(n.right)
+		n2.left, n2.right = nil, nil
+		nodes = append(nodes, n2)
+	}
+	collect(t.root)
+	t.root = build(nodes, 0, t.sch.Dims())
+}
+
+// build constructs a balanced subtree from nodes at the given depth by
+// median partitioning (quickselect) on the cycling dimension.
+func build(nodes []*kdNode, depth, dims int) *kdNode {
+	if len(nodes) == 0 {
+		return nil
+	}
+	dim := depth % dims
+	mid := len(nodes) / 2
+	selectNth(nodes, mid, dim)
+	root := nodes[mid]
+	root.left = build(nodes[:mid], depth+1, dims)
+	root.right = build(nodes[mid+1:], depth+1, dims)
+	return root
+}
+
+// selectNth partially sorts nodes so nodes[n] is the n-th smallest by
+// point[dim], everything before it is <= and everything after is >=.
+func selectNth(nodes []*kdNode, n, dim int) {
+	lo, hi := 0, len(nodes)-1
+	for lo < hi {
+		// Median-of-three pivot to dodge sorted-input quadratic blowup.
+		mid := lo + (hi-lo)/2
+		a, b, c := nodes[lo].point[dim], nodes[mid].point[dim], nodes[hi].point[dim]
+		var pivot uint64
+		switch {
+		case (a <= b && b <= c) || (c <= b && b <= a):
+			pivot = b
+		case (b <= a && a <= c) || (c <= a && a <= b):
+			pivot = a
+		default:
+			pivot = c
+		}
+		i, j := lo, hi
+		for i <= j {
+			for nodes[i].point[dim] < pivot {
+				i++
+			}
+			for nodes[j].point[dim] > pivot {
+				j--
+			}
+			if i <= j {
+				nodes[i], nodes[j] = nodes[j], nodes[i]
+				i++
+				j--
+			}
+		}
+		if n <= j {
+			hi = j
+		} else if n >= i {
+			lo = i
+		} else {
+			return
+		}
+	}
+}
+
+// Query resolves an orthogonal range query.
+func (t *KD) Query(rect schema.Rect) []schema.Record {
+	var out []schema.Record
+	t.query(t.root, 0, rect, &out)
+	return out
+}
+
+func (t *KD) query(n *kdNode, depth int, rect schema.Rect, out *[]schema.Record) {
+	if n == nil {
+		return
+	}
+	dims := t.sch.Dims()
+	dim := depth % dims
+	// Check the node itself.
+	inside := true
+	for i := 0; i < dims; i++ {
+		if n.point[i] < rect.Lo[i] || n.point[i] > rect.Hi[i] {
+			inside = false
+			break
+		}
+	}
+	if inside {
+		*out = append(*out, n.rec)
+	}
+	// Insertion sends equal coordinates right, but median rebuilds may
+	// leave equal coordinates on either side — so both prunes must admit
+	// equality.
+	if rect.Lo[dim] <= n.point[dim] {
+		t.query(n.left, depth+1, rect, out)
+	}
+	if rect.Hi[dim] >= n.point[dim] {
+		t.query(n.right, depth+1, rect, out)
+	}
+}
+
+// Count returns the number of records inside rect without materializing
+// them.
+func (t *KD) Count(rect schema.Rect) int {
+	n := 0
+	t.countIn(t.root, 0, rect, &n)
+	return n
+}
+
+func (t *KD) countIn(n *kdNode, depth int, rect schema.Rect, acc *int) {
+	if n == nil {
+		return
+	}
+	dims := t.sch.Dims()
+	dim := depth % dims
+	inside := true
+	for i := 0; i < dims; i++ {
+		if n.point[i] < rect.Lo[i] || n.point[i] > rect.Hi[i] {
+			inside = false
+			break
+		}
+	}
+	if inside {
+		*acc++
+	}
+	if rect.Lo[dim] <= n.point[dim] {
+		t.countIn(n.left, depth+1, rect, acc)
+	}
+	if rect.Hi[dim] >= n.point[dim] {
+		t.countIn(n.right, depth+1, rect, acc)
+	}
+}
+
+// All streams every record in-order; stops early if yield returns false.
+func (t *KD) All(yield func(rec schema.Record) bool) {
+	var walk func(n *kdNode) bool
+	walk = func(n *kdNode) bool {
+		if n == nil {
+			return true
+		}
+		if !walk(n.left) {
+			return false
+		}
+		if !yield(n.rec) {
+			return false
+		}
+		return walk(n.right)
+	}
+	walk(t.root)
+}
+
+// Depth returns the current tree height (diagnostics and tests).
+func (t *KD) Depth() int {
+	var d func(n *kdNode) int
+	d = func(n *kdNode) int {
+		if n == nil {
+			return 0
+		}
+		l, r := d(n.left), d(n.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return d(t.root)
+}
+
+// Scan is the naive O(n)-per-query store used as the differential-test
+// oracle and the ablation baseline for the k-d tree.
+type Scan struct {
+	sch  *schema.Schema
+	recs []schema.Record
+}
+
+// NewScan creates an empty scan store.
+func NewScan(sch *schema.Schema) *Scan { return &Scan{sch: sch} }
+
+// Insert appends the record.
+func (s *Scan) Insert(rec schema.Record) { s.recs = append(s.recs, rec) }
+
+// Len returns the number of stored records.
+func (s *Scan) Len() int { return len(s.recs) }
+
+// Query scans every record.
+func (s *Scan) Query(rect schema.Rect) []schema.Record {
+	var out []schema.Record
+	for _, r := range s.recs {
+		if rect.ContainsRecord(s.sch, r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// All streams every record.
+func (s *Scan) All(yield func(rec schema.Record) bool) {
+	for _, r := range s.recs {
+		if !yield(r) {
+			return
+		}
+	}
+}
+
+var (
+	_ Store = (*KD)(nil)
+	_ Store = (*Scan)(nil)
+)

@@ -1,0 +1,84 @@
+package store
+
+import (
+	"sort"
+
+	"mind/internal/schema"
+)
+
+// Versioned keeps one store per index version. MIND does not migrate
+// historical data when the daily balanced cuts change; instead each day's
+// data lives in its own version of the index, embedded with that day's
+// cuts, and queries address the versions their time interval spans
+// (§3.7). The version id is the day number (timestamp / 86400) by
+// convention, but Versioned itself treats it as opaque.
+type Versioned struct {
+	sch      *schema.Schema
+	versions map[uint32]*KD
+}
+
+// NewVersioned creates an empty versioned store.
+func NewVersioned(sch *schema.Schema) *Versioned {
+	return &Versioned{sch: sch, versions: make(map[uint32]*KD)}
+}
+
+// Version returns the store for version v, creating it if absent.
+func (vs *Versioned) Version(v uint32) *KD {
+	s, ok := vs.versions[v]
+	if !ok {
+		s = NewKD(vs.sch)
+		vs.versions[v] = s
+	}
+	return s
+}
+
+// Has reports whether version v exists.
+func (vs *Versioned) Has(v uint32) bool {
+	_, ok := vs.versions[v]
+	return ok
+}
+
+// Versions lists existing version ids in ascending order.
+func (vs *Versioned) Versions() []uint32 {
+	out := make([]uint32, 0, len(vs.versions))
+	for v := range vs.versions {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Insert adds the record to version v.
+func (vs *Versioned) Insert(v uint32, rec schema.Record) {
+	vs.Version(v).Insert(rec)
+}
+
+// Query resolves rect against the given versions (missing versions are
+// skipped) and concatenates the results.
+func (vs *Versioned) Query(versions []uint32, rect schema.Rect) []schema.Record {
+	var out []schema.Record
+	for _, v := range versions {
+		if s, ok := vs.versions[v]; ok {
+			out = append(out, s.Query(rect)...)
+		}
+	}
+	return out
+}
+
+// QueryAll resolves rect against every version.
+func (vs *Versioned) QueryAll(rect schema.Rect) []schema.Record {
+	return vs.Query(vs.Versions(), rect)
+}
+
+// Len returns the total record count across versions.
+func (vs *Versioned) Len() int {
+	n := 0
+	for _, s := range vs.versions {
+		n += s.Len()
+	}
+	return n
+}
+
+// Drop removes version v and frees its storage; used when an index
+// version ages out.
+func (vs *Versioned) Drop(v uint32) { delete(vs.versions, v) }

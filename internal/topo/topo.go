@@ -1,0 +1,180 @@
+// Package topo describes the two backbone networks of the paper's
+// evaluation — Abilene (11 routers, North America) and GÉANT (23
+// routers, Europe) — and derives a wide-area latency model from the
+// routers' real geographic locations.
+//
+// The paper deployed MIND on PlanetLab machines chosen to sit in the
+// same cities as the backbone routers, so that overlay links experienced
+// realistic propagation delays (§4.2). We reproduce that by computing
+// great-circle distances between router cities and converting them to
+// one-way delays at an effective signal speed below c (fiber paths are
+// neither straight nor lit at vacuum speed).
+package topo
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Network identifies which backbone a router belongs to.
+type Network uint8
+
+const (
+	// Abilene is the Internet2 backbone (NetFlow sampled at 1/100).
+	Abilene Network = iota
+	// GEANT is the European research backbone (NetFlow sampled at 1/1000).
+	GEANT
+)
+
+func (n Network) String() string {
+	if n == Abilene {
+		return "Abilene"
+	}
+	return "GÉANT"
+}
+
+// SamplingRate returns the packet sampling denominator the paper reports
+// for each network's NetFlow feeds (§4.2): 1/100 on Abilene, 1/1000 on
+// GÉANT.
+func (n Network) SamplingRate() int {
+	if n == Abilene {
+		return 100
+	}
+	return 1000
+}
+
+// Router is one backbone PoP.
+type Router struct {
+	Name    string // short router code, e.g. "CHIN"
+	City    string
+	Network Network
+	Lat     float64 // degrees north
+	Lon     float64 // degrees east
+	// Weight is the PoP's relative share of the network's flow-record
+	// volume; used by the traffic generator to shape per-monitor rates.
+	Weight float64
+}
+
+// AbileneRouters returns the 11 Abilene backbone routers of 2004. The
+// router codes match the ones the paper prints in its anomaly-path
+// results (§5: CHIN, DNVR, IPLS, KSCY, LOSA, SNVA, ...).
+func AbileneRouters() []Router {
+	return []Router{
+		{Name: "ATLA", City: "Atlanta", Network: Abilene, Lat: 33.75, Lon: -84.39, Weight: 1.1},
+		{Name: "CHIN", City: "Chicago", Network: Abilene, Lat: 41.88, Lon: -87.63, Weight: 1.6},
+		{Name: "DNVR", City: "Denver", Network: Abilene, Lat: 39.74, Lon: -104.98, Weight: 0.9},
+		{Name: "HSTN", City: "Houston", Network: Abilene, Lat: 29.76, Lon: -95.37, Weight: 0.8},
+		{Name: "IPLS", City: "Indianapolis", Network: Abilene, Lat: 39.77, Lon: -86.16, Weight: 1.3},
+		{Name: "KSCY", City: "Kansas City", Network: Abilene, Lat: 39.10, Lon: -94.58, Weight: 0.7},
+		{Name: "LOSA", City: "Los Angeles", Network: Abilene, Lat: 34.05, Lon: -118.24, Weight: 1.2},
+		{Name: "NYCM", City: "New York", Network: Abilene, Lat: 40.71, Lon: -74.01, Weight: 1.7},
+		{Name: "SNVA", City: "Sunnyvale", Network: Abilene, Lat: 37.37, Lon: -122.04, Weight: 1.2},
+		{Name: "STTL", City: "Seattle", Network: Abilene, Lat: 47.61, Lon: -122.33, Weight: 0.8},
+		{Name: "WASH", City: "Washington DC", Network: Abilene, Lat: 38.91, Lon: -77.04, Weight: 1.5},
+	}
+}
+
+// GeantRouters returns the 23 GÉANT PoPs of 2004.
+func GeantRouters() []Router {
+	return []Router{
+		{Name: "AT", City: "Vienna", Network: GEANT, Lat: 48.21, Lon: 16.37, Weight: 1.0},
+		{Name: "BE", City: "Brussels", Network: GEANT, Lat: 50.85, Lon: 4.35, Weight: 0.8},
+		{Name: "CH", City: "Geneva", Network: GEANT, Lat: 46.20, Lon: 6.14, Weight: 1.2},
+		{Name: "CY", City: "Nicosia", Network: GEANT, Lat: 35.17, Lon: 33.36, Weight: 0.3},
+		{Name: "CZ", City: "Prague", Network: GEANT, Lat: 50.08, Lon: 14.44, Weight: 0.9},
+		{Name: "DE", City: "Frankfurt", Network: GEANT, Lat: 50.11, Lon: 8.68, Weight: 2.0},
+		{Name: "DK", City: "Copenhagen", Network: GEANT, Lat: 55.68, Lon: 12.57, Weight: 0.9},
+		{Name: "EE", City: "Tallinn", Network: GEANT, Lat: 59.44, Lon: 24.75, Weight: 0.3},
+		{Name: "ES", City: "Madrid", Network: GEANT, Lat: 40.42, Lon: -3.70, Weight: 1.0},
+		{Name: "FR", City: "Paris", Network: GEANT, Lat: 48.86, Lon: 2.35, Weight: 1.6},
+		{Name: "GR", City: "Athens", Network: GEANT, Lat: 37.98, Lon: 23.73, Weight: 0.6},
+		{Name: "HR", City: "Zagreb", Network: GEANT, Lat: 45.81, Lon: 15.98, Weight: 0.4},
+		{Name: "HU", City: "Budapest", Network: GEANT, Lat: 47.50, Lon: 19.04, Weight: 0.6},
+		{Name: "IE", City: "Dublin", Network: GEANT, Lat: 53.35, Lon: -6.26, Weight: 0.5},
+		{Name: "IL", City: "Tel Aviv", Network: GEANT, Lat: 32.09, Lon: 34.78, Weight: 0.4},
+		{Name: "IT", City: "Milan", Network: GEANT, Lat: 45.46, Lon: 9.19, Weight: 1.3},
+		{Name: "LU", City: "Luxembourg", Network: GEANT, Lat: 49.61, Lon: 6.13, Weight: 0.2},
+		{Name: "NL", City: "Amsterdam", Network: GEANT, Lat: 52.37, Lon: 4.90, Weight: 1.8},
+		{Name: "PL", City: "Poznan", Network: GEANT, Lat: 52.41, Lon: 16.93, Weight: 0.7},
+		{Name: "PT", City: "Lisbon", Network: GEANT, Lat: 38.72, Lon: -9.14, Weight: 0.5},
+		{Name: "SE", City: "Stockholm", Network: GEANT, Lat: 59.33, Lon: 18.07, Weight: 1.0},
+		{Name: "SI", City: "Ljubljana", Network: GEANT, Lat: 46.06, Lon: 14.51, Weight: 0.3},
+		{Name: "UK", City: "London", Network: GEANT, Lat: 51.51, Lon: -0.13, Weight: 1.9},
+	}
+}
+
+// Combined returns the 34-router Abilene+GÉANT deployment of the
+// baseline experiment (§4.2: 11 North American + 23 European nodes).
+func Combined() []Router {
+	return append(AbileneRouters(), GeantRouters()...)
+}
+
+// ByName indexes routers by Name.
+func ByName(rs []Router) map[string]Router {
+	m := make(map[string]Router, len(rs))
+	for _, r := range rs {
+		m[r.Name] = r
+	}
+	return m
+}
+
+const earthRadiusKm = 6371.0
+
+// DistanceKm returns the great-circle distance between two routers.
+func DistanceKm(a, b Router) float64 {
+	la1, lo1 := a.Lat*math.Pi/180, a.Lon*math.Pi/180
+	la2, lo2 := b.Lat*math.Pi/180, b.Lon*math.Pi/180
+	dla, dlo := la2-la1, lo2-lo1
+	h := math.Sin(dla/2)*math.Sin(dla/2) + math.Cos(la1)*math.Cos(la2)*math.Sin(dlo/2)*math.Sin(dlo/2)
+	return 2 * earthRadiusKm * math.Asin(math.Min(1, math.Sqrt(h)))
+}
+
+// LatencyModel converts geography into one-way propagation delays.
+type LatencyModel struct {
+	// SpeedKmPerMs is the effective signal speed; ~200 km/ms is light in
+	// fiber, and the default 140 km/ms additionally accounts for
+	// non-great-circle fiber routes.
+	SpeedKmPerMs float64
+	// FloorMs is the minimum one-way delay (last-mile, switching).
+	FloorMs float64
+}
+
+// DefaultLatencyModel returns the model used by the experiments.
+func DefaultLatencyModel() LatencyModel {
+	return LatencyModel{SpeedKmPerMs: 140, FloorMs: 0.5}
+}
+
+// OneWay returns the modelled one-way delay between two routers.
+func (m LatencyModel) OneWay(a, b Router) time.Duration {
+	ms := DistanceKm(a, b)/m.SpeedKmPerMs + m.FloorMs
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+// LatencyFunc builds a simnet-compatible latency function over a set of
+// routers whose endpoint addresses are produced by addrOf. Unknown
+// addresses get the fallback delay.
+func LatencyFunc(rs []Router, addrOf func(Router) string, fallback time.Duration) func(from, to string) time.Duration {
+	m := DefaultLatencyModel()
+	byAddr := make(map[string]Router, len(rs))
+	for _, r := range rs {
+		byAddr[addrOf(r)] = r
+	}
+	return func(from, to string) time.Duration {
+		a, okA := byAddr[from]
+		b, okB := byAddr[to]
+		if !okA || !okB {
+			return fallback
+		}
+		return m.OneWay(a, b)
+	}
+}
+
+// Addr derives the canonical endpoint address for a router, e.g.
+// "abilene-CHIN" or "geant-DE".
+func Addr(r Router) string {
+	if r.Network == Abilene {
+		return fmt.Sprintf("abilene-%s", r.Name)
+	}
+	return fmt.Sprintf("geant-%s", r.Name)
+}

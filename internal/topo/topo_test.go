@@ -1,0 +1,110 @@
+package topo
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRouterCounts(t *testing.T) {
+	if got := len(AbileneRouters()); got != 11 {
+		t.Errorf("Abilene routers = %d, want 11", got)
+	}
+	if got := len(GeantRouters()); got != 23 {
+		t.Errorf("GÉANT routers = %d, want 23", got)
+	}
+	if got := len(Combined()); got != 34 {
+		t.Errorf("combined deployment = %d, want 34 (the §4.2 baseline)", got)
+	}
+}
+
+func TestUniqueNamesAndAddrs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range Combined() {
+		a := Addr(r)
+		if seen[a] {
+			t.Errorf("duplicate addr %s", a)
+		}
+		seen[a] = true
+		if r.Weight <= 0 {
+			t.Errorf("%s has non-positive weight", r.Name)
+		}
+	}
+	m := ByName(AbileneRouters())
+	if m["CHIN"].City != "Chicago" {
+		t.Error("ByName lookup broken")
+	}
+}
+
+func TestPaperAnomalyRoutersPresent(t *testing.T) {
+	// §5 names these Abilene routers on DoS paths.
+	m := ByName(AbileneRouters())
+	for _, name := range []string{"CHIN", "DNVR", "IPLS", "KSCY", "LOSA", "SNVA"} {
+		if _, ok := m[name]; !ok {
+			t.Errorf("router %s missing", name)
+		}
+	}
+}
+
+func TestSamplingRates(t *testing.T) {
+	if Abilene.SamplingRate() != 100 || GEANT.SamplingRate() != 1000 {
+		t.Error("sampling rates must match §4.2 (1/100 Abilene, 1/1000 GÉANT)")
+	}
+}
+
+func TestDistances(t *testing.T) {
+	m := ByName(Combined())
+	// NYC–LA is about 3940 km.
+	d := DistanceKm(m["NYCM"], m["LOSA"])
+	if d < 3700 || d < 0 || d > 4200 {
+		t.Errorf("NYC–LA distance = %.0f km", d)
+	}
+	// Symmetric, zero to self.
+	if DistanceKm(m["NYCM"], m["LOSA"]) != DistanceKm(m["LOSA"], m["NYCM"]) {
+		t.Error("distance not symmetric")
+	}
+	if DistanceKm(m["NYCM"], m["NYCM"]) != 0 {
+		t.Error("self distance nonzero")
+	}
+	// Transatlantic beats transcontinental.
+	if DistanceKm(m["NYCM"], m["UK"]) < DistanceKm(m["NYCM"], m["WASH"]) {
+		t.Error("transatlantic shorter than NYC–DC")
+	}
+}
+
+func TestLatencyModel(t *testing.T) {
+	m := ByName(Combined())
+	lm := DefaultLatencyModel()
+	// NYC–London one way: ~5570 km / 140 km/ms ≈ 40ms.
+	d := lm.OneWay(m["NYCM"], m["UK"])
+	if d < 30*time.Millisecond || d > 55*time.Millisecond {
+		t.Errorf("NYC–London one-way = %v", d)
+	}
+	// Same city pairs get at least the floor.
+	if lm.OneWay(m["CHIN"], m["CHIN"]) < 400*time.Microsecond {
+		t.Error("floor not applied")
+	}
+	// Nearby European PoPs are a few ms.
+	d = lm.OneWay(m["NL"], m["BE"])
+	if d > 5*time.Millisecond {
+		t.Errorf("Amsterdam–Brussels = %v", d)
+	}
+}
+
+func TestLatencyFunc(t *testing.T) {
+	rs := Combined()
+	f := LatencyFunc(rs, Addr, 99*time.Millisecond)
+	m := ByName(rs)
+	want := DefaultLatencyModel().OneWay(m["CHIN"], m["DE"])
+	if got := f("abilene-CHIN", "geant-DE"); got != want {
+		t.Errorf("latency = %v, want %v", got, want)
+	}
+	if got := f("abilene-CHIN", "unknown-node"); got != 99*time.Millisecond {
+		t.Errorf("fallback = %v", got)
+	}
+}
+
+func TestNetworkString(t *testing.T) {
+	if Abilene.String() != "Abilene" || GEANT.String() != "GÉANT" {
+		t.Error("Network names wrong")
+	}
+}

@@ -1,0 +1,494 @@
+// Package simnet is a deterministic discrete-event network simulator
+// implementing transport.Endpoint and transport.Clock. It stands in for
+// the PlanetLab testbed of the paper's evaluation: per-link propagation
+// delays come from a pluggable latency function (the topo package derives
+// one from the real Abilene and GÉANT router locations), and the
+// simulator additionally models the pathologies the paper observed —
+// per-link serialization (queueing behind large transfers, Fig 8),
+// per-node service queues (hotspots, Fig 11), random loss, link outages
+// and node failures (§4.4).
+//
+// All event execution happens in the goroutine that calls Run/Step, in
+// virtual time, so experiments are fast and bit-for-bit reproducible for
+// a given seed.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"mind/internal/transport"
+)
+
+// Config tunes the network model.
+type Config struct {
+	// Seed drives all randomness (jitter, loss).
+	Seed int64
+	// Latency returns the one-way propagation delay between two
+	// endpoints. Nil means DefaultLatency for every pair.
+	Latency func(from, to string) time.Duration
+	// DefaultLatency applies when Latency is nil (default 20ms).
+	DefaultLatency time.Duration
+	// JitterFrac adds uniform random jitter in [0, JitterFrac·latency].
+	JitterFrac float64
+	// LossProb drops each message independently with this probability.
+	LossProb float64
+	// BandwidthBps serializes transmissions per directed link; 0 means
+	// infinite bandwidth (no transmission delay).
+	BandwidthBps float64
+	// PerMsgOverheadBytes is added to each message's size for the
+	// transmission-delay computation (framing, IP/TCP headers).
+	PerMsgOverheadBytes int
+	// ServiceTime is the receiving node's processing time per message;
+	// messages queue FIFO per node. 0 disables the node-service model.
+	ServiceTime time.Duration
+	// TraceDelivery, when set, observes every successful delivery with
+	// its send and delivery times (after link queueing, transmission,
+	// propagation and node service). Called on the event loop; keep it
+	// cheap.
+	TraceDelivery func(from, to string, sent, delivered time.Time, bytes int)
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultLatency == 0 {
+		c.DefaultLatency = 20 * time.Millisecond
+	}
+	if c.PerMsgOverheadBytes == 0 {
+		c.PerMsgOverheadBytes = 64
+	}
+	return c
+}
+
+// event is one scheduled callback.
+type event struct {
+	at  time.Time
+	seq uint64 // tiebreak for determinism
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+type linkKey struct{ from, to string }
+
+// Network is the simulated network. All methods are safe for concurrent
+// use, though the intended pattern is a single driving goroutine.
+type Network struct {
+	mu  sync.Mutex
+	cfg Config
+	rng *rand.Rand
+
+	now    time.Time
+	seq    uint64
+	events eventHeap
+
+	endpoints map[string]*Endpoint
+	dead      map[string]bool
+	cutLinks  map[linkKey]bool      // bidirectional cuts stored both ways
+	outages   map[linkKey]time.Time // link down until the given time
+
+	linkBusy map[linkKey]time.Time
+	nodeBusy map[string]time.Time
+
+	// Stats.
+	sent, delivered, dropped uint64
+	linkMsgs                 map[linkKey]uint64
+	linkBytes                map[linkKey]uint64
+}
+
+// New creates a network starting at a fixed virtual epoch.
+func New(cfg Config) *Network {
+	cfg = cfg.withDefaults()
+	return &Network{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		now:       time.Unix(0, 0).UTC(),
+		endpoints: make(map[string]*Endpoint),
+		dead:      make(map[string]bool),
+		cutLinks:  make(map[linkKey]bool),
+		outages:   make(map[linkKey]time.Time),
+		linkBusy:  make(map[linkKey]time.Time),
+		nodeBusy:  make(map[string]time.Time),
+		linkMsgs:  make(map[linkKey]uint64),
+		linkBytes: make(map[linkKey]uint64),
+	}
+}
+
+// Endpoint attaches a new endpoint with the given address.
+func (n *Network) Endpoint(addr string) (*Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.endpoints[addr]; ok {
+		return nil, fmt.Errorf("simnet: address %q already attached", addr)
+	}
+	ep := &Endpoint{net: n, addr: addr}
+	n.endpoints[addr] = ep
+	delete(n.dead, addr)
+	return ep, nil
+}
+
+// Clock returns the network's virtual clock.
+func (n *Network) Clock() transport.Clock { return simClock{n} }
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Time {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.now
+}
+
+// schedule enqueues fn at time at (>= now).
+func (n *Network) schedule(at time.Time, fn func()) *event {
+	if at.Before(n.now) {
+		at = n.now
+	}
+	n.seq++
+	e := &event{at: at, seq: n.seq, fn: fn}
+	heap.Push(&n.events, e)
+	return e
+}
+
+// Step executes the next pending event; it reports whether one existed.
+func (n *Network) Step() bool {
+	n.mu.Lock()
+	if len(n.events) == 0 {
+		n.mu.Unlock()
+		return false
+	}
+	e := heap.Pop(&n.events).(*event)
+	n.now = e.at
+	fn := e.fn
+	n.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
+	return true
+}
+
+// Run executes events until the queue drains or maxEvents fire; it
+// returns the number executed. A zero maxEvents means no limit.
+func (n *Network) Run(maxEvents int) int {
+	count := 0
+	for maxEvents == 0 || count < maxEvents {
+		if !n.Step() {
+			break
+		}
+		count++
+	}
+	return count
+}
+
+// RunUntil executes events until done() reports true, the queue drains,
+// or maxEvents fire. It reports whether done() was satisfied.
+func (n *Network) RunUntil(done func() bool, maxEvents int) bool {
+	count := 0
+	for !done() {
+		if maxEvents != 0 && count >= maxEvents {
+			return false
+		}
+		if !n.Step() {
+			return done()
+		}
+		count++
+	}
+	return true
+}
+
+// RunFor executes events with timestamps up to now+d, advancing the
+// clock to exactly now+d afterwards even if the queue drained early.
+func (n *Network) RunFor(d time.Duration) {
+	n.mu.Lock()
+	deadline := n.now.Add(d)
+	n.mu.Unlock()
+	for {
+		n.mu.Lock()
+		if len(n.events) == 0 || n.events[0].at.After(deadline) {
+			if deadline.After(n.now) {
+				n.now = deadline
+			}
+			n.mu.Unlock()
+			return
+		}
+		e := heap.Pop(&n.events).(*event)
+		n.now = e.at
+		fn := e.fn
+		n.mu.Unlock()
+		if fn != nil {
+			fn()
+		}
+	}
+}
+
+// Pending returns the number of queued events.
+func (n *Network) Pending() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.events)
+}
+
+// Kill marks a node dead: its deliveries stop and sends to it vanish.
+func (n *Network) Kill(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dead[addr] = true
+}
+
+// Revive brings a killed node back.
+func (n *Network) Revive(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.dead, addr)
+}
+
+// IsDead reports whether the address is currently marked dead.
+func (n *Network) IsDead(addr string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.dead[addr]
+}
+
+// CutLink severs the link between a and b in both directions until
+// RestoreLink.
+func (n *Network) CutLink(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cutLinks[linkKey{a, b}] = true
+	n.cutLinks[linkKey{b, a}] = true
+}
+
+// RestoreLink undoes CutLink.
+func (n *Network) RestoreLink(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.cutLinks, linkKey{a, b})
+	delete(n.cutLinks, linkKey{b, a})
+}
+
+// Outage makes the directed links between a and b lossy (down) for the
+// given duration of virtual time, modelling the transient routing
+// failures of §3.8.
+func (n *Network) Outage(a, b string, d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	until := n.now.Add(d)
+	n.outages[linkKey{a, b}] = until
+	n.outages[linkKey{b, a}] = until
+}
+
+// Stats summarizes traffic since creation.
+type Stats struct {
+	Sent, Delivered, Dropped uint64
+}
+
+// Stats returns aggregate counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return Stats{Sent: n.sent, Delivered: n.delivered, Dropped: n.dropped}
+}
+
+// LinkTraffic reports per-directed-link message and byte counts, keyed
+// by "from→to".
+func (n *Network) LinkTraffic() map[string]uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[string]uint64, len(n.linkMsgs))
+	for k, v := range n.linkMsgs {
+		out[k.from+"→"+k.to] = v
+	}
+	return out
+}
+
+// send implements Endpoint.Send under the network lock.
+func (n *Network) send(from, to string, msg []byte) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.sent++
+	ep, ok := n.endpoints[to]
+	if !ok {
+		n.dropped++
+		return fmt.Errorf("simnet: unknown peer %q", to)
+	}
+	if n.dead[from] {
+		n.dropped++
+		return fmt.Errorf("simnet: sender %q is dead", from)
+	}
+	lk := linkKey{from, to}
+	if n.dead[to] || n.cutLinks[lk] {
+		// Silent loss: the sender cannot distinguish a dead peer from a
+		// slow one at send time.
+		n.dropped++
+		return nil
+	}
+	if until, ok := n.outages[lk]; ok {
+		if n.now.Before(until) {
+			n.dropped++
+			return nil
+		}
+		delete(n.outages, lk)
+	}
+	if n.cfg.LossProb > 0 && n.rng.Float64() < n.cfg.LossProb {
+		n.dropped++
+		return nil
+	}
+
+	// Propagation delay + jitter.
+	lat := n.cfg.DefaultLatency
+	if n.cfg.Latency != nil {
+		lat = n.cfg.Latency(from, to)
+	}
+	if n.cfg.JitterFrac > 0 {
+		lat += time.Duration(n.rng.Float64() * n.cfg.JitterFrac * float64(lat))
+	}
+
+	// Link serialization: messages on the same directed link queue
+	// behind each other at the configured bandwidth.
+	txStart := n.now
+	if busy, ok := n.linkBusy[lk]; ok && busy.After(txStart) {
+		txStart = busy
+	}
+	var txDur time.Duration
+	if n.cfg.BandwidthBps > 0 {
+		bits := float64(len(msg)+n.cfg.PerMsgOverheadBytes) * 8
+		txDur = time.Duration(bits / n.cfg.BandwidthBps * float64(time.Second))
+	}
+	n.linkBusy[lk] = txStart.Add(txDur)
+	arrive := txStart.Add(txDur).Add(lat)
+
+	// Node service queue: the receiver processes messages FIFO.
+	procStart := arrive
+	if busy, ok := n.nodeBusy[to]; ok && busy.After(procStart) {
+		procStart = busy
+	}
+	done := procStart.Add(n.cfg.ServiceTime)
+	if n.cfg.ServiceTime > 0 {
+		n.nodeBusy[to] = done
+	}
+
+	n.linkMsgs[lk]++
+	n.linkBytes[lk] += uint64(len(msg))
+
+	msgCopy := append([]byte(nil), msg...)
+	sentAt := n.now
+	n.schedule(done, func() {
+		n.mu.Lock()
+		stillAlive := !n.dead[to]
+		h := ep.handler
+		closed := ep.closed
+		if stillAlive && !closed {
+			n.delivered++
+		} else {
+			n.dropped++
+		}
+		deliveredAt := n.now
+		trace := n.cfg.TraceDelivery
+		n.mu.Unlock()
+		if stillAlive && !closed {
+			if trace != nil {
+				trace(from, to, sentAt, deliveredAt, len(msgCopy))
+			}
+			if h != nil {
+				h(from, msgCopy)
+			}
+		}
+	})
+	return nil
+}
+
+// Endpoint is one simulated node attachment.
+type Endpoint struct {
+	net     *Network
+	addr    string
+	handler transport.Handler
+	closed  bool
+}
+
+// Addr returns the endpoint's address.
+func (e *Endpoint) Addr() string { return e.addr }
+
+// SetHandler installs the receive callback.
+func (e *Endpoint) SetHandler(h transport.Handler) {
+	e.net.mu.Lock()
+	defer e.net.mu.Unlock()
+	e.handler = h
+}
+
+// Send queues a message for simulated delivery.
+func (e *Endpoint) Send(to string, msg []byte) error {
+	e.net.mu.Lock()
+	closed := e.closed
+	e.net.mu.Unlock()
+	if closed {
+		return fmt.Errorf("simnet: endpoint %q closed", e.addr)
+	}
+	return e.net.send(e.addr, to, msg)
+}
+
+// Close detaches the endpoint.
+func (e *Endpoint) Close() error {
+	e.net.mu.Lock()
+	defer e.net.mu.Unlock()
+	e.closed = true
+	delete(e.net.endpoints, e.addr)
+	return nil
+}
+
+var _ transport.Endpoint = (*Endpoint)(nil)
+
+// simClock implements transport.Clock on the network's virtual time.
+type simClock struct{ n *Network }
+
+func (c simClock) Now() time.Time { return c.n.Now() }
+
+func (c simClock) AfterFunc(d time.Duration, f func()) transport.Timer {
+	c.n.mu.Lock()
+	defer c.n.mu.Unlock()
+	t := &simTimer{}
+	t.ev = c.n.schedule(c.n.now.Add(d), func() {
+		t.mu.Lock()
+		stopped := t.stopped
+		t.fired = true
+		t.mu.Unlock()
+		if !stopped {
+			f()
+		}
+	})
+	return t
+}
+
+type simTimer struct {
+	mu      sync.Mutex
+	ev      *event
+	stopped bool
+	fired   bool
+}
+
+func (t *simTimer) Stop() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.fired || t.stopped {
+		return false
+	}
+	t.stopped = true
+	return true
+}

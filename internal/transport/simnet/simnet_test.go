@@ -1,0 +1,370 @@
+package simnet
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBasicDelivery(t *testing.T) {
+	n := New(Config{Seed: 1, DefaultLatency: 10 * time.Millisecond})
+	a, err := n.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	var from string
+	var at time.Time
+	b.SetHandler(func(f string, msg []byte) {
+		from, got = f, msg
+		at = n.Now()
+	})
+	start := n.Now()
+	if err := a.Send("b", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(0)
+	if string(got) != "hello" || from != "a" {
+		t.Fatalf("got %q from %q", got, from)
+	}
+	if d := at.Sub(start); d != 10*time.Millisecond {
+		t.Fatalf("delivery latency = %v", d)
+	}
+}
+
+func TestDuplicateAddr(t *testing.T) {
+	n := New(Config{Seed: 1})
+	if _, err := n.Endpoint("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Endpoint("x"); err == nil {
+		t.Fatal("duplicate address accepted")
+	}
+}
+
+func TestUnknownPeer(t *testing.T) {
+	n := New(Config{Seed: 1})
+	a, _ := n.Endpoint("a")
+	if err := a.Send("ghost", []byte("x")); err == nil {
+		t.Fatal("send to unknown peer succeeded")
+	}
+}
+
+func TestMessageIsolation(t *testing.T) {
+	// The receiver must get a copy, immune to sender-side mutation.
+	n := New(Config{Seed: 1})
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	var got []byte
+	b.SetHandler(func(_ string, msg []byte) { got = msg })
+	buf := []byte("abc")
+	a.Send("b", buf)
+	buf[0] = 'X'
+	n.Run(0)
+	if string(got) != "abc" {
+		t.Fatalf("message aliased sender buffer: %q", got)
+	}
+}
+
+func TestKillAndRevive(t *testing.T) {
+	n := New(Config{Seed: 1})
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	var count atomic.Int32
+	b.SetHandler(func(string, []byte) { count.Add(1) })
+	n.Kill("b")
+	if !n.IsDead("b") {
+		t.Fatal("IsDead wrong")
+	}
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatal("send to dead peer must be silent loss, not error")
+	}
+	n.Run(0)
+	if count.Load() != 0 {
+		t.Fatal("dead node received message")
+	}
+	n.Revive("b")
+	a.Send("b", []byte("y"))
+	n.Run(0)
+	if count.Load() != 1 {
+		t.Fatal("revived node did not receive")
+	}
+	// Dead sender errors.
+	n.Kill("a")
+	if err := a.Send("b", []byte("z")); err == nil {
+		t.Fatal("dead sender could send")
+	}
+}
+
+func TestKillInFlight(t *testing.T) {
+	// A message already in flight to a node killed before delivery must
+	// be dropped.
+	n := New(Config{Seed: 1, DefaultLatency: 50 * time.Millisecond})
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	var count atomic.Int32
+	b.SetHandler(func(string, []byte) { count.Add(1) })
+	a.Send("b", []byte("x"))
+	n.Kill("b")
+	n.Run(0)
+	if count.Load() != 0 {
+		t.Fatal("in-flight message delivered to killed node")
+	}
+	st := n.Stats()
+	if st.Dropped != 1 || st.Delivered != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCutAndRestoreLink(t *testing.T) {
+	n := New(Config{Seed: 1})
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	var count atomic.Int32
+	b.SetHandler(func(string, []byte) { count.Add(1) })
+	a.SetHandler(func(string, []byte) { count.Add(1) })
+	n.CutLink("a", "b")
+	a.Send("b", []byte("x"))
+	b.Send("a", []byte("x"))
+	n.Run(0)
+	if count.Load() != 0 {
+		t.Fatal("cut link delivered")
+	}
+	n.RestoreLink("a", "b")
+	a.Send("b", []byte("x"))
+	n.Run(0)
+	if count.Load() != 1 {
+		t.Fatal("restored link did not deliver")
+	}
+}
+
+func TestOutageExpires(t *testing.T) {
+	n := New(Config{Seed: 1, DefaultLatency: time.Millisecond})
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	var count atomic.Int32
+	b.SetHandler(func(string, []byte) { count.Add(1) })
+	n.Outage("a", "b", 100*time.Millisecond)
+	a.Send("b", []byte("x")) // lost: outage active
+	n.RunFor(200 * time.Millisecond)
+	if count.Load() != 0 {
+		t.Fatal("message delivered during outage")
+	}
+	a.Send("b", []byte("y")) // outage expired
+	n.Run(0)
+	if count.Load() != 1 {
+		t.Fatal("message lost after outage expired")
+	}
+}
+
+func TestLoss(t *testing.T) {
+	n := New(Config{Seed: 7, LossProb: 0.5})
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	var count atomic.Int32
+	b.SetHandler(func(string, []byte) { count.Add(1) })
+	for i := 0; i < 1000; i++ {
+		a.Send("b", []byte("x"))
+	}
+	n.Run(0)
+	got := int(count.Load())
+	if got < 400 || got > 600 {
+		t.Fatalf("with 50%% loss, delivered %d/1000", got)
+	}
+}
+
+func TestBandwidthQueueing(t *testing.T) {
+	// 1000 bytes+64 overhead at 8512 bits/ms... pick numbers that make
+	// two back-to-back messages arrive serialized.
+	n := New(Config{
+		Seed:                1,
+		DefaultLatency:      10 * time.Millisecond,
+		BandwidthBps:        8 * 1064 * 10, // exactly 10 messages of 1064B per second
+		PerMsgOverheadBytes: 64,
+	})
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	var times []time.Time
+	b.SetHandler(func(string, []byte) { times = append(times, n.Now()) })
+	msg := make([]byte, 1000)
+	start := n.Now()
+	a.Send("b", msg)
+	a.Send("b", msg)
+	n.Run(0)
+	if len(times) != 2 {
+		t.Fatalf("delivered %d", len(times))
+	}
+	// First: tx 100ms + 10ms latency = 110ms. Second queues behind:
+	// tx starts at 100ms, ends 200ms, +10ms = 210ms.
+	if d := times[0].Sub(start); d != 110*time.Millisecond {
+		t.Errorf("first delivery at %v", d)
+	}
+	if d := times[1].Sub(start); d != 210*time.Millisecond {
+		t.Errorf("second delivery at %v (link serialization broken)", d)
+	}
+}
+
+func TestNodeServiceQueue(t *testing.T) {
+	// Two senders hit one receiver; receiver processes serially.
+	n := New(Config{Seed: 1, DefaultLatency: time.Millisecond, ServiceTime: 50 * time.Millisecond})
+	a, _ := n.Endpoint("a")
+	c, _ := n.Endpoint("c")
+	b, _ := n.Endpoint("b")
+	var times []time.Time
+	b.SetHandler(func(string, []byte) { times = append(times, n.Now()) })
+	start := n.Now()
+	a.Send("b", []byte("x"))
+	c.Send("b", []byte("y"))
+	n.Run(0)
+	if len(times) != 2 {
+		t.Fatalf("delivered %d", len(times))
+	}
+	if d := times[0].Sub(start); d != 51*time.Millisecond {
+		t.Errorf("first processed at %v", d)
+	}
+	if d := times[1].Sub(start); d != 101*time.Millisecond {
+		t.Errorf("second processed at %v (node service queue broken)", d)
+	}
+}
+
+func TestCustomLatencyFunc(t *testing.T) {
+	n := New(Config{
+		Seed: 1,
+		Latency: func(from, to string) time.Duration {
+			if from == "a" && to == "b" {
+				return 123 * time.Millisecond
+			}
+			return time.Millisecond
+		},
+	})
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	var at time.Time
+	b.SetHandler(func(string, []byte) { at = n.Now() })
+	start := n.Now()
+	a.Send("b", []byte("x"))
+	n.Run(0)
+	if d := at.Sub(start); d != 123*time.Millisecond {
+		t.Fatalf("latency func ignored: %v", d)
+	}
+}
+
+func TestClockAfterFunc(t *testing.T) {
+	n := New(Config{Seed: 1})
+	clk := n.Clock()
+	var fired []time.Duration
+	start := clk.Now()
+	clk.AfterFunc(30*time.Millisecond, func() { fired = append(fired, clk.Now().Sub(start)) })
+	clk.AfterFunc(10*time.Millisecond, func() { fired = append(fired, clk.Now().Sub(start)) })
+	stopped := clk.AfterFunc(20*time.Millisecond, func() { t.Error("stopped timer fired") })
+	if !stopped.Stop() {
+		t.Fatal("Stop returned false on pending timer")
+	}
+	if stopped.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	n.Run(0)
+	if len(fired) != 2 || fired[0] != 10*time.Millisecond || fired[1] != 30*time.Millisecond {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	n := New(Config{Seed: 1})
+	clk := n.Clock()
+	tm := clk.AfterFunc(time.Millisecond, func() {})
+	n.Run(0)
+	if tm.Stop() {
+		t.Fatal("Stop after fire returned true")
+	}
+}
+
+func TestRunUntilAndRunFor(t *testing.T) {
+	n := New(Config{Seed: 1, DefaultLatency: 10 * time.Millisecond})
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	var got bool
+	b.SetHandler(func(string, []byte) { got = true })
+	a.Send("b", []byte("x"))
+	if !n.RunUntil(func() bool { return got }, 100) {
+		t.Fatal("RunUntil did not complete")
+	}
+	// RunFor advances the clock even with no events.
+	before := n.Now()
+	n.RunFor(5 * time.Second)
+	if d := n.Now().Sub(before); d != 5*time.Second {
+		t.Fatalf("RunFor advanced %v", d)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []string {
+		n := New(Config{Seed: 42, JitterFrac: 0.5, LossProb: 0.1})
+		a, _ := n.Endpoint("a")
+		b, _ := n.Endpoint("b")
+		var order []string
+		b.SetHandler(func(_ string, msg []byte) { order = append(order, string(msg)+n.Now().String()) })
+		a.SetHandler(func(_ string, msg []byte) {
+			order = append(order, string(msg)+n.Now().String())
+			b.Send("a", append([]byte("r"), msg...))
+		})
+		for i := 0; i < 50; i++ {
+			a.Send("b", []byte{byte(i)})
+			b.Send("a", []byte{byte(i)})
+		}
+		n.Run(0)
+		return order
+	}
+	x, y := run(), run()
+	if len(x) != len(y) {
+		t.Fatalf("different event counts: %d vs %d", len(x), len(y))
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("divergence at event %d", i)
+		}
+	}
+}
+
+func TestClosedEndpoint(t *testing.T) {
+	n := New(Config{Seed: 1})
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	var count atomic.Int32
+	b.SetHandler(func(string, []byte) { count.Add(1) })
+	a.Send("b", []byte("x"))
+	b.Close()
+	n.Run(0)
+	if count.Load() != 0 {
+		t.Fatal("closed endpoint received")
+	}
+	if err := b.Send("a", []byte("x")); err == nil {
+		t.Fatal("closed endpoint could send")
+	}
+	// The address can be reused after close.
+	if _, err := n.Endpoint("b"); err != nil {
+		t.Fatalf("address not reusable after close: %v", err)
+	}
+}
+
+func TestLinkTrafficStats(t *testing.T) {
+	n := New(Config{Seed: 1})
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	b.SetHandler(func(string, []byte) {})
+	a.Send("b", []byte("xx"))
+	a.Send("b", []byte("yy"))
+	n.Run(0)
+	lt := n.LinkTraffic()
+	if lt["a→b"] != 2 {
+		t.Fatalf("link traffic = %v", lt)
+	}
+	st := n.Stats()
+	if st.Sent != 2 || st.Delivered != 2 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,241 @@
+// Package tcpnet implements transport.Endpoint over real TCP
+// connections, for deploying MIND nodes as separate processes or hosts
+// (cmd/mindnode). Messages are framed with a 4-byte big-endian length
+// prefix. Outbound connections are cached and re-dialed lazily on
+// failure — the protocol layer above owns retries, mirroring the paper's
+// "repeatedly attempt to reconnect" behaviour for transient link
+// failures (§3.8).
+package tcpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"mind/internal/transport"
+)
+
+// MaxFrame bounds accepted frame sizes (16 MiB).
+const MaxFrame = 16 << 20
+
+// DialTimeout bounds outbound connection attempts.
+const DialTimeout = 5 * time.Second
+
+// Endpoint is a TCP attachment listening on its address.
+type Endpoint struct {
+	listener net.Listener
+	addr     string
+
+	mu      sync.Mutex
+	handler transport.Handler
+	conns   map[string]net.Conn // outbound connection cache
+	inbound map[net.Conn]bool   // accepted connections, closed on shutdown
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// Listen starts an endpoint on addr (e.g. ":7070" or "10.0.0.2:7070").
+// The endpoint's advertised address is the listener's concrete address.
+func Listen(addr string) (*Endpoint, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: listen %s: %w", addr, err)
+	}
+	e := &Endpoint{
+		listener: l,
+		addr:     l.Addr().String(),
+		conns:    make(map[string]net.Conn),
+		inbound:  make(map[net.Conn]bool),
+	}
+	e.wg.Add(1)
+	go e.acceptLoop()
+	return e, nil
+}
+
+// Addr returns the endpoint's advertised address.
+func (e *Endpoint) Addr() string { return e.addr }
+
+// SetHandler installs the receive callback.
+func (e *Endpoint) SetHandler(h transport.Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.handler = h
+}
+
+func (e *Endpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			conn.Close()
+			return
+		}
+		e.inbound[conn] = true
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go e.readLoop(conn)
+	}
+}
+
+// readLoop decodes frames from one inbound connection. The first frame
+// on every connection is a hello carrying the peer's advertised address,
+// so inbound messages can be attributed to stable addresses rather than
+// ephemeral ports.
+func (e *Endpoint) readLoop(conn net.Conn) {
+	defer e.wg.Done()
+	defer func() {
+		conn.Close()
+		e.mu.Lock()
+		delete(e.inbound, conn)
+		e.mu.Unlock()
+	}()
+	peer := ""
+	for {
+		frame, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		if peer == "" {
+			peer = string(frame) // hello frame
+			continue
+		}
+		e.mu.Lock()
+		h := e.handler
+		closed := e.closed
+		e.mu.Unlock()
+		if closed {
+			return
+		}
+		if h != nil {
+			h(peer, frame)
+		}
+	}
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("tcpnet: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func writeFrame(w io.Writer, msg []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(msg)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(msg)
+	return err
+}
+
+// Send transmits one framed message, dialing or re-dialing the peer as
+// needed. A connection-level failure invalidates the cached connection
+// and is retried once with a fresh dial before reporting the error.
+func (e *Endpoint) Send(to string, msg []byte) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return errors.New("tcpnet: endpoint closed")
+	}
+	e.mu.Unlock()
+
+	if err := e.trySend(to, msg, false); err != nil {
+		return e.trySend(to, msg, true)
+	}
+	return nil
+}
+
+func (e *Endpoint) trySend(to string, msg []byte, fresh bool) error {
+	conn, err := e.conn(to, fresh)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := writeFrame(conn, msg); err != nil {
+		conn.Close()
+		delete(e.conns, to)
+		return fmt.Errorf("tcpnet: send to %s: %w", to, err)
+	}
+	return nil
+}
+
+// conn returns a cached or freshly dialed connection to the peer. A new
+// connection starts with a hello frame advertising our own address.
+func (e *Endpoint) conn(to string, fresh bool) (net.Conn, error) {
+	e.mu.Lock()
+	if c, ok := e.conns[to]; ok {
+		if !fresh {
+			e.mu.Unlock()
+			return c, nil
+		}
+		c.Close()
+		delete(e.conns, to)
+	}
+	e.mu.Unlock()
+
+	c, err := net.DialTimeout("tcp", to, DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: dial %s: %w", to, err)
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		c.Close()
+		return nil, errors.New("tcpnet: endpoint closed")
+	}
+	if err := writeFrame(c, []byte(e.addr)); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("tcpnet: hello to %s: %w", to, err)
+	}
+	if old, ok := e.conns[to]; ok {
+		old.Close()
+	}
+	e.conns[to] = c
+	return c, nil
+}
+
+// Close shuts the listener and all connections down.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	for _, c := range e.conns {
+		c.Close()
+	}
+	e.conns = map[string]net.Conn{}
+	for c := range e.inbound {
+		c.Close()
+	}
+	e.mu.Unlock()
+	err := e.listener.Close()
+	e.wg.Wait()
+	return err
+}
+
+var _ transport.Endpoint = (*Endpoint)(nil)

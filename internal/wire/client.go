@@ -1,0 +1,180 @@
+package wire
+
+import "mind/internal/schema"
+
+// Client-facing messages: §3.2 allows the MIND interface to be invoked
+// via remote procedure call from outside the overlay. A client (e.g.
+// cmd/mindctl, or a traffic monitor co-located with a router) sends one
+// of these to any MIND node; the node executes the operation on the
+// client's behalf and answers with ClientAck / ClientQueryResp.
+
+// Client message kinds continue the Kind space.
+const (
+	KindClientInsert Kind = 64 + iota
+	KindClientQuery
+	KindClientCreateIndex
+	KindClientDropIndex
+	KindClientAck
+	KindClientQueryResp
+
+	clientKindSentinel
+)
+
+func init() {
+	for k, name := range map[Kind]string{
+		KindClientInsert:      "client-insert",
+		KindClientQuery:       "client-query",
+		KindClientCreateIndex: "client-create-index",
+		KindClientDropIndex:   "client-drop-index",
+		KindClientAck:         "client-ack",
+		KindClientQueryResp:   "client-query-resp",
+	} {
+		clientKindNames[k] = name
+	}
+}
+
+var clientKindNames = map[Kind]string{}
+
+func newClientMessage(k Kind) Message {
+	switch k {
+	case KindClientInsert:
+		return &ClientInsert{}
+	case KindClientQuery:
+		return &ClientQuery{}
+	case KindClientCreateIndex:
+		return &ClientCreateIndex{}
+	case KindClientDropIndex:
+		return &ClientDropIndex{}
+	case KindClientAck:
+		return &ClientAck{}
+	case KindClientQueryResp:
+		return &ClientQueryResp{}
+	}
+	return nil
+}
+
+// ClientInsert asks the receiving node to insert a record.
+type ClientInsert struct {
+	ReqID uint64
+	Index string
+	Rec   []uint64
+}
+
+func (m *ClientInsert) Kind() Kind { return KindClientInsert }
+func (m *ClientInsert) encode(w *Writer) {
+	w.Uvarint(m.ReqID)
+	w.String(m.Index)
+	w.U64Slice(m.Rec)
+}
+func (m *ClientInsert) decode(r *Reader) {
+	m.ReqID = r.Uvarint()
+	m.Index = r.String()
+	m.Rec = r.U64Slice()
+}
+
+// ClientQuery asks the receiving node to resolve a range query.
+type ClientQuery struct {
+	ReqID uint64
+	Index string
+	Rect  schema.Rect
+}
+
+func (m *ClientQuery) Kind() Kind { return KindClientQuery }
+func (m *ClientQuery) encode(w *Writer) {
+	w.Uvarint(m.ReqID)
+	w.String(m.Index)
+	encodeRect(w, m.Rect)
+}
+func (m *ClientQuery) decode(r *Reader) {
+	m.ReqID = r.Uvarint()
+	m.Index = r.String()
+	m.Rect = decodeRect(r)
+}
+
+// ClientCreateIndex asks the receiving node to create an index with a
+// uniform embedding.
+type ClientCreateIndex struct {
+	ReqID  uint64
+	Schema *schema.Schema
+}
+
+func (m *ClientCreateIndex) Kind() Kind { return KindClientCreateIndex }
+func (m *ClientCreateIndex) encode(w *Writer) {
+	w.Uvarint(m.ReqID)
+	EncodeSchema(w, m.Schema)
+}
+func (m *ClientCreateIndex) decode(r *Reader) {
+	m.ReqID = r.Uvarint()
+	m.Schema = DecodeSchema(r)
+}
+
+// ClientDropIndex asks the receiving node to drop an index.
+type ClientDropIndex struct {
+	ReqID uint64
+	Tag   string
+}
+
+func (m *ClientDropIndex) Kind() Kind { return KindClientDropIndex }
+func (m *ClientDropIndex) encode(w *Writer) {
+	w.Uvarint(m.ReqID)
+	w.String(m.Tag)
+}
+func (m *ClientDropIndex) decode(r *Reader) {
+	m.ReqID = r.Uvarint()
+	m.Tag = r.String()
+}
+
+// ClientAck answers ClientInsert / ClientCreateIndex / ClientDropIndex.
+type ClientAck struct {
+	ReqID uint64
+	OK    bool
+	Error string
+	Hops  uint8
+}
+
+func (m *ClientAck) Kind() Kind { return KindClientAck }
+func (m *ClientAck) encode(w *Writer) {
+	w.Uvarint(m.ReqID)
+	w.Bool(m.OK)
+	w.String(m.Error)
+	w.U8(m.Hops)
+}
+func (m *ClientAck) decode(r *Reader) {
+	m.ReqID = r.Uvarint()
+	m.OK = r.Bool()
+	m.Error = r.String()
+	m.Hops = r.U8()
+}
+
+// ClientQueryResp answers ClientQuery with the assembled results.
+type ClientQueryResp struct {
+	ReqID      uint64
+	Complete   bool
+	Responders uint32
+	Recs       [][]uint64
+}
+
+func (m *ClientQueryResp) Kind() Kind { return KindClientQueryResp }
+func (m *ClientQueryResp) encode(w *Writer) {
+	w.Uvarint(m.ReqID)
+	w.Bool(m.Complete)
+	w.Uvarint(uint64(m.Responders))
+	w.Uvarint(uint64(len(m.Recs)))
+	for _, rec := range m.Recs {
+		w.U64Slice(rec)
+	}
+}
+func (m *ClientQueryResp) decode(r *Reader) {
+	m.ReqID = r.Uvarint()
+	m.Complete = r.Bool()
+	m.Responders = uint32(r.Uvarint())
+	n := r.Uvarint()
+	if n > MaxSliceLen {
+		r.fail("too many records: %d", n)
+		return
+	}
+	m.Recs = make([][]uint64, n)
+	for i := range m.Recs {
+		m.Recs[i] = r.U64Slice()
+	}
+}

@@ -1,0 +1,230 @@
+// Package wire defines the binary message format spoken between MIND
+// nodes: a small hand-rolled codec (varint-based, no reflection) and one
+// struct per protocol message. Both the in-process simulated transport
+// and the TCP transport carry exactly these encoded messages, so every
+// experiment exercises the real protocol encoding.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"mind/internal/bitstr"
+)
+
+// MaxSliceLen caps decoded slice lengths to keep malformed or hostile
+// input from provoking huge allocations.
+const MaxSliceLen = 1 << 22
+
+// Writer accumulates an encoded message.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a Writer with a small preallocated buffer.
+func NewWriter() *Writer { return &Writer{buf: make([]byte, 0, 128)} }
+
+// Bytes returns the encoded buffer.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// U8 appends one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// Bool appends a boolean as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// Uvarint appends an unsigned varint.
+func (w *Writer) Uvarint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+
+// U64 appends a fixed-width little-endian uint64 (used where varints
+// would bloat high-entropy values such as histogram bits).
+func (w *Writer) U64(v uint64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
+}
+
+// F64 appends a float64.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Bytes appends a length-prefixed byte slice.
+func (w *Writer) BytesField(b []byte) {
+	w.Uvarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Code appends a bit-string code.
+func (w *Writer) Code(c bitstr.Code) {
+	b, n := c.Pack()
+	w.U8(n)
+	w.U64(b)
+}
+
+// U64Slice appends a length-prefixed slice of varint values.
+func (w *Writer) U64Slice(vs []uint64) {
+	w.Uvarint(uint64(len(vs)))
+	for _, v := range vs {
+		w.Uvarint(v)
+	}
+}
+
+// Reader decodes an encoded message with a sticky error: after the first
+// failure every subsequent read returns zero values, and Err reports the
+// failure once at the end.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps an encoded buffer.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the first decode error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// Finish returns an error if decoding failed or bytes remain.
+func (r *Reader) Finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("wire: %d trailing bytes", len(r.buf)-r.off)
+	}
+	return nil
+}
+
+func (r *Reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("wire: "+format, args...)
+	}
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.buf) {
+		r.fail("short read (u8)")
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+// Bool reads a boolean.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("bad uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// U64 reads a fixed-width uint64.
+func (r *Reader) U64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.buf) {
+		r.fail("short read (u64)")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+// F64 reads a float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// BytesField reads a length-prefixed byte slice (copied).
+func (r *Reader) BytesField() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > MaxSliceLen || int(n) > r.Remaining() {
+		r.fail("bytes length %d exceeds remaining %d", n, r.Remaining())
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[r.off:])
+	r.off += int(n)
+	return out
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > MaxSliceLen || int(n) > r.Remaining() {
+		r.fail("string length %d exceeds remaining %d", n, r.Remaining())
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+// Code reads a bit-string code.
+func (r *Reader) Code() bitstr.Code {
+	n := r.U8()
+	b := r.U64()
+	if r.err != nil {
+		return bitstr.Empty
+	}
+	if n > bitstr.MaxLen {
+		r.fail("code length %d exceeds max %d", n, bitstr.MaxLen)
+		return bitstr.Empty
+	}
+	return bitstr.Unpack(b, n)
+}
+
+// U64Slice reads a length-prefixed slice of varint values.
+func (r *Reader) U64Slice() []uint64 {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > MaxSliceLen || int(n) > r.Remaining() {
+		r.fail("slice length %d implausible", n)
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.Uvarint()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}

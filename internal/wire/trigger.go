@@ -1,0 +1,164 @@
+package wire
+
+import (
+	"mind/internal/bitstr"
+	"mind/internal/schema"
+)
+
+// Trigger messages: footnote 1 of the paper notes that triggers
+// (standing queries) are supported "with minor mechanistic
+// modifications" to the query machinery. A trigger is a query rectangle
+// that is installed at the nodes owning the matching regions instead of
+// being resolved once; subsequent inserts that fall inside it are pushed
+// to the subscriber as they arrive.
+
+const (
+	// KindTriggerInstall routes a trigger to the owning regions like a
+	// query; each owner installs it.
+	KindTriggerInstall Kind = 96 + iota
+	// KindTriggerFire pushes one matching record to the subscriber.
+	KindTriggerFire
+	// KindTriggerRemove floods a trigger removal.
+	KindTriggerRemove
+	// KindRetireVersion floods the retirement (deletion) of one index
+	// version's storage — the §3.7 version-management operation the
+	// paper deferred.
+	KindRetireVersion
+	// KindRegionRecall floods a request for replicas of a region whose
+	// ownership was just adopted through a (relocation) takeover: holders
+	// re-insert their matching replica records so the new owner can
+	// serve the region (§3.8 fail-over made durable).
+	KindRegionRecall
+)
+
+func init() {
+	clientKindNames[KindTriggerInstall] = "trigger-install"
+	clientKindNames[KindTriggerFire] = "trigger-fire"
+	clientKindNames[KindTriggerRemove] = "trigger-remove"
+	clientKindNames[KindRetireVersion] = "retire-version"
+	clientKindNames[KindRegionRecall] = "region-recall"
+}
+
+func newTriggerMessage(k Kind) Message {
+	switch k {
+	case KindTriggerInstall:
+		return &TriggerInstall{}
+	case KindTriggerFire:
+		return &TriggerFire{}
+	case KindTriggerRemove:
+		return &TriggerRemove{}
+	case KindRetireVersion:
+		return &RetireVersion{}
+	case KindRegionRecall:
+		return &RegionRecall{}
+	}
+	return nil
+}
+
+// RegionRecall floods a request to re-insert replica records falling
+// inside a region whose ownership just changed hands.
+type RegionRecall struct {
+	OpID   uint64
+	Region bitstr.Code
+}
+
+func (m *RegionRecall) Kind() Kind { return KindRegionRecall }
+func (m *RegionRecall) encode(w *Writer) {
+	w.Uvarint(m.OpID)
+	w.Code(m.Region)
+}
+func (m *RegionRecall) decode(r *Reader) {
+	m.OpID = r.Uvarint()
+	m.Region = r.Code()
+}
+
+// RetireVersion floods the deletion of an index version (its records and
+// cut tree) across the overlay, freeing storage for aged-out data.
+type RetireVersion struct {
+	OpID    uint64
+	Index   string
+	Version uint32
+}
+
+func (m *RetireVersion) Kind() Kind { return KindRetireVersion }
+func (m *RetireVersion) encode(w *Writer) {
+	w.Uvarint(m.OpID)
+	w.String(m.Index)
+	w.Uvarint(uint64(m.Version))
+}
+func (m *RetireVersion) decode(r *Reader) {
+	m.OpID = r.Uvarint()
+	m.Index = r.String()
+	m.Version = uint32(r.Uvarint())
+}
+
+// TriggerInstall is greedy-routed toward the trigger rectangle's region
+// code and decomposed like a query; every node owning an intersecting
+// region installs the trigger.
+type TriggerInstall struct {
+	TriggerID  uint64
+	Subscriber string
+	Index      string
+	Rect       schema.Rect
+	Target     bitstr.Code
+	Hops       uint8
+}
+
+func (m *TriggerInstall) Kind() Kind { return KindTriggerInstall }
+func (m *TriggerInstall) encode(w *Writer) {
+	w.Uvarint(m.TriggerID)
+	w.String(m.Subscriber)
+	w.String(m.Index)
+	encodeRect(w, m.Rect)
+	w.Code(m.Target)
+	w.U8(m.Hops)
+}
+func (m *TriggerInstall) decode(r *Reader) {
+	m.TriggerID = r.Uvarint()
+	m.Subscriber = r.String()
+	m.Index = r.String()
+	m.Rect = decodeRect(r)
+	m.Target = r.Code()
+	m.Hops = r.U8()
+}
+
+// TriggerFire delivers one matching record to the subscriber.
+type TriggerFire struct {
+	TriggerID uint64
+	Index     string
+	From      NodeInfo
+	RecID     uint64
+	Rec       []uint64
+}
+
+func (m *TriggerFire) Kind() Kind { return KindTriggerFire }
+func (m *TriggerFire) encode(w *Writer) {
+	w.Uvarint(m.TriggerID)
+	w.String(m.Index)
+	m.From.encode(w)
+	w.U64(m.RecID)
+	w.U64Slice(m.Rec)
+}
+func (m *TriggerFire) decode(r *Reader) {
+	m.TriggerID = r.Uvarint()
+	m.Index = r.String()
+	m.From.decode(r)
+	m.RecID = r.U64()
+	m.Rec = r.U64Slice()
+}
+
+// TriggerRemove floods a trigger removal across the overlay.
+type TriggerRemove struct {
+	OpID      uint64
+	TriggerID uint64
+}
+
+func (m *TriggerRemove) Kind() Kind { return KindTriggerRemove }
+func (m *TriggerRemove) encode(w *Writer) {
+	w.Uvarint(m.OpID)
+	w.Uvarint(m.TriggerID)
+}
+func (m *TriggerRemove) decode(r *Reader) {
+	m.OpID = r.Uvarint()
+	m.TriggerID = r.Uvarint()
+}
