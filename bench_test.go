@@ -187,6 +187,72 @@ func BenchmarkInsertPath(b *testing.B) {
 	}
 }
 
+// BenchmarkInsertBatched measures the batched insert pipeline on the
+// same 32-node overlay: records enter in groups of 32 via InsertBatch
+// with per-link coalescing (BatchMaxMsgs=32), and the benchmark reports
+// transport sends per record next to the per-record path's cost.
+func BenchmarkInsertBatched(b *testing.B) {
+	sch := &schema.Schema{
+		Tag: "bench",
+		Attrs: []schema.Attr{
+			{Name: "x", Kind: schema.KindUint, Max: 1 << 32},
+			{Name: "t", Kind: schema.KindTime, Max: 86400},
+			{Name: "y", Kind: schema.KindUint, Max: 1 << 20},
+			{Name: "p"},
+		},
+		IndexDims: 3,
+	}
+	cfg := mind.DefaultConfig(benchSeed)
+	cfg.BatchMaxMsgs = 32
+	c, err := cluster.New(cluster.Options{
+		N:    32,
+		Seed: benchSeed,
+		Sim:  simnet.Config{Seed: benchSeed, DefaultLatency: 5 * time.Millisecond},
+		Node: cfg,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.CreateIndex(sch); err != nil {
+		b.Fatal(err)
+	}
+	c.Settle(3 * time.Second)
+
+	rng := uint64(1)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	const group = 32
+	sendsBase := c.Net.Stats().Sent
+	records := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recs := make([]schema.Record, group)
+		for j := range recs {
+			recs[j] = schema.Record{next() % (1 << 32), next() % 86400, next() % (1 << 20), uint64(records + j)}
+		}
+		res, _, err := c.InsertBatchWait(i%32, sch.Tag, recs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			if !r.OK {
+				b.Fatalf("batched insert failed: %+v", r)
+			}
+		}
+		records += group
+	}
+	b.StopTimer()
+	if records > 0 {
+		sends := c.Net.Stats().Sent - sendsBase
+		b.ReportMetric(float64(sends)/float64(records), "sends/record")
+		b.ReportMetric(float64(records)/float64(b.N), "records/op")
+	}
+}
+
 // BenchmarkQueryPath measures end-to-end decomposed range queries on a
 // 32-node overlay preloaded with 20k records.
 func BenchmarkQueryPath(b *testing.B) {

@@ -31,6 +31,7 @@ func main() {
 		rate      = flag.Float64("rate", 50, "synthetic flows per second per monitor")
 		seed      = flag.Int64("seed", 1, "workload seed")
 		queryGap  = flag.Duration("query-every", 5*time.Second, "interval between monitoring queries")
+		batchN    = flag.Int("batch", 1, "coalesce up to N client inserts per node into one wire.Batch (1 = off)")
 	)
 	flag.Parse()
 	nodes := strings.Split(*nodesFlag, ",")
@@ -95,6 +96,41 @@ func main() {
 
 	start := time.Now()
 	now := uint64(time.Now().Unix())
+
+	// Client-side coalescing: buffer encoded ClientInserts per entry node
+	// and ship each group as one wire.Batch envelope.
+	batchBuf := make(map[string][][]byte)
+	var batchesSent, batchedMsgs int
+	flushNode := func(node string) {
+		msgs := batchBuf[node]
+		if len(msgs) == 0 {
+			return
+		}
+		delete(batchBuf, node)
+		if len(msgs) == 1 {
+			_ = ep.Send(node, msgs[0])
+			return
+		}
+		batchesSent++
+		batchedMsgs += len(msgs)
+		_ = ep.Send(node, wire.Encode(&wire.Batch{Msgs: msgs}))
+	}
+	flushAll := func() {
+		for node := range batchBuf {
+			flushNode(node)
+		}
+	}
+	sendInsert := func(node string, data []byte) {
+		if *batchN <= 1 {
+			_ = ep.Send(node, data)
+			return
+		}
+		batchBuf[node] = append(batchBuf[node], data)
+		if len(batchBuf[node]) >= *batchN {
+			flushNode(node)
+		}
+	}
+
 	w := aggregate.NewWindower(aggregate.Config{WindowSec: 30}, func(ws uint64, aggs []*aggregate.Agg) {
 		for _, a := range aggs {
 			rec, ok := aggregate.Index2Record(ws, a)
@@ -107,13 +143,14 @@ func main() {
 			pendingIns[id] = time.Now()
 			mu.Unlock()
 			msg := &wire.ClientInsert{ReqID: id, Index: idx2.Tag, Rec: rec}
-			_ = ep.Send(nodes[a.Key.Node%len(nodes)], wire.Encode(msg))
+			sendInsert(nodes[a.Key.Node%len(nodes)], wire.Encode(msg))
 		}
 	})
 
 	lastQuery := time.Now()
 	for t := now; time.Since(start) < *duration; t++ {
 		g.GenerateSecond(t, func(f flowgen.Flow) { w.Add(f) })
+		flushAll() // bound client-side batch latency to one generated second
 		if time.Since(lastQuery) >= *queryGap {
 			lastQuery = time.Now()
 			mu.Lock()
@@ -131,11 +168,16 @@ func main() {
 		time.Sleep(100 * time.Millisecond)
 	}
 	w.Flush()
+	flushAll()
 	time.Sleep(2 * time.Second) // drain acks
 
 	mu.Lock()
 	defer mu.Unlock()
 	fmt.Printf("inserts: %d acked, %d failed, %d outstanding\n", inserted, failed, len(pendingIns))
+	if *batchN > 1 && batchesSent > 0 {
+		fmt.Printf("batches: %d sent, %.2f inserts/batch\n",
+			batchesSent, float64(batchedMsgs)/float64(batchesSent))
+	}
 	fmt.Printf("  latency %s\n", insertLat.Summarize())
 	fmt.Printf("queries: %d answered (%d incomplete), %d outstanding\n", queries, incomplete, len(pendingQry))
 	fmt.Printf("  latency %s\n", queryLat.Summarize())

@@ -160,6 +160,25 @@ func (c *Cluster) InsertWait(from int, tag string, rec schema.Record) (mind.Inse
 	return res, c.Net.Now().Sub(start), nil
 }
 
+// InsertBatchWait batch-inserts from the given node and pumps the
+// network until every per-record result (ack or timeout) arrives. It
+// returns the per-record results in input order and the virtual-time
+// latency of the whole batch.
+func (c *Cluster) InsertBatchWait(from int, tag string, recs []schema.Record) ([]mind.InsertResult, time.Duration, error) {
+	var res []mind.InsertResult
+	done := false
+	start := c.Net.Now()
+	err := c.Nodes[from].InsertBatch(tag, recs, func(rs []mind.InsertResult) {
+		res = rs
+		done = true
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	c.Net.RunUntil(func() bool { return done }, 50_000_000)
+	return res, c.Net.Now().Sub(start), nil
+}
+
 // QueryWait queries from the given node and pumps the network until the
 // result callback fires. It returns the result and the virtual-time
 // query latency.

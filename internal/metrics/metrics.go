@@ -198,6 +198,28 @@ func (s *Series) MaxValue() (time.Time, float64) {
 	return s.T[bi], s.V[bi]
 }
 
+// Occupancy accumulates how many items rode in how many batches — the
+// headline statistic of the insert-coalescing pipeline (batches sent or
+// received, and their mean fill).
+type Occupancy struct {
+	Batches uint64
+	Items   uint64
+}
+
+// Observe records one batch carrying n items.
+func (o *Occupancy) Observe(n int) {
+	o.Batches++
+	o.Items += uint64(n)
+}
+
+// Mean returns items per batch; NaN before the first observation.
+func (o *Occupancy) Mean() float64 {
+	if o.Batches == 0 {
+		return math.NaN()
+	}
+	return float64(o.Items) / float64(o.Batches)
+}
+
 // Counter tracks per-key integer loads (per-link traffic, per-node
 // storage).
 type Counter struct {

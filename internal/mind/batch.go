@@ -1,0 +1,149 @@
+package mind
+
+import (
+	"mind/internal/metrics"
+	"mind/internal/transport"
+	"mind/internal/wire"
+)
+
+// Per-link message coalescing: when cfg.BatchMaxMsgs > 1, outgoing
+// messages buffer per destination and leave as one wire.Batch once the
+// message-count or byte threshold is reached, or when the linger timer
+// fires. The per-message overhead of the codec and transport dominates
+// the insert hot path (§3.5's one-Insert-per-record stream), so a
+// single envelope per link per burst is the main lever for scaling
+// ingestion — the receiver unwraps through the normal dispatch loop, so
+// replication fan-out, acks and trigger fires coalesce identically.
+//
+// Locking: the coalescer has its own mutex and never touches n.mu, so
+// send stays callable both with and without n.mu held (trigger and
+// rebalance forwarding send under n.mu). Lock order is
+// n.mu → batchMu → transport internals, with no reverse path: the
+// linger timer callback takes only batchMu before handing off to the
+// endpoint.
+
+// transportOverheadEstimate approximates the per-message framing and
+// header cost a coalesced sub-message avoids (simnet's default
+// PerMsgOverheadBytes, and close to TCP/IP header + frame cost), used
+// for the bytes-saved counter.
+const transportOverheadEstimate = 64
+
+// peerBatch is the pending buffer for one destination.
+type peerBatch struct {
+	msgs  [][]byte
+	bytes int
+	timer transport.Timer
+}
+
+// batchingEnabled reports whether sends coalesce.
+func (n *Node) batchingEnabled() bool { return n.cfg.BatchMaxMsgs > 1 }
+
+// enqueueBatch buffers one encoded message for a peer, flushing when a
+// threshold is crossed and arming the linger timer otherwise.
+func (n *Node) enqueueBatch(to string, data []byte) {
+	n.batchMu.Lock()
+	pb, ok := n.batches[to]
+	if !ok {
+		pb = &peerBatch{}
+		n.batches[to] = pb
+	}
+	pb.msgs = append(pb.msgs, data)
+	pb.bytes += len(data)
+	if len(pb.msgs) >= n.cfg.BatchMaxMsgs ||
+		(n.cfg.BatchMaxBytes > 0 && pb.bytes >= n.cfg.BatchMaxBytes) {
+		n.takeBatchLocked(to, pb)
+		n.batchMu.Unlock()
+		n.deliverBatch(to, pb.msgs)
+		return
+	}
+	if pb.timer == nil {
+		// The timer identifies the batch by pointer: a threshold flush
+		// followed by new traffic creates a fresh peerBatch, and the
+		// stale timer then finds a different pointer and does nothing.
+		pb.timer = n.clock.AfterFunc(n.cfg.BatchLinger, func() { n.flushPeerBatch(to, pb) })
+	}
+	n.batchMu.Unlock()
+}
+
+// takeBatchLocked detaches a pending batch from the map and disarms its
+// timer. Callers hold batchMu.
+func (n *Node) takeBatchLocked(to string, pb *peerBatch) {
+	delete(n.batches, to)
+	if pb.timer != nil {
+		pb.timer.Stop()
+		pb.timer = nil
+	}
+}
+
+// flushPeerBatch is the linger-timer path: it flushes the batch it was
+// armed for if that batch is still pending.
+func (n *Node) flushPeerBatch(to string, pb *peerBatch) {
+	n.batchMu.Lock()
+	if n.batches[to] != pb {
+		n.batchMu.Unlock()
+		return
+	}
+	n.takeBatchLocked(to, pb)
+	n.batchMu.Unlock()
+	n.deliverBatch(to, pb.msgs)
+}
+
+// FlushBatches force-flushes every pending coalescing buffer (shutdown,
+// tests, and tools that must not leave messages lingering).
+func (n *Node) FlushBatches() {
+	n.batchMu.Lock()
+	pending := make(map[string][][]byte, len(n.batches))
+	for to, pb := range n.batches {
+		pending[to] = pb.msgs
+		n.takeBatchLocked(to, pb)
+	}
+	n.batchMu.Unlock()
+	for to, msgs := range pending {
+		n.deliverBatch(to, msgs)
+	}
+}
+
+// deliverBatch hands a detached buffer to the transport: a single
+// message goes out bare (the envelope would only add overhead), more
+// wrap into one wire.Batch.
+func (n *Node) deliverBatch(to string, msgs [][]byte) {
+	if len(msgs) == 0 {
+		return
+	}
+	if len(msgs) == 1 {
+		_ = n.ep.Send(to, msgs[0])
+		return
+	}
+	n.batchMu.Lock()
+	n.sentBatches.Observe(len(msgs))
+	n.batchBytesSaved += uint64(len(msgs)-1) * transportOverheadEstimate
+	n.batchMu.Unlock()
+	_ = n.ep.Send(to, wire.Encode(&wire.Batch{Msgs: msgs}))
+}
+
+// handleBatch unwraps a received envelope and dispatches each
+// sub-message as if it had arrived alone.
+func (n *Node) handleBatch(from string, m *wire.Batch) {
+	n.batchMu.Lock()
+	n.recvBatches.Observe(len(m.Msgs))
+	n.batchMu.Unlock()
+	for _, sub := range m.Msgs {
+		n.dispatch(from, sub)
+	}
+}
+
+// BatchStats snapshots the coalescing counters.
+type BatchStats struct {
+	Sent metrics.Occupancy // batches sent and the messages they carried
+	Recv metrics.Occupancy // batches received and unwrapped
+	// BytesSaved estimates transport framing bytes avoided by not
+	// sending each coalesced message alone.
+	BytesSaved uint64
+}
+
+// BatchStats returns a snapshot of the coalescing counters.
+func (n *Node) BatchStats() BatchStats {
+	n.batchMu.Lock()
+	defer n.batchMu.Unlock()
+	return BatchStats{Sent: n.sentBatches, Recv: n.recvBatches, BytesSaved: n.batchBytesSaved}
+}

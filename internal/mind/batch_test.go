@@ -1,0 +1,283 @@
+package mind_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"mind/internal/cluster"
+	"mind/internal/mind"
+	"mind/internal/schema"
+)
+
+// insertRecords drives nrecs records through InsertBatch in groups of
+// batchSize from rotating origin nodes and returns how many acked OK.
+func insertRecords(t *testing.T, c *cluster.Cluster, tag string, seed int64, nrecs, batchSize int) int {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	ok := 0
+	origin := 0
+	for off := 0; off < nrecs; off += batchSize {
+		n := batchSize
+		if off+n > nrecs {
+			n = nrecs - off
+		}
+		recs := make([]schema.Record, n)
+		for i := range recs {
+			recs[i] = randRec(r)
+		}
+		res, _, err := c.InsertBatchWait(origin%len(c.Nodes), tag, recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != n {
+			t.Fatalf("got %d results for %d records", len(res), n)
+		}
+		for _, rr := range res {
+			if rr.OK {
+				ok++
+			}
+		}
+		origin++
+	}
+	return ok
+}
+
+func TestInsertBatchStoresAndQueries(t *testing.T) {
+	c := mkCluster(t, 16, 5, nil) // batching off: grouped envelopes only
+	sch := testSchema()
+	if err := c.CreateIndex(sch); err != nil {
+		t.Fatal(err)
+	}
+	const nrecs = 120
+	if ok := insertRecords(t, c, sch.Tag, 99, nrecs, 24); ok != nrecs {
+		t.Fatalf("acked %d/%d batched inserts", ok, nrecs)
+	}
+	qr, _, err := c.QueryWait(3, sch.Tag, fullRect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !qr.Complete || len(qr.Records) != nrecs {
+		t.Fatalf("query after batch insert: complete=%v records=%d want %d",
+			qr.Complete, len(qr.Records), nrecs)
+	}
+}
+
+func TestInsertBatchEdgeCases(t *testing.T) {
+	c := mkCluster(t, 4, 6, nil)
+	sch := testSchema()
+	if err := c.CreateIndex(sch); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown index errors.
+	if err := c.Nodes[0].InsertBatch("ghost", []schema.Record{{1, 2, 3, 4}}, nil); err == nil {
+		t.Error("unknown index accepted")
+	}
+	// A bad record rejects the whole batch before anything is sent.
+	bad := []schema.Record{{1, 2, 3, 4}, {1, 2}}
+	if err := c.Nodes[0].InsertBatch(sch.Tag, bad, nil); err == nil {
+		t.Error("short record accepted")
+	}
+	// Empty batch completes immediately.
+	called := false
+	if err := c.Nodes[0].InsertBatch(sch.Tag, nil, func(rs []mind.InsertResult) {
+		called = true
+		if rs != nil {
+			t.Errorf("empty batch results = %v", rs)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Error("empty-batch callback did not fire")
+	}
+	// Fire-and-forget (nil callback) still stores.
+	if err := c.Nodes[1].InsertBatch(sch.Tag, []schema.Record{{7, 7, 7, 7}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(2 * time.Second)
+	qr, _, err := c.QueryWait(0, sch.Tag, fullRect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Records) != 1 {
+		t.Fatalf("stored %d records, want 1", len(qr.Records))
+	}
+}
+
+// TestBatchingReducesTransportSends runs the same workload with and
+// without coalescing and checks the acceptance criterion: fewer
+// transport sends per record, and mean batch occupancy > 1.
+func TestBatchingReducesTransportSends(t *testing.T) {
+	const nrecs = 200
+	run := func(batch bool) (sends uint64, stats mind.Stats, cl *cluster.Cluster) {
+		c := mkCluster(t, 16, 7, func(o *cluster.Options) {
+			if batch {
+				o.Node.BatchMaxMsgs = 32
+			}
+		})
+		sch := testSchema()
+		if err := c.CreateIndex(sch); err != nil {
+			t.Fatal(err)
+		}
+		base := c.Net.Stats().Sent
+		if ok := insertRecords(t, c, sch.Tag, 11, nrecs, 32); ok != nrecs {
+			t.Fatalf("batch=%v: acked %d/%d", batch, ok, nrecs)
+		}
+		var agg mind.Stats
+		for _, nd := range c.Nodes {
+			s := nd.Stats()
+			agg.BatchesSent += s.BatchesSent
+			agg.BatchesRecv += s.BatchesRecv
+			agg.BatchedMsgs += s.BatchedMsgs
+			agg.BatchBytesSaved += s.BatchBytesSaved
+		}
+		return c.Net.Stats().Sent - base, agg, c
+	}
+
+	plainSends, plainStats, _ := run(false)
+	batchSends, batchStats, c := run(true)
+	if batchSends >= plainSends {
+		t.Errorf("coalescing did not reduce transport sends: %d >= %d", batchSends, plainSends)
+	}
+	if batchStats.BatchesSent == 0 || batchStats.BatchesRecv == 0 {
+		t.Fatalf("no envelopes flowed: %+v", batchStats)
+	}
+	occ := float64(batchStats.BatchedMsgs) / float64(batchStats.BatchesSent)
+	if occ <= 1 {
+		t.Errorf("mean batch occupancy %.2f, want > 1", occ)
+	}
+	if batchStats.BatchBytesSaved == 0 {
+		t.Error("bytes-saved counter never moved")
+	}
+	// The unbatched run may still wrap InsertBatch groups; per-node
+	// occupancy must be well-formed either way.
+	for _, nd := range c.Nodes {
+		if s := nd.Stats(); s.BatchesSent > 0 && (math.IsNaN(s.BatchOccupancy) || s.BatchOccupancy < 1) {
+			t.Errorf("node %s occupancy %v with %d batches", nd.Addr(), s.BatchOccupancy, s.BatchesSent)
+		}
+	}
+	_ = plainStats
+}
+
+// TestBatchingPreservesQueryResults checks end-to-end equivalence: the
+// full query result set is identical with coalescing on and off, and
+// the replication fan-out still reaches replica stores.
+func TestBatchingPreservesQueryResults(t *testing.T) {
+	results := make(map[bool]int)
+	replicas := make(map[bool]int)
+	for _, batch := range []bool{false, true} {
+		c := mkCluster(t, 12, 9, func(o *cluster.Options) {
+			if batch {
+				o.Node.BatchMaxMsgs = 16
+				o.Node.BatchLinger = 2 * time.Millisecond
+			}
+		})
+		sch := testSchema()
+		if err := c.CreateIndex(sch); err != nil {
+			t.Fatal(err)
+		}
+		const nrecs = 96
+		if ok := insertRecords(t, c, sch.Tag, 21, nrecs, 16); ok != nrecs {
+			t.Fatalf("batch=%v: acked %d/%d", batch, ok, nrecs)
+		}
+		c.Settle(3 * time.Second) // drain replication fan-out
+		qr, _, err := c.QueryWait(5, sch.Tag, fullRect())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !qr.Complete {
+			t.Fatalf("batch=%v: incomplete query", batch)
+		}
+		results[batch] = len(qr.Records)
+		for _, nd := range c.Nodes {
+			replicas[batch] += nd.ReplicaRecords(sch.Tag)
+		}
+	}
+	if results[true] != results[false] {
+		t.Errorf("result sets differ: batched=%d plain=%d", results[true], results[false])
+	}
+	if replicas[true] == 0 {
+		t.Error("no replicas stored with batching on")
+	}
+}
+
+// TestBatchLingerFlushesOnClock pins the clock-driven flush: with a
+// long linger and a threshold that is never reached, messages must not
+// leave before the linger elapses, and must leave after.
+func TestBatchLingerFlushesOnClock(t *testing.T) {
+	c := mkCluster(t, 8, 13, func(o *cluster.Options) {
+		o.Node.BatchMaxMsgs = 1000 // never reached
+		o.Node.BatchLinger = 500 * time.Millisecond
+	})
+	sch := testSchema()
+	if err := c.CreateIndex(sch); err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(31))
+	acked := 0
+	for i := 0; i < 10; i++ {
+		if err := c.Nodes[0].Insert(sch.Tag, randRec(r), func(res mind.InsertResult) {
+			if res.OK {
+				acked++
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Records owned by the origin itself ack synchronously without
+	// touching the network; everything else is stuck in the buffer.
+	local := acked
+	if local == 10 {
+		t.Skip("all records landed on the origin; nothing to coalesce")
+	}
+	// Well within the linger nothing has flushed, so no further acks.
+	c.Settle(100 * time.Millisecond)
+	if acked != local {
+		t.Fatalf("%d acks before linger elapsed (expected %d local)", acked, local)
+	}
+	c.Settle(5 * time.Second)
+	if acked != 10 {
+		t.Fatalf("acked %d/10 after linger", acked)
+	}
+}
+
+// TestFlushBatchesImmediate pins the manual flush path used on Close.
+func TestFlushBatchesImmediate(t *testing.T) {
+	c := mkCluster(t, 8, 17, func(o *cluster.Options) {
+		o.Node.BatchMaxMsgs = 1000
+		o.Node.BatchLinger = time.Hour // effectively never
+	})
+	sch := testSchema()
+	if err := c.CreateIndex(sch); err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(37))
+	acked := 0
+	for i := 0; i < 10; i++ {
+		if err := c.Nodes[0].Insert(sch.Tag, randRec(r), func(res mind.InsertResult) {
+			if res.OK {
+				acked++
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	local := acked // origin-owned records ack synchronously
+	c.Settle(time.Second)
+	if acked != local {
+		t.Fatalf("%d acks leaked past an hour-long linger (expected %d local)", acked, local)
+	}
+	// Flush every node each round: acks and forwarded hops also buffer.
+	done := func() bool { return acked == 10 }
+	for i := 0; i < 20 && !done(); i++ {
+		for _, nd := range c.Nodes {
+			nd.FlushBatches()
+		}
+		c.Settle(time.Second)
+	}
+	if !done() {
+		t.Fatalf("acked %d/10 after explicit flushes", acked)
+	}
+}

@@ -3,6 +3,7 @@ package mind
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"mind/internal/bitstr"
 	"mind/internal/transport"
@@ -65,6 +66,135 @@ func (n *Node) Insert(tag string, rec schema.Record, cb func(InsertResult)) erro
 }
 
 var errTimeout = fmt.Errorf("mind: operation timed out")
+
+// batchInsertAgg assembles the per-record results of one InsertBatch
+// and fires the batch callback once every slot is settled.
+type batchInsertAgg struct {
+	mu        sync.Mutex
+	results   []InsertResult
+	remaining int
+	cb        func([]InsertResult)
+}
+
+func (a *batchInsertAgg) set(i int, res InsertResult) {
+	a.mu.Lock()
+	a.results[i] = res
+	a.remaining--
+	done := a.remaining == 0
+	a.mu.Unlock()
+	if done {
+		a.cb(a.results)
+	}
+}
+
+// InsertBatch inserts many records of one index in a single pass: every
+// record is hashed to its data-space code up front, records this node
+// owns store directly, and the rest are grouped by next overlay hop so
+// each neighbor receives one wire.Batch instead of one message per
+// record (§3.5's per-record stream is the hot path this collapses).
+// Individual acks still flow back per record; cb (which may be nil for
+// fire-and-forget) receives one InsertResult per input record, in input
+// order, once all have been acked or timed out.
+func (n *Node) InsertBatch(tag string, recs []schema.Record, cb func([]InsertResult)) error {
+	if len(recs) == 0 {
+		if cb != nil {
+			cb(nil)
+		}
+		return nil
+	}
+	n.mu.Lock()
+	ix, ok := n.indices[tag]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("mind: unknown index %q", tag)
+	}
+	for _, rec := range recs {
+		if err := ix.sch.CheckRecord(rec); err != nil {
+			n.mu.Unlock()
+			return err
+		}
+	}
+	var agg *batchInsertAgg
+	if cb != nil {
+		agg = &batchInsertAgg{results: make([]InsertResult, len(recs)), remaining: len(recs), cb: cb}
+	}
+	depth := clampDepth(n.ov.Code().Len() + n.cfg.InsertDepthSlack)
+	msgs := make([]*wire.Insert, len(recs))
+	for i, rec := range recs {
+		v := ix.version(rec, n.cfg.VersionSeconds)
+		tree := ix.tree(v)
+		var reqID uint64
+		if cb != nil {
+			reqID = n.nextReq()
+			slot := i
+			op := &insertOp{cb: func(res InsertResult) { agg.set(slot, res) }}
+			n.inserts[reqID] = op
+			rid := reqID
+			op.timer = n.clock.AfterFunc(n.cfg.InsertTimeout, func() {
+				n.finishInsert(rid, InsertResult{OK: false, Err: errTimeout})
+			})
+		}
+		msgs[i] = &wire.Insert{
+			ReqID:      reqID,
+			OriginAddr: n.ep.Addr(),
+			Index:      tag,
+			Version:    v,
+			RecID:      n.nextRecID(),
+			Rec:        rec,
+			Target:     tree.PointCode(rec.Point(ix.sch), depth),
+		}
+	}
+	n.mu.Unlock()
+
+	// Group by next hop from the local routing view. Unlike per-record
+	// Insert, the grouping happens once at the originator; downstream
+	// hops recompute targets per sub-message as usual, because receivers
+	// unwrap the envelope through the normal dispatch loop.
+	groups := make(map[string][]*wire.Insert)
+	var order []string // deterministic flush order (map iteration is not)
+	for _, m := range msgs {
+		if n.ov.Owns(m.Target) {
+			n.handleInsert(n.ep.Addr(), m, nil)
+			continue
+		}
+		m.Hops = 1 // leaving the originator, as in the per-record path
+		next, ok := n.ov.NextHop(m.Target)
+		if !ok {
+			n.ov.RingRecover(m.Target, wire.Encode(m))
+			continue
+		}
+		if _, seen := groups[next]; !seen {
+			order = append(order, next)
+		}
+		groups[next] = append(groups[next], m)
+	}
+	for _, next := range order {
+		group := groups[next]
+		n.mu.Lock()
+		n.forwarded += uint64(len(group))
+		n.tupleLinks[n.ep.Addr()+"→"+next] += uint64(len(group))
+		n.mu.Unlock()
+		n.sendGrouped(next, group)
+	}
+	return nil
+}
+
+// sendGrouped ships one next-hop group: through the coalescer when
+// enabled (merging with whatever else is bound for that peer), else
+// wrapped directly into a single envelope.
+func (n *Node) sendGrouped(to string, group []*wire.Insert) {
+	if n.batchingEnabled() {
+		for _, m := range group {
+			n.enqueueBatch(to, wire.Encode(m))
+		}
+		return
+	}
+	msgs := make([][]byte, len(group))
+	for i, m := range group {
+		msgs[i] = wire.Encode(m)
+	}
+	n.deliverBatch(to, msgs)
+}
 
 func clampDepth(d int) int {
 	if d > bitstr.MaxLen {
@@ -204,23 +334,29 @@ func (n *Node) storeAsOwner(m *wire.Insert) {
 	}
 }
 
-// replicaSetLocked picks the replica target addresses per §3.8: the
-// contacts with the longest common code prefixes, one per level, deepest
-// levels first; Replication levels in total (all levels for
-// ReplicateAll). Callers hold n.mu.
+// replicaSetLocked picks this node's replica target addresses from its
+// current overlay view. Callers hold n.mu.
 func (n *Node) replicaSetLocked() []string {
-	m := n.cfg.Replication
+	return replicaSet(n.ov.Code(), n.ov.Contacts(), n.cfg.Replication)
+}
+
+// replicaSet picks the replica target addresses per §3.8: the contacts
+// with the longest common code prefixes with myCode, one per level,
+// deepest levels first; m levels in total (all levels for
+// ReplicateAll). Level ties break toward the shallower contact code,
+// then the smaller address, so every node resolves the same view to the
+// same set. Pure function of its inputs for testability.
+func replicaSet(myCode bitstr.Code, contacts []wire.NodeInfo, m int) []string {
 	if m == 0 {
 		return nil
 	}
-	myCode := n.ov.Code()
 	type cand struct {
 		addr  string
 		level int
 		code  bitstr.Code
 	}
 	best := make(map[int]cand) // level → chosen contact
-	for _, c := range n.ov.Contacts() {
+	for _, c := range contacts {
 		lvl := myCode.CommonPrefixLen(c.Code)
 		if lvl >= myCode.Len() {
 			continue // prefix-related: transient state

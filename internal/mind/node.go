@@ -17,6 +17,7 @@ import (
 	"mind/internal/bitstr"
 	"mind/internal/embed"
 	"mind/internal/hypercube"
+	"mind/internal/metrics"
 	"mind/internal/schema"
 	"mind/internal/store"
 	"mind/internal/transport"
@@ -52,6 +53,14 @@ type Node struct {
 	// tupleLinks counts insert tuples sent per outgoing overlay link
 	// ("self→peer"), the Fig 12 metric.
 	tupleLinks map[string]uint64
+
+	// Per-link coalescing state (batch.go). batchMu is independent of mu
+	// so send works both with and without mu held.
+	batchMu         sync.Mutex
+	batches         map[string]*peerBatch
+	sentBatches     metrics.Occupancy
+	recvBatches     metrics.Occupancy
+	batchBytesSaved uint64
 }
 
 // NewNode creates a node bound to an endpoint and clock. The node
@@ -69,6 +78,7 @@ func NewNode(ep transport.Endpoint, clock transport.Clock, cfg Config) *Node {
 		collect:    make(map[string]*histCollect),
 		addrTag:    hashAddr(ep.Addr()),
 		tupleLinks: make(map[string]uint64),
+		batches:    make(map[string]*peerBatch),
 	}
 	n.ov = hypercube.New(ep, clock, cfg.Overlay, cfg.Seed^0x5f5e100, hypercube.Callbacks{
 		OnJoined:      n.onJoined,
@@ -111,21 +121,37 @@ func (n *Node) Code() bitstr.Code { return n.ov.Code() }
 // the experiment harness).
 func (n *Node) Overlay() *hypercube.Overlay { return n.ov }
 
-// Close stops the node's timers.
-func (n *Node) Close() { n.ov.Close() }
+// Close flushes any coalescing buffers and stops the node's timers.
+func (n *Node) Close() {
+	n.FlushBatches()
+	n.ov.Close()
+}
 
 // Stats is a snapshot of node-level counters.
 type Stats struct {
 	Forwarded  uint64 // routed messages passed on
 	Stored     uint64 // records stored as primary owner
 	Replicated uint64 // replica records stored
+
+	BatchesSent     uint64  // wire.Batch envelopes sent
+	BatchesRecv     uint64  // wire.Batch envelopes received and unwrapped
+	BatchedMsgs     uint64  // messages that travelled inside sent envelopes
+	BatchOccupancy  float64 // mean messages per sent envelope (NaN before the first)
+	BatchBytesSaved uint64  // estimated framing bytes avoided by coalescing
 }
 
 // Stats returns a snapshot of the node's counters.
 func (n *Node) Stats() Stats {
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	return Stats{Forwarded: n.forwarded, Stored: n.stored, Replicated: n.replicated}
+	s := Stats{Forwarded: n.forwarded, Stored: n.stored, Replicated: n.replicated}
+	n.mu.Unlock()
+	b := n.BatchStats()
+	s.BatchesSent = b.Sent.Batches
+	s.BatchedMsgs = b.Sent.Items
+	s.BatchesRecv = b.Recv.Batches
+	s.BatchOccupancy = b.Sent.Mean()
+	s.BatchBytesSaved = b.BytesSaved
+	return s
 }
 
 // TupleLinkCounts snapshots how many insert tuples this node sent over
@@ -140,9 +166,16 @@ func (n *Node) TupleLinkCounts() map[string]uint64 {
 	return out
 }
 
-// send encodes and transmits, ignoring transport-level errors.
+// send encodes and transmits, ignoring transport-level errors. With
+// coalescing enabled the message buffers in the per-destination queue
+// instead of leaving immediately (batch.go).
 func (n *Node) send(to string, m wire.Message) {
-	_ = n.ep.Send(to, wire.Encode(m))
+	data := wire.Encode(m)
+	if n.batchingEnabled() {
+		n.enqueueBatch(to, data)
+		return
+	}
+	_ = n.ep.Send(to, data)
 }
 
 // nextReq issues a node-unique request id.
@@ -168,6 +201,10 @@ func (n *Node) dispatch(from string, data []byte) {
 }
 
 func (n *Node) handleMessage(from string, m wire.Message, raw []byte) {
+	if b, ok := m.(*wire.Batch); ok {
+		n.handleBatch(from, b)
+		return
+	}
 	if n.ov.Handle(from, m) {
 		return
 	}

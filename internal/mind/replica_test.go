@@ -1,0 +1,133 @@
+package mind
+
+import (
+	"reflect"
+	"testing"
+
+	"mind/internal/bitstr"
+	"mind/internal/wire"
+)
+
+// Table-driven coverage of replicaSet's level selection (§3.8),
+// especially the tie-breaking rules that were previously only exercised
+// indirectly through full-cluster runs: one contact per common-prefix
+// level, deepest levels first, ties toward the shallower contact code
+// and then the smaller address.
+func TestReplicaSetSelection(t *testing.T) {
+	ni := func(addr, code string) wire.NodeInfo {
+		return wire.NodeInfo{Addr: addr, Code: bitstr.MustParse(code)}
+	}
+	my := bitstr.MustParse("0101")
+
+	cases := []struct {
+		name     string
+		myCode   bitstr.Code
+		contacts []wire.NodeInfo
+		m        int
+		want     []string
+	}{
+		{
+			name:   "replication disabled",
+			myCode: my,
+			contacts: []wire.NodeInfo{
+				ni("a", "0100"),
+			},
+			m:    0,
+			want: nil,
+		},
+		{
+			name:     "no contacts",
+			myCode:   my,
+			contacts: nil,
+			m:        2,
+			want:     []string{},
+		},
+		{
+			name:   "one contact per level deepest first",
+			myCode: my,
+			contacts: []wire.NodeInfo{
+				ni("lvl0", "1101"), // common prefix 0
+				ni("lvl1", "0001"), // common prefix 1
+				ni("lvl3", "0100"), // common prefix 3
+			},
+			m:    ReplicateAll,
+			want: []string{"lvl3", "lvl1", "lvl0"},
+		},
+		{
+			name:   "m truncates to deepest levels",
+			myCode: my,
+			contacts: []wire.NodeInfo{
+				ni("lvl0", "1101"),
+				ni("lvl1", "0001"),
+				ni("lvl3", "0100"),
+			},
+			m:    2,
+			want: []string{"lvl3", "lvl1"},
+		},
+		{
+			name:   "tie broken toward shallower contact code",
+			myCode: my,
+			contacts: []wire.NodeInfo{
+				ni("deep", "010011"),  // level 3, len 6
+				ni("shallow", "0100"), // level 3, len 4
+			},
+			m:    1,
+			want: []string{"shallow"},
+		},
+		{
+			name:   "tie on code length broken by smaller address",
+			myCode: my,
+			contacts: []wire.NodeInfo{
+				ni("n9", "0100"),
+				ni("n2", "0100"),
+				ni("n5", "0100"),
+			},
+			m:    1,
+			want: []string{"n2"},
+		},
+		{
+			name:   "first-seen does not beat a better tie candidate",
+			myCode: my,
+			contacts: []wire.NodeInfo{
+				ni("a-deep", "010010"), // seen first but deeper
+				ni("z-shallow", "0100"),
+			},
+			m:    1,
+			want: []string{"z-shallow"},
+		},
+		{
+			name:   "prefix-related contacts are skipped",
+			myCode: my,
+			contacts: []wire.NodeInfo{
+				ni("self-prefix", "01"),   // prefix of my code: level == 2 < 4, kept
+				ni("extension", "010110"), // my code is its prefix: level 4 >= len, skipped
+				ni("identical", "0101"),   // same code: level 4 >= len, skipped
+			},
+			m:    ReplicateAll,
+			want: []string{"self-prefix"},
+		},
+		{
+			name:   "duplicate levels collapse to one target",
+			myCode: my,
+			contacts: []wire.NodeInfo{
+				ni("b", "0111"), // level 2
+				ni("a", "0110"), // level 2, same length, smaller addr
+				ni("c", "1000"), // level 0
+			},
+			m:    ReplicateAll,
+			want: []string{"a", "c"},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := replicaSet(tc.myCode, tc.contacts, tc.m)
+			if len(got) == 0 && len(tc.want) == 0 {
+				return // nil vs empty both mean "no replicas"
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("replicaSet = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"mind/internal/wire"
 )
 
 func TestBasicDelivery(t *testing.T) {
@@ -366,5 +368,42 @@ func TestLinkTrafficStats(t *testing.T) {
 	st := n.Stats()
 	if st.Sent != 2 || st.Delivered != 2 || st.Dropped != 0 {
 		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBatchPayloadRoundTrip(t *testing.T) {
+	// A coalesced wire.Batch envelope must survive the simulated link
+	// byte-for-byte and decode back into its sub-messages.
+	n := New(Config{Seed: 1, DefaultLatency: time.Millisecond})
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+
+	sub1 := wire.Encode(&wire.Heartbeat{From: wire.NodeInfo{Addr: "a"}, Seq: 1})
+	sub2 := wire.Encode(&wire.InsertAck{ReqID: 7, Hops: 3})
+	payload := wire.Encode(&wire.Batch{Msgs: [][]byte{sub1, sub2}})
+
+	var got []byte
+	b.SetHandler(func(_ string, msg []byte) { got = append([]byte(nil), msg...) })
+	if err := a.Send("b", payload); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(0)
+	m, err := wire.Decode(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, ok := m.(*wire.Batch)
+	if !ok {
+		t.Fatalf("decoded %T, want *wire.Batch", m)
+	}
+	if len(batch.Msgs) != 2 {
+		t.Fatalf("batch carries %d sub-messages", len(batch.Msgs))
+	}
+	ack, err := wire.Decode(batch.Msgs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2, ok := ack.(*wire.InsertAck); !ok || a2.ReqID != 7 || a2.Hops != 3 {
+		t.Fatalf("sub-message round-trip: %#v", ack)
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"mind/internal/wire"
 )
 
 // waitFor polls cond for up to two seconds.
@@ -207,5 +209,50 @@ func TestFrameCodec(t *testing.T) {
 	trunc.Write([]byte{0, 0, 0, 10, 1, 2})
 	if _, err := readFrame(&trunc); err == nil {
 		t.Fatal("truncated frame accepted")
+	}
+}
+
+func TestBatchPayloadRoundTrip(t *testing.T) {
+	// A coalesced wire.Batch envelope must cross the framed TCP link
+	// intact and decode back into its sub-messages.
+	a, _ := Listen("127.0.0.1:0")
+	defer a.Close()
+	b, _ := Listen("127.0.0.1:0")
+	defer b.Close()
+
+	sub1 := wire.Encode(&wire.Heartbeat{From: wire.NodeInfo{Addr: a.Addr()}, Seq: 1})
+	sub2 := wire.Encode(&wire.InsertAck{ReqID: 42, Hops: 5})
+	payload := wire.Encode(&wire.Batch{Msgs: [][]byte{sub1, sub2}})
+
+	var mu sync.Mutex
+	var got []byte
+	b.SetHandler(func(_ string, msg []byte) {
+		mu.Lock()
+		got = append([]byte(nil), msg...)
+		mu.Unlock()
+	})
+	if err := a.Send(b.Addr(), payload); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { mu.Lock(); defer mu.Unlock(); return got != nil })
+	mu.Lock()
+	defer mu.Unlock()
+	m, err := wire.Decode(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, ok := m.(*wire.Batch)
+	if !ok {
+		t.Fatalf("decoded %T, want *wire.Batch", m)
+	}
+	if len(batch.Msgs) != 2 {
+		t.Fatalf("batch carries %d sub-messages", len(batch.Msgs))
+	}
+	ack, err := wire.Decode(batch.Msgs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2, ok := ack.(*wire.InsertAck); !ok || a2.ReqID != 42 || a2.Hops != 5 {
+		t.Fatalf("sub-message round-trip: %#v", ack)
 	}
 }

@@ -17,6 +17,68 @@ import (
 // input from provoking huge allocations.
 const MaxSliceLen = 1 << 22
 
+// MaxBatchMsgs caps the number of sub-messages one Batch may carry.
+const MaxBatchMsgs = 1 << 16
+
+// KindBatch frames a coalesced sequence of independently encoded
+// messages travelling to the same peer. It lives outside the protocol
+// kind groups (join/maintenance/data/control, client, trigger) because
+// it is a transport-level envelope, not a protocol step.
+const KindBatch Kind = 250
+
+// Batch is the coalescing envelope: each element of Msgs is one fully
+// framed encoded message (kind byte + payload), exactly as Encode
+// produces it. Receivers unwrap and dispatch each sub-message through
+// the normal decode path, so every message type batches for free.
+// Batches do not nest: a sub-message whose kind byte is KindBatch fails
+// decoding, which keeps hostile input from building recursion bombs.
+type Batch struct {
+	Msgs [][]byte
+}
+
+// Kind returns KindBatch.
+func (m *Batch) Kind() Kind { return KindBatch }
+
+func (m *Batch) encode(w *Writer) {
+	w.Uvarint(uint64(len(m.Msgs)))
+	for _, sub := range m.Msgs {
+		w.BytesField(sub)
+	}
+}
+
+func (m *Batch) decode(r *Reader) {
+	n := r.Uvarint()
+	if n > MaxBatchMsgs || n > uint64(r.Remaining()) {
+		r.fail("batch of %d messages implausible", n)
+		return
+	}
+	m.Msgs = make([][]byte, 0, n)
+	for i := uint64(0); i < n; i++ {
+		sub := r.BytesField()
+		if r.err != nil {
+			return
+		}
+		if len(sub) == 0 {
+			r.fail("empty sub-message in batch")
+			return
+		}
+		if Kind(sub[0]) == KindBatch {
+			r.fail("nested batch")
+			return
+		}
+		m.Msgs = append(m.Msgs, sub)
+	}
+}
+
+func init() { clientKindNames[KindBatch] = "batch" }
+
+func newBatchMessage(k Kind) Message {
+	if k == KindBatch {
+		return &Batch{}
+	}
+	return nil
+}
+
 // Writer accumulates an encoded message.
 type Writer struct {
 	buf []byte

@@ -122,6 +122,9 @@ func Decode(data []byte) (Message, error) {
 		m = newTriggerMessage(k)
 	}
 	if m == nil {
+		m = newBatchMessage(k)
+	}
+	if m == nil {
 		return nil, fmt.Errorf("wire: unknown message kind %d", data[0])
 	}
 	r := NewReader(data[1:])

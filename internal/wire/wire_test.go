@@ -274,7 +274,88 @@ func TestDecodeFuzzNoPanic(t *testing.T) {
 	}
 }
 
+func TestBatchRoundTrip(t *testing.T) {
+	var subs [][]byte
+	for _, m := range allMessages() {
+		subs = append(subs, Encode(m))
+	}
+	b := &Batch{Msgs: subs}
+	data := Encode(b)
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("batch decode: %v", err)
+	}
+	gb, ok := got.(*Batch)
+	if !ok {
+		t.Fatalf("decoded %T, want *Batch", got)
+	}
+	if !reflect.DeepEqual(gb.Msgs, subs) {
+		t.Fatal("batch sub-messages changed in round trip")
+	}
+	// Every sub-message must decode back to its original.
+	for i, sub := range gb.Msgs {
+		m, err := Decode(sub)
+		if err != nil {
+			t.Fatalf("sub %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(m, allMessages()[i]) {
+			t.Errorf("sub %d (%s) changed through batch", i, m.Kind())
+		}
+	}
+}
+
+func TestBatchRejectsNesting(t *testing.T) {
+	inner := Encode(&Batch{Msgs: [][]byte{Encode(&DropIndex{OpID: 1, Tag: "x"})}})
+	outer := Encode(&Batch{Msgs: [][]byte{inner}})
+	if _, err := Decode(outer); err == nil {
+		t.Fatal("nested batch accepted")
+	}
+}
+
+func TestBatchRejectsHostileInput(t *testing.T) {
+	// Huge declared count must not allocate.
+	w := NewWriter()
+	w.U8(uint8(KindBatch))
+	w.Uvarint(1 << 40)
+	if _, err := Decode(w.Bytes()); err == nil {
+		t.Fatal("hostile batch count accepted")
+	}
+	// Empty sub-message is invalid.
+	w2 := NewWriter()
+	w2.U8(uint8(KindBatch))
+	w2.Uvarint(1)
+	w2.BytesField(nil)
+	if _, err := Decode(w2.Bytes()); err == nil {
+		t.Fatal("empty sub-message accepted")
+	}
+	// Truncated sub-message list is invalid.
+	full := Encode(&Batch{Msgs: [][]byte{Encode(&DropIndex{OpID: 1, Tag: "x"})}})
+	for cut := 1; cut < len(full); cut++ {
+		if _, err := Decode(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(full))
+		}
+	}
+}
+
+func TestBatchDecodeFuzzNoPanic(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	f := func() bool {
+		n := r.Intn(300)
+		data := make([]byte, n+1)
+		data[0] = uint8(KindBatch)
+		r.Read(data[1:])
+		_, _ = Decode(data) // must never panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestKindString(t *testing.T) {
+	if KindBatch.String() != "batch" {
+		t.Errorf("KindBatch = %s", KindBatch)
+	}
 	if KindInsert.String() != "insert" {
 		t.Errorf("KindInsert = %s", KindInsert)
 	}
