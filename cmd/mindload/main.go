@@ -32,6 +32,8 @@ func main() {
 		seed      = flag.Int64("seed", 1, "workload seed")
 		queryGap  = flag.Duration("query-every", 5*time.Second, "interval between monitoring queries")
 		batchN    = flag.Int("batch", 1, "coalesce up to N client inserts per node into one wire.Batch (1 = off)")
+		retryBase = flag.Duration("retry-base", 500*time.Millisecond, "initial client retransmission backoff (0 disables retries)")
+		maxRetry  = flag.Int("max-retries", 4, "client retransmissions per un-acked insert")
 	)
 	flag.Parse()
 	nodes := strings.Split(*nodesFlag, ",")
@@ -42,12 +44,24 @@ func main() {
 	}
 	defer ep.Close()
 
+	// pendingInsert is one un-acked client insert: everything needed to
+	// retransmit it on a doubling backoff until the entry node's ack
+	// (idempotent server-side — a duplicate replays the cached ack).
+	type pendingInsert struct {
+		t0       time.Time
+		node     string
+		data     []byte
+		attempts int // retransmissions so far
+		nextAt   time.Time
+	}
+
 	var mu sync.Mutex
 	insertLat := metrics.NewDist()
 	queryLat := metrics.NewDist()
-	pendingIns := map[uint64]time.Time{}
+	pendingIns := map[uint64]*pendingInsert{}
 	pendingQry := map[uint64]time.Time{}
 	inserted, failed, queries, incomplete := 0, 0, 0, 0
+	retransmits, totalInserts := 0, 0
 	var reqSeq uint64
 
 	ep.SetHandler(func(from string, data []byte) {
@@ -59,11 +73,11 @@ func main() {
 		defer mu.Unlock()
 		switch r := m.(type) {
 		case *wire.ClientAck:
-			if t0, ok := pendingIns[r.ReqID]; ok {
+			if p, ok := pendingIns[r.ReqID]; ok {
 				delete(pendingIns, r.ReqID)
 				if r.OK {
 					inserted++
-					insertLat.AddDuration(time.Since(t0))
+					insertLat.AddDuration(time.Since(p.t0))
 				} else {
 					failed++
 				}
@@ -131,19 +145,58 @@ func main() {
 		}
 	}
 
+	// retransmitDue resends every pending insert whose backoff elapsed:
+	// doubling delay per attempt, straight to the entry node (a retry
+	// should not sit in a coalescing buffer).
+	retransmitDue := func() {
+		if *retryBase <= 0 || *maxRetry <= 0 {
+			return
+		}
+		now := time.Now()
+		type resend struct {
+			node string
+			data []byte
+		}
+		var due []resend
+		mu.Lock()
+		for _, p := range pendingIns {
+			if p.attempts >= *maxRetry || now.Before(p.nextAt) {
+				continue
+			}
+			p.attempts++
+			p.nextAt = now.Add(*retryBase << uint(p.attempts))
+			retransmits++
+			due = append(due, resend{node: p.node, data: p.data})
+		}
+		mu.Unlock()
+		for _, r := range due {
+			_ = ep.Send(r.node, r.data)
+		}
+	}
+
 	w := aggregate.NewWindower(aggregate.Config{WindowSec: 30}, func(ws uint64, aggs []*aggregate.Agg) {
 		for _, a := range aggs {
 			rec, ok := aggregate.Index2Record(ws, a)
 			if !ok {
 				continue
 			}
+			node := nodes[a.Key.Node%len(nodes)]
 			mu.Lock()
 			reqSeq++
 			id := reqSeq + 100
-			pendingIns[id] = time.Now()
 			mu.Unlock()
 			msg := &wire.ClientInsert{ReqID: id, Index: idx2.Tag, Rec: rec}
-			sendInsert(nodes[a.Key.Node%len(nodes)], wire.Encode(msg))
+			data := wire.Encode(msg)
+			mu.Lock()
+			pendingIns[id] = &pendingInsert{
+				t0:     time.Now(),
+				node:   node,
+				data:   data,
+				nextAt: time.Now().Add(*retryBase),
+			}
+			totalInserts++
+			mu.Unlock()
+			sendInsert(node, data)
 		}
 	})
 
@@ -151,6 +204,7 @@ func main() {
 	for t := now; time.Since(start) < *duration; t++ {
 		g.GenerateSecond(t, func(f flowgen.Flow) { w.Add(f) })
 		flushAll() // bound client-side batch latency to one generated second
+		retransmitDue()
 		if time.Since(lastQuery) >= *queryGap {
 			lastQuery = time.Now()
 			mu.Lock()
@@ -169,11 +223,26 @@ func main() {
 	}
 	w.Flush()
 	flushAll()
-	time.Sleep(2 * time.Second) // drain acks
+	// Drain: keep retransmitting due entries until everything acked or
+	// the retry budget is spent.
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		mu.Lock()
+		left := len(pendingIns)
+		mu.Unlock()
+		if left == 0 {
+			break
+		}
+		retransmitDue()
+		time.Sleep(100 * time.Millisecond)
+	}
 
 	mu.Lock()
 	defer mu.Unlock()
 	fmt.Printf("inserts: %d acked, %d failed, %d outstanding\n", inserted, failed, len(pendingIns))
+	if totalInserts > 0 {
+		fmt.Printf("  retransmits: %d total, %.3f per insert; p99 insert latency %.1f ms\n",
+			retransmits, float64(retransmits)/float64(totalInserts), insertLat.Percentile(99)*1000)
+	}
 	if *batchN > 1 && batchesSent > 0 {
 		fmt.Printf("batches: %d sent, %.2f inserts/batch\n",
 			batchesSent, float64(batchedMsgs)/float64(batchesSent))

@@ -230,9 +230,13 @@ func (o *Overlay) learn(info wire.NodeInfo) {
 		}
 	}
 	if len(same) >= o.cfg.MaxContactsPerLevel {
+		// `same` was collected in map order; equal lastSeen stamps are
+		// routine under the virtual clock, so break the tie by address or
+		// the surviving contact SET itself becomes run-dependent.
 		stalest := same[0]
 		for _, c := range same[1:] {
-			if c.lastSeen.Before(stalest.lastSeen) {
+			if c.lastSeen.Before(stalest.lastSeen) ||
+				(c.lastSeen.Equal(stalest.lastSeen) && c.info.Addr < stalest.info.Addr) {
 				stalest = c
 			}
 		}
@@ -250,6 +254,40 @@ func (o *Overlay) touch(addr string) {
 		c.unreachable = false
 		c.probing = false
 	}
+}
+
+// SuspectContact feeds external evidence of trouble — e.g. the reliable
+// request layer exhausting retransmissions through a contact — into the
+// failure machinery: the contact is suspended from routing and a
+// liveness probe is launched immediately, instead of waiting for the
+// heartbeat sweep to notice the silence on its own. The normal probe
+// window then either attests the contact alive (flaky link: it stays
+// suspended but undead) or declares it dead. Suspecting an unknown
+// address is a no-op.
+func (o *Overlay) SuspectContact(addr string) {
+	o.mu.Lock()
+	if o.closed || !o.joined {
+		o.mu.Unlock()
+		return
+	}
+	c, ok := o.contacts[addr]
+	if !ok || c.probing {
+		o.mu.Unlock()
+		return
+	}
+	c.probing = true
+	c.unreachable = true
+	c.suspectAt = o.clock.Now()
+	info := c.info
+	o.mu.Unlock()
+
+	o.ProbeLiveness(info, func(alive bool) {
+		o.mu.Lock()
+		if c, ok := o.contacts[info.Addr]; ok && alive {
+			c.attestedAt = o.clock.Now()
+		}
+		o.mu.Unlock()
+	})
 }
 
 // levelOf returns the neighbor level (dimension) of a code relative to
@@ -381,6 +419,13 @@ func (o *Overlay) heartbeatTick() {
 	seq := o.hbSeq
 	o.scheduleHeartbeatLocked()
 	o.mu.Unlock()
+
+	// The slices above were collected in map-iteration order; sends
+	// consume the simulator's seeded RNG (loss, jitter), so their order
+	// must be deterministic for same-seed runs to be bit-identical.
+	sort.Strings(targets)
+	sort.Slice(probe, func(i, j int) bool { return probe[i].Addr < probe[j].Addr })
+	sort.Slice(dead, func(i, j int) bool { return dead[i].Addr < dead[j].Addr })
 
 	if deadSibling {
 		o.maybeTakeover(wire.NodeInfo{Code: sibCode})
@@ -574,6 +619,8 @@ func (o *Overlay) Handle(from string, m wire.Message) bool {
 		o.handleLivenessProbe(from, msg)
 	case *wire.LivenessReply:
 		o.handleLivenessReply(msg)
+	case *wire.RingResumed:
+		o.handleRingResumed(msg)
 	default:
 		return false
 	}

@@ -206,3 +206,184 @@ func TestCanResumeCallback(t *testing.T) {
 		}
 	}
 }
+
+// ringChain hand-builds a frozen four-node chain A—B—C—D (no heartbeats,
+// no joins): each node only knows its neighbors, so a ring probe from A
+// needs successively wider TTLs to reach D, the only node owning the
+// target region "1".
+func ringChain(t *testing.T, net *simnet.Network, cfg Config) []*testNode {
+	t.Helper()
+	specs := []struct{ name, code string }{
+		{"ra", "000"}, {"rb", "001"}, {"rc", "01"}, {"rd", "1"},
+	}
+	nodes := make([]*testNode, len(specs))
+	for i, s := range specs {
+		ep, err := net.Endpoint(s.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tn := &testNode{ep: ep, name: s.name}
+		tn.ov = New(ep, net.Clock(), cfg, int64(3000+i), Callbacks{})
+		ep.SetHandler(func(from string, data []byte) {
+			m, err := wire.Decode(data)
+			if err != nil {
+				t.Errorf("%s: decode: %v", tn.name, err)
+				return
+			}
+			tn.ov.Handle(from, m)
+		})
+		tn.ov.mu.Lock()
+		tn.ov.joined = true
+		tn.ov.code = bitstr.MustParse(s.code)
+		tn.ov.mu.Unlock()
+		nodes[i] = tn
+	}
+	link := func(a, b *testNode) {
+		now := net.Clock().Now()
+		a.ov.mu.Lock()
+		a.ov.contacts[b.name] = &contact{info: wire.NodeInfo{Addr: b.name, Code: b.ov.code}, lastSeen: now}
+		a.ov.mu.Unlock()
+		b.ov.mu.Lock()
+		b.ov.contacts[a.name] = &contact{info: wire.NodeInfo{Addr: a.name, Code: a.ov.code}, lastSeen: now}
+		b.ov.mu.Unlock()
+	}
+	link(nodes[0], nodes[1])
+	link(nodes[1], nodes[2])
+	link(nodes[2], nodes[3])
+	return nodes
+}
+
+func TestRingRecoverTTLEscalation(t *testing.T) {
+	// The target is three hops from the origin, so rings with TTL 1 and 2
+	// die out and only the third escalation (TTL 3) reaches the owner:
+	// the expanding ring must actually expand through nodes earlier
+	// rounds already touched, and the RingResumed notification must stop
+	// the fourth round from being launched.
+	net := simnet.New(simnet.Config{Seed: 73, DefaultLatency: 5 * time.Millisecond})
+	cfg := testConfig()
+	cfg.RingTTLs = []uint8{1, 2, 3, 3}
+	cfg.RingTimeout = time.Second
+	nodes := ringChain(t, net, cfg)
+	a, b, d := nodes[0], nodes[1], nodes[3]
+
+	var resumes []string
+	var resumedAt []time.Time
+	var gotPayload []byte
+	for _, tn := range nodes {
+		tn := tn
+		tn.ov.cb.OnResume = func(from string, payload []byte) {
+			resumes = append(resumes, tn.name)
+			resumedAt = append(resumedAt, net.Clock().Now())
+			gotPayload = payload
+			if from != a.name {
+				t.Errorf("resume reports origin %q, want %q", from, a.name)
+			}
+		}
+	}
+	// Count ring-probe frames B receives from the origin: one per
+	// launched round.
+	launched := 0
+	prev := b.ep
+	bHandler := func(from string, data []byte) {
+		m, err := wire.Decode(data)
+		if err != nil {
+			t.Errorf("rb: decode: %v", err)
+			return
+		}
+		if _, ok := m.(*wire.RingProbe); ok && from == a.name {
+			launched++
+		}
+		b.ov.Handle(from, m)
+	}
+	prev.SetHandler(bHandler)
+
+	start := net.Clock().Now()
+	a.ov.RingRecover(bitstr.MustParse("1"), []byte("stuck"))
+	net.RunFor(10 * time.Second)
+
+	if len(resumes) != 1 || resumes[0] != d.name {
+		t.Fatalf("resumes = %v, want exactly one at %s", resumes, d.name)
+	}
+	if string(gotPayload) != "stuck" {
+		t.Fatalf("payload %q corrupted", gotPayload)
+	}
+	if got := resumedAt[0].Sub(start); got < 2*cfg.RingTimeout {
+		t.Fatalf("resumed after %v, before the TTL-3 round could have launched", got)
+	}
+	if launched != 3 {
+		t.Fatalf("origin launched %d rounds, want 3 (TTL 1, 2, 3; 4th suppressed by RingResumed)", launched)
+	}
+}
+
+func TestSuspectContactProbesNotKills(t *testing.T) {
+	// SuspectContact on a live, reachable peer must divert routing away
+	// immediately but not evict the peer: the liveness probe attests to
+	// it and direct heartbeats then clear the suspicion.
+	net := simnet.New(simnet.Config{Seed: 75, DefaultLatency: 5 * time.Millisecond})
+	cfg := testConfig()
+	nodes := newCluster(t, net, 8, cfg)
+	joinAll(t, net, nodes, true)
+	net.RunFor(3 * time.Second)
+
+	src := nodes[2]
+	src.ov.mu.Lock()
+	var victim string
+	for addr := range src.ov.contacts {
+		if victim == "" || addr < victim {
+			victim = addr
+		}
+	}
+	c := src.ov.contacts[victim]
+	code := c.info.Code
+	src.ov.mu.Unlock()
+
+	src.ov.SuspectContact(victim)
+	src.ov.mu.Lock()
+	unreachable := src.ov.contacts[victim] != nil && src.ov.contacts[victim].unreachable
+	src.ov.mu.Unlock()
+	if !unreachable {
+		t.Fatal("suspected contact not marked unreachable")
+	}
+	if next, ok := src.ov.NextHop(code); ok && next == victim {
+		t.Fatal("routing still picks the suspect")
+	}
+
+	net.RunFor(4 * cfg.FailAfter)
+	src.ov.mu.Lock()
+	kept := src.ov.contacts[victim]
+	cleared := kept != nil && !kept.unreachable
+	src.ov.mu.Unlock()
+	if !cleared {
+		t.Fatalf("live suspect evicted or still unreachable (kept=%v)", kept != nil)
+	}
+}
+
+func TestSuspectContactEvictsDeadPeer(t *testing.T) {
+	// Suspecting a genuinely dead peer must end in eviction through the
+	// normal probe-window machinery.
+	net := simnet.New(simnet.Config{Seed: 77, DefaultLatency: 5 * time.Millisecond})
+	cfg := testConfig()
+	nodes := newCluster(t, net, 8, cfg)
+	joinAll(t, net, nodes, true)
+	net.RunFor(3 * time.Second)
+
+	src := nodes[1]
+	src.ov.mu.Lock()
+	var victim string
+	for addr := range src.ov.contacts {
+		if victim == "" || addr < victim {
+			victim = addr
+		}
+	}
+	src.ov.mu.Unlock()
+
+	net.Kill(victim)
+	src.ov.SuspectContact(victim)
+	net.RunFor(10 * cfg.FailAfter)
+	src.ov.mu.Lock()
+	_, still := src.ov.contacts[victim]
+	src.ov.mu.Unlock()
+	if still {
+		t.Fatalf("dead suspect %s never evicted", victim)
+	}
+}

@@ -38,6 +38,16 @@ func (o *Overlay) nextHopLocked(target bitstr.Code) (string, bool) {
 	return o.nextHopExcludingLocked(target, "")
 }
 
+// NextHopExcluding is NextHop skipping one address: the reliable request
+// layer uses it to route a retransmission around the first hop the
+// original attempt used, in case that contact (or the link to it) is the
+// reason the ack never came.
+func (o *Overlay) NextHopExcluding(target bitstr.Code, exclude string) (addr string, ok bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.nextHopExcludingLocked(target, exclude)
+}
+
 // nextHopExcludingLocked is nextHopLocked skipping one address; liveness
 // probes use it to route around the very peer under suspicion.
 func (o *Overlay) nextHopExcludingLocked(target bitstr.Code, exclude string) (string, bool) {
@@ -88,25 +98,28 @@ func (o *Overlay) RingRecover(target bitstr.Code, payload []byte) {
 	if len(ttls) == 0 {
 		return
 	}
-	send := func(ttl uint8) {
+	send := func(ring int, ttl uint8) {
 		o.broadcastProbe(&wire.RingProbe{
 			ProbeID:  id,
 			Origin:   origin,
 			Target:   target,
 			MatchLen: match,
 			TTL:      ttl,
+			Ring:     uint8(ring),
 			Payload:  payload,
 		})
 	}
-	send(ttls[0])
+	send(0, ttls[0])
 	for i, ttl := range ttls[1:] {
-		ttl := ttl
-		o.clock.AfterFunc(time.Duration(i+1)*o.cfg.RingTimeout, func() {
+		ring, ttl := i+1, ttl
+		o.clock.AfterFunc(time.Duration(ring)*o.cfg.RingTimeout, func() {
+			// A RingResumed notification (or MarkProbeResumed) marks the
+			// probe id; escalation stops once someone picked the payload up.
 			o.mu.Lock()
 			resumed := o.seenProbes[id]
 			o.mu.Unlock()
 			if !resumed {
-				send(ttl)
+				send(ring, ttl)
 			}
 		})
 	}
@@ -136,17 +149,30 @@ func (o *Overlay) broadcastProbe(p *wire.RingProbe) {
 
 // handleRingProbe either resumes the stuck message (strictly better
 // match than the probe origin) or re-broadcasts within the TTL. Each
-// node acts on a given probe id at most once.
+// node acts on a given (probe id, ring) at most once — the dedup must be
+// per ring, not per id, or a wider escalation round would die at the
+// first-round neighbors and the ring could never expand. A node that
+// resumes notifies the origin (RingResumed), which stops escalating.
 func (o *Overlay) handleRingProbe(_ string, m *wire.RingProbe) {
 	o.mu.Lock()
-	if o.seenProbes[m.ProbeID] || !o.joined {
+	if m.Origin.Addr == o.ep.Addr() {
+		// Our own probe echoed back by a neighbor's rebroadcast; acting on
+		// it would mark the probe id and falsely suppress escalation.
 		o.mu.Unlock()
 		return
 	}
-	o.seenProbes[m.ProbeID] = true
+	ringKey := m.ProbeID ^ (uint64(m.Ring+1) * 0x9e3779b97f4a7c15)
+	if o.seenProbes[ringKey] || !o.joined {
+		o.mu.Unlock()
+		return
+	}
+	o.seenProbes[ringKey] = true
+	// Resuming once per probe id is enough, however many rounds reach us.
+	resumedBefore := o.seenProbes[m.ProbeID]
 	if len(o.seenProbes) > 65536 {
 		// Crude bound; ids are random enough that clearing is safe.
-		o.seenProbes = map[uint64]bool{m.ProbeID: true}
+		o.seenProbes = map[uint64]bool{ringKey: true}
+		resumedBefore = false
 	}
 	myMatch := o.code.CommonPrefixLen(m.Target)
 	better := myMatch > int(m.MatchLen) || o.ownsLocked(m.Target)
@@ -156,6 +182,13 @@ func (o *Overlay) handleRingProbe(_ string, m *wire.RingProbe) {
 		better = true
 	}
 	if better {
+		if resumedBefore {
+			return
+		}
+		o.mu.Lock()
+		o.seenProbes[m.ProbeID] = true
+		o.mu.Unlock()
+		o.send(m.Origin.Addr, &wire.RingResumed{ProbeID: m.ProbeID})
 		if o.cb.OnResume != nil {
 			o.cb.OnResume(m.Origin.Addr, m.Payload)
 		}
@@ -166,6 +199,12 @@ func (o *Overlay) handleRingProbe(_ string, m *wire.RingProbe) {
 		fwd.TTL--
 		o.broadcastProbe(&fwd)
 	}
+}
+
+// handleRingResumed records at the origin that a probe's payload was
+// picked up, suppressing further TTL escalation.
+func (o *Overlay) handleRingResumed(m *wire.RingResumed) {
+	o.MarkProbeResumed(m.ProbeID)
 }
 
 // MarkProbeResumed lets the origin record that a probe id completed (the
@@ -192,7 +231,10 @@ func (o *Overlay) probeHopLocked(target bitstr.Code, suspectAddr, fromAddr strin
 		if c.unreachable || c.info.Addr == suspectAddr || c.info.Addr == fromAddr {
 			continue
 		}
-		if m := c.info.Code.CommonPrefixLen(target); m > bestMatch {
+		// Ties break by address: the scan runs in map order, and the pick
+		// must not depend on it (same-seed simnet reproducibility).
+		if m := c.info.Code.CommonPrefixLen(target); m > bestMatch ||
+			(m == bestMatch && c.info.Addr < bestAddr) {
 			bestMatch, bestAddr = m, c.info.Addr
 		}
 	}

@@ -220,6 +220,31 @@ func (o *Occupancy) Mean() float64 {
 	return float64(o.Items) / float64(o.Batches)
 }
 
+// Reliability accumulates the reliable-request-layer counters: tracked
+// requests issued, retransmissions sent, end-to-end acks received over
+// the wire, and duplicate requests suppressed or absorbed at idempotent
+// receivers.
+type Reliability struct {
+	Requests    uint64
+	Retransmits uint64
+	Acks        uint64
+	DedupHits   uint64
+}
+
+// RetransmitsPerRequest returns the mean retransmission count per
+// tracked request; NaN before the first request.
+func (r Reliability) RetransmitsPerRequest() float64 {
+	if r.Requests == 0 {
+		return math.NaN()
+	}
+	return float64(r.Retransmits) / float64(r.Requests)
+}
+
+func (r Reliability) String() string {
+	return fmt.Sprintf("requests=%d retransmits=%d acks=%d dedup_hits=%d",
+		r.Requests, r.Retransmits, r.Acks, r.DedupHits)
+}
+
 // Counter tracks per-key integer loads (per-link traffic, per-node
 // storage).
 type Counter struct {

@@ -8,21 +8,100 @@ import (
 // client outside the overlay sends ClientInsert / ClientQuery /
 // ClientCreateIndex / ClientDropIndex to any node; the node executes the
 // operation on the client's behalf and replies directly.
+//
+// Clients retransmit un-acked requests (the transport is lossy), so the
+// entry node keeps a bounded cache of recent client request ids: a
+// duplicate ClientInsert does not insert a second record — the cached
+// ack is replayed if the operation finished, or the duplicate is
+// absorbed while it is still in flight (the pending callback will ack).
+// Duplicate queries are suppressed only while in flight; a re-ask of a
+// finished query simply re-executes (reads are naturally idempotent).
+
+// clientOpState tracks one client request through execution.
+type clientOpState struct {
+	done bool
+	ack  *wire.ClientAck // insert outcome, replayed to duplicates
+}
+
+// clientOpKey namespaces a client request id by the client's address, so
+// independent clients reusing request ids cannot collide.
+func clientOpKey(from string, reqID uint64) uint64 {
+	return hashAddr(from) ^ reqID*0x9e3779b97f4a7c15
+}
+
+// clientQueryKeyMix separates query ids from insert ids in the cache.
+const clientQueryKeyMix = 0x517cc1b727220a95
+
+// clientOpLocked looks a request up in the bounded client cache.
+// Callers hold n.mu.
+func (n *Node) clientOpLocked(key uint64) *clientOpState {
+	if st, ok := n.clientSeen[key]; ok {
+		return st
+	}
+	return n.clientPrev[key]
+}
+
+// storeClientOpLocked records a request, rotating generations at the
+// bound (same scheme as dedupSet). Callers hold n.mu.
+func (n *Node) storeClientOpLocked(key uint64, st *clientOpState) {
+	if len(n.clientSeen) >= dedupCap {
+		n.clientPrev = n.clientSeen
+		n.clientSeen = make(map[uint64]*clientOpState)
+	}
+	n.clientSeen[key] = st
+}
 
 func (n *Node) handleClientInsert(from string, m *wire.ClientInsert) {
+	key := clientOpKey(from, m.ReqID)
+	n.mu.Lock()
+	if st := n.clientOpLocked(key); st != nil {
+		n.dedupHits++
+		var cached *wire.ClientAck
+		if st.done {
+			cached = st.ack
+		}
+		n.mu.Unlock()
+		if cached != nil {
+			n.send(from, cached)
+		}
+		return
+	}
+	st := &clientOpState{}
+	n.storeClientOpLocked(key, st)
+	n.mu.Unlock()
+
+	finish := func(ack *wire.ClientAck) {
+		n.mu.Lock()
+		st.done = true
+		st.ack = ack
+		n.mu.Unlock()
+		n.send(from, ack)
+	}
 	err := n.Insert(m.Index, m.Rec, func(res InsertResult) {
 		ack := &wire.ClientAck{ReqID: m.ReqID, OK: res.OK, Hops: uint8(res.Hops)}
 		if res.Err != nil {
 			ack.Error = res.Err.Error()
 		}
-		n.send(from, ack)
+		finish(ack)
 	})
 	if err != nil {
-		n.send(from, &wire.ClientAck{ReqID: m.ReqID, OK: false, Error: err.Error()})
+		finish(&wire.ClientAck{ReqID: m.ReqID, OK: false, Error: err.Error()})
 	}
 }
 
 func (n *Node) handleClientQuery(from string, m *wire.ClientQuery) {
+	key := clientOpKey(from, m.ReqID) ^ clientQueryKeyMix
+	n.mu.Lock()
+	if st := n.clientOpLocked(key); st != nil && !st.done {
+		// Still answering the first copy; its callback will respond.
+		n.dedupHits++
+		n.mu.Unlock()
+		return
+	}
+	st := &clientOpState{}
+	n.storeClientOpLocked(key, st)
+	n.mu.Unlock()
+
 	err := n.Query(m.Index, m.Rect, func(res QueryResult) {
 		resp := &wire.ClientQueryResp{
 			ReqID:      m.ReqID,
@@ -32,9 +111,15 @@ func (n *Node) handleClientQuery(from string, m *wire.ClientQuery) {
 		for _, rec := range res.Records {
 			resp.Recs = append(resp.Recs, rec)
 		}
+		n.mu.Lock()
+		st.done = true
+		n.mu.Unlock()
 		n.send(from, resp)
 	})
 	if err != nil {
+		n.mu.Lock()
+		st.done = true
+		n.mu.Unlock()
 		n.send(from, &wire.ClientQueryResp{ReqID: m.ReqID, Complete: false})
 	}
 }

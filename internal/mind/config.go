@@ -31,6 +31,20 @@ type Config struct {
 	// query coverage before returning partial results.
 	QueryTimeout time.Duration
 
+	// RetryBase is the delay before the first retransmission of an
+	// un-acked insert or un-covered query region; each further attempt
+	// doubles it (plus deterministic jitter from the node's seeded RNG)
+	// up to RetryMax. RetryBase 0 disables the reliable request layer
+	// (operations become single-shot datagrams bounded only by the
+	// operation timeouts, the pre-retry behavior).
+	RetryBase time.Duration
+	// RetryMax caps the backoff between retransmissions.
+	RetryMax time.Duration
+	// MaxRetries is how many retransmissions an originator sends before
+	// giving up and feeding the suspected first hop to the overlay's
+	// failure machinery. 0 disables the reliable request layer.
+	MaxRetries int
+
 	// VersionSeconds is the length of one index version period (the
 	// paper versions indices daily: 86400).
 	VersionSeconds uint64
@@ -81,6 +95,9 @@ func DefaultConfig(seed int64) Config {
 		InsertDepthSlack: 16,
 		InsertTimeout:    30 * time.Second,
 		QueryTimeout:     30 * time.Second,
+		RetryBase:        time.Second,
+		RetryMax:         8 * time.Second,
+		MaxRetries:       4,
 		VersionSeconds:   86400,
 		HistoryTTL:       10 * time.Minute,
 		HistCollectWait:  5 * time.Second,

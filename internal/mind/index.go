@@ -24,8 +24,10 @@ type index struct {
 	// replicaOwners records the owner codes whose data we replicate,
 	// enabling fail-over answers for their regions.
 	replicaOwners map[bitstr.Code]bool
-	// seen dedups record ids against ring-recovery double delivery.
-	seen map[uint64]bool
+	// seen dedups record ids against originator retransmission and
+	// ring-recovery double delivery; bounded, so memory stays O(1) per
+	// index while the window far exceeds any retransmission horizon.
+	seen *dedupSet
 
 	// History pointer (§3.4): after this node joined by splitting
 	// histAddr's region, sub-queries are forwarded there until
@@ -48,7 +50,7 @@ func newIndex(sch *schema.Schema, base *embed.Tree) *index {
 		primary:       store.NewVersioned(sch),
 		replicas:      store.NewVersioned(sch),
 		replicaOwners: make(map[bitstr.Code]bool),
-		seen:          make(map[uint64]bool),
+		seen:          newDedupSet(dedupCap),
 		timeAttr:      -1,
 	}
 	for i := 0; i < sch.IndexDims; i++ {
@@ -150,10 +152,9 @@ func indexFromDef(d wire.IndexDef) (*index, error) {
 // storeRecord inserts into primary storage with RecID dedup; it reports
 // whether the record was new.
 func (ix *index) storeRecord(v uint32, recID uint64, rec schema.Record) bool {
-	if ix.seen[recID] {
+	if ix.seen.Seen(recID) {
 		return false
 	}
-	ix.seen[recID] = true
 	ix.primary.Insert(v, rec)
 	return true
 }
@@ -161,11 +162,10 @@ func (ix *index) storeRecord(v uint32, recID uint64, rec schema.Record) bool {
 // storeReplica inserts into replica storage.
 func (ix *index) storeReplica(owner bitstr.Code, v uint32, recID uint64, rec schema.Record) {
 	key := recID ^ 0x9e3779b97f4a7c15 // replica dedup namespace
-	if ix.seen[key] {
+	ix.replicaOwners[owner] = true
+	if ix.seen.Seen(key) {
 		return
 	}
-	ix.seen[key] = true
-	ix.replicaOwners[owner] = true
 	ix.replicas.Insert(v, rec)
 }
 

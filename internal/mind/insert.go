@@ -22,7 +22,14 @@ type InsertResult struct {
 
 type insertOp struct {
 	cb    func(InsertResult)
-	timer transport.Timer
+	timer transport.Timer // overall InsertTimeout bound
+
+	// Reliable-request state (reliable.go): the message is kept for
+	// retransmission until the ack arrives or retries exhaust.
+	msg     *wire.Insert
+	lastHop string // first hop the latest attempt left through
+	attempt int
+	retry   transport.Timer
 }
 
 // Insert hashes the record to its data-space code and greedy-routes it
@@ -45,13 +52,6 @@ func (n *Node) Insert(tag string, rec schema.Record, cb func(InsertResult)) erro
 	target := tree.PointCode(rec.Point(ix.sch), depth)
 	reqID := n.nextReq()
 	recID := n.nextRecID()
-	op := &insertOp{cb: cb}
-	if cb != nil {
-		n.inserts[reqID] = op
-		op.timer = n.clock.AfterFunc(n.cfg.InsertTimeout, func() { n.finishInsert(reqID, InsertResult{OK: false, Err: errTimeout}) })
-	}
-	n.mu.Unlock()
-
 	msg := &wire.Insert{
 		ReqID:      reqID,
 		OriginAddr: n.ep.Addr(),
@@ -61,6 +61,18 @@ func (n *Node) Insert(tag string, rec schema.Record, cb func(InsertResult)) erro
 		Rec:        rec,
 		Target:     target,
 	}
+	// Track the op whenever the reliable layer is on, even fire-and-forget
+	// inserts: retransmission needs the pending-ack state. The InsertTimeout
+	// timer then bounds how long the entry can linger.
+	if cb != nil || n.retriesEnabled() {
+		op := &insertOp{cb: cb, msg: msg}
+		n.inserts[reqID] = op
+		n.reqTracked++
+		op.timer = n.clock.AfterFunc(n.cfg.InsertTimeout, func() { n.finishInsert(reqID, InsertResult{OK: false, Err: errTimeout}) })
+		n.armInsertRetryLocked(reqID, op)
+	}
+	n.mu.Unlock()
+
 	n.handleInsert(n.ep.Addr(), msg, wire.Encode(msg))
 	return nil
 }
@@ -124,11 +136,16 @@ func (n *Node) InsertBatch(tag string, recs []schema.Record, cb func([]InsertRes
 		v := ix.version(rec, n.cfg.VersionSeconds)
 		tree := ix.tree(v)
 		var reqID uint64
-		if cb != nil {
+		var op *insertOp
+		if cb != nil || n.retriesEnabled() {
 			reqID = n.nextReq()
-			slot := i
-			op := &insertOp{cb: func(res InsertResult) { agg.set(slot, res) }}
+			op = &insertOp{}
+			if cb != nil {
+				slot := i
+				op.cb = func(res InsertResult) { agg.set(slot, res) }
+			}
 			n.inserts[reqID] = op
+			n.reqTracked++
 			rid := reqID
 			op.timer = n.clock.AfterFunc(n.cfg.InsertTimeout, func() {
 				n.finishInsert(rid, InsertResult{OK: false, Err: errTimeout})
@@ -142,6 +159,10 @@ func (n *Node) InsertBatch(tag string, recs []schema.Record, cb func([]InsertRes
 			RecID:      n.nextRecID(),
 			Rec:        rec,
 			Target:     tree.PointCode(rec.Point(ix.sch), depth),
+		}
+		if op != nil {
+			op.msg = msgs[i]
+			n.armInsertRetryLocked(reqID, op)
 		}
 	}
 	n.mu.Unlock()
@@ -173,6 +194,11 @@ func (n *Node) InsertBatch(tag string, recs []schema.Record, cb func([]InsertRes
 		n.mu.Lock()
 		n.forwarded += uint64(len(group))
 		n.tupleLinks[n.ep.Addr()+"→"+next] += uint64(len(group))
+		for _, m := range group {
+			if op, ok := n.inserts[m.ReqID]; ok {
+				op.lastHop = next
+			}
+		}
 		n.mu.Unlock()
 		n.sendGrouped(next, group)
 	}
@@ -216,6 +242,9 @@ func (n *Node) finishInsert(reqID uint64, res InsertResult) {
 	delete(n.inserts, reqID)
 	if op.timer != nil {
 		op.timer.Stop()
+	}
+	if op.retry != nil {
+		op.retry.Stop()
 	}
 	n.mu.Unlock()
 	if op.cb != nil {
@@ -272,6 +301,12 @@ func (n *Node) forwardInsert(m *wire.Insert) {
 		n.mu.Lock()
 		n.forwarded++
 		n.tupleLinks[n.ep.Addr()+"→"+next]++
+		if m.OriginAddr == n.ep.Addr() {
+			// Record the first hop so a retransmission can exclude it.
+			if op, ok := n.inserts[m.ReqID]; ok {
+				op.lastHop = next
+			}
+		}
 		n.mu.Unlock()
 		n.send(next, m)
 		return
@@ -293,6 +328,11 @@ func (n *Node) storeAsOwner(m *wire.Insert) {
 	if isNew {
 		n.stored++
 		fired = ix.fireTriggers(n.clock.Now(), m.RecID, m.Rec)
+	} else {
+		// Retransmission (or ring double-delivery) of a record already
+		// stored: idempotent, but the origin still needs the ack below —
+		// the lost message may have been the previous ack.
+		n.dedupHits++
 	}
 	myInfo := n.ov.Info()
 	replicas := n.replicaSetLocked()
@@ -382,6 +422,9 @@ func replicaSet(myCode bitstr.Code, contacts []wire.NodeInfo, m int) []string {
 }
 
 func (n *Node) handleInsertAck(m *wire.InsertAck) {
+	n.mu.Lock()
+	n.acksReceived++
+	n.mu.Unlock()
 	n.finishInsert(m.ReqID, InsertResult{OK: true, Hops: int(m.Hops), StoredAt: m.StoredAt.Addr})
 }
 

@@ -50,6 +50,18 @@ type Node struct {
 	forwarded  uint64
 	stored     uint64
 	replicated uint64
+	// Reliable-request-layer counters (reliable.go).
+	reqTracked   uint64 // acked-tracked inserts and queries issued
+	retransmits  uint64 // retransmissions sent
+	acksReceived uint64 // end-to-end acks received over the wire
+	dedupHits    uint64 // duplicate requests absorbed at this receiver
+	// ansDedup counts repeated sub-query answering work (the request is
+	// still re-answered — the previous response may be the loss).
+	ansDedup *dedupSet
+	// clientSeen dedups client RPC request ids so a retransmitted
+	// ClientInsert is idempotent (client_api.go).
+	clientSeen map[uint64]*clientOpState
+	clientPrev map[uint64]*clientOpState
 	// tupleLinks counts insert tuples sent per outgoing overlay link
 	// ("self→peer"), the Fig 12 metric.
 	tupleLinks map[string]uint64
@@ -79,6 +91,8 @@ func NewNode(ep transport.Endpoint, clock transport.Clock, cfg Config) *Node {
 		addrTag:    hashAddr(ep.Addr()),
 		tupleLinks: make(map[string]uint64),
 		batches:    make(map[string]*peerBatch),
+		ansDedup:   newDedupSet(dedupCap),
+		clientSeen: make(map[uint64]*clientOpState),
 	}
 	n.ov = hypercube.New(ep, clock, cfg.Overlay, cfg.Seed^0x5f5e100, hypercube.Callbacks{
 		OnJoined:      n.onJoined,
@@ -138,12 +152,19 @@ type Stats struct {
 	BatchedMsgs     uint64  // messages that travelled inside sent envelopes
 	BatchOccupancy  float64 // mean messages per sent envelope (NaN before the first)
 	BatchBytesSaved uint64  // estimated framing bytes avoided by coalescing
+
+	Retransmits  uint64 // reliable-layer retransmissions sent
+	AcksReceived uint64 // end-to-end acks received over the wire
+	DedupHits    uint64 // duplicate requests absorbed at this receiver
 }
 
 // Stats returns a snapshot of the node's counters.
 func (n *Node) Stats() Stats {
 	n.mu.Lock()
-	s := Stats{Forwarded: n.forwarded, Stored: n.stored, Replicated: n.replicated}
+	s := Stats{
+		Forwarded: n.forwarded, Stored: n.stored, Replicated: n.replicated,
+		Retransmits: n.retransmits, AcksReceived: n.acksReceived, DedupHits: n.dedupHits,
+	}
 	n.mu.Unlock()
 	b := n.BatchStats()
 	s.BatchesSent = b.Sent.Batches
@@ -220,6 +241,15 @@ func (n *Node) handleMessage(from string, m wire.Message, raw []byte) {
 	case *wire.SubQuery:
 		n.handleSubQuery(from, msg, raw)
 	case *wire.QueryResp:
+		if msg.HasCover {
+			// A covering response is the sub-query's end-to-end ack; this
+			// arm only sees wire deliveries (self-answers short-circuit
+			// through respond), so the counter stays wire-only like
+			// InsertAck's.
+			n.mu.Lock()
+			n.acksReceived++
+			n.mu.Unlock()
+		}
 		n.handleQueryResp(msg)
 	case *wire.CreateIndex:
 		n.handleCreateIndex(msg)

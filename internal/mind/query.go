@@ -33,6 +33,7 @@ type QueryResult struct {
 
 type queryOp struct {
 	cb         func(QueryResult)
+	index      string
 	rect       schema.Rect
 	tries      map[uint32]*coverSet
 	regions    map[uint32]bitstr.Code // region each version's trie must cover
@@ -41,7 +42,14 @@ type queryOp struct {
 	records    []schema.Record
 	responders map[string]bool
 	maxHops    int
-	timer      transport.Timer
+	timer      transport.Timer // overall QueryTimeout bound
+
+	// Reliable-request state (reliable.go): uncovered regions are
+	// re-queried on the backoff schedule, excluding the first hop their
+	// last attempt used.
+	attempt   int
+	retry     transport.Timer
+	retryHops map[string]string // region code (or "*": whole query) → last first hop
 }
 
 // Query resolves a multi-dimensional range query against an index
@@ -68,19 +76,33 @@ func (n *Node) Query(tag string, rect schema.Rect, cb func(QueryResult)) error {
 	reqID := n.nextReq()
 	op := &queryOp{
 		cb:         cb,
+		index:      tag,
 		rect:       rect.Clone(),
 		tries:      make(map[uint32]*coverSet),
 		regions:    make(map[uint32]bitstr.Code),
 		trees:      make(map[uint32]*embed.Tree),
 		recIDs:     make(map[uint64]bool),
 		responders: make(map[string]bool),
+		retryHops:  make(map[string]string),
 	}
 	maxDepth := clampDepth(n.ov.Code().Len() + n.cfg.InsertDepthSlack)
 	type dispatch struct {
 		msg *wire.Query
 	}
 	var dispatches []dispatch
-	for tree, vs := range groups {
+	// Dispatch groups in ascending first-version order: the grouping map
+	// is keyed by tree pointer, and send order must not depend on map
+	// iteration for same-seed simnet runs to reproduce exactly.
+	var treeOrder []*embed.Tree
+	dispatched := make(map[*embed.Tree]bool)
+	for _, v := range versions {
+		if t := ix.tree(v); !dispatched[t] {
+			dispatched[t] = true
+			treeOrder = append(treeOrder, t)
+		}
+	}
+	for _, tree := range treeOrder {
+		vs := groups[tree]
 		qcode := tree.QueryCode(rect, maxDepth)
 		vlist := make([]uint64, len(vs))
 		for i, v := range vs {
@@ -99,7 +121,9 @@ func (n *Node) Query(tag string, rect schema.Rect, cb func(QueryResult)) error {
 		}})
 	}
 	n.queries[reqID] = op
+	n.reqTracked++
 	op.timer = n.clock.AfterFunc(n.cfg.QueryTimeout, func() { n.finishQuery(reqID, false) })
+	n.armQueryRetryLocked(reqID, op)
 	n.mu.Unlock()
 
 	for _, d := range dispatches {
@@ -118,6 +142,9 @@ func (n *Node) finishQuery(reqID uint64, complete bool) {
 	delete(n.queries, reqID)
 	if op.timer != nil {
 		op.timer.Stop()
+	}
+	if op.retry != nil {
+		op.retry.Stop()
 	}
 	res := QueryResult{
 		Records:    op.records,
@@ -150,6 +177,13 @@ func (n *Node) handleQuery(from string, m *wire.Query, raw []byte) {
 		if next, ok := n.ov.NextHop(m.Target); ok {
 			n.mu.Lock()
 			n.forwarded++
+			if m.OriginAddr == n.ep.Addr() {
+				// Record the whole-query first hop so retransmissions of
+				// still-uncovered regions can exclude it.
+				if op, ok := n.queries[m.ReqID]; ok {
+					op.retryHops["*"] = next
+				}
+			}
 			n.mu.Unlock()
 			n.send(next, &fwd)
 		} else {
@@ -277,6 +311,12 @@ func (n *Node) answerSubQuery(m *wire.SubQuery) {
 	histActive := ix.historyActive(n.clock.Now())
 	histAddr := ix.histAddr
 	self := n.ov.Info()
+	if n.ansDedup.Seen(subQueryKey(m)) {
+		// Repeated answering work for the same (request, region): the
+		// originator's retransmission reached us again. Still answer —
+		// the previous response may be the message that was lost.
+		n.dedupHits++
+	}
 	n.mu.Unlock()
 
 	resp := &wire.QueryResp{

@@ -1,0 +1,311 @@
+package mind
+
+import (
+	"sort"
+	"time"
+
+	"mind/internal/bitstr"
+	"mind/internal/embed"
+	"mind/internal/metrics"
+	"mind/internal/wire"
+)
+
+// Reliable request layer: the transport contract is deliberately lossy
+// ("MIND's protocol layers own reliability"), so every tracked insert
+// and every query carries a request id, receivers ack end-to-end (the
+// InsertAck, and a covering QueryResp, ARE the acks — no extra message
+// kinds), receivers dedup retransmitted work through bounded caches, and
+// originators retransmit un-acked requests on a clock-driven exponential
+// backoff schedule with deterministic jitter from the node's seeded RNG.
+// Retransmissions re-resolve the first hop excluding the previously-used
+// contact, so they route around a node that died mid-operation, and
+// retry exhaustion feeds the overlay's suspicion machinery
+// (Overlay.SuspectContact). Everything runs off transport.Clock, so the
+// schedule is identical under simnet's virtual clock and tcpnet's real
+// clock — and bit-reproducible for a given seed under simnet.
+
+// dedupCap bounds each dedup generation; a receiver remembers between
+// dedupCap and 2·dedupCap of the most recent keys.
+const dedupCap = 1 << 16
+
+// dedupSet is a bounded two-generation set of uint64 keys: when the
+// current generation fills, it becomes the previous generation and a
+// fresh one starts. Lookups consult both, so membership is remembered
+// for at least cap and at most 2·cap recent keys with O(1) operations
+// and bounded memory — the idempotent-receiver cache of the reliable
+// request layer. The retransmission horizon (MaxRetries backoff steps)
+// is far shorter than the time it takes cap fresh keys to arrive, so a
+// retransmitted request always finds its first attempt still cached.
+type dedupSet struct {
+	cap  int
+	cur  map[uint64]bool
+	prev map[uint64]bool
+}
+
+func newDedupSet(capacity int) *dedupSet {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &dedupSet{cap: capacity, cur: make(map[uint64]bool)}
+}
+
+// Seen inserts key and reports whether it was already present.
+func (s *dedupSet) Seen(key uint64) bool {
+	if s.cur[key] || s.prev[key] {
+		return true
+	}
+	if len(s.cur) >= s.cap {
+		s.prev = s.cur
+		s.cur = make(map[uint64]bool)
+	}
+	s.cur[key] = true
+	return false
+}
+
+// Len returns the number of remembered keys.
+func (s *dedupSet) Len() int { return len(s.cur) + len(s.prev) }
+
+// retriesEnabled reports whether the reliable request layer is active.
+func (n *Node) retriesEnabled() bool {
+	return n.cfg.MaxRetries > 0 && n.cfg.RetryBase > 0
+}
+
+// retryDelayLocked computes the backoff before retransmission attempt
+// (1-based): RetryBase doubling per attempt, capped at RetryMax, plus up
+// to 25% jitter drawn from the node's seeded RNG — deterministic under
+// simnet, desynchronizing under tcpnet. Callers hold n.mu.
+func (n *Node) retryDelayLocked(attempt int) time.Duration {
+	d := n.cfg.RetryBase
+	for i := 1; i < attempt && d < n.cfg.RetryMax; i++ {
+		d *= 2
+	}
+	if n.cfg.RetryMax > 0 && d > n.cfg.RetryMax {
+		d = n.cfg.RetryMax
+	}
+	return d + time.Duration(n.rng.Float64()*0.25*float64(d))
+}
+
+// armInsertRetryLocked schedules the first retransmission check for a
+// tracked insert. Callers hold n.mu.
+func (n *Node) armInsertRetryLocked(reqID uint64, op *insertOp) {
+	if !n.retriesEnabled() {
+		return
+	}
+	op.retry = n.clock.AfterFunc(n.retryDelayLocked(1), func() { n.resendInsert(reqID) })
+}
+
+// resendInsert fires when a tracked insert's retry timer elapses without
+// an ack: retransmit through a first hop excluding the one used last
+// (the un-acked attempt's path is the prime suspect), or — once
+// MaxRetries attempts are exhausted — report the last hop to the
+// overlay's suspicion machinery and leave the op to its InsertTimeout.
+func (n *Node) resendInsert(reqID uint64) {
+	n.mu.Lock()
+	op, ok := n.inserts[reqID]
+	if !ok || op.msg == nil {
+		n.mu.Unlock()
+		return
+	}
+	if op.attempt >= n.cfg.MaxRetries {
+		suspect := op.lastHop
+		n.mu.Unlock()
+		if suspect != "" {
+			n.ov.SuspectContact(suspect)
+		}
+		return
+	}
+	op.attempt++
+	n.retransmits++
+	msg := *op.msg
+	msg.Attempt = uint8(op.attempt)
+	exclude := op.lastHop
+	op.retry = n.clock.AfterFunc(n.retryDelayLocked(op.attempt+1), func() { n.resendInsert(reqID) })
+	n.mu.Unlock()
+
+	if n.ov.Owns(msg.Target) {
+		// Ownership may have shifted to us (takeover) since the original
+		// attempt: store locally, which self-acks.
+		n.handleInsert(n.ep.Addr(), &msg, nil)
+		return
+	}
+	next, ok := n.ov.NextHopExcluding(msg.Target, exclude)
+	if !ok {
+		// The excluded contact may be the only exit; better a repeat of a
+		// possibly-fine path than a guaranteed dead end.
+		next, ok = n.ov.NextHop(msg.Target)
+	}
+	if !ok {
+		n.ov.RingRecover(msg.Target, wire.Encode(&msg))
+		return
+	}
+	n.mu.Lock()
+	if cur, still := n.inserts[reqID]; still {
+		cur.lastHop = next
+	}
+	n.mu.Unlock()
+	msg.Hops++
+	n.send(next, &msg)
+}
+
+// armQueryRetryLocked schedules the first retransmission check for a
+// query. Callers hold n.mu.
+func (n *Node) armQueryRetryLocked(reqID uint64, op *queryOp) {
+	if !n.retriesEnabled() {
+		return
+	}
+	op.retry = n.clock.AfterFunc(n.retryDelayLocked(1), func() { n.resendQuery(reqID) })
+}
+
+// resendQuery fires when a query's retry timer elapses before full
+// coverage: the coverage tries know exactly which regions never
+// answered, so instead of replaying the whole query the originator
+// re-issues targeted sub-queries for the missing regions, excluding the
+// first hop each region's last attempt used. Exhaustion suspects the
+// last hops of the still-missing regions and leaves the op to its
+// QueryTimeout.
+func (n *Node) resendQuery(reqID uint64) {
+	n.mu.Lock()
+	op, ok := n.queries[reqID]
+	if !ok {
+		n.mu.Unlock()
+		return
+	}
+	if op.attempt >= n.cfg.MaxRetries {
+		seen := make(map[string]bool)
+		var suspects []string
+		for _, hop := range op.retryHops {
+			if hop != "" && !seen[hop] {
+				seen[hop] = true
+				suspects = append(suspects, hop)
+			}
+		}
+		n.mu.Unlock()
+		// Sorted so probe sends consume the simulator RNG in a
+		// reproducible order.
+		sort.Strings(suspects)
+		for _, hop := range suspects {
+			n.ov.SuspectContact(hop)
+		}
+		return
+	}
+	op.attempt++
+	attempt := op.attempt
+
+	// Group versions sharing an embedding (as Query did) and collect
+	// each group's still-uncovered regions from its coverage tries;
+	// versions of a group travel in the same sub-queries, so their tries
+	// agree, but the union is taken to be safe.
+	type group struct {
+		versions []uint64
+		missing  []bitstr.Code
+		seen     map[string]bool
+	}
+	groups := make(map[*embed.Tree]*group)
+	var order []*embed.Tree
+	for _, v := range sortedVersions(op.tries) {
+		tree := op.trees[v]
+		g, ok := groups[tree]
+		if !ok {
+			g = &group{seen: make(map[string]bool)}
+			groups[tree] = g
+			order = append(order, tree)
+		}
+		g.versions = append(g.versions, uint64(v))
+		for _, miss := range op.tries[v].MissingRegions(tree, op.rect, op.regions[v], 64) {
+			if !g.seen[miss.String()] {
+				g.seen[miss.String()] = true
+				g.missing = append(g.missing, miss)
+			}
+		}
+	}
+	type resend struct {
+		sq      *wire.SubQuery
+		exclude string
+	}
+	var work []resend
+	for _, tree := range order {
+		g := groups[tree]
+		for _, region := range g.missing {
+			sq := &wire.SubQuery{
+				ReqID:      reqID,
+				OriginAddr: n.ep.Addr(),
+				Index:      op.index,
+				Versions:   g.versions,
+				Rect:       op.rect,
+				RegionCode: region,
+				Attempt:    uint8(attempt),
+			}
+			exclude := op.retryHops[region.String()]
+			if exclude == "" {
+				// No region-specific attempt yet: exclude the whole-query
+				// first hop, the only path the original dispatch used.
+				exclude = op.retryHops["*"]
+			}
+			work = append(work, resend{sq: sq, exclude: exclude})
+		}
+	}
+	n.retransmits += uint64(len(work))
+	op.retry = n.clock.AfterFunc(n.retryDelayLocked(attempt+1), func() { n.resendQuery(reqID) })
+	n.mu.Unlock()
+
+	for _, w := range work {
+		if n.ov.Owns(w.sq.RegionCode) {
+			n.handleSubQuery(n.ep.Addr(), w.sq, nil)
+			continue
+		}
+		next, ok := n.ov.NextHopExcluding(w.sq.RegionCode, w.exclude)
+		if !ok {
+			next, ok = n.ov.NextHop(w.sq.RegionCode)
+		}
+		if !ok {
+			if !n.answerFromReplicas(w.sq) {
+				n.ov.RingRecover(w.sq.RegionCode, wire.Encode(w.sq))
+			}
+			continue
+		}
+		n.mu.Lock()
+		if cur, still := n.queries[reqID]; still {
+			cur.retryHops[w.sq.RegionCode.String()] = next
+		}
+		n.mu.Unlock()
+		fwd := *w.sq
+		fwd.Hops++
+		n.send(next, &fwd)
+	}
+}
+
+// sortedVersions returns a coverage map's version keys in ascending
+// order, for deterministic retransmission.
+func sortedVersions(tries map[uint32]*coverSet) []uint32 {
+	out := make([]uint32, 0, len(tries))
+	for v := range tries {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// subQueryKey identifies one unit of sub-query answering work, for the
+// answerer-side duplicate counter.
+func subQueryKey(m *wire.SubQuery) uint64 {
+	h := m.ReqID*0x9e3779b97f4a7c15 + 0x85ebca6b
+	for _, c := range m.RegionCode.String() {
+		h = h*1099511628211 ^ uint64(c)
+	}
+	if m.Historic {
+		h ^= 0xabcdef
+	}
+	return h
+}
+
+// ReliabilityStats snapshots the reliable-request-layer counters.
+func (n *Node) ReliabilityStats() metrics.Reliability {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return metrics.Reliability{
+		Requests:    n.reqTracked,
+		Retransmits: n.retransmits,
+		Acks:        n.acksReceived,
+		DedupHits:   n.dedupHits,
+	}
+}

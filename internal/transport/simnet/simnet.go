@@ -105,6 +105,7 @@ type Network struct {
 	endpoints map[string]*Endpoint
 	dead      map[string]bool
 	cutLinks  map[linkKey]bool      // bidirectional cuts stored both ways
+	partCuts  map[linkKey]bool      // cross-group cuts owned by Partition/Heal
 	outages   map[linkKey]time.Time // link down until the given time
 
 	linkBusy map[linkKey]time.Time
@@ -126,6 +127,7 @@ func New(cfg Config) *Network {
 		endpoints: make(map[string]*Endpoint),
 		dead:      make(map[string]bool),
 		cutLinks:  make(map[linkKey]bool),
+		partCuts:  make(map[linkKey]bool),
 		outages:   make(map[linkKey]time.Time),
 		linkBusy:  make(map[linkKey]time.Time),
 		nodeBusy:  make(map[string]time.Time),
@@ -284,6 +286,40 @@ func (n *Network) RestoreLink(a, b string) {
 	delete(n.cutLinks, linkKey{b, a})
 }
 
+// SetLossProb changes the random per-message loss probability at
+// runtime, so a scenario can converge losslessly and then turn
+// adversarial (or vice versa).
+func (n *Network) SetLossProb(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cfg.LossProb = p
+}
+
+// Partition severs every link between a node of groupA and a node of
+// groupB, in both directions, until Heal — the standard split-brain
+// scenario without hand-cutting individual links. Partition cuts are
+// tracked separately from CutLink cuts, so Heal does not restore links
+// that were cut individually, and repeated Partition calls accumulate.
+// Intra-group traffic is unaffected.
+func (n *Network) Partition(groupA, groupB []string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, a := range groupA {
+		for _, b := range groupB {
+			n.partCuts[linkKey{a, b}] = true
+			n.partCuts[linkKey{b, a}] = true
+		}
+	}
+}
+
+// Heal removes every cut made by Partition. Links severed via CutLink
+// stay down until their own RestoreLink.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partCuts = make(map[linkKey]bool)
+}
+
 // Outage makes the directed links between a and b lossy (down) for the
 // given duration of virtual time, modelling the transient routing
 // failures of §3.8.
@@ -334,7 +370,7 @@ func (n *Network) send(from, to string, msg []byte) error {
 		return fmt.Errorf("simnet: sender %q is dead", from)
 	}
 	lk := linkKey{from, to}
-	if n.dead[to] || n.cutLinks[lk] {
+	if n.dead[to] || n.cutLinks[lk] || n.partCuts[lk] {
 		// Silent loss: the sender cannot distinguish a dead peer from a
 		// slow one at send time.
 		n.dropped++

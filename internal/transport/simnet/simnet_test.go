@@ -407,3 +407,60 @@ func TestBatchPayloadRoundTrip(t *testing.T) {
 		t.Fatalf("sub-message round-trip: %#v", ack)
 	}
 }
+
+func TestPartitionAndHeal(t *testing.T) {
+	n := New(Config{Seed: 1})
+	eps := map[string]*Endpoint{}
+	recv := map[string]*atomic.Int32{}
+	for _, addr := range []string{"a1", "a2", "b1", "b2"} {
+		ep, err := n.Endpoint(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cnt := &atomic.Int32{}
+		ep.SetHandler(func(string, []byte) { cnt.Add(1) })
+		eps[addr], recv[addr] = ep, cnt
+	}
+	groupA := []string{"a1", "a2"}
+	groupB := []string{"b1", "b2"}
+	n.Partition(groupA, groupB)
+
+	// Cross-group traffic drops silently, both directions.
+	eps["a1"].Send("b1", []byte("x"))
+	eps["a2"].Send("b2", []byte("x"))
+	eps["b1"].Send("a2", []byte("x"))
+	n.Run(0)
+	for _, addr := range []string{"b1", "b2", "a2"} {
+		if recv[addr].Load() != 0 {
+			t.Fatalf("cross-partition message delivered to %s", addr)
+		}
+	}
+	// Intra-group traffic is unaffected.
+	eps["a1"].Send("a2", []byte("x"))
+	eps["b1"].Send("b2", []byte("x"))
+	n.Run(0)
+	if recv["a2"].Load() != 1 || recv["b2"].Load() != 1 {
+		t.Fatal("intra-partition message lost")
+	}
+
+	// A manual cut made before Heal must survive Heal.
+	n.CutLink("a1", "b1")
+	n.Heal()
+	eps["a1"].Send("b2", []byte("x"))
+	eps["b2"].Send("a1", []byte("x"))
+	n.Run(0)
+	if recv["b2"].Load() != 2 || recv["a1"].Load() != 1 {
+		t.Fatal("healed cross-group link did not deliver")
+	}
+	eps["a1"].Send("b1", []byte("x"))
+	n.Run(0)
+	if recv["b1"].Load() != 0 {
+		t.Fatal("Heal restored a link cut via CutLink")
+	}
+	n.RestoreLink("a1", "b1")
+	eps["a1"].Send("b1", []byte("x"))
+	n.Run(0)
+	if recv["b1"].Load() != 1 {
+		t.Fatal("RestoreLink after Heal did not deliver")
+	}
+}

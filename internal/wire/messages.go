@@ -36,6 +36,7 @@ const (
 	KindRingProbe
 	KindLivenessProbe
 	KindLivenessReply
+	KindRingResumed
 
 	// Data path.
 	KindInsert
@@ -71,6 +72,7 @@ var kindNames = [...]string{
 	KindRingProbe:       "ring-probe",
 	KindLivenessProbe:   "liveness-probe",
 	KindLivenessReply:   "liveness-reply",
+	KindRingResumed:     "ring-resumed",
 	KindInsert:          "insert",
 	KindInsertAck:       "insert-ack",
 	KindReplicate:       "replicate",
@@ -167,6 +169,8 @@ func newMessage(k Kind) Message {
 		return &LivenessProbe{}
 	case KindLivenessReply:
 		return &LivenessReply{}
+	case KindRingResumed:
+		return &RingResumed{}
 	case KindInsert:
 		return &Insert{}
 	case KindInsertAck:
@@ -545,7 +549,13 @@ type RingProbe struct {
 	Target   bitstr.Code
 	MatchLen uint8 // best prefix-match length at the origin
 	TTL      uint8
-	Payload  []byte // the stuck, fully-encoded routed message
+	// Ring is the escalation round (index into the origin's TTL
+	// schedule), constant across rebroadcasts of one round. Receivers
+	// dedup per (ProbeID, Ring), so a wider round travels through nodes
+	// an earlier round already touched — without it the ring could never
+	// actually expand.
+	Ring    uint8
+	Payload []byte // the stuck, fully-encoded routed message
 }
 
 func (m *RingProbe) Kind() Kind { return KindRingProbe }
@@ -555,6 +565,7 @@ func (m *RingProbe) encode(w *Writer) {
 	w.Code(m.Target)
 	w.U8(m.MatchLen)
 	w.U8(m.TTL)
+	w.U8(m.Ring)
 	w.BytesField(m.Payload)
 }
 func (m *RingProbe) decode(r *Reader) {
@@ -563,6 +574,7 @@ func (m *RingProbe) decode(r *Reader) {
 	m.Target = r.Code()
 	m.MatchLen = r.U8()
 	m.TTL = r.U8()
+	m.Ring = r.U8()
 	m.Payload = r.BytesField()
 }
 
@@ -605,10 +617,26 @@ func (m *LivenessReply) decode(r *Reader) {
 	m.Alive = r.Bool()
 }
 
+// RingResumed tells a ring probe's origin that some node resumed the
+// stuck payload, so the origin stops escalating to wider TTLs.
+type RingResumed struct {
+	ProbeID uint64
+}
+
+func (m *RingResumed) Kind() Kind { return KindRingResumed }
+func (m *RingResumed) encode(w *Writer) {
+	w.Uvarint(m.ProbeID)
+}
+func (m *RingResumed) decode(r *Reader) {
+	m.ProbeID = r.Uvarint()
+}
+
 // --- Data path ----------------------------------------------------------
 
 // Insert greedy-routes one record toward the code its indexed point
-// hashes to (§3.5).
+// hashes to (§3.5). Attempt is 0 for the first transmission and counts
+// up on each originator retransmission of the same ReqID/RecID; owners
+// dedup on RecID, so any attempt is safe to store.
 type Insert struct {
 	ReqID      uint64
 	OriginAddr string
@@ -618,6 +646,7 @@ type Insert struct {
 	Rec        []uint64
 	Target     bitstr.Code
 	Hops       uint8
+	Attempt    uint8
 }
 
 func (m *Insert) Kind() Kind { return KindInsert }
@@ -630,6 +659,7 @@ func (m *Insert) encode(w *Writer) {
 	w.U64Slice(m.Rec)
 	w.Code(m.Target)
 	w.U8(m.Hops)
+	w.U8(m.Attempt)
 }
 func (m *Insert) decode(r *Reader) {
 	m.ReqID = r.Uvarint()
@@ -640,6 +670,7 @@ func (m *Insert) decode(r *Reader) {
 	m.Rec = r.U64Slice()
 	m.Target = r.Code()
 	m.Hops = r.U8()
+	m.Attempt = r.U8()
 }
 
 // InsertAck confirms storage directly to the originator.
@@ -733,6 +764,10 @@ type SubQuery struct {
 	RegionCode bitstr.Code
 	Hops       uint8
 	Historic   bool
+	// Attempt is 0 on the first dispatch and counts up when the
+	// originator re-issues the sub-query for a region still missing from
+	// its coverage trie; answers are idempotent at the originator.
+	Attempt uint8
 }
 
 func (m *SubQuery) Kind() Kind { return KindSubQuery }
@@ -745,6 +780,7 @@ func (m *SubQuery) encode(w *Writer) {
 	w.Code(m.RegionCode)
 	w.U8(m.Hops)
 	w.Bool(m.Historic)
+	w.U8(m.Attempt)
 }
 func (m *SubQuery) decode(r *Reader) {
 	m.ReqID = r.Uvarint()
@@ -755,6 +791,7 @@ func (m *SubQuery) decode(r *Reader) {
 	m.RegionCode = r.Code()
 	m.Hops = r.U8()
 	m.Historic = r.Bool()
+	m.Attempt = r.U8()
 }
 
 // QueryResp carries matching records straight back to the originator.

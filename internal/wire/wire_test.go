@@ -159,14 +159,15 @@ func allMessages() []Message {
 		&Heartbeat{From: ni, Seq: 42},
 		&HeartbeatAck{From: ni, Seq: 42},
 		&Takeover{From: ni, OldCode: c.Append(0), Dead: c.Append(1)},
-		&RingProbe{ProbeID: 6, Origin: ni, Target: c, MatchLen: 2, TTL: 3, Payload: []byte{9, 9}},
+		&RingProbe{ProbeID: 6, Origin: ni, Target: c, MatchLen: 2, TTL: 3, Ring: 1, Payload: []byte{9, 9}},
+		&RingResumed{ProbeID: 6},
 		&LivenessProbe{ReqID: 7, Asker: ni, Suspect: NodeInfo{Addr: "s", Code: c}, Hops: 1},
 		&LivenessReply{ReqID: 7, Alive: true},
-		&Insert{ReqID: 8, OriginAddr: "o", Index: "idx", Version: 3, RecID: 99, Rec: []uint64{1, 2, 3, 4}, Target: c, Hops: 2},
+		&Insert{ReqID: 8, OriginAddr: "o", Index: "idx", Version: 3, RecID: 99, Rec: []uint64{1, 2, 3, 4}, Target: c, Hops: 2, Attempt: 1},
 		&InsertAck{ReqID: 8, StoredAt: ni, Hops: 4},
 		&Replicate{Index: "idx", Version: 3, RecID: 99, Rec: []uint64{1, 2, 3, 4}, OwnerCode: c},
 		&Query{ReqID: 9, OriginAddr: "o", Index: "idx", Versions: []uint64{1, 2}, Rect: rect, Target: c, Hops: 1},
-		&SubQuery{ReqID: 9, OriginAddr: "o", Index: "idx", Versions: []uint64{1}, Rect: rect, RegionCode: c, Hops: 2, Historic: true},
+		&SubQuery{ReqID: 9, OriginAddr: "o", Index: "idx", Versions: []uint64{1}, Rect: rect, RegionCode: c, Hops: 2, Historic: true, Attempt: 2},
 		&QueryResp{ReqID: 9, From: ni, HasCover: true, Cover: c, Versions: []uint64{0, 1}, RecID: []uint64{5, 6}, Recs: [][]uint64{{1, 2}, {3, 4}}, Hops: 3},
 		&CreateIndex{OpID: 10, Def: IndexDef{Schema: testSchema(), Versions: []VersionDef{{Version: 0, Tree: []byte{7}}}}},
 		&DropIndex{OpID: 11, Tag: "idx"},
