@@ -5,6 +5,7 @@
 //
 //	mindbench -exp fig9                # one experiment
 //	mindbench -exp all -scale 0.1      # everything, smaller workloads
+//	mindbench -exp all -json out.json  # also write headline metrics as JSON
 //	mindbench -list                    # list experiment ids
 //
 // Scale 1.0 runs paper-shaped workloads (day-long traces, 102-node
@@ -13,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,12 +23,26 @@ import (
 	"mind/internal/experiments"
 )
 
+// jsonReport is one experiment's machine-readable summary: the headline
+// Values plus run provenance, so CI can archive a comparable data point
+// per commit.
+type jsonReport struct {
+	ID     string             `json:"id"`
+	Title  string             `json:"title"`
+	Seed   int64              `json:"seed"`
+	Scale  float64            `json:"scale"`
+	WallS  float64            `json:"wall_s"`
+	Values map[string]float64 `json:"values"`
+}
+
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id to run, or 'all'")
-		seed  = flag.Int64("seed", 20050405, "deterministic seed")
-		scale = flag.Float64("scale", 0.25, "workload scale in (0,1]")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		exp      = flag.String("exp", "", "experiment id to run, or 'all'")
+		seed     = flag.Int64("seed", 20050405, "deterministic seed")
+		scale    = flag.Float64("scale", 0.25, "workload scale in (0,1]")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		jsonPath = flag.String("json", "", "write headline metrics to this file as JSON")
+		quiet    = flag.Bool("quiet", false, "suppress the text tables (useful with -json)")
 	)
 	flag.Parse()
 
@@ -37,7 +53,7 @@ func main() {
 		return
 	}
 	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "usage: mindbench -exp <id>|all [-seed N] [-scale F]; -list for ids")
+		fmt.Fprintln(os.Stderr, "usage: mindbench -exp <id>|all [-seed N] [-scale F] [-json FILE]; -list for ids")
 		os.Exit(2)
 	}
 
@@ -45,6 +61,7 @@ func main() {
 	if *exp == "all" {
 		ids = experiments.IDs()
 	}
+	var out []jsonReport
 	failed := 0
 	for _, id := range ids {
 		start := time.Now()
@@ -54,8 +71,31 @@ func main() {
 			failed++
 			continue
 		}
-		fmt.Print(rep.String())
-		fmt.Printf("(%s in %.1fs wall)\n\n", id, time.Since(start).Seconds())
+		wall := time.Since(start).Seconds()
+		if !*quiet {
+			fmt.Print(rep.String())
+			fmt.Printf("(%s in %.1fs wall)\n\n", id, wall)
+		}
+		out = append(out, jsonReport{
+			ID:     rep.ID,
+			Title:  rep.Title,
+			Seed:   *seed,
+			Scale:  *scale,
+			WallS:  wall,
+			Values: rep.Values,
+		})
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mindbench: marshal: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "mindbench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	if failed > 0 {
 		os.Exit(1)

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -29,6 +30,7 @@ func main() {
 		join        = flag.String("join", "", "address of an existing node to join through (empty = bootstrap)")
 		replication = flag.Int("replication", 1, "replicas per record (-1 = full)")
 		seed        = flag.Int64("seed", time.Now().UnixNano(), "randomness seed")
+		parallelism = flag.Int("query-parallelism", runtime.GOMAXPROCS(0), "worker pool size for local query execution (<=1 = inline)")
 		quiet       = flag.Bool("quiet", false, "suppress periodic status lines")
 	)
 	flag.Parse()
@@ -40,6 +42,7 @@ func main() {
 	}
 	cfg := mind.DefaultConfig(*seed)
 	cfg.Replication = *replication
+	cfg.QueryParallelism = *parallelism
 	node := mind.NewNode(ep, transport.RealClock{}, cfg)
 
 	if *join == "" {

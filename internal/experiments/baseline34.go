@@ -185,7 +185,20 @@ func Fig8(seed int64, scale float64) (*Report, error) {
 		links = append(links, linkStat{key: key, dist: d})
 	}
 	b.mu.Unlock()
-	sort.Slice(links, func(i, j int) bool { return links[i].dist.Percentile(99) > links[j].dist.Percentile(99) })
+	// Order must not depend on map iteration: break p99 ties (common at
+	// small scales, where several links see the same burst pattern) by
+	// max, then by key, so the "worst link" values are reproducible.
+	sort.Slice(links, func(i, j int) bool {
+		pi, pj := links[i].dist.Percentile(99), links[j].dist.Percentile(99)
+		if pi != pj {
+			return pi > pj
+		}
+		mi, mj := links[i].dist.Max(), links[j].dist.Max()
+		if mi != mj {
+			return mi > mj
+		}
+		return links[i].key < links[j].key
+	})
 
 	tb := metrics.NewTable("link", "msgs", "median_ms", "p99_ms", "max_ms")
 	for i, l := range links {
@@ -196,11 +209,29 @@ func Fig8(seed int64, scale float64) (*Report, error) {
 	}
 	r.table(tb)
 	if len(links) > 0 {
+		// The Fig 8 phenomenon is the SPIKE: one message delayed far
+		// beyond the link's typical delay by successive queueing. A link
+		// that is saturated for the whole run has queueing folded into
+		// its median, so ranking by absolute p99 can hide the spike; the
+		// headline values instead come from the link whose max stands
+		// furthest above its own median.
 		worst := links[0]
+		bestRatio := 0.0
+		for _, l := range links {
+			med := l.dist.Median()
+			if med <= 0 {
+				continue
+			}
+			ratio := l.dist.Max() / med
+			if ratio > bestRatio || (ratio == bestRatio && l.key < worst.key) {
+				bestRatio = ratio
+				worst = l
+			}
+		}
 		r.Values["worst_link_max_s"] = worst.dist.Max()
 		r.Values["worst_link_median_s"] = worst.dist.Median()
 		r.notef("paper: one pathological link delayed a tuple 48 s via successive queueing; "+
-			"measured worst link %s: median %.0f ms, max %.2f s",
+			"measured worst spike on %s: median %.0f ms, max %.2f s",
 			worst.key, worst.dist.Median()*1000, worst.dist.Max())
 	}
 	return r, nil

@@ -336,7 +336,11 @@ func (o *Overlay) handleJoinAccept(m *wire.JoinAccept) {
 	seq := o.hbSeq
 	o.mu.Unlock()
 
-	// Announce ourselves to the inherited neighborhood immediately.
+	// Announce ourselves to the inherited neighborhood immediately. The
+	// peer list came out of the contact map in iteration order; sends
+	// draw jitter from the simulator's seeded RNG, so the order must be
+	// deterministic for same-seed runs to be bit-identical.
+	sort.Strings(peers)
 	for _, addr := range peers {
 		o.send(addr, &wire.Heartbeat{From: self, Seq: seq})
 	}

@@ -112,13 +112,22 @@ func (n *Node) deliverBatch(to string, msgs [][]byte) {
 	}
 	if len(msgs) == 1 {
 		_ = n.ep.Send(to, msgs[0])
+		wire.RecycleBuf(msgs[0])
 		return
 	}
 	n.batchMu.Lock()
 	n.sentBatches.Observe(len(msgs))
 	n.batchBytesSaved += uint64(len(msgs)-1) * transportOverheadEstimate
 	n.batchMu.Unlock()
-	_ = n.ep.Send(to, wire.Encode(&wire.Batch{Msgs: msgs}))
+	env := wire.Encode(&wire.Batch{Msgs: msgs})
+	_ = n.ep.Send(to, env)
+	// Both transports have consumed the bytes by the time Send returns
+	// (simnet copies, tcpnet writes the frame), so the envelope and the
+	// sub-message buffers it copied can all go back to the pool.
+	wire.RecycleBuf(env)
+	for _, sub := range msgs {
+		wire.RecycleBuf(sub)
+	}
 }
 
 // handleBatch unwraps a received envelope and dispatches each

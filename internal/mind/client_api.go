@@ -55,7 +55,7 @@ func (n *Node) handleClientInsert(from string, m *wire.ClientInsert) {
 	key := clientOpKey(from, m.ReqID)
 	n.mu.Lock()
 	if st := n.clientOpLocked(key); st != nil {
-		n.dedupHits++
+		n.dedupHits.Add(1)
 		var cached *wire.ClientAck
 		if st.done {
 			cached = st.ack
@@ -94,7 +94,7 @@ func (n *Node) handleClientQuery(from string, m *wire.ClientQuery) {
 	n.mu.Lock()
 	if st := n.clientOpLocked(key); st != nil && !st.done {
 		// Still answering the first copy; its callback will respond.
-		n.dedupHits++
+		n.dedupHits.Add(1)
 		n.mu.Unlock()
 		return
 	}

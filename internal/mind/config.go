@@ -75,6 +75,14 @@ type Config struct {
 	// groups) without delaying anything in wall/virtual time.
 	BatchLinger time.Duration
 
+	// QueryParallelism bounds the worker pool used for local query
+	// execution: sub-query decomposition fan-out and per-version k-d
+	// resolution. Zero or one executes inline in deterministic order —
+	// required under simnet, where send order must be reproducible for a
+	// fixed seed (DefaultConfig leaves it 0). Values above one trade that
+	// ordering guarantee for parallel local execution on real transports.
+	QueryParallelism int
+
 	// HistCollectWait is how long the designated aggregation node waits
 	// after the first histogram report before computing balanced cuts.
 	HistCollectWait time.Duration

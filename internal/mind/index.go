@@ -2,6 +2,7 @@ package mind
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"mind/internal/bitstr"
@@ -14,9 +15,18 @@ import (
 // index is one distributed index's node-local state: schema, the cut
 // tree of each version, primary storage, and replica storage for the
 // regions this node backs up (§3.8).
+//
+// Concurrency: mu guards the small mutable state (vers, replicaOwners,
+// seen, the history pointer, triggers). The stores themselves are safe
+// for concurrent use and are accessed without mu; sch, base and timeAttr
+// are immutable after construction. mu is a leaf in the node's lock
+// order (node.go): it is never held across a send or while acquiring
+// Node.mu or Node.ixMu.
 type index struct {
 	sch  *schema.Schema
-	base *embed.Tree            // version-independent default embedding
+	base *embed.Tree // version-independent default embedding
+
+	mu   sync.RWMutex
 	vers map[uint32]*embed.Tree // per-version balanced cuts (§3.7)
 
 	primary  *store.Versioned
@@ -64,10 +74,32 @@ func newIndex(sch *schema.Schema, base *embed.Tree) *index {
 
 // tree returns the embedding for a version, falling back to the base.
 func (ix *index) tree(v uint32) *embed.Tree {
+	ix.mu.RLock()
+	t := ix.treeLocked(v)
+	ix.mu.RUnlock()
+	return t
+}
+
+// treeLocked is tree for callers already holding ix.mu.
+func (ix *index) treeLocked(v uint32) *embed.Tree {
 	if t, ok := ix.vers[v]; ok {
 		return t
 	}
 	return ix.base
+}
+
+// setTree installs a per-version embedding.
+func (ix *index) setTree(v uint32, t *embed.Tree) {
+	ix.mu.Lock()
+	ix.vers[v] = t
+	ix.mu.Unlock()
+}
+
+// dropTree removes a per-version embedding (version retirement).
+func (ix *index) dropTree(v uint32) {
+	ix.mu.Lock()
+	delete(ix.vers, v)
+	ix.mu.Unlock()
 }
 
 // version maps a record to its version by the time attribute.
@@ -99,10 +131,12 @@ func (ix *index) queryVersions(rect schema.Rect, versionSeconds uint64) []uint32
 // overlay query can serve all of them.
 func (ix *index) groupVersionsByTree(versions []uint32) map[*embed.Tree][]uint32 {
 	out := make(map[*embed.Tree][]uint32)
+	ix.mu.RLock()
 	for _, v := range versions {
-		t := ix.tree(v)
+		t := ix.treeLocked(v)
 		out[t] = append(out[t], v)
 	}
+	ix.mu.RUnlock()
 	return out
 }
 
@@ -113,9 +147,11 @@ func (ix *index) def() wire.IndexDef {
 	if ix.base != nil {
 		d.Versions = append(d.Versions, wire.VersionDef{Version: baseVersionSentinel, Tree: ix.base.Marshal()})
 	}
+	ix.mu.RLock()
 	for v, t := range ix.vers {
 		d.Versions = append(d.Versions, wire.VersionDef{Version: v, Tree: t.Marshal()})
 	}
+	ix.mu.RUnlock()
 	return d
 }
 
@@ -150,8 +186,12 @@ func indexFromDef(d wire.IndexDef) (*index, error) {
 }
 
 // storeRecord inserts into primary storage with RecID dedup; it reports
-// whether the record was new.
+// whether the record was new. The dedup check and the insert happen
+// under ix.mu so a retransmitted record can never slip past its first
+// copy's in-flight store.
 func (ix *index) storeRecord(v uint32, recID uint64, rec schema.Record) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	if ix.seen.Seen(recID) {
 		return false
 	}
@@ -162,6 +202,8 @@ func (ix *index) storeRecord(v uint32, recID uint64, rec schema.Record) bool {
 // storeReplica inserts into replica storage.
 func (ix *index) storeReplica(owner bitstr.Code, v uint32, recID uint64, rec schema.Record) {
 	key := recID ^ 0x9e3779b97f4a7c15 // replica dedup namespace
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	ix.replicaOwners[owner] = true
 	if ix.seen.Seen(key) {
 		return
@@ -169,10 +211,23 @@ func (ix *index) storeReplica(owner bitstr.Code, v uint32, recID uint64, rec sch
 	ix.replicas.Insert(v, rec)
 }
 
+// ownerCodes snapshots the replica owner set.
+func (ix *index) ownerCodes() []bitstr.Code {
+	ix.mu.RLock()
+	out := make([]bitstr.Code, 0, len(ix.replicaOwners))
+	for owner := range ix.replicaOwners {
+		out = append(out, owner)
+	}
+	ix.mu.RUnlock()
+	return out
+}
+
 // absorbReplicas merges replicated data for a dead region into primary
 // storage after a takeover (§3.8: the sibling serves the failed node's
 // hyper-rectangle from its replicas).
 func (ix *index) absorbReplicas(dead bitstr.Code) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	matched := false
 	for owner := range ix.replicaOwners {
 		if dead.IsPrefixOf(owner) || owner.IsPrefixOf(dead) {
@@ -184,12 +239,13 @@ func (ix *index) absorbReplicas(dead bitstr.Code) {
 	}
 	// Replica stores are not segregated by owner; absorbing moves every
 	// replicated record whose point falls inside the dead region.
+	var scratch []uint64
 	for _, v := range ix.replicas.Versions() {
 		rs := ix.replicas.Version(v)
-		tree := ix.tree(v)
+		tree := ix.treeLocked(v)
 		rs.All(func(rec schema.Record) bool {
-			p := rec.Point(ix.sch)
-			if dead.IsPrefixOf(tree.PointCode(p, dead.Len())) {
+			scratch = rec.PointInto(ix.sch, scratch)
+			if dead.IsPrefixOf(tree.PointCode(scratch, dead.Len())) {
 				ix.primary.Insert(v, rec)
 			}
 			return true
@@ -197,7 +253,16 @@ func (ix *index) absorbReplicas(dead bitstr.Code) {
 	}
 }
 
+// history returns the history-pointer state as of now: whether the
+// pointer is active, and its target address.
+func (ix *index) history(now time.Time) (bool, string) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.histAddr != "" && now.Before(ix.histUntil), ix.histAddr
+}
+
 // historyActive reports whether the history pointer still applies.
 func (ix *index) historyActive(now time.Time) bool {
-	return ix.histAddr != "" && now.Before(ix.histUntil)
+	active, _ := ix.history(now)
+	return active
 }

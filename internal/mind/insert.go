@@ -36,20 +36,18 @@ type insertOp struct {
 // to the owner node (§3.5). The callback fires on ack or timeout; it may
 // be nil for fire-and-forget insertion.
 func (n *Node) Insert(tag string, rec schema.Record, cb func(InsertResult)) error {
-	n.mu.Lock()
-	ix, ok := n.indices[tag]
+	ix, ok := n.getIndex(tag)
 	if !ok {
-		n.mu.Unlock()
 		return fmt.Errorf("mind: unknown index %q", tag)
 	}
 	if err := ix.sch.CheckRecord(rec); err != nil {
-		n.mu.Unlock()
 		return err
 	}
 	v := ix.version(rec, n.cfg.VersionSeconds)
 	tree := ix.tree(v)
 	depth := clampDepth(n.ov.Code().Len() + n.cfg.InsertDepthSlack)
-	target := tree.PointCode(rec.Point(ix.sch), depth)
+	var pbuf [8]uint64
+	target := tree.PointCode(rec.PointInto(ix.sch, pbuf[:0]), depth)
 	reqID := n.nextReq()
 	recID := n.nextRecID()
 	msg := &wire.Insert{
@@ -66,12 +64,13 @@ func (n *Node) Insert(tag string, rec schema.Record, cb func(InsertResult)) erro
 	// timer then bounds how long the entry can linger.
 	if cb != nil || n.retriesEnabled() {
 		op := &insertOp{cb: cb, msg: msg}
+		n.reqTracked.Add(1)
+		n.mu.Lock()
 		n.inserts[reqID] = op
-		n.reqTracked++
 		op.timer = n.clock.AfterFunc(n.cfg.InsertTimeout, func() { n.finishInsert(reqID, InsertResult{OK: false, Err: errTimeout}) })
 		n.armInsertRetryLocked(reqID, op)
+		n.mu.Unlock()
 	}
-	n.mu.Unlock()
 
 	n.handleInsert(n.ep.Addr(), msg, wire.Encode(msg))
 	return nil
@@ -114,15 +113,12 @@ func (n *Node) InsertBatch(tag string, recs []schema.Record, cb func([]InsertRes
 		}
 		return nil
 	}
-	n.mu.Lock()
-	ix, ok := n.indices[tag]
+	ix, ok := n.getIndex(tag)
 	if !ok {
-		n.mu.Unlock()
 		return fmt.Errorf("mind: unknown index %q", tag)
 	}
 	for _, rec := range recs {
 		if err := ix.sch.CheckRecord(rec); err != nil {
-			n.mu.Unlock()
 			return err
 		}
 	}
@@ -132,12 +128,15 @@ func (n *Node) InsertBatch(tag string, recs []schema.Record, cb func([]InsertRes
 	}
 	depth := clampDepth(n.ov.Code().Len() + n.cfg.InsertDepthSlack)
 	msgs := make([]*wire.Insert, len(recs))
+	tracked := cb != nil || n.retriesEnabled()
+	var scratch []uint64
+	n.mu.Lock()
 	for i, rec := range recs {
 		v := ix.version(rec, n.cfg.VersionSeconds)
 		tree := ix.tree(v)
 		var reqID uint64
 		var op *insertOp
-		if cb != nil || n.retriesEnabled() {
+		if tracked {
 			reqID = n.nextReq()
 			op = &insertOp{}
 			if cb != nil {
@@ -145,12 +144,13 @@ func (n *Node) InsertBatch(tag string, recs []schema.Record, cb func([]InsertRes
 				op.cb = func(res InsertResult) { agg.set(slot, res) }
 			}
 			n.inserts[reqID] = op
-			n.reqTracked++
+			n.reqTracked.Add(1)
 			rid := reqID
 			op.timer = n.clock.AfterFunc(n.cfg.InsertTimeout, func() {
 				n.finishInsert(rid, InsertResult{OK: false, Err: errTimeout})
 			})
 		}
+		scratch = rec.PointInto(ix.sch, scratch)
 		msgs[i] = &wire.Insert{
 			ReqID:      reqID,
 			OriginAddr: n.ep.Addr(),
@@ -158,7 +158,7 @@ func (n *Node) InsertBatch(tag string, recs []schema.Record, cb func([]InsertRes
 			Version:    v,
 			RecID:      n.nextRecID(),
 			Rec:        rec,
-			Target:     tree.PointCode(rec.Point(ix.sch), depth),
+			Target:     tree.PointCode(scratch, depth),
 		}
 		if op != nil {
 			op.msg = msgs[i]
@@ -191,15 +191,17 @@ func (n *Node) InsertBatch(tag string, recs []schema.Record, cb func([]InsertRes
 	}
 	for _, next := range order {
 		group := groups[next]
-		n.mu.Lock()
-		n.forwarded += uint64(len(group))
-		n.tupleLinks[n.ep.Addr()+"→"+next] += uint64(len(group))
-		for _, m := range group {
-			if op, ok := n.inserts[m.ReqID]; ok {
-				op.lastHop = next
+		n.forwarded.Add(uint64(len(group)))
+		n.countTuples(next, uint64(len(group)))
+		if tracked {
+			n.mu.Lock()
+			for _, m := range group {
+				if op, ok := n.inserts[m.ReqID]; ok {
+					op.lastHop = next
+				}
 			}
+			n.mu.Unlock()
 		}
-		n.mu.Unlock()
 		n.sendGrouped(next, group)
 	}
 	return nil
@@ -266,18 +268,15 @@ func (n *Node) handleInsert(from string, m *wire.Insert, raw []byte) {
 			// (§3.5: the computed code may not exactly match a node's
 			// code). Point codes are prefix-stable, so the extension
 			// preserves routing progress.
-			n.mu.Lock()
-			ix, ok := n.indices[m.Index]
-			var deeper bitstr.Code
-			if ok {
-				tree := ix.tree(m.Version)
-				depth := clampDepth(myCode.Len() + n.cfg.InsertDepthSlack)
-				deeper = tree.PointCode(schema.Record(m.Rec).Point(ix.sch), depth)
-			}
-			n.mu.Unlock()
+			ix, ok := n.getIndex(m.Index)
 			if !ok {
 				return
 			}
+			tree := ix.tree(m.Version)
+			depth := clampDepth(myCode.Len() + n.cfg.InsertDepthSlack)
+			var pbuf [8]uint64
+			p := schema.Record(m.Rec).PointInto(ix.sch, pbuf[:0])
+			deeper := tree.PointCode(p, depth)
 			ext := *m
 			ext.Target = deeper
 			if n.ov.Owns(deeper) {
@@ -298,16 +297,16 @@ func (n *Node) handleInsert(from string, m *wire.Insert, raw []byte) {
 
 func (n *Node) forwardInsert(m *wire.Insert) {
 	if next, ok := n.ov.NextHop(m.Target); ok {
-		n.mu.Lock()
-		n.forwarded++
-		n.tupleLinks[n.ep.Addr()+"→"+next]++
+		n.forwarded.Add(1)
+		n.countTuples(next, 1)
 		if m.OriginAddr == n.ep.Addr() {
 			// Record the first hop so a retransmission can exclude it.
+			n.mu.Lock()
 			if op, ok := n.inserts[m.ReqID]; ok {
 				op.lastHop = next
 			}
+			n.mu.Unlock()
 		}
-		n.mu.Unlock()
 		n.send(next, m)
 		return
 	}
@@ -316,27 +315,27 @@ func (n *Node) forwardInsert(m *wire.Insert) {
 }
 
 // storeAsOwner stores the record, replicates it, and acks the origin.
+// It runs without any node-wide lock: the per-index dedup+insert is
+// atomic inside storeRecord, trigger matching locks the index, and the
+// sends happen lock-free.
 func (n *Node) storeAsOwner(m *wire.Insert) {
-	n.mu.Lock()
-	ix, ok := n.indices[m.Index]
+	ix, ok := n.getIndex(m.Index)
 	if !ok {
-		n.mu.Unlock()
 		return
 	}
 	isNew := ix.storeRecord(m.Version, m.RecID, m.Rec)
 	var fired []*trigger
 	if isNew {
-		n.stored++
+		n.stored.Add(1)
 		fired = ix.fireTriggers(n.clock.Now(), m.RecID, m.Rec)
 	} else {
 		// Retransmission (or ring double-delivery) of a record already
 		// stored: idempotent, but the origin still needs the ack below —
 		// the lost message may have been the previous ack.
-		n.dedupHits++
+		n.dedupHits.Add(1)
 	}
 	myInfo := n.ov.Info()
-	replicas := n.replicaSetLocked()
-	n.mu.Unlock()
+	replicas := n.replicaTargets()
 
 	for _, tr := range fired {
 		fire := &wire.TriggerFire{
@@ -374,9 +373,9 @@ func (n *Node) storeAsOwner(m *wire.Insert) {
 	}
 }
 
-// replicaSetLocked picks this node's replica target addresses from its
-// current overlay view. Callers hold n.mu.
-func (n *Node) replicaSetLocked() []string {
+// replicaTargets picks this node's replica target addresses from its
+// current overlay view.
+func (n *Node) replicaTargets() []string {
 	return replicaSet(n.ov.Code(), n.ov.Contacts(), n.cfg.Replication)
 }
 
@@ -422,19 +421,15 @@ func replicaSet(myCode bitstr.Code, contacts []wire.NodeInfo, m int) []string {
 }
 
 func (n *Node) handleInsertAck(m *wire.InsertAck) {
-	n.mu.Lock()
-	n.acksReceived++
-	n.mu.Unlock()
+	n.acksReceived.Add(1)
 	n.finishInsert(m.ReqID, InsertResult{OK: true, Hops: int(m.Hops), StoredAt: m.StoredAt.Addr})
 }
 
 func (n *Node) handleReplicate(m *wire.Replicate) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	ix, ok := n.indices[m.Index]
+	ix, ok := n.getIndex(m.Index)
 	if !ok {
 		return
 	}
 	ix.storeReplica(m.OwnerCode, m.Version, m.RecID, m.Rec)
-	n.replicated++
+	n.replicated.Add(1)
 }

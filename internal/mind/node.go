@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"mind/internal/bitstr"
 	"mind/internal/embed"
@@ -25,45 +26,67 @@ import (
 )
 
 // Node is one MIND instance.
+//
+// Locking: node state is sharded so the insert and query hot paths
+// never serialize on one big lock (the paper's prototype funnelled all
+// local execution through a single DAC queue; see DESIGN.md,
+// "Concurrency model").
+//
+//   - mu guards operation tracking and node-wide control maps: inserts,
+//     queries, seenOps, collect, triggerSubs, clientSeen/clientPrev, rng.
+//   - ixMu guards the indices map only; per-index mutable state is
+//     behind each index's own mutex, and the stores are internally
+//     concurrent (single-writer k-d trees with lock-free snapshot reads).
+//   - Counters and id sequences are atomics.
+//   - linkMu (tupleLinks), ansMu (ansDedup) and batchMu (coalescer) are
+//     independent leaves.
+//
+// Lock order: mu → ixMu → index.mu → store internals. A leaf mutex is
+// never held while acquiring an earlier lock, sending, or calling into
+// the overlay.
 type Node struct {
 	mu    sync.Mutex
 	ep    transport.Endpoint
 	clock transport.Clock
 	cfg   Config
 	ov    *hypercube.Overlay
-	rng   *rand.Rand
+	rng   *rand.Rand // guarded by mu (retry jitter)
 
+	ixMu    sync.RWMutex
 	indices map[string]*index
-	inserts map[uint64]*insertOp
-	queries map[uint64]*queryOp
-	seenOps map[uint64]bool // flood dedup (create/drop/hist-install)
 
-	collect map[string]*histCollect // designated-node histogram state
+	inserts map[uint64]*insertOp // mu
+	queries map[uint64]*queryOp  // mu
+	seenOps map[uint64]bool      // mu; flood dedup (create/drop/hist-install)
 
-	triggerSubs map[uint64]*triggerSub // subscriber-side standing queries
+	collect map[string]*histCollect // mu; designated-node histogram state
 
-	reqSeq  uint64
-	recSeq  uint64
+	triggerSubs map[uint64]*triggerSub // mu; subscriber-side standing queries
+
+	reqSeq  atomic.Uint64
+	recSeq  atomic.Uint64
 	addrTag uint64 // origin-unique record id namespace
 
 	// Stats counters (read via Stats).
-	forwarded  uint64
-	stored     uint64
-	replicated uint64
+	forwarded  atomic.Uint64
+	stored     atomic.Uint64
+	replicated atomic.Uint64
 	// Reliable-request-layer counters (reliable.go).
-	reqTracked   uint64 // acked-tracked inserts and queries issued
-	retransmits  uint64 // retransmissions sent
-	acksReceived uint64 // end-to-end acks received over the wire
-	dedupHits    uint64 // duplicate requests absorbed at this receiver
+	reqTracked   atomic.Uint64 // acked-tracked inserts and queries issued
+	retransmits  atomic.Uint64 // retransmissions sent
+	acksReceived atomic.Uint64 // end-to-end acks received over the wire
+	dedupHits    atomic.Uint64 // duplicate requests absorbed at this receiver
 	// ansDedup counts repeated sub-query answering work (the request is
 	// still re-answered — the previous response may be the loss).
+	ansMu    sync.Mutex
 	ansDedup *dedupSet
 	// clientSeen dedups client RPC request ids so a retransmitted
 	// ClientInsert is idempotent (client_api.go).
-	clientSeen map[uint64]*clientOpState
-	clientPrev map[uint64]*clientOpState
+	clientSeen map[uint64]*clientOpState // mu
+	clientPrev map[uint64]*clientOpState // mu
 	// tupleLinks counts insert tuples sent per outgoing overlay link
 	// ("self→peer"), the Fig 12 metric.
+	linkMu     sync.Mutex
 	tupleLinks map[string]uint64
 
 	// Per-link coalescing state (batch.go). batchMu is independent of mu
@@ -141,6 +164,31 @@ func (n *Node) Close() {
 	n.ov.Close()
 }
 
+// getIndex looks an index up by tag.
+func (n *Node) getIndex(tag string) (*index, bool) {
+	n.ixMu.RLock()
+	ix, ok := n.indices[tag]
+	n.ixMu.RUnlock()
+	return ix, ok
+}
+
+// sortedIndices snapshots the index set in ascending tag order, so
+// iteration-driven sends stay deterministic under simnet.
+func (n *Node) sortedIndices() []*index {
+	n.ixMu.RLock()
+	tags := make([]string, 0, len(n.indices))
+	for tag := range n.indices {
+		tags = append(tags, tag)
+	}
+	sort.Strings(tags)
+	out := make([]*index, len(tags))
+	for i, tag := range tags {
+		out[i] = n.indices[tag]
+	}
+	n.ixMu.RUnlock()
+	return out
+}
+
 // Stats is a snapshot of node-level counters.
 type Stats struct {
 	Forwarded  uint64 // routed messages passed on
@@ -160,12 +208,10 @@ type Stats struct {
 
 // Stats returns a snapshot of the node's counters.
 func (n *Node) Stats() Stats {
-	n.mu.Lock()
 	s := Stats{
-		Forwarded: n.forwarded, Stored: n.stored, Replicated: n.replicated,
-		Retransmits: n.retransmits, AcksReceived: n.acksReceived, DedupHits: n.dedupHits,
+		Forwarded: n.forwarded.Load(), Stored: n.stored.Load(), Replicated: n.replicated.Load(),
+		Retransmits: n.retransmits.Load(), AcksReceived: n.acksReceived.Load(), DedupHits: n.dedupHits.Load(),
 	}
-	n.mu.Unlock()
 	b := n.BatchStats()
 	s.BatchesSent = b.Sent.Batches
 	s.BatchedMsgs = b.Sent.Items
@@ -178,8 +224,8 @@ func (n *Node) Stats() Stats {
 // TupleLinkCounts snapshots how many insert tuples this node sent over
 // each outgoing overlay link (Fig 12's per-link traffic).
 func (n *Node) TupleLinkCounts() map[string]uint64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.linkMu.Lock()
+	defer n.linkMu.Unlock()
 	out := make(map[string]uint64, len(n.tupleLinks))
 	for k, v := range n.tupleLinks {
 		out[k] = v
@@ -187,9 +233,19 @@ func (n *Node) TupleLinkCounts() map[string]uint64 {
 	return out
 }
 
+// countTuples records insert tuples leaving over one overlay link.
+func (n *Node) countTuples(next string, k uint64) {
+	n.linkMu.Lock()
+	n.tupleLinks[n.ep.Addr()+"→"+next] += k
+	n.linkMu.Unlock()
+}
+
 // send encodes and transmits, ignoring transport-level errors. With
 // coalescing enabled the message buffers in the per-destination queue
-// instead of leaving immediately (batch.go).
+// instead of leaving immediately (batch.go). Both transports have
+// consumed the encoded bytes by the time Send returns (simnet copies,
+// tcpnet writes the frame), so the buffer recycles immediately; the
+// coalescer recycles after the envelope is built (batch.go).
 func (n *Node) send(to string, m wire.Message) {
 	data := wire.Encode(m)
 	if n.batchingEnabled() {
@@ -197,18 +253,17 @@ func (n *Node) send(to string, m wire.Message) {
 		return
 	}
 	_ = n.ep.Send(to, data)
+	wire.RecycleBuf(data)
 }
 
 // nextReq issues a node-unique request id.
 func (n *Node) nextReq() uint64 {
-	n.reqSeq++
-	return n.addrTag&0xffffffff00000000 | n.reqSeq&0xffffffff
+	return n.addrTag&0xffffffff00000000 | n.reqSeq.Add(1)&0xffffffff
 }
 
 // nextRecID issues an origin-unique record id.
 func (n *Node) nextRecID() uint64 {
-	n.recSeq++
-	return n.addrTag&0xffffffff00000000 | n.recSeq&0xffffffff
+	return n.addrTag&0xffffffff00000000 | n.recSeq.Add(1)&0xffffffff
 }
 
 // dispatch is the endpoint handler: decode, give the overlay first
@@ -246,9 +301,7 @@ func (n *Node) handleMessage(from string, m wire.Message, raw []byte) {
 			// arm only sees wire deliveries (self-answers short-circuit
 			// through respond), so the counter stays wire-only like
 			// InsertAck's.
-			n.mu.Lock()
-			n.acksReceived++
-			n.mu.Unlock()
+			n.acksReceived.Add(1)
 		}
 		n.handleQueryResp(msg)
 	case *wire.CreateIndex:
@@ -291,28 +344,30 @@ func (n *Node) handleRegionRecall(m *wire.RegionRecall) {
 	}
 	n.flood(m)
 
-	n.mu.Lock()
 	myCode := n.ov.Code()
 	type out struct {
-		tag     string
+		ix      *index
 		version uint32
 		rec     schema.Record
 		target  bitstr.Code
 	}
 	var outs []out
-	for tag, ix := range n.indices {
+	var scratch []uint64
+	for _, ix := range n.sortedIndices() {
+		ix := ix
 		scan := func(vs *store.Versioned, includeOwned bool) {
 			for _, v := range vs.Versions() {
 				tree := ix.tree(v)
 				vs.Version(v).All(func(rec schema.Record) bool {
-					pc := tree.PointCode(rec.Point(ix.sch), clampDepth(m.Region.Len()+n.cfg.InsertDepthSlack))
+					scratch = rec.PointInto(ix.sch, scratch)
+					pc := tree.PointCode(scratch, clampDepth(m.Region.Len()+n.cfg.InsertDepthSlack))
 					if !m.Region.IsPrefixOf(pc) {
 						return true
 					}
 					if !includeOwned && myCode.IsPrefixOf(pc) {
 						return true // we already serve it
 					}
-					outs = append(outs, out{tag: tag, version: v, rec: rec, target: pc})
+					outs = append(outs, out{ix: ix, version: v, rec: rec, target: pc})
 					return true
 				})
 			}
@@ -323,27 +378,23 @@ func (n *Node) handleRegionRecall(m *wire.RegionRecall) {
 		for _, v := range ix.primary.Versions() {
 			tree := ix.tree(v)
 			ix.primary.Version(v).All(func(rec schema.Record) bool {
-				pc := tree.PointCode(rec.Point(ix.sch), clampDepth(m.Region.Len()+n.cfg.InsertDepthSlack))
+				scratch = rec.PointInto(ix.sch, scratch)
+				pc := tree.PointCode(scratch, clampDepth(m.Region.Len()+n.cfg.InsertDepthSlack))
 				if m.Region.IsPrefixOf(pc) && !myCode.IsPrefixOf(pc) {
-					outs = append(outs, out{tag: tag, version: v, rec: rec, target: pc})
+					outs = append(outs, out{ix: ix, version: v, rec: rec, target: pc})
 				}
 				return true
 			})
 		}
 	}
-	recIDs := make([]uint64, len(outs))
-	for i := range outs {
-		recIDs[i] = n.nextRecID()
-	}
-	n.mu.Unlock()
 
-	for i, o := range outs {
+	for _, o := range outs {
 		msg := &wire.Insert{
 			ReqID:      0, // recall: no ack
 			OriginAddr: n.ep.Addr(),
-			Index:      o.tag,
+			Index:      o.ix.sch.Tag,
 			Version:    o.version,
-			RecID:      recIDs[i],
+			RecID:      n.nextRecID(),
 			Rec:        o.rec,
 			Target:     o.target,
 		}
@@ -356,12 +407,11 @@ func (n *Node) handleRegionRecall(m *wire.RegionRecall) {
 // to future work. Old daily versions are retired once their data has
 // aged out of any query horizon.
 func (n *Node) RetireVersion(tag string, version uint32) error {
-	n.mu.Lock()
-	if _, ok := n.indices[tag]; !ok {
-		n.mu.Unlock()
+	if _, ok := n.getIndex(tag); !ok {
 		return fmt.Errorf("mind: unknown index %q", tag)
 	}
 	opID := n.nextReq()
+	n.mu.Lock()
 	n.seenOps[opID] = true
 	n.mu.Unlock()
 	n.retireLocal(tag, version)
@@ -370,12 +420,10 @@ func (n *Node) RetireVersion(tag string, version uint32) error {
 }
 
 func (n *Node) retireLocal(tag string, version uint32) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if ix, ok := n.indices[tag]; ok {
+	if ix, ok := n.getIndex(tag); ok {
 		ix.primary.Drop(version)
 		ix.replicas.Drop(version)
-		delete(ix.vers, version)
+		ix.dropTree(version)
 	}
 }
 
@@ -398,10 +446,10 @@ func (n *Node) onResume(from string, payload []byte) {
 // dead region's sub-queries then fail over to its replica holders even
 // when greedy routing would never land there (§3.8).
 func (n *Node) canResumeFromReplicas(target bitstr.Code) bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.ixMu.RLock()
+	defer n.ixMu.RUnlock()
 	for _, ix := range n.indices {
-		for owner := range ix.replicaOwners {
+		for _, owner := range ix.ownerCodes() {
 			if owner.IsPrefixOf(target) || target.IsPrefixOf(owner) {
 				return true
 			}
@@ -410,12 +458,12 @@ func (n *Node) canResumeFromReplicas(target bitstr.Code) bool {
 	return false
 }
 
-// indexDefs snapshots all index definitions for join accepts.
+// indexDefs snapshots all index definitions for join accepts, in
+// ascending tag order so the encoded accept is reproducible.
 func (n *Node) indexDefs() []wire.IndexDef {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	out := make([]wire.IndexDef, 0, len(n.indices))
-	for _, ix := range n.indices {
+	ixs := n.sortedIndices()
+	out := make([]wire.IndexDef, 0, len(ixs))
+	for _, ix := range ixs {
 		out = append(out, ix.def())
 	}
 	return out
@@ -424,8 +472,8 @@ func (n *Node) indexDefs() []wire.IndexDef {
 // onJoined installs the indices received in the join accept and arms the
 // history pointer toward the split sibling (§3.4).
 func (n *Node) onJoined(accept *wire.JoinAccept) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.ixMu.Lock()
+	defer n.ixMu.Unlock()
 	for _, d := range accept.Indices {
 		if _, exists := n.indices[d.Schema.Tag]; exists {
 			continue
@@ -435,6 +483,8 @@ func (n *Node) onJoined(accept *wire.JoinAccept) {
 			continue
 		}
 		if !n.cfg.TransferOnSplit && n.cfg.HistoryTTL > 0 {
+			// The index is not yet published, so direct field access is
+			// safe here.
 			ix.histAddr = accept.Sibling.Addr
 			ix.histUntil = n.clock.Now().Add(n.cfg.HistoryTTL)
 		}
@@ -449,22 +499,22 @@ func (n *Node) onSplit(oldCode, newCode bitstr.Code, joiner wire.NodeInfo) {
 	if !n.cfg.TransferOnSplit {
 		return
 	}
-	n.mu.Lock()
 	type push struct {
 		tag     string
 		version uint32
 		rec     schema.Record
 	}
 	var pushes []push
-	for tag, ix := range n.indices {
+	var scratch []uint64
+	for _, ix := range n.sortedIndices() {
 		for _, v := range ix.primary.Versions() {
 			tree := ix.tree(v)
 			st := ix.primary.Version(v)
 			var keep []schema.Record
 			st.All(func(rec schema.Record) bool {
-				p := rec.Point(ix.sch)
-				if joiner.Code.IsPrefixOf(tree.PointCode(p, joiner.Code.Len())) {
-					pushes = append(pushes, push{tag, v, rec})
+				scratch = rec.PointInto(ix.sch, scratch)
+				if joiner.Code.IsPrefixOf(tree.PointCode(scratch, joiner.Code.Len())) {
+					pushes = append(pushes, push{ix.sch.Tag, v, rec})
 				} else {
 					keep = append(keep, rec)
 				}
@@ -478,17 +528,13 @@ func (n *Node) onSplit(oldCode, newCode bitstr.Code, joiner wire.NodeInfo) {
 			}
 		}
 	}
-	n.mu.Unlock()
 	for _, p := range pushes {
-		n.mu.Lock()
-		recID := n.nextRecID()
-		n.mu.Unlock()
 		n.send(joiner.Addr, &wire.Insert{
 			ReqID:      0, // transfer: no ack expected
 			OriginAddr: n.ep.Addr(),
 			Index:      p.tag,
 			Version:    p.version,
-			RecID:      recID,
+			RecID:      n.nextRecID(),
 			Rec:        p.rec,
 			Target:     joiner.Code,
 		})
@@ -502,14 +548,14 @@ func (n *Node) onSplit(oldCode, newCode bitstr.Code, joiner wire.NodeInfo) {
 // dead sibling), so a later failure would lose both — re-replication is
 // what lets one-replica MIND ride out gradual failures (§3.8, Fig 16).
 func (n *Node) onTakeover(dead, oldCode bitstr.Code) {
-	n.mu.Lock()
 	type pushRec struct {
 		tag     string
 		version uint32
 		rec     schema.Record
 	}
 	var pushes []pushRec
-	for tag, ix := range n.indices {
+	var scratch []uint64
+	for _, ix := range n.sortedIndices() {
 		ix.absorbReplicas(dead)
 		if n.cfg.Replication == 0 {
 			continue
@@ -522,29 +568,25 @@ func (n *Node) onTakeover(dead, oldCode bitstr.Code) {
 			tree := ix.tree(v)
 			ix.primary.Version(v).All(func(rec schema.Record) bool {
 				if dead.Len() > 0 {
-					pc := tree.PointCode(rec.Point(ix.sch), dead.Len())
+					scratch = rec.PointInto(ix.sch, scratch)
+					pc := tree.PointCode(scratch, dead.Len())
 					if !dead.IsPrefixOf(pc) {
 						return true
 					}
 				}
-				pushes = append(pushes, pushRec{tag: tag, version: v, rec: rec})
+				pushes = append(pushes, pushRec{tag: ix.sch.Tag, version: v, rec: rec})
 				return true
 			})
 		}
 	}
-	replicas := n.replicaSetLocked()
+	replicas := n.replicaTargets()
 	owner := n.ov.Code()
-	recIDs := make([]uint64, len(pushes))
-	for i := range pushes {
-		recIDs[i] = n.nextRecID()
-	}
-	n.mu.Unlock()
 
-	for i, p := range pushes {
+	for _, p := range pushes {
 		rep := &wire.Replicate{
 			Index:     p.tag,
 			Version:   p.version,
-			RecID:     recIDs[i],
+			RecID:     n.nextRecID(),
 			Rec:       p.rec,
 			OwnerCode: owner,
 		}
@@ -557,8 +599,8 @@ func (n *Node) onTakeover(dead, oldCode bitstr.Code) {
 	// of the overlay: after a relocation takeover this node starts with
 	// an empty store for the region, and even after a sibling takeover
 	// stragglers may exist at other replica levels.
-	n.mu.Lock()
 	opID := n.nextReq()
+	n.mu.Lock()
 	n.seenOps[opID] = true
 	n.mu.Unlock()
 	recall := &wire.RegionRecall{OpID: opID, Region: dead}
@@ -580,16 +622,18 @@ func (n *Node) CreateIndex(sch *schema.Schema, tree *embed.Tree) error {
 	if tree.Dims() != sch.IndexDims {
 		return fmt.Errorf("mind: tree dims %d != schema dims %d", tree.Dims(), sch.IndexDims)
 	}
-	n.mu.Lock()
+	n.ixMu.Lock()
 	if _, exists := n.indices[sch.Tag]; exists {
-		n.mu.Unlock()
+		n.ixMu.Unlock()
 		return fmt.Errorf("mind: index %q already exists", sch.Tag)
 	}
 	ix := newIndex(sch.Clone(), tree)
 	n.indices[sch.Tag] = ix
-	opID := n.nextReq()
-	n.seenOps[opID] = true
+	n.ixMu.Unlock()
 	def := ix.def()
+	opID := n.nextReq()
+	n.mu.Lock()
+	n.seenOps[opID] = true
 	n.mu.Unlock()
 
 	n.flood(&wire.CreateIndex{OpID: opID, Def: def})
@@ -598,13 +642,15 @@ func (n *Node) CreateIndex(sch *schema.Schema, tree *embed.Tree) error {
 
 // DropIndex removes an index locally and floods the removal.
 func (n *Node) DropIndex(tag string) error {
-	n.mu.Lock()
+	n.ixMu.Lock()
 	if _, exists := n.indices[tag]; !exists {
-		n.mu.Unlock()
+		n.ixMu.Unlock()
 		return fmt.Errorf("mind: unknown index %q", tag)
 	}
 	delete(n.indices, tag)
+	n.ixMu.Unlock()
 	opID := n.nextReq()
+	n.mu.Lock()
 	n.seenOps[opID] = true
 	n.mu.Unlock()
 
@@ -612,31 +658,28 @@ func (n *Node) DropIndex(tag string) error {
 	return nil
 }
 
-// Indices lists the tags of installed indices.
+// Indices lists the tags of installed indices in ascending order.
 func (n *Node) Indices() []string {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.ixMu.RLock()
 	out := make([]string, 0, len(n.indices))
 	for tag := range n.indices {
 		out = append(out, tag)
 	}
+	n.ixMu.RUnlock()
+	sort.Strings(out)
 	return out
 }
 
 // HasIndex reports whether the named index is installed.
 func (n *Node) HasIndex(tag string) bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	_, ok := n.indices[tag]
+	_, ok := n.getIndex(tag)
 	return ok
 }
 
 // StoredRecords returns the primary record count for an index (all
 // versions), for storage-distribution experiments (Fig 13).
 func (n *Node) StoredRecords(tag string) int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	ix, ok := n.indices[tag]
+	ix, ok := n.getIndex(tag)
 	if !ok {
 		return 0
 	}
@@ -646,9 +689,7 @@ func (n *Node) StoredRecords(tag string) int {
 // StoredRecordsVersion returns the primary record count of one index
 // version.
 func (n *Node) StoredRecordsVersion(tag string, version uint32) int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	ix, ok := n.indices[tag]
+	ix, ok := n.getIndex(tag)
 	if !ok || !ix.primary.Has(version) {
 		return 0
 	}
@@ -659,9 +700,7 @@ func (n *Node) StoredRecordsVersion(tag string, version uint32) int {
 // only (no routing) — the view a co-located monitor or a diagnostic tool
 // sees of one node's shard.
 func (n *Node) LocalQuery(tag string, rect schema.Rect) []schema.Record {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	ix, ok := n.indices[tag]
+	ix, ok := n.getIndex(tag)
 	if !ok {
 		return nil
 	}
@@ -670,9 +709,7 @@ func (n *Node) LocalQuery(tag string, rect schema.Rect) []schema.Record {
 
 // ReplicaRecords returns the replica record count for an index.
 func (n *Node) ReplicaRecords(tag string) int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	ix, ok := n.indices[tag]
+	ix, ok := n.getIndex(tag)
 	if !ok {
 		return 0
 	}
@@ -707,13 +744,13 @@ func (n *Node) handleCreateIndex(m *wire.CreateIndex) {
 	if !n.markOp(m.OpID) {
 		return
 	}
-	n.mu.Lock()
+	n.ixMu.Lock()
 	if _, exists := n.indices[m.Def.Schema.Tag]; !exists {
 		if ix, err := indexFromDef(m.Def); err == nil {
 			n.indices[m.Def.Schema.Tag] = ix
 		}
 	}
-	n.mu.Unlock()
+	n.ixMu.Unlock()
 	n.flood(m)
 }
 
@@ -721,8 +758,8 @@ func (n *Node) handleDropIndex(m *wire.DropIndex) {
 	if !n.markOp(m.OpID) {
 		return
 	}
-	n.mu.Lock()
+	n.ixMu.Lock()
 	delete(n.indices, m.Tag)
-	n.mu.Unlock()
+	n.ixMu.Unlock()
 	n.flood(m)
 }

@@ -1,0 +1,79 @@
+package mind
+
+import (
+	"sync"
+
+	"mind/internal/schema"
+	"mind/internal/store"
+)
+
+// Parallel local query execution (tentpole layer 2): the owner-side work
+// of a query — decomposing into per-region sub-queries and resolving
+// each version's k-d store — fans out to a bounded worker pool sized by
+// cfg.QueryParallelism. The k-d stores read lock-free snapshots, so
+// parallel resolution scales without writer interference.
+//
+// Determinism contract: with QueryParallelism <= 1 every task runs
+// inline, in slice order, on the caller's goroutine — byte-identical
+// behavior to the pre-sharding sequential loops. simnet experiments rely
+// on this (send order feeds the seeded jitter RNG), so DefaultConfig
+// leaves parallelism off and the simulation harness must never enable
+// it.
+
+// runSubTasks executes fn(0..count-1), either inline in order
+// (QueryParallelism <= 1) or on min(QueryParallelism, count) workers
+// fed from a channel. It returns when every task has finished.
+func (n *Node) runSubTasks(count int, fn func(int)) {
+	p := n.cfg.QueryParallelism
+	if p > count {
+		p = count
+	}
+	if p <= 1 || count <= 1 {
+		for i := 0; i < count; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < count; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// resolveLocal queries a versioned store for the given versions,
+// resolving each version's k-d tree on the worker pool when parallelism
+// is enabled. Results concatenate in version-argument order either way,
+// so the response payload does not depend on scheduling.
+func (n *Node) resolveLocal(vs *store.Versioned, versions []uint32, rect schema.Rect) []schema.Record {
+	if n.cfg.QueryParallelism <= 1 || len(versions) < 2 {
+		return vs.Query(versions, rect)
+	}
+	parts := make([][]schema.Record, len(versions))
+	n.runSubTasks(len(versions), func(i int) {
+		parts[i] = vs.Query(versions[i:i+1], rect)
+	})
+	total := 0
+	for _, part := range parts {
+		total += len(part)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]schema.Record, 0, total)
+	for _, part := range parts {
+		out = append(out, part...)
+	}
+	return out
+}

@@ -61,14 +61,11 @@ func (n *Node) Query(tag string, rect schema.Rect, cb func(QueryResult)) error {
 	if !rect.Valid() {
 		return fmt.Errorf("mind: invalid query rect")
 	}
-	n.mu.Lock()
-	ix, ok := n.indices[tag]
+	ix, ok := n.getIndex(tag)
 	if !ok {
-		n.mu.Unlock()
 		return fmt.Errorf("mind: unknown index %q", tag)
 	}
 	if rect.Dims() != ix.sch.IndexDims {
-		n.mu.Unlock()
 		return fmt.Errorf("mind: query dims %d != index dims %d", rect.Dims(), ix.sch.IndexDims)
 	}
 	versions := ix.queryVersions(rect, n.cfg.VersionSeconds)
@@ -86,10 +83,7 @@ func (n *Node) Query(tag string, rect schema.Rect, cb func(QueryResult)) error {
 		retryHops:  make(map[string]string),
 	}
 	maxDepth := clampDepth(n.ov.Code().Len() + n.cfg.InsertDepthSlack)
-	type dispatch struct {
-		msg *wire.Query
-	}
-	var dispatches []dispatch
+	var dispatches []*wire.Query
 	// Dispatch groups in ascending first-version order: the grouping map
 	// is keyed by tree pointer, and send order must not depend on map
 	// iteration for same-seed simnet runs to reproduce exactly.
@@ -111,24 +105,27 @@ func (n *Node) Query(tag string, rect schema.Rect, cb func(QueryResult)) error {
 			op.trees[v] = tree
 			vlist[i] = uint64(v)
 		}
-		dispatches = append(dispatches, dispatch{msg: &wire.Query{
+		dispatches = append(dispatches, &wire.Query{
 			ReqID:      reqID,
 			OriginAddr: n.ep.Addr(),
 			Index:      tag,
 			Versions:   vlist,
 			Rect:       rect.Clone(),
 			Target:     qcode,
-		}})
+		})
 	}
+	n.reqTracked.Add(1)
+	n.mu.Lock()
 	n.queries[reqID] = op
-	n.reqTracked++
 	op.timer = n.clock.AfterFunc(n.cfg.QueryTimeout, func() { n.finishQuery(reqID, false) })
 	n.armQueryRetryLocked(reqID, op)
 	n.mu.Unlock()
 
-	for _, d := range dispatches {
-		n.handleQuery(n.ep.Addr(), d.msg, nil)
-	}
+	// Per-tree dispatch fans out to the worker pool; inline and in order
+	// when parallelism is off.
+	n.runSubTasks(len(dispatches), func(i int) {
+		n.handleQuery(n.ep.Addr(), dispatches[i], nil)
+	})
 	return nil
 }
 
@@ -175,16 +172,16 @@ func (n *Node) handleQuery(from string, m *wire.Query, raw []byte) {
 		fwd := *m
 		fwd.Hops++
 		if next, ok := n.ov.NextHop(m.Target); ok {
-			n.mu.Lock()
-			n.forwarded++
+			n.forwarded.Add(1)
 			if m.OriginAddr == n.ep.Addr() {
 				// Record the whole-query first hop so retransmissions of
 				// still-uncovered regions can exclude it.
+				n.mu.Lock()
 				if op, ok := n.queries[m.ReqID]; ok {
 					op.retryHops["*"] = next
 				}
+				n.mu.Unlock()
 			}
-			n.mu.Unlock()
 			n.send(next, &fwd)
 		} else {
 			n.ov.RingRecover(m.Target, wire.Encode(&fwd))
@@ -192,9 +189,7 @@ func (n *Node) handleQuery(from string, m *wire.Query, raw []byte) {
 		return
 	}
 	// First abutting node: split into sub-queries (§3.6).
-	n.mu.Lock()
-	ix, ok := n.indices[m.Index]
-	n.mu.Unlock()
+	ix, ok := n.getIndex(m.Index)
 	if !ok || len(m.Versions) == 0 {
 		return
 	}
@@ -208,7 +203,9 @@ func (n *Node) handleQuery(from string, m *wire.Query, raw []byte) {
 		})
 		return
 	}
-	for _, sub := range tree.Decompose(m.Rect, myCode.Len()) {
+	subs := tree.Decompose(m.Rect, myCode.Len())
+	n.runSubTasks(len(subs), func(i int) {
+		sub := subs[i]
 		sq := &wire.SubQuery{
 			ReqID:      m.ReqID,
 			OriginAddr: m.OriginAddr,
@@ -223,7 +220,7 @@ func (n *Node) handleQuery(from string, m *wire.Query, raw []byte) {
 		} else {
 			n.routeSubQuery(sq)
 		}
-	}
+	})
 }
 
 // routeSubQuery forwards a sub-query toward its region, with replica
@@ -232,9 +229,7 @@ func (n *Node) routeSubQuery(m *wire.SubQuery) {
 	if next, ok := n.ov.NextHop(m.RegionCode); ok {
 		fwd := *m
 		fwd.Hops++
-		n.mu.Lock()
-		n.forwarded++
-		n.mu.Unlock()
+		n.forwarded.Add(1)
 		n.send(next, &fwd)
 		return
 	}
@@ -264,14 +259,14 @@ func (n *Node) handleSubQuery(from string, m *wire.SubQuery, raw []byte) {
 		n.answerSubQuery(m)
 	case region.IsPrefixOf(myCode):
 		// The region covers several nodes here: re-split at our depth.
-		n.mu.Lock()
-		ix, ok := n.indices[m.Index]
-		n.mu.Unlock()
+		ix, ok := n.getIndex(m.Index)
 		if !ok || len(m.Versions) == 0 {
 			return
 		}
 		tree := ix.tree(uint32(m.Versions[0]))
-		for _, sub := range tree.Decompose(m.Rect, myCode.Len()) {
+		subs := tree.Decompose(m.Rect, myCode.Len())
+		n.runSubTasks(len(subs), func(i int) {
+			sub := subs[i]
 			sq := &wire.SubQuery{
 				ReqID:      m.ReqID,
 				OriginAddr: m.OriginAddr,
@@ -286,7 +281,7 @@ func (n *Node) handleSubQuery(from string, m *wire.SubQuery, raw []byte) {
 			} else {
 				n.routeSubQuery(sq)
 			}
-		}
+		})
 	default:
 		n.routeSubQuery(m)
 	}
@@ -295,29 +290,29 @@ func (n *Node) handleSubQuery(from string, m *wire.SubQuery, raw []byte) {
 // answerSubQuery resolves a sub-query from local storage and responds
 // directly to the originator. With an active history pointer the local
 // records go back without a coverage claim and the pointer target
-// provides the covering answer for pre-split data (§3.4).
+// provides the covering answer for pre-split data (§3.4). Storage reads
+// run against lock-free k-d snapshots; no node-wide lock is held.
 func (n *Node) answerSubQuery(m *wire.SubQuery) {
-	n.mu.Lock()
-	ix, ok := n.indices[m.Index]
+	ix, ok := n.getIndex(m.Index)
 	if !ok {
-		n.mu.Unlock()
 		return
 	}
 	versions := make([]uint32, len(m.Versions))
 	for i, v := range m.Versions {
 		versions[i] = uint32(v)
 	}
-	recs := ix.primary.Query(versions, m.Rect)
-	histActive := ix.historyActive(n.clock.Now())
-	histAddr := ix.histAddr
+	recs := n.resolveLocal(ix.primary, versions, m.Rect)
+	histActive, histAddr := ix.history(n.clock.Now())
 	self := n.ov.Info()
-	if n.ansDedup.Seen(subQueryKey(m)) {
+	n.ansMu.Lock()
+	dup := n.ansDedup.Seen(subQueryKey(m))
+	n.ansMu.Unlock()
+	if dup {
 		// Repeated answering work for the same (request, region): the
 		// originator's retransmission reached us again. Still answer —
 		// the previous response may be the message that was lost.
-		n.dedupHits++
+		n.dedupHits.Add(1)
 	}
-	n.mu.Unlock()
 
 	resp := &wire.QueryResp{
 		ReqID:    m.ReqID,
@@ -327,9 +322,13 @@ func (n *Node) answerSubQuery(m *wire.SubQuery) {
 		Versions: m.Versions,
 		Hops:     m.Hops,
 	}
-	for _, r := range recs {
-		resp.RecID = append(resp.RecID, recHash(r))
-		resp.Recs = append(resp.Recs, r)
+	if len(recs) > 0 {
+		resp.RecID = make([]uint64, 0, len(recs))
+		resp.Recs = make([][]uint64, 0, len(recs))
+		for _, r := range recs {
+			resp.RecID = append(resp.RecID, recHash(r))
+			resp.Recs = append(resp.Recs, r)
+		}
 	}
 	n.respond(m.OriginAddr, resp)
 
@@ -346,16 +345,14 @@ func (n *Node) answerSubQuery(m *wire.SubQuery) {
 // answerFromReplicas serves a dead region's sub-query from replicated
 // data; it reports whether it produced a covering answer.
 func (n *Node) answerFromReplicas(m *wire.SubQuery) bool {
-	n.mu.Lock()
-	ix, ok := n.indices[m.Index]
+	ix, ok := n.getIndex(m.Index)
 	if !ok {
-		n.mu.Unlock()
 		return false
 	}
 	region := m.RegionCode
 	var coveringOwner *bitstr.Code
 	var within []bitstr.Code // owners strictly inside the region
-	for owner := range ix.replicaOwners {
+	for _, owner := range ix.ownerCodes() {
 		switch {
 		case owner.IsPrefixOf(region):
 			o := owner
@@ -365,7 +362,6 @@ func (n *Node) answerFromReplicas(m *wire.SubQuery) bool {
 		}
 	}
 	if coveringOwner == nil && len(within) == 0 {
-		n.mu.Unlock()
 		return false
 	}
 	versions := make([]uint32, len(m.Versions))
@@ -377,14 +373,17 @@ func (n *Node) answerFromReplicas(m *wire.SubQuery) bool {
 	if coveringOwner != nil {
 		// Our replica of the owner includes everything in the region.
 		recs := filterToRegion(ix, versions, m.Rect, region)
-		n.mu.Unlock()
 		resp := &wire.QueryResp{
 			ReqID: m.ReqID, From: self, HasCover: true, Cover: region,
 			Versions: m.Versions, Hops: m.Hops,
 		}
-		for _, r := range recs {
-			resp.RecID = append(resp.RecID, recHash(r))
-			resp.Recs = append(resp.Recs, r)
+		if len(recs) > 0 {
+			resp.RecID = make([]uint64, 0, len(recs))
+			resp.Recs = make([][]uint64, 0, len(recs))
+			for _, r := range recs {
+				resp.RecID = append(resp.RecID, recHash(r))
+				resp.Recs = append(resp.Recs, r)
+			}
 		}
 		n.respond(m.OriginAddr, resp)
 		return true
@@ -404,58 +403,51 @@ func (n *Node) answerFromReplicas(m *wire.SubQuery) bool {
 	}
 	tree := ix.tree(versions[0])
 	subs := tree.Decompose(m.Rect, depth)
-	type pending struct {
-		covered bool
-		sq      *wire.SubQuery
-		recs    []schema.Record
-	}
-	var work []pending
 	for _, sub := range subs {
 		sq := &wire.SubQuery{
 			ReqID: m.ReqID, OriginAddr: m.OriginAddr, Index: m.Index,
 			Versions: m.Versions, Rect: sub.Rect, RegionCode: sub.Code, Hops: m.Hops,
 		}
 		if ownerSet[sub.Code] {
-			work = append(work, pending{covered: true, sq: sq, recs: filterToRegion(ix, versions, sub.Rect, sub.Code)})
-		} else {
-			work = append(work, pending{covered: false, sq: sq})
-		}
-	}
-	n.mu.Unlock()
-
-	for _, p := range work {
-		if p.covered {
+			recs := filterToRegion(ix, versions, sub.Rect, sub.Code)
 			resp := &wire.QueryResp{
-				ReqID: p.sq.ReqID, From: self, HasCover: true, Cover: p.sq.RegionCode,
-				Versions: p.sq.Versions, Hops: p.sq.Hops,
+				ReqID: sq.ReqID, From: self, HasCover: true, Cover: sq.RegionCode,
+				Versions: sq.Versions, Hops: sq.Hops,
 			}
-			for _, r := range p.recs {
-				resp.RecID = append(resp.RecID, recHash(r))
-				resp.Recs = append(resp.Recs, r)
+			if len(recs) > 0 {
+				resp.RecID = make([]uint64, 0, len(recs))
+				resp.Recs = make([][]uint64, 0, len(recs))
+				for _, r := range recs {
+					resp.RecID = append(resp.RecID, recHash(r))
+					resp.Recs = append(resp.Recs, r)
+				}
 			}
-			n.respond(p.sq.OriginAddr, resp)
+			n.respond(sq.OriginAddr, resp)
 		} else {
 			// Re-dispatch through the full sub-query logic: the piece
 			// may be (inside) this node's own region, in which case it
 			// must be answered from primary storage, not re-routed into
 			// a dead end.
-			n.handleSubQuery(n.ep.Addr(), p.sq, nil)
+			n.handleSubQuery(n.ep.Addr(), sq, nil)
 		}
 	}
 	return true
 }
 
 // filterToRegion queries the replica store and keeps records inside the
-// region. Callers hold n.mu.
+// region. The replica store reads are snapshot-consistent; no lock is
+// required.
 func filterToRegion(ix *index, versions []uint32, rect schema.Rect, region bitstr.Code) []schema.Record {
 	var out []schema.Record
+	var scratch []uint64
 	for _, v := range versions {
 		tree := ix.tree(v)
 		if !ix.replicas.Has(v) {
 			continue
 		}
 		for _, r := range ix.replicas.Version(v).Query(rect) {
-			if region.IsPrefixOf(tree.PointCode(r.Point(ix.sch), region.Len())) {
+			scratch = r.PointInto(ix.sch, scratch)
+			if region.IsPrefixOf(tree.PointCode(scratch, region.Len())) {
 				out = append(out, r)
 			}
 		}

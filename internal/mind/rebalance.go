@@ -40,9 +40,7 @@ type histCollect struct {
 // without the projection, every time cut would fall outside it and the
 // timestamp dimension would stop contributing to balance.
 func (n *Node) LocalHistogram(tag string, day uint32, k int) (*histogram.Hist, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	ix, ok := n.indices[tag]
+	ix, ok := n.getIndex(tag)
 	if !ok {
 		return nil, fmt.Errorf("mind: unknown index %q", tag)
 	}
@@ -52,32 +50,21 @@ func (n *Node) LocalHistogram(tag string, day uint32, k int) (*histogram.Hist, e
 	}
 	vs := n.cfg.VersionSeconds
 	if ix.primary.Has(day) {
+		var scratch []uint64 // AddPoint copies nothing out of p, so one buffer serves the scan
 		ix.primary.Version(day).All(func(rec schema.Record) bool {
-			p := schemaPoint(ix, rec)
+			scratch = rec.PointInto(ix.sch, scratch)
 			if ix.timeAttr >= 0 && vs > 0 {
-				shifted := p[ix.timeAttr]%vs + uint64(day+1)*vs
+				shifted := scratch[ix.timeAttr]%vs + uint64(day+1)*vs
 				if b := ix.sch.Attrs[ix.timeAttr].Bound(); shifted > b {
 					shifted = b
 				}
-				p[ix.timeAttr] = shifted
+				scratch[ix.timeAttr] = shifted
 			}
-			h.AddPoint(p)
+			h.AddPoint(scratch)
 			return true
 		})
 	}
 	return h, nil
-}
-
-func schemaPoint(ix *index, rec []uint64) []uint64 {
-	p := make([]uint64, ix.sch.IndexDims)
-	for i := 0; i < ix.sch.IndexDims; i++ {
-		v := rec[i]
-		if b := ix.sch.Attrs[i].Bound(); v > b {
-			v = b
-		}
-		p[i] = v
-	}
-	return p
 }
 
 // ReportHistogram computes this node's local histogram for the given
@@ -159,13 +146,13 @@ func (n *Node) finalizeRebalance(key string) {
 // floods it to the overlay. Exposed so experiments can also install
 // off-line-computed cuts, exactly as the paper's evaluation did.
 func (n *Node) InstallCuts(tag string, version uint32, tree *embed.Tree) {
-	n.mu.Lock()
 	opID := n.nextReq()
+	n.mu.Lock()
 	n.seenOps[opID] = true
-	if ix, ok := n.indices[tag]; ok && tree.Dims() == ix.sch.IndexDims {
-		ix.vers[version] = tree
-	}
 	n.mu.Unlock()
+	if ix, ok := n.getIndex(tag); ok && tree.Dims() == ix.sch.IndexDims {
+		ix.setTree(version, tree)
+	}
 	n.flood(&wire.HistInstall{OpID: opID, Index: tag, Version: version, Tree: tree.Marshal()})
 }
 
@@ -175,11 +162,9 @@ func (n *Node) handleHistInstall(m *wire.HistInstall) {
 	}
 	tree, err := embed.Unmarshal(m.Tree)
 	if err == nil {
-		n.mu.Lock()
-		if ix, ok := n.indices[m.Index]; ok && tree.Dims() == ix.sch.IndexDims {
-			ix.vers[m.Version] = tree
+		if ix, ok := n.getIndex(m.Index); ok && tree.Dims() == ix.sch.IndexDims {
+			ix.setTree(m.Version, tree)
 		}
-		n.mu.Unlock()
 	}
 	n.flood(m)
 }
@@ -187,9 +172,7 @@ func (n *Node) handleHistInstall(m *wire.HistInstall) {
 // CutTree returns the embedding in effect for an index version (tests
 // and experiments).
 func (n *Node) CutTree(tag string, version uint32) (*embed.Tree, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	ix, ok := n.indices[tag]
+	ix, ok := n.getIndex(tag)
 	if !ok {
 		return nil, fmt.Errorf("mind: unknown index %q", tag)
 	}

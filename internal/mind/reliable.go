@@ -115,7 +115,7 @@ func (n *Node) resendInsert(reqID uint64) {
 		return
 	}
 	op.attempt++
-	n.retransmits++
+	n.retransmits.Add(1)
 	msg := *op.msg
 	msg.Attempt = uint8(op.attempt)
 	exclude := op.lastHop
@@ -244,7 +244,7 @@ func (n *Node) resendQuery(reqID uint64) {
 			work = append(work, resend{sq: sq, exclude: exclude})
 		}
 	}
-	n.retransmits += uint64(len(work))
+	n.retransmits.Add(uint64(len(work)))
 	op.retry = n.clock.AfterFunc(n.retryDelayLocked(attempt+1), func() { n.resendQuery(reqID) })
 	n.mu.Unlock()
 
@@ -300,12 +300,10 @@ func subQueryKey(m *wire.SubQuery) uint64 {
 
 // ReliabilityStats snapshots the reliable-request-layer counters.
 func (n *Node) ReliabilityStats() metrics.Reliability {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	return metrics.Reliability{
-		Requests:    n.reqTracked,
-		Retransmits: n.retransmits,
-		Acks:        n.acksReceived,
-		DedupHits:   n.dedupHits,
+		Requests:    n.reqTracked.Load(),
+		Retransmits: n.retransmits.Load(),
+		Acks:        n.acksReceived.Load(),
+		DedupHits:   n.dedupHits.Load(),
 	}
 }

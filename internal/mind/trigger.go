@@ -56,21 +56,20 @@ func (n *Node) RegisterTrigger(tag string, rect schema.Rect, cb func(TriggerEven
 	if !rect.Valid() {
 		return 0, fmt.Errorf("mind: invalid trigger rect")
 	}
-	n.mu.Lock()
-	ix, ok := n.indices[tag]
+	ix, ok := n.getIndex(tag)
 	if !ok {
-		n.mu.Unlock()
 		return 0, fmt.Errorf("mind: unknown index %q", tag)
 	}
 	if rect.Dims() != ix.sch.IndexDims {
-		n.mu.Unlock()
 		return 0, fmt.Errorf("mind: trigger dims %d != index dims %d", rect.Dims(), ix.sch.IndexDims)
 	}
 	id := n.nextReq()
+	n.mu.Lock()
 	if n.triggerSubs == nil {
 		n.triggerSubs = make(map[uint64]*triggerSub)
 	}
 	n.triggerSubs[id] = &triggerSub{cb: cb, seen: make(map[uint64]bool)}
+	n.mu.Unlock()
 	// Route toward the newest version's embedding; inserts for current
 	// traffic land under it.
 	versions := ix.primary.Versions()
@@ -81,7 +80,6 @@ func (n *Node) RegisterTrigger(tag string, rect schema.Rect, cb func(TriggerEven
 	tree := ix.tree(v)
 	maxDepth := clampDepth(n.ov.Code().Len() + n.cfg.InsertDepthSlack)
 	target := tree.QueryCode(rect, maxDepth)
-	n.mu.Unlock()
 
 	msg := &wire.TriggerInstall{
 		TriggerID:  id,
@@ -96,9 +94,9 @@ func (n *Node) RegisterTrigger(tag string, rect schema.Rect, cb func(TriggerEven
 
 // RemoveTrigger cancels a standing query everywhere.
 func (n *Node) RemoveTrigger(id uint64) {
+	opID := n.nextReq()
 	n.mu.Lock()
 	delete(n.triggerSubs, id)
-	opID := n.nextReq()
 	n.seenOps[opID] = true
 	n.mu.Unlock()
 	msg := &wire.TriggerRemove{OpID: opID, TriggerID: id}
@@ -107,9 +105,8 @@ func (n *Node) RemoveTrigger(id uint64) {
 }
 
 func (n *Node) removeTriggerLocal(id uint64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	for _, ix := range n.indices {
+	for _, ix := range n.sortedIndices() {
+		ix.mu.Lock()
 		kept := ix.triggers[:0]
 		for _, tr := range ix.triggers {
 			if tr.id != id {
@@ -117,6 +114,7 @@ func (n *Node) removeTriggerLocal(id uint64) {
 			}
 		}
 		ix.triggers = kept
+		ix.mu.Unlock()
 	}
 }
 
@@ -136,10 +134,8 @@ func (n *Node) handleTriggerInstall(from string, m *wire.TriggerInstall) {
 		}
 		return
 	}
-	n.mu.Lock()
-	ix, ok := n.indices[m.Index]
+	ix, ok := n.getIndex(m.Index)
 	if !ok {
-		n.mu.Unlock()
 		return
 	}
 	versions := ix.primary.Versions()
@@ -149,7 +145,6 @@ func (n *Node) handleTriggerInstall(from string, m *wire.TriggerInstall) {
 	}
 	tree := ix.tree(v)
 	myCode := n.ov.Code()
-	n.mu.Unlock()
 
 	if myCode.Len() <= m.Target.Len() {
 		n.installTrigger(m)
@@ -179,12 +174,12 @@ func (n *Node) handleTriggerInstall(from string, m *wire.TriggerInstall) {
 }
 
 func (n *Node) installTrigger(m *wire.TriggerInstall) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	ix, ok := n.indices[m.Index]
+	ix, ok := n.getIndex(m.Index)
 	if !ok {
 		return
 	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	for _, tr := range ix.triggers {
 		if tr.id == m.TriggerID {
 			// Refresh on re-arm; widen the rect to the union region by
@@ -210,10 +205,12 @@ func (n *Node) handleTriggerRemove(m *wire.TriggerRemove) {
 	n.flood(m)
 }
 
-// fireTriggers checks a freshly stored record against installed triggers
-// (called by storeAsOwner with n.mu held) and returns the notifications
-// to send after unlocking.
+// fireTriggers checks a freshly stored record against installed
+// triggers and returns the notifications to send; the caller must not
+// hold ix.mu. Expired triggers are dropped in the same pass.
 func (ix *index) fireTriggers(now time.Time, recID uint64, rec schema.Record) []*trigger {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	if len(ix.triggers) == 0 {
 		return nil
 	}

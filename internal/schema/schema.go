@@ -170,6 +170,26 @@ func (r Record) Point(s *Schema) []uint64 {
 	return p
 }
 
+// PointInto is Point writing into a caller-provided scratch slice
+// instead of allocating; it returns dst resized to the indexed
+// dimensionality (reallocating only if dst is too small). Hot paths that
+// compute a point per record use this to keep one scratch slice alive
+// across a whole scan.
+func (r Record) PointInto(s *Schema, dst []uint64) []uint64 {
+	if cap(dst) < s.IndexDims {
+		dst = make([]uint64, s.IndexDims)
+	}
+	dst = dst[:s.IndexDims]
+	for i := 0; i < s.IndexDims; i++ {
+		v := r[i]
+		if b := s.Attrs[i].Bound(); v > b {
+			v = b
+		}
+		dst[i] = v
+	}
+	return dst
+}
+
 // CheckRecord verifies the record arity against the schema.
 func (s *Schema) CheckRecord(r Record) error {
 	if len(r) != len(s.Attrs) {

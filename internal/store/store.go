@@ -1,17 +1,22 @@
 // Package store implements the local storage engine of a MIND node. The
-// paper's prototype delegated per-node storage to MySQL via JDBC (§3.9);
-// this implementation provides the same contract — insert multi-attribute
+// paper's prototype delegated per-node storage to MySQL via JDBC (§3.9),
+// funnelling all database access through a single DAC queue; this
+// implementation provides the same contract — insert multi-attribute
 // records, resolve orthogonal range queries — with an embedded in-memory
-// k-d tree, so the system has no external dependencies.
+// k-d tree, and drops the single-queue bottleneck: KD (and Versioned) are
+// safe for concurrent use, with inserts serialized on an internal writer
+// mutex while queries traverse lock-free against a consistent view of the
+// tree.
 //
 // A Store holds the records of one index (or one daily version of one
-// index) at one node. Stores are not safe for concurrent use; the owning
-// node serializes access (the paper's prototype likewise funnels all
-// database access through a single DAC queue).
+// index) at one node. Scan, the differential-test oracle, keeps the old
+// single-threaded contract and must be serialized by its caller.
 package store
 
 import (
 	"math/bits"
+	"sync"
+	"sync/atomic"
 
 	"mind/internal/schema"
 )
@@ -19,11 +24,15 @@ import (
 // Store is the contract the MIND node requires of its storage engine.
 type Store interface {
 	// Insert adds one record. The record's indexed attributes position it
-	// in the data space; payload attributes ride along.
+	// in the data space; payload attributes ride along. The caller must
+	// not mutate the record after handing it over.
 	Insert(rec schema.Record)
 	// Query returns all records whose indexed point (clamped to the
 	// schema bounds) falls inside rect.
 	Query(rect schema.Rect) []schema.Record
+	// Count returns the number of records inside rect without
+	// materializing them.
+	Count(rect schema.Rect) int
 	// Len returns the number of stored records.
 	Len() int
 	// All streams every stored record; used for replication hand-off.
@@ -35,111 +44,140 @@ type Store interface {
 // median splits whenever an insertion path exceeds a logarithmic depth
 // bound, which keeps monotone insertion orders (timestamps, sequential
 // prefixes) from degrading the tree into a list.
+//
+// Concurrency: KD is a single-writer / multi-reader structure. Insert
+// serializes on wmu and only ever publishes fully initialized nodes
+// through atomic child pointers, so readers (Query, Count, All, Len,
+// Depth) run without any lock and never observe a torn tree. A reader
+// sees a consistent snapshot as of the moment it loads a subtree root;
+// concurrent inserts may or may not be visible, which matches the
+// node-level contract (an unacknowledged insert has no visibility
+// guarantee). Rebuilds are copy-on-write: a balanced replacement tree is
+// built from fresh nodes and swapped in with one atomic root store, so
+// in-flight readers finish on the old tree and never block.
 type KD struct {
-	sch  *schema.Schema
-	root *kdNode
-	size int
+	sch    *schema.Schema
+	bounds []uint64 // per-dimension clamp, precomputed from the schema
+	wmu    sync.Mutex
+	root   atomic.Pointer[kdNode]
+	size   atomic.Int64
 }
 
+// kdNode carries no materialized point: coordinates are computed on the
+// fly from the record and the precomputed bounds (coord), which drops a
+// per-insert slice allocation and shrinks nodes to record + two child
+// pointers.
 type kdNode struct {
-	point       []uint64 // clamped indexed coordinates
 	rec         schema.Record
-	left, right *kdNode
+	left, right atomic.Pointer[kdNode]
 }
 
 // NewKD creates an empty k-d store for the schema.
 func NewKD(sch *schema.Schema) *KD {
-	return &KD{sch: sch}
+	return &KD{sch: sch, bounds: sch.Bounds()}
+}
+
+// coord returns the record's clamped coordinate on dim.
+func (t *KD) coord(rec schema.Record, dim int) uint64 {
+	v := rec[dim]
+	if v > t.bounds[dim] {
+		v = t.bounds[dim]
+	}
+	return v
 }
 
 // Len returns the number of stored records.
-func (t *KD) Len() int { return t.size }
+func (t *KD) Len() int { return int(t.size.Load()) }
 
 // depthLimit returns the rebuild threshold: generous enough that random
 // orders never trigger it, tight enough that adversarial orders stay
 // O(log n) after rebuild.
-func (t *KD) depthLimit() int {
-	if t.size < 16 {
+func depthLimit(size int) int {
+	if size < 16 {
 		return 16
 	}
-	return 3*bits.Len(uint(t.size)) + 4
+	return 3*bits.Len(uint(size)) + 4
 }
 
 // Insert adds a record.
 func (t *KD) Insert(rec schema.Record) {
-	p := rec.Point(t.sch)
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
 	dims := t.sch.Dims()
-	n := &kdNode{point: p, rec: rec}
-	t.size++
-	if t.root == nil {
-		t.root = n
+	n := &kdNode{rec: rec}
+	size := int(t.size.Add(1))
+	cur := t.root.Load()
+	if cur == nil {
+		t.root.Store(n)
 		return
 	}
-	cur := t.root
 	depth := 0
 	for {
 		dim := depth % dims
-		if p[dim] < cur.point[dim] {
-			if cur.left == nil {
-				cur.left = n
+		if t.coord(rec, dim) < t.coord(cur.rec, dim) {
+			next := cur.left.Load()
+			if next == nil {
+				cur.left.Store(n)
 				break
 			}
-			cur = cur.left
+			cur = next
 		} else {
-			if cur.right == nil {
-				cur.right = n
+			next := cur.right.Load()
+			if next == nil {
+				cur.right.Store(n)
 				break
 			}
-			cur = cur.right
+			cur = next
 		}
 		depth++
 	}
-	if depth+1 > t.depthLimit() {
-		t.rebuild()
+	if depth+1 > depthLimit(size) {
+		t.rebuildLocked()
 	}
 }
 
-// rebuild reconstructs a balanced tree with median splits.
-func (t *KD) rebuild() {
-	nodes := make([]*kdNode, 0, t.size)
+// rebuildLocked reconstructs a balanced tree with median splits and
+// publishes it with one atomic root swap. Caller holds wmu. The old
+// nodes are left untouched for in-flight readers.
+func (t *KD) rebuildLocked() {
+	recs := make([]schema.Record, 0, t.size.Load())
 	var collect func(n *kdNode)
 	collect = func(n *kdNode) {
 		if n == nil {
 			return
 		}
-		collect(n.left)
-		n2 := n
-		collect(n.right)
-		n2.left, n2.right = nil, nil
-		nodes = append(nodes, n2)
+		collect(n.left.Load())
+		recs = append(recs, n.rec)
+		collect(n.right.Load())
 	}
-	collect(t.root)
-	t.root = build(nodes, 0, t.sch.Dims())
+	collect(t.root.Load())
+	t.root.Store(t.build(recs, 0))
 }
 
-// build constructs a balanced subtree from nodes at the given depth by
-// median partitioning (quickselect) on the cycling dimension.
-func build(nodes []*kdNode, depth, dims int) *kdNode {
-	if len(nodes) == 0 {
+// build constructs a balanced subtree from fresh nodes at the given
+// depth by median partitioning (quickselect) on the cycling dimension.
+func (t *KD) build(recs []schema.Record, depth int) *kdNode {
+	if len(recs) == 0 {
 		return nil
 	}
-	dim := depth % dims
-	mid := len(nodes) / 2
-	selectNth(nodes, mid, dim)
-	root := nodes[mid]
-	root.left = build(nodes[:mid], depth+1, dims)
-	root.right = build(nodes[mid+1:], depth+1, dims)
+	dim := depth % t.sch.Dims()
+	mid := len(recs) / 2
+	t.selectNth(recs, mid, dim)
+	root := &kdNode{rec: recs[mid]}
+	root.left.Store(t.build(recs[:mid], depth+1))
+	root.right.Store(t.build(recs[mid+1:], depth+1))
 	return root
 }
 
-// selectNth partially sorts nodes so nodes[n] is the n-th smallest by
-// point[dim], everything before it is <= and everything after is >=.
-func selectNth(nodes []*kdNode, n, dim int) {
-	lo, hi := 0, len(nodes)-1
+// selectNth partially sorts recs so recs[n] is the n-th smallest by the
+// clamped coordinate on dim, everything before it is <= and everything
+// after is >=.
+func (t *KD) selectNth(recs []schema.Record, n, dim int) {
+	lo, hi := 0, len(recs)-1
 	for lo < hi {
 		// Median-of-three pivot to dodge sorted-input quadratic blowup.
 		mid := lo + (hi-lo)/2
-		a, b, c := nodes[lo].point[dim], nodes[mid].point[dim], nodes[hi].point[dim]
+		a, b, c := t.coord(recs[lo], dim), t.coord(recs[mid], dim), t.coord(recs[hi], dim)
 		var pivot uint64
 		switch {
 		case (a <= b && b <= c) || (c <= b && b <= a):
@@ -151,14 +189,14 @@ func selectNth(nodes []*kdNode, n, dim int) {
 		}
 		i, j := lo, hi
 		for i <= j {
-			for nodes[i].point[dim] < pivot {
+			for t.coord(recs[i], dim) < pivot {
 				i++
 			}
-			for nodes[j].point[dim] > pivot {
+			for t.coord(recs[j], dim) > pivot {
 				j--
 			}
 			if i <= j {
-				nodes[i], nodes[j] = nodes[j], nodes[i]
+				recs[i], recs[j] = recs[j], recs[i]
 				i++
 				j--
 			}
@@ -176,7 +214,15 @@ func selectNth(nodes []*kdNode, n, dim int) {
 // Query resolves an orthogonal range query.
 func (t *KD) Query(rect schema.Rect) []schema.Record {
 	var out []schema.Record
-	t.query(t.root, 0, rect, &out)
+	t.query(t.root.Load(), 0, rect, &out)
+	return out
+}
+
+// QueryAppend resolves rect and appends matches to out, returning the
+// extended slice. Callers that presize out (e.g. from Count) resolve the
+// query with zero result-slice reallocations.
+func (t *KD) QueryAppend(rect schema.Rect, out []schema.Record) []schema.Record {
+	t.query(t.root.Load(), 0, rect, &out)
 	return out
 }
 
@@ -189,7 +235,7 @@ func (t *KD) query(n *kdNode, depth int, rect schema.Rect, out *[]schema.Record)
 	// Check the node itself.
 	inside := true
 	for i := 0; i < dims; i++ {
-		if n.point[i] < rect.Lo[i] || n.point[i] > rect.Hi[i] {
+		if v := t.coord(n.rec, i); v < rect.Lo[i] || v > rect.Hi[i] {
 			inside = false
 			break
 		}
@@ -200,11 +246,12 @@ func (t *KD) query(n *kdNode, depth int, rect schema.Rect, out *[]schema.Record)
 	// Insertion sends equal coordinates right, but median rebuilds may
 	// leave equal coordinates on either side — so both prunes must admit
 	// equality.
-	if rect.Lo[dim] <= n.point[dim] {
-		t.query(n.left, depth+1, rect, out)
+	v := t.coord(n.rec, dim)
+	if rect.Lo[dim] <= v {
+		t.query(n.left.Load(), depth+1, rect, out)
 	}
-	if rect.Hi[dim] >= n.point[dim] {
-		t.query(n.right, depth+1, rect, out)
+	if rect.Hi[dim] >= v {
+		t.query(n.right.Load(), depth+1, rect, out)
 	}
 }
 
@@ -212,7 +259,7 @@ func (t *KD) query(n *kdNode, depth int, rect schema.Rect, out *[]schema.Record)
 // them.
 func (t *KD) Count(rect schema.Rect) int {
 	n := 0
-	t.countIn(t.root, 0, rect, &n)
+	t.countIn(t.root.Load(), 0, rect, &n)
 	return n
 }
 
@@ -224,7 +271,7 @@ func (t *KD) countIn(n *kdNode, depth int, rect schema.Rect, acc *int) {
 	dim := depth % dims
 	inside := true
 	for i := 0; i < dims; i++ {
-		if n.point[i] < rect.Lo[i] || n.point[i] > rect.Hi[i] {
+		if v := t.coord(n.rec, i); v < rect.Lo[i] || v > rect.Hi[i] {
 			inside = false
 			break
 		}
@@ -232,11 +279,12 @@ func (t *KD) countIn(n *kdNode, depth int, rect schema.Rect, acc *int) {
 	if inside {
 		*acc++
 	}
-	if rect.Lo[dim] <= n.point[dim] {
-		t.countIn(n.left, depth+1, rect, acc)
+	v := t.coord(n.rec, dim)
+	if rect.Lo[dim] <= v {
+		t.countIn(n.left.Load(), depth+1, rect, acc)
 	}
-	if rect.Hi[dim] >= n.point[dim] {
-		t.countIn(n.right, depth+1, rect, acc)
+	if rect.Hi[dim] >= v {
+		t.countIn(n.right.Load(), depth+1, rect, acc)
 	}
 }
 
@@ -247,15 +295,15 @@ func (t *KD) All(yield func(rec schema.Record) bool) {
 		if n == nil {
 			return true
 		}
-		if !walk(n.left) {
+		if !walk(n.left.Load()) {
 			return false
 		}
 		if !yield(n.rec) {
 			return false
 		}
-		return walk(n.right)
+		return walk(n.right.Load())
 	}
-	walk(t.root)
+	walk(t.root.Load())
 }
 
 // Depth returns the current tree height (diagnostics and tests).
@@ -265,17 +313,18 @@ func (t *KD) Depth() int {
 		if n == nil {
 			return 0
 		}
-		l, r := d(n.left), d(n.right)
+		l, r := d(n.left.Load()), d(n.right.Load())
 		if l > r {
 			return l + 1
 		}
 		return r + 1
 	}
-	return d(t.root)
+	return d(t.root.Load())
 }
 
 // Scan is the naive O(n)-per-query store used as the differential-test
-// oracle and the ablation baseline for the k-d tree.
+// oracle and the ablation baseline for the k-d tree. Unlike KD it is not
+// safe for concurrent use.
 type Scan struct {
 	sch  *schema.Schema
 	recs []schema.Record
@@ -299,6 +348,17 @@ func (s *Scan) Query(rect schema.Rect) []schema.Record {
 		}
 	}
 	return out
+}
+
+// Count scans every record without materializing matches.
+func (s *Scan) Count(rect schema.Rect) int {
+	n := 0
+	for _, r := range s.recs {
+		if rect.ContainsRecord(s.sch, r) {
+			n++
+		}
+	}
+	return n
 }
 
 // All streams every record.

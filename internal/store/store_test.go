@@ -137,6 +137,9 @@ func TestKDMatchesScanRandom(t *testing.T) {
 		if kd.Count(q) != len(b) {
 			t.Fatalf("Count = %d, want %d", kd.Count(q), len(b))
 		}
+		if sc.Count(q) != len(b) {
+			t.Fatalf("Scan.Count = %d, want %d", sc.Count(q), len(b))
+		}
 	}
 }
 
@@ -214,23 +217,24 @@ func TestScanAll(t *testing.T) {
 
 func TestSelectNth(t *testing.T) {
 	r := rand.New(rand.NewSource(34))
+	kd := NewKD(sch3())
 	for trial := 0; trial < 50; trial++ {
 		n := 1 + r.Intn(200)
-		nodes := make([]*kdNode, n)
-		for i := range nodes {
-			nodes[i] = &kdNode{point: []uint64{r.Uint64() % 100}}
+		recs := make([]schema.Record, n)
+		for i := range recs {
+			recs[i] = randRec(r)
 		}
 		k := r.Intn(n)
-		selectNth(nodes, k, 0)
-		kth := nodes[k].point[0]
+		kd.selectNth(recs, k, 0)
+		kth := recs[k][0]
 		for i := 0; i < k; i++ {
-			if nodes[i].point[0] > kth {
-				t.Fatalf("selectNth: left[%d]=%d > kth=%d", i, nodes[i].point[0], kth)
+			if recs[i][0] > kth {
+				t.Fatalf("selectNth: left[%d]=%d > kth=%d", i, recs[i][0], kth)
 			}
 		}
 		for i := k + 1; i < n; i++ {
-			if nodes[i].point[0] < kth {
-				t.Fatalf("selectNth: right[%d]=%d < kth=%d", i, nodes[i].point[0], kth)
+			if recs[i][0] < kth {
+				t.Fatalf("selectNth: right[%d]=%d < kth=%d", i, recs[i][0], kth)
 			}
 		}
 	}
@@ -278,7 +282,12 @@ func TestQuickKDEqualsScan(t *testing.T) {
 		}
 		for q := 0; q < 5; q++ {
 			rect := randRect(r)
-			if !sameRecs(kd.Query(rect), sc.Query(rect)) {
+			a, b := kd.Query(rect), sc.Query(rect)
+			if !sameRecs(a, b) {
+				return false
+			}
+			// Count must agree with Query on both Store implementations.
+			if kd.Count(rect) != len(a) || sc.Count(rect) != len(b) {
 				return false
 			}
 		}

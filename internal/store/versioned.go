@@ -2,6 +2,7 @@ package store
 
 import (
 	"sort"
+	"sync"
 
 	"mind/internal/schema"
 )
@@ -12,8 +13,13 @@ import (
 // cuts, and queries address the versions their time interval spans
 // (§3.7). The version id is the day number (timestamp / 86400) by
 // convention, but Versioned itself treats it as opaque.
+//
+// Versioned is safe for concurrent use: an RWMutex guards the version
+// map (held only for map lookups, never across a tree operation), and
+// the per-version KD stores handle their own reader/writer coordination.
 type Versioned struct {
 	sch      *schema.Schema
+	mu       sync.RWMutex
 	versions map[uint32]*KD
 }
 
@@ -24,26 +30,39 @@ func NewVersioned(sch *schema.Schema) *Versioned {
 
 // Version returns the store for version v, creating it if absent.
 func (vs *Versioned) Version(v uint32) *KD {
+	vs.mu.RLock()
 	s, ok := vs.versions[v]
-	if !ok {
+	vs.mu.RUnlock()
+	if ok {
+		return s
+	}
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	if s, ok = vs.versions[v]; !ok {
 		s = NewKD(vs.sch)
 		vs.versions[v] = s
 	}
 	return s
 }
 
-// Has reports whether version v exists.
-func (vs *Versioned) Has(v uint32) bool {
-	_, ok := vs.versions[v]
-	return ok
+// get returns the store for version v, or nil.
+func (vs *Versioned) get(v uint32) *KD {
+	vs.mu.RLock()
+	defer vs.mu.RUnlock()
+	return vs.versions[v]
 }
+
+// Has reports whether version v exists.
+func (vs *Versioned) Has(v uint32) bool { return vs.get(v) != nil }
 
 // Versions lists existing version ids in ascending order.
 func (vs *Versioned) Versions() []uint32 {
+	vs.mu.RLock()
 	out := make([]uint32, 0, len(vs.versions))
 	for v := range vs.versions {
 		out = append(out, v)
 	}
+	vs.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
@@ -54,13 +73,28 @@ func (vs *Versioned) Insert(v uint32, rec schema.Record) {
 }
 
 // Query resolves rect against the given versions (missing versions are
-// skipped) and concatenates the results.
+// skipped) and concatenates the results. The result slice is presized
+// from per-version counts, so the concatenation performs exactly one
+// allocation regardless of result size.
 func (vs *Versioned) Query(versions []uint32, rect schema.Rect) []schema.Record {
-	var out []schema.Record
+	stores := make([]*KD, 0, len(versions))
+	vs.mu.RLock()
 	for _, v := range versions {
 		if s, ok := vs.versions[v]; ok {
-			out = append(out, s.Query(rect)...)
+			stores = append(stores, s)
 		}
+	}
+	vs.mu.RUnlock()
+	total := 0
+	for _, s := range stores {
+		total += s.Count(rect)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]schema.Record, 0, total)
+	for _, s := range stores {
+		out = s.QueryAppend(rect, out)
 	}
 	return out
 }
@@ -72,6 +106,8 @@ func (vs *Versioned) QueryAll(rect schema.Rect) []schema.Record {
 
 // Len returns the total record count across versions.
 func (vs *Versioned) Len() int {
+	vs.mu.RLock()
+	defer vs.mu.RUnlock()
 	n := 0
 	for _, s := range vs.versions {
 		n += s.Len()
@@ -81,4 +117,8 @@ func (vs *Versioned) Len() int {
 
 // Drop removes version v and frees its storage; used when an index
 // version ages out.
-func (vs *Versioned) Drop(v uint32) { delete(vs.versions, v) }
+func (vs *Versioned) Drop(v uint32) {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	delete(vs.versions, v)
+}

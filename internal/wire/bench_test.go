@@ -1,0 +1,70 @@
+package wire
+
+import (
+	"testing"
+
+	"mind/internal/bitstr"
+)
+
+// benchMessages is a representative hot-path message mix: a routed
+// insert, a small covering query response, and an insert ack.
+func benchMessages() []Message {
+	code := bitstr.New(0b1011, 4)
+	return []Message{
+		&Insert{
+			ReqID: 81, OriginAddr: "10.0.0.1:7001", Index: "index1-fanout",
+			Version: 3, RecID: 991, Rec: []uint64{123456, 77, 4242, 9},
+			Target: code, Hops: 2,
+		},
+		&QueryResp{
+			ReqID: 82, From: NodeInfo{Addr: "10.0.0.2:7001", Code: code},
+			HasCover: true, Cover: code, Versions: []uint64{3},
+			RecID: []uint64{1, 2, 3},
+			Recs:  [][]uint64{{1, 2, 3, 4}, {5, 6, 7, 8}, {9, 10, 11, 12}},
+			Hops:  3,
+		},
+		&InsertAck{ReqID: 81, StoredAt: NodeInfo{Addr: "10.0.0.2:7001", Code: code}, Hops: 2},
+	}
+}
+
+// BenchmarkWireEncodePooled measures per-message encode cost and
+// allocations on the hot-path mix, with encode buffers recycled the way
+// the batch coalescer recycles them after a flush. Run with -benchmem;
+// the allocs/op delta against main is the coalescer's steady-state win.
+func BenchmarkWireEncodePooled(b *testing.B) {
+	msgs := benchMessages()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data := Encode(msgs[i%len(msgs)])
+		RecycleBuf(data)
+	}
+}
+
+// BenchmarkWireEncode measures the plain encode path where the caller
+// keeps the buffer (no recycling) — the per-record Insert path.
+func BenchmarkWireEncode(b *testing.B) {
+	msgs := benchMessages()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Encode(msgs[i%len(msgs)])
+	}
+}
+
+// BenchmarkWireEncodeBatch measures envelope assembly: 32 encoded
+// sub-messages wrapped into one Batch, as the coalescer flushes them.
+func BenchmarkWireEncodeBatch(b *testing.B) {
+	msgs := benchMessages()
+	subs := make([][]byte, 32)
+	for i := range subs {
+		subs[i] = Encode(msgs[i%len(msgs)])
+	}
+	env := &Batch{Msgs: subs}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data := Encode(env)
+		RecycleBuf(data)
+	}
+}

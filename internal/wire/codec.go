@@ -9,6 +9,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 
 	"mind/internal/bitstr"
 )
@@ -40,6 +41,13 @@ type Batch struct {
 func (m *Batch) Kind() Kind { return KindBatch }
 
 func (m *Batch) encode(w *Writer) {
+	// Presize: the envelope body is dominated by the sub-message bytes,
+	// so one Grow avoids the append-doubling copies for large batches.
+	total := 0
+	for _, sub := range m.Msgs {
+		total += len(sub) + binary.MaxVarintLen32
+	}
+	w.Grow(total + binary.MaxVarintLen32)
 	w.Uvarint(uint64(len(m.Msgs)))
 	for _, sub := range m.Msgs {
 		w.BytesField(sub)
@@ -89,6 +97,79 @@ func NewWriter() *Writer { return &Writer{buf: make([]byte, 0, 128)} }
 
 // Bytes returns the encoded buffer.
 func (w *Writer) Bytes() []byte { return w.buf }
+
+// Grow ensures at least n more bytes of capacity, so a sequence of
+// appends totalling n proceeds without reallocating.
+func (w *Writer) Grow(n int) {
+	if cap(w.buf)-len(w.buf) >= n {
+		return
+	}
+	grown := make([]byte, len(w.buf), len(w.buf)+n)
+	copy(grown, w.buf)
+	w.buf = grown
+}
+
+// maxPooledBuf bounds the capacity of buffers kept in the encode pools;
+// occasional outsized messages (large batches, histogram installs) are
+// left for the GC rather than pinning their memory indefinitely.
+const maxPooledBuf = 64 << 10
+
+// writerPool recycles Writers (and their backing arrays) across Encode
+// calls. Encode copies the finished message into an exactly sized output
+// buffer before returning the Writer, so pooled state never escapes.
+var writerPool = sync.Pool{
+	New: func() any { return &Writer{buf: make([]byte, 0, 512)} },
+}
+
+// bufPool recycles the exactly sized output buffers that Encode returns.
+// Stored as *[]byte to avoid an allocation per Put (a plain []byte would
+// be boxed into an interface on every call).
+var bufPool sync.Pool
+
+// getBuf returns a zero-length buffer with capacity at least n, reusing
+// a recycled output buffer when one is large enough.
+func getBuf(n int) []byte {
+	if v := bufPool.Get(); v != nil {
+		b := *(v.(*[]byte))
+		if cap(b) >= n {
+			return b[:0]
+		}
+		// Too small for this message: drop it back for a smaller one.
+		bufPool.Put(v)
+	}
+	return make([]byte, 0, n)
+}
+
+// RecycleBuf returns a buffer obtained from Encode to the pool. Callers
+// must not touch the buffer afterwards. Recycling is strictly optional —
+// buffers that are retained (replica payloads, ring-recovery state) are
+// simply never recycled — but transports that consume the bytes
+// synchronously (simnet copies inside Send; tcpnet writes the frame
+// before returning) can recycle immediately after Send returns, which
+// removes the dominant per-message allocation from the hot path.
+func RecycleBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledBuf {
+		return
+	}
+	b = b[:0]
+	bufPool.Put(&b)
+}
+
+// getWriter returns a pooled Writer with an empty buffer.
+func getWriter() *Writer {
+	w := writerPool.Get().(*Writer)
+	w.buf = w.buf[:0]
+	return w
+}
+
+// putWriter returns a Writer to the pool unless its buffer has grown
+// past the pooling bound.
+func putWriter(w *Writer) {
+	if cap(w.buf) > maxPooledBuf {
+		return
+	}
+	writerPool.Put(w)
+}
 
 // U8 appends one byte.
 func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }

@@ -102,12 +102,16 @@ type Message interface {
 	decode(r *Reader)
 }
 
-// Encode frames a message as kind byte + payload.
+// Encode frames a message as kind byte + payload. The returned buffer
+// is exactly sized and owned by the caller; passing it to RecycleBuf
+// once the bytes have been consumed lets subsequent Encodes reuse it.
 func Encode(m Message) []byte {
-	w := NewWriter()
+	w := getWriter()
 	w.U8(uint8(m.Kind()))
 	m.encode(w)
-	return w.Bytes()
+	out := append(getBuf(len(w.buf)), w.buf...)
+	putWriter(w)
+	return out
 }
 
 // Decode parses a framed message.
