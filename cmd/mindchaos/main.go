@@ -1,0 +1,95 @@
+// mindchaos runs one deterministic chaos schedule against a simulated
+// MIND cluster and reports invariant violations and oracle divergence.
+//
+// Generate-and-run mode (everything derives from -seed):
+//
+//	mindchaos -seed 42 -nodes 10 -events 5
+//
+// Replay mode (e.g. a schedule dumped by a failing run or CI artifact):
+//
+//	mindchaos -schedule chaos-fail-42.json
+//
+// The process exits 1 when the run violates any invariant, after
+// dumping the schedule to -dump (default chaos-fail-<seed>.json) so the
+// failure can be replayed and shrunk by hand-editing the JSON.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mind/internal/chaos"
+)
+
+func main() {
+	var (
+		seed       = flag.Int64("seed", 1, "schedule seed (generate mode)")
+		schedule   = flag.String("schedule", "", "replay a dumped schedule JSON instead of generating")
+		nodes      = flag.Int("nodes", 0, "cluster size (0: default)")
+		events     = flag.Int("events", 0, "fault/workload/check epochs to generate (0: default)")
+		repl       = flag.Int("replication", 0, "replication degree (0: default, -1: all levels)")
+		checkEvery = flag.Int("check-every", 1, "run the invariant suite on every k-th check event")
+		stopFirst  = flag.Bool("stop-on-violation", false, "abort the schedule at the first violation")
+		dump       = flag.String("dump", "", "where to write the schedule on failure (default chaos-fail-<seed>.json)")
+		verbose    = flag.Bool("v", false, "stream the event log while running")
+	)
+	flag.Parse()
+
+	var s *chaos.Schedule
+	if *schedule != "" {
+		data, err := os.ReadFile(*schedule)
+		if err != nil {
+			fatal(err)
+		}
+		if s, err = chaos.Load(data); err != nil {
+			fatal(err)
+		}
+	} else {
+		s = chaos.Generate(*seed, chaos.GenConfig{
+			Nodes:       *nodes,
+			Epochs:      *events,
+			Replication: *repl,
+		})
+	}
+
+	opt := chaos.Options{CheckEvery: *checkEvery, StopOnViolation: *stopFirst}
+	if *verbose {
+		opt.Log = os.Stdout
+	}
+	res, err := chaos.Run(s, opt)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("schedule: seed=%d nodes=%d repl=%d events=%d\n",
+		s.Seed, s.Nodes, s.Replication, len(s.Events))
+	fmt.Printf("run: checks=%d inserts=%d (failed %d) queries=%d (incomplete %d) oracle=%d records\n",
+		res.Checks, res.Inserts, res.InsertFailures, res.Queries,
+		res.IncompleteQueries, res.OracleRecords)
+	fmt.Printf("digest: %016x\n", res.Digest)
+
+	if len(res.Violations) == 0 {
+		fmt.Println("invariants: all held")
+		return
+	}
+	fmt.Printf("invariants: %d violations\n", len(res.Violations))
+	for _, v := range res.Violations {
+		fmt.Printf("  event %d [%s] %s\n", v.Event, v.Invariant, v.Detail)
+	}
+	out := *dump
+	if out == "" {
+		out = fmt.Sprintf("chaos-fail-%d.json", s.Seed)
+	}
+	if data, err := s.Dump(); err == nil {
+		if err := os.WriteFile(out, data, 0o644); err == nil {
+			fmt.Printf("schedule dumped to %s (replay: mindchaos -schedule %s)\n", out, out)
+		}
+	}
+	os.Exit(1)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mindchaos:", err)
+	os.Exit(1)
+}

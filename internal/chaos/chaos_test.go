@@ -1,0 +1,208 @@
+package chaos
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// -seeds widens the generated-schedule matrix: `go test ./internal/chaos
+// -seeds 20`. CI's nightly job raises it; the in-tree default stays
+// small so `go test ./...` remains quick.
+var (
+	seedsFlag = flag.Int("seeds", 3, "number of generated chaos seeds to run")
+	baseSeed  = flag.Int64("base-seed", 1, "first seed of the matrix")
+)
+
+// dumpFailing writes a failing schedule where CI can pick it up as an
+// artifact (CHAOS_ARTIFACT_DIR) or, locally, into the test's temp dir.
+func dumpFailing(t *testing.T, s *Schedule) string {
+	t.Helper()
+	dir := os.Getenv("CHAOS_ARTIFACT_DIR")
+	if dir == "" {
+		dir = t.TempDir()
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatalf("artifact dir: %v", err)
+	}
+	data, err := s.Dump()
+	if err != nil {
+		t.Fatalf("dump: %v", err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("chaos-fail-%d.json", s.Seed))
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("write schedule: %v", err)
+	}
+	return path
+}
+
+// TestChaosSeeds is the main harness entry point: every generated
+// schedule must run to completion with zero invariant violations.
+func TestChaosSeeds(t *testing.T) {
+	for k := 0; k < *seedsFlag; k++ {
+		seed := *baseSeed + int64(k)
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			s := Generate(seed, GenConfig{})
+			res, err := Run(s, Options{})
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if res.Inserts == 0 || res.Checks == 0 {
+				t.Fatalf("degenerate schedule: %d inserts, %d checks", res.Inserts, res.Checks)
+			}
+			if len(res.Violations) > 0 {
+				path := dumpFailing(t, s)
+				v := res.Violations[0]
+				t.Errorf("seed %d: %d violations; first: event %d [%s] %s; schedule dumped to %s",
+					seed, len(res.Violations), v.Event, v.Invariant, v.Detail, path)
+				for _, line := range res.Log {
+					t.Log(line)
+				}
+			}
+		})
+	}
+}
+
+// smallGen keeps the determinism/round-trip runs cheap.
+func smallGen(seed int64) *Schedule {
+	return Generate(seed, GenConfig{Nodes: 8, Epochs: 2, Inserts: 8, Queries: 3})
+}
+
+// TestChaosDeterministic: the same seed must reproduce the run
+// bit-for-bit — identical event log, invariant verdicts, and oracle
+// diffs, summarized by the log digest.
+func TestChaosDeterministic(t *testing.T) {
+	a, err := Run(smallGen(42), Options{})
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	b, err := Run(smallGen(42), Options{})
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("digests differ: %016x vs %016x", a.Digest, b.Digest)
+	}
+	if len(a.Log) != len(b.Log) {
+		t.Fatalf("log lengths differ: %d vs %d", len(a.Log), len(b.Log))
+	}
+	for i := range a.Log {
+		if a.Log[i] != b.Log[i] {
+			t.Fatalf("log line %d differs:\n  %s\n  %s", i, a.Log[i], b.Log[i])
+		}
+	}
+}
+
+// TestScheduleRoundTrip: a schedule survives Dump/Load, and the loaded
+// copy replays to the same digest as the original.
+func TestScheduleRoundTrip(t *testing.T) {
+	orig := smallGen(7)
+	data, err := orig.Dump()
+	if err != nil {
+		t.Fatalf("dump: %v", err)
+	}
+	loaded, err := Load(data)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(loaded.Events) != len(orig.Events) {
+		t.Fatalf("events lost in round trip: %d vs %d", len(loaded.Events), len(orig.Events))
+	}
+	a, err := Run(orig, Options{})
+	if err != nil {
+		t.Fatalf("original run: %v", err)
+	}
+	b, err := Run(loaded, Options{})
+	if err != nil {
+		t.Fatalf("replayed run: %v", err)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("replay digest %016x != original %016x", b.Digest, a.Digest)
+	}
+}
+
+// TestReplayReproducesFirstViolation: a hand-written schedule that
+// checks while a partition is still open must fail (the overlay has no
+// split-brain reconciliation, so both sides take over each other's
+// regions), and replaying the dumped schedule must hit the same first
+// violated invariant — the property that makes shrinking meaningful.
+func TestReplayReproducesFirstViolation(t *testing.T) {
+	s := &Schedule{
+		Seed:        7,
+		Nodes:       6,
+		Replication: 1,
+		Events: []Event{
+			{Op: "insert", N: 8},
+			{Op: "settle", Ms: 3000},
+			{Op: "partition", Cut: 2},
+			{Op: "settle", Ms: 8000}, // well past FailAfter: both sides declare the other dead
+			{Op: "check", N: 2},
+		},
+	}
+	first, err := Run(s, Options{StopOnViolation: true})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(first.Violations) == 0 {
+		t.Fatal("expected violations from an unhealed partition, got none")
+	}
+	data, err := s.Dump()
+	if err != nil {
+		t.Fatalf("dump: %v", err)
+	}
+	loaded, err := Load(data)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	replay, err := Run(loaded, Options{StopOnViolation: true})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if len(replay.Violations) == 0 {
+		t.Fatal("replay produced no violations")
+	}
+	f, g := first.Violations[0], replay.Violations[0]
+	if f != g {
+		t.Fatalf("first violation not reproduced:\n  original: event %d [%s] %s\n  replay:   event %d [%s] %s",
+			f.Event, f.Invariant, f.Detail, g.Event, g.Invariant, g.Detail)
+	}
+	if first.Digest != replay.Digest {
+		t.Fatalf("violating run not bit-reproducible: %016x vs %016x", first.Digest, replay.Digest)
+	}
+}
+
+// TestGenerateValid: generated schedules are structurally valid for a
+// spread of seeds — no kills of dead nodes, no restarts of live ones,
+// and the live floor holds throughout.
+func TestGenerateValid(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		s := Generate(seed, GenConfig{})
+		if err := s.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		dead := map[int]bool{}
+		floor := s.Nodes / 2
+		if floor < 3 {
+			floor = 3
+		}
+		for i, e := range s.Events {
+			switch e.Op {
+			case "kill":
+				if dead[e.A] {
+					t.Fatalf("seed %d event %d: kill of dead node %d", seed, i, e.A)
+				}
+				dead[e.A] = true
+				if s.Nodes-len(dead) < floor {
+					t.Fatalf("seed %d event %d: live count %d below floor %d",
+						seed, i, s.Nodes-len(dead), floor)
+				}
+			case "restart":
+				if !dead[e.A] {
+					t.Fatalf("seed %d event %d: restart of live node %d", seed, i, e.A)
+				}
+				delete(dead, e.A)
+			}
+		}
+	}
+}

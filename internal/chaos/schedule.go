@@ -1,0 +1,286 @@
+// Package chaos is a deterministic fault-schedule simulation harness in
+// the FoundationDB style: a seeded generator produces a Schedule of
+// kills, restarts, partitions, loss ramps, latency spikes, message
+// reordering and churn bursts, interleaved with a flowgen-driven
+// record/query workload; a Runner executes it over cluster.Cluster on
+// simnet; a global invariant checker (invariants.go) snapshots every
+// live node at settled checkpoints; and a differential oracle mirrors
+// every surviving insert into internal/baseline's centralized index and
+// compares range-query answers. Everything is reproducible bit-for-bit
+// from the single seed, and a Schedule dumps to JSON so a failing run
+// replays (and shrinks, by hand-deleting events) to the same first
+// violated invariant.
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+)
+
+// Event is one step of a chaos schedule. The encoding is deliberately
+// flat — one op string plus a handful of scalar operands — so dumped
+// schedules stay hand-editable for shrinking.
+//
+// Ops and their operands:
+//
+//	kill        A: node index to fail
+//	restart     A: node index to restart (must be dead)
+//	partition   Cut: the first Cut live nodes vs the rest, until heal
+//	heal        (no operands)
+//	loss        P: global per-message loss probability (0 clears)
+//	latency     A, B, Ms: per-link latency override; Ms <= 0 clears
+//	reorder     P, Ms: reorder probability and window; P = 0 clears
+//	cutlink     A, B: sever one link both ways
+//	restorelink A, B: undo cutlink
+//	insert      N: insert N workload records via live nodes
+//	settle      Ms: run the network for Ms of virtual time
+//	check       N: converge, run the invariant suite, then N oracle
+//	            queries and a quiescence check
+type Event struct {
+	Op  string  `json:"op"`
+	A   int     `json:"a,omitempty"`
+	B   int     `json:"b,omitempty"`
+	P   float64 `json:"p,omitempty"`
+	N   int     `json:"n,omitempty"`
+	Ms  int64   `json:"ms,omitempty"`
+	Cut int     `json:"cut,omitempty"`
+}
+
+// Schedule is a fully materialized chaos run: cluster shape plus the
+// event sequence. Everything the Runner does beyond the events
+// themselves (workload records, query rectangles, insert origins) is
+// derived deterministically from Seed, so Schedule + Seed is the entire
+// reproduction recipe.
+type Schedule struct {
+	Seed        int64   `json:"seed"`
+	Nodes       int     `json:"nodes"`
+	Replication int     `json:"replication"`
+	Events      []Event `json:"events"`
+}
+
+// knownOps guards Validate against typoed hand-edited schedules.
+var knownOps = map[string]bool{
+	"kill": true, "restart": true, "partition": true, "heal": true,
+	"loss": true, "latency": true, "reorder": true,
+	"cutlink": true, "restorelink": true,
+	"insert": true, "settle": true, "check": true,
+}
+
+// Validate rejects malformed schedules before any cluster is built.
+func (s *Schedule) Validate() error {
+	if s.Nodes < 2 {
+		return fmt.Errorf("chaos: schedule needs >= 2 nodes, got %d", s.Nodes)
+	}
+	for i, e := range s.Events {
+		if !knownOps[e.Op] {
+			return fmt.Errorf("chaos: event %d: unknown op %q", i, e.Op)
+		}
+		switch e.Op {
+		case "kill", "restart":
+			if e.A < 0 || e.A >= s.Nodes {
+				return fmt.Errorf("chaos: event %d: node %d out of range", i, e.A)
+			}
+		case "latency", "cutlink", "restorelink":
+			if e.A < 0 || e.A >= s.Nodes || e.B < 0 || e.B >= s.Nodes {
+				return fmt.Errorf("chaos: event %d: link %d–%d out of range", i, e.A, e.B)
+			}
+		case "loss", "reorder":
+			if e.P < 0 || e.P > 1 {
+				return fmt.Errorf("chaos: event %d: probability %v out of [0,1]", i, e.P)
+			}
+		}
+	}
+	return nil
+}
+
+// Dump serializes the schedule as indented JSON for artifact upload and
+// hand-shrinking.
+func (s *Schedule) Dump() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Load parses and validates a dumped schedule.
+func Load(data []byte) (*Schedule, error) {
+	var s Schedule
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("chaos: bad schedule: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// GenConfig shapes schedule generation. Zero values pick defaults sized
+// for a CI-friendly run (a handful of epochs over a 10-node cluster).
+type GenConfig struct {
+	Nodes       int // cluster size (default 10)
+	Replication int // mind.Config.Replication (default 1; ReplicateAll = -1)
+	Epochs      int // fault/workload/check rounds (default 5)
+	Inserts     int // records per insert burst (default 12)
+	Queries     int // oracle queries per check (default 4)
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.Nodes == 0 {
+		c.Nodes = 10
+	}
+	if c.Replication == 0 {
+		c.Replication = 1
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 5
+	}
+	if c.Inserts == 0 {
+		c.Inserts = 12
+	}
+	if c.Queries == 0 {
+		c.Queries = 4
+	}
+	return c
+}
+
+// Generate builds a schedule from a single seed: each epoch draws one
+// fault pattern from the menu, runs an insert burst (sometimes under the
+// fault's degraded conditions), settles long enough for failure
+// detection and takeover to finish, and checks. The generator tracks
+// which nodes it has killed so every generated event is valid, and it
+// keeps at least max(3, Nodes/2) nodes alive so the overlay always has a
+// quorum to repair with.
+//
+// Partitions are kept shorter than the failure-detection window
+// (FailAfter) on purpose: the overlay has no split-brain reconciliation
+// (DESIGN.md "Simulation testing & invariants"), so a partition that
+// outlives failure detection makes both sides take over each other's
+// regions and the code-cover invariant genuinely breaks — replayable
+// with a hand-written schedule, but not a default any-seed-must-pass
+// condition.
+func Generate(seed int64, cfg GenConfig) *Schedule {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(seed))
+	s := &Schedule{Seed: seed, Nodes: cfg.Nodes, Replication: cfg.Replication}
+	dead := make(map[int]bool)
+	floor := cfg.Nodes / 2
+	if floor < 3 {
+		floor = 3
+	}
+
+	add := func(e Event) { s.Events = append(s.Events, e) }
+	settle := func(ms int64) { add(Event{Op: "settle", Ms: ms}) }
+	insert := func() { add(Event{Op: "insert", N: cfg.Inserts}) }
+	liveCount := func() int { return cfg.Nodes - len(dead) }
+	pickLive := func() int {
+		k := r.Intn(liveCount())
+		for i := 0; i < cfg.Nodes; i++ {
+			if dead[i] {
+				continue
+			}
+			if k == 0 {
+				return i
+			}
+			k--
+		}
+		return 0 // unreachable
+	}
+	pickTwoLive := func() (int, int) {
+		a := pickLive()
+		b := pickLive()
+		for b == a {
+			b = pickLive()
+		}
+		return a, b
+	}
+	pickDead := func() int {
+		k := r.Intn(len(dead))
+		for i := 0; i < cfg.Nodes; i++ {
+			if !dead[i] {
+				continue
+			}
+			if k == 0 {
+				return i
+			}
+			k--
+		}
+		return 0 // unreachable
+	}
+	kill := func(v int) {
+		dead[v] = true
+		add(Event{Op: "kill", A: v})
+	}
+	restart := func(v int) {
+		delete(dead, v)
+		add(Event{Op: "restart", A: v})
+	}
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		action := r.Intn(8)
+		if len(dead) > 0 && liveCount() <= floor+1 {
+			action = 1 // bring capacity back before failing more
+		}
+		switch action {
+		case 0: // single kill
+			if liveCount() <= floor {
+				action = 1
+			} else {
+				kill(pickLive())
+				settle(9000) // failure detection + takeover + recall
+				insert()
+			}
+		case 2: // churn burst: two kills, then one restart
+			if liveCount()-2 < floor {
+				action = 1
+			} else {
+				a := pickLive()
+				kill(a)
+				kill(pickLive())
+				settle(9000)
+				restart(a)
+				settle(12000)
+				insert()
+			}
+		case 3: // transient partition, healed inside the detection window
+			if liveCount() >= 4 {
+				cut := 1 + r.Intn(liveCount()-1)
+				add(Event{Op: "partition", Cut: cut})
+				settle(1000)
+				add(Event{Op: "heal"})
+				settle(4000)
+			}
+			insert()
+		case 4: // loss ramp over the insert burst
+			add(Event{Op: "loss", P: 0.05 + 0.10*r.Float64()})
+			insert()
+			add(Event{Op: "loss"})
+			settle(3000)
+		case 5: // latency spike on one link over the insert burst
+			a, b := pickTwoLive()
+			add(Event{Op: "latency", A: a, B: b, Ms: int64(100 + r.Intn(300))})
+			insert()
+			add(Event{Op: "latency", A: a, B: b})
+		case 6: // reordering window over the insert burst
+			add(Event{Op: "reorder", P: 0.1 + 0.3*r.Float64(), Ms: int64(40 + r.Intn(80))})
+			insert()
+			add(Event{Op: "reorder"})
+		case 7: // flaky link: cut, insert around it, restore
+			a, b := pickTwoLive()
+			add(Event{Op: "cutlink", A: a, B: b})
+			settle(1000)
+			insert()
+			add(Event{Op: "restorelink", A: a, B: b})
+			settle(4000)
+		}
+		if action == 1 { // restart (or fallback when killing is unsafe)
+			if len(dead) == 0 {
+				kill(pickLive())
+				settle(9000)
+			}
+			restart(pickDead())
+			settle(12000)
+			insert()
+		}
+		settle(8000)
+		add(Event{Op: "check", N: cfg.Queries})
+	}
+	return s
+}

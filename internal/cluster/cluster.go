@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"time"
 
+	"mind/internal/bitstr"
+	"mind/internal/hypercube"
 	"mind/internal/mind"
 	"mind/internal/schema"
 	"mind/internal/topo"
@@ -32,6 +34,10 @@ type Options struct {
 	// ConcurrentJoin joins all non-bootstrap nodes simultaneously
 	// instead of sequentially.
 	ConcurrentJoin bool
+	// OnEvent, when set, observes cluster-level lifecycle events ("kill",
+	// "restart") with a human-readable detail string. The chaos harness
+	// uses it to build its deterministic event log.
+	OnEvent func(kind, detail string)
 }
 
 // Cluster is a running deployment.
@@ -39,6 +45,8 @@ type Cluster struct {
 	Net    *simnet.Network
 	Nodes  []*mind.Node
 	byAddr map[string]*mind.Node
+	eps    []*simnet.Endpoint
+	gen    []int // per-slot restart generation (seeds each incarnation)
 	opts   Options
 }
 
@@ -79,6 +87,8 @@ func New(opts Options) (*Cluster, error) {
 		node := mind.NewNode(ep, net.Clock(), cfg)
 		c.Nodes = append(c.Nodes, node)
 		c.byAddr[addr] = node
+		c.eps = append(c.eps, ep)
+		c.gen = append(c.gen, 0)
 	}
 
 	c.Nodes[0].Bootstrap()
@@ -102,9 +112,14 @@ func New(opts Options) (*Cluster, error) {
 	return c, nil
 }
 
-// AllJoined reports whether every node is in the overlay.
+// AllJoined reports whether every live node is in the overlay. Dead
+// nodes are skipped: a chaos schedule that kills a node must not make
+// the cluster report "never joined" forever after.
 func (c *Cluster) AllJoined() bool {
 	for _, nd := range c.Nodes {
+		if c.Net.IsDead(nd.Addr()) {
+			continue
+		}
 		if !nd.Joined() {
 			return false
 		}
@@ -198,8 +213,110 @@ func (c *Cluster) QueryWait(from int, tag string, rect schema.Rect) (mind.QueryR
 }
 
 // Kill fails a node at the network level (it stops receiving and its
-// sends vanish), as in the §4.4 robustness experiment.
-func (c *Cluster) Kill(i int) { c.Net.Kill(c.Nodes[i].Addr()) }
+// sends vanish), as in the §4.4 robustness experiment. The node object
+// stays in Nodes/byAddr so its slot can be Restarted; the dead-aware
+// helpers (AllJoined, StorageByNode, Snapshot, LiveIndices) skip it.
+func (c *Cluster) Kill(i int) {
+	addr := c.Nodes[i].Addr()
+	c.Net.Kill(addr)
+	if c.opts.OnEvent != nil {
+		c.opts.OnEvent("kill", addr)
+	}
+}
+
+// IsDead reports whether node i is currently failed.
+func (c *Cluster) IsDead(i int) bool { return c.Net.IsDead(c.Nodes[i].Addr()) }
+
+// LiveIndices lists the indices of live nodes, ascending.
+func (c *Cluster) LiveIndices() []int {
+	out := make([]int, 0, len(c.Nodes))
+	for i, nd := range c.Nodes {
+		if !c.Net.IsDead(nd.Addr()) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Restart replaces a killed node with a fresh, empty incarnation on the
+// same address and starts its re-join through the lowest-indexed live
+// joined node. The old incarnation's timers are stopped and its endpoint
+// detached, so in-flight deliveries addressed to it are dropped rather
+// than resurrected. The join completes asynchronously: callers settle
+// the network (or RunUntil the node reports Joined) afterwards, exactly
+// as a re-provisioned monitor would rejoin a deployment.
+//
+// The new incarnation's seed folds in a per-slot generation counter, so
+// a kill/restart cycle stays fully deterministic without replaying the
+// first incarnation's random choices.
+func (c *Cluster) Restart(i int) error {
+	addr := c.Nodes[i].Addr()
+	if !c.Net.IsDead(addr) {
+		return fmt.Errorf("cluster: restart of live node %s", addr)
+	}
+	seed := ""
+	for _, other := range c.Nodes {
+		if other.Addr() == addr || c.Net.IsDead(other.Addr()) || !other.Joined() {
+			continue
+		}
+		seed = other.Addr()
+		break
+	}
+	if seed == "" {
+		return fmt.Errorf("cluster: no live joined node for %s to rejoin through", addr)
+	}
+	c.Nodes[i].Close()
+	c.eps[i].Close()
+	ep, err := c.Net.Endpoint(addr) // re-attach clears the dead mark
+	if err != nil {
+		return err
+	}
+	c.gen[i]++
+	cfg := c.opts.Node
+	cfg.Seed = c.opts.Seed + int64(i)*7919 + int64(c.gen[i])*104729
+	nd := mind.NewNode(ep, c.Net.Clock(), cfg)
+	c.Nodes[i] = nd
+	c.byAddr[addr] = nd
+	c.eps[i] = ep
+	nd.Join(seed)
+	if c.opts.OnEvent != nil {
+		c.opts.OnEvent("restart", fmt.Sprintf("%s gen=%d via %s", addr, c.gen[i], seed))
+	}
+	return nil
+}
+
+// NodeState is one node's externally visible state in a cluster
+// Snapshot.
+type NodeState struct {
+	Index   int
+	Addr    string
+	Dead    bool
+	Joined  bool
+	Code    bitstr.Code
+	Overlay hypercube.Snapshot
+	Stats   mind.Stats
+}
+
+// Snapshot captures every node's state (including dead slots, flagged),
+// in index order. The chaos invariant checker runs against these.
+func (c *Cluster) Snapshot() []NodeState {
+	out := make([]NodeState, 0, len(c.Nodes))
+	for i, nd := range c.Nodes {
+		st := NodeState{
+			Index: i,
+			Addr:  nd.Addr(),
+			Dead:  c.Net.IsDead(nd.Addr()),
+		}
+		if !st.Dead {
+			st.Overlay = nd.Overlay().Snapshot()
+			st.Joined = st.Overlay.Joined
+			st.Code = st.Overlay.Code
+			st.Stats = nd.Stats()
+		}
+		out = append(out, st)
+	}
+	return out
+}
 
 // StorageByNode returns each live node's primary record count for an
 // index (Fig 13).

@@ -121,3 +121,76 @@ func TestCreateIndexSkipsDeadNodes(t *testing.T) {
 		t.Fatalf("create with dead node: %v", err)
 	}
 }
+
+func TestKillRestartChurn(t *testing.T) {
+	c, err := New(Options{
+		N:    8,
+		Seed: 11,
+		Sim:  simnet.Config{Seed: 11, DefaultLatency: 5 * time.Millisecond},
+		Node: mind.DefaultConfig(11),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Restart(3); err == nil {
+		t.Fatal("restart of a live node accepted")
+	}
+	if err := c.CreateIndex(sch()); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(2 * time.Second)
+
+	c.Kill(3)
+	if !c.IsDead(3) {
+		t.Fatal("killed node not reported dead")
+	}
+	if live := c.LiveIndices(); len(live) != 7 {
+		t.Fatalf("live = %v", live)
+	}
+	// A dead, hence never-again-joined node must not wedge AllJoined.
+	if !c.AllJoined() {
+		t.Fatal("AllJoined false with only a dead node missing")
+	}
+	c.Settle(30 * time.Second) // failure detection + takeover
+
+	old := c.Nodes[3]
+	if err := c.Restart(3); err != nil {
+		t.Fatal(err)
+	}
+	if c.Nodes[3] == old {
+		t.Fatal("restart kept the old node object")
+	}
+	if c.IsDead(3) {
+		t.Fatal("restarted node still dead")
+	}
+	ok := c.Net.RunUntil(func() bool { return c.Nodes[3].Joined() }, 10_000_000)
+	if !ok {
+		t.Fatal("restarted node did not rejoin")
+	}
+	c.Settle(5 * time.Second)
+	if !c.Nodes[3].HasIndex("c") {
+		t.Fatal("restarted node did not receive the index definition")
+	}
+	// The reborn node serves traffic.
+	res, _, err := c.InsertWait(3, "c", schema.Record{5, 10, 5})
+	if err != nil || !res.OK {
+		t.Fatalf("insert via restarted node: %v %+v", err, res)
+	}
+	qr, _, err := c.QueryWait(3, "c", schema.Rect{Lo: []uint64{0, 0, 0}, Hi: []uint64{999, 86400, 999}})
+	if err != nil || !qr.Complete || len(qr.Records) != 1 {
+		t.Fatalf("query via restarted node: %v %+v", err, qr)
+	}
+
+	// Snapshot covers all slots and flags state correctly.
+	c.Kill(5)
+	snap := c.Snapshot()
+	if len(snap) != 8 {
+		t.Fatalf("snapshot has %d entries", len(snap))
+	}
+	if !snap[5].Dead || snap[3].Dead {
+		t.Fatalf("snapshot dead flags wrong: %+v %+v", snap[3], snap[5])
+	}
+	if !snap[3].Joined || len(snap[3].Overlay.Contacts) == 0 {
+		t.Fatalf("snapshot of live node incomplete: %+v", snap[3])
+	}
+}

@@ -1,0 +1,278 @@
+package embed
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mind/internal/histogram"
+	"mind/internal/schema"
+)
+
+// Property tests for the record → code → rectangle round trip that the
+// insert and query paths depend on, exercised over both the uniform and
+// histogram-balanced embeddings. These complement the TestQuick* suite:
+// the properties here start from full schema.Records (payload attributes
+// included) and drive the same schema the distributed workload uses.
+
+func propSchema() *schema.Schema {
+	return &schema.Schema{
+		Tag: "prop-flows",
+		Attrs: []schema.Attr{
+			{Name: "dst", Kind: schema.KindIPv4, Max: 1<<32 - 1},
+			{Name: "t", Kind: schema.KindTime, Max: 86400},
+			{Name: "src", Kind: schema.KindIPv4, Max: 1<<32 - 1},
+			{Name: "uid"},
+		},
+		IndexDims: 3,
+	}
+}
+
+// propTrees builds the two embeddings under test: the uniform midpoint
+// tree and a balanced tree cut from a skewed histogram (most mass in a
+// small corner, like real flow traffic), over the same bounds.
+func propTrees(t *testing.T, r *rand.Rand, bounds []uint64) []*Tree {
+	t.Helper()
+	h := histogram.MustNew(8, bounds)
+	for i := 0; i < 2000; i++ {
+		p := make([]uint64, len(bounds))
+		for d, b := range bounds {
+			if r.Float64() < 0.8 {
+				p[d] = r.Uint64() % (b/16 + 1) // skewed corner
+			} else {
+				p[d] = r.Uint64() % (b + 1)
+			}
+		}
+		h.AddPoint(p)
+	}
+	bal, err := Balanced(h, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*Tree{Uniform(bounds), bal}
+}
+
+func propRecord(r *rand.Rand, sch *schema.Schema) schema.Record {
+	rec := make(schema.Record, sch.Arity())
+	for i, a := range sch.Attrs {
+		if a.Max > 0 {
+			rec[i] = r.Uint64() % (a.Max + 1)
+		} else {
+			rec[i] = r.Uint64()
+		}
+	}
+	return rec
+}
+
+// TestPropRecordCodeRectRoundTrip: for any record and any code depth,
+// the region rectangle of the record's point code contains the record —
+// the exact property the owner lookup relies on when routing an insert
+// and when deciding which store answers a sub-query.
+func TestPropRecordCodeRectRoundTrip(t *testing.T) {
+	sch := propSchema()
+	r := rand.New(rand.NewSource(41))
+	for ti, tr := range propTrees(t, r, sch.Bounds()) {
+		tr := tr
+		f := func() bool {
+			rec := propRecord(r, sch)
+			d := 1 + r.Intn(24)
+			code := tr.PointCode(rec.Point(sch), d)
+			if code.Len() != d {
+				return false
+			}
+			return tr.CodeRect(code).ContainsRecord(sch, rec)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+			t.Errorf("tree %d: %v", ti, err)
+		}
+	}
+}
+
+// TestPropCodePrefixMonotone: deepening a record's code only shrinks its
+// region, and every ancestor region contains the deeper one. Codes are
+// prefix-stable, which is what lets the overlay route on any prefix of
+// the owner's code.
+func TestPropCodePrefixMonotone(t *testing.T) {
+	sch := propSchema()
+	r := rand.New(rand.NewSource(42))
+	for ti, tr := range propTrees(t, r, sch.Bounds()) {
+		tr := tr
+		f := func() bool {
+			p := propRecord(r, sch).Point(sch)
+			deep := tr.PointCode(p, 20)
+			for d := 1; d < 20; d++ {
+				c := tr.PointCode(p, d)
+				if !c.IsPrefixOf(deep) {
+					return false
+				}
+				if !tr.CodeRect(c).ContainsRect(tr.CodeRect(deep)) {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("tree %d: %v", ti, err)
+		}
+	}
+}
+
+// TestPropDecomposeCoverCompleteness: every record inside a query
+// rectangle lands in exactly one decomposition sub-region, and records
+// outside it land in none. Losing a sub-region loses answers; double
+// cover double-counts them — this is the client side of the prefix-free
+// cover invariant the chaos harness checks on the overlay side.
+func TestPropDecomposeCoverCompleteness(t *testing.T) {
+	sch := propSchema()
+	r := rand.New(rand.NewSource(43))
+	bounds := sch.Bounds()
+	for ti, tr := range propTrees(t, r, bounds) {
+		tr := tr
+		f := func() bool {
+			q := schema.Rect{Lo: make([]uint64, len(bounds)), Hi: make([]uint64, len(bounds))}
+			for d, b := range bounds {
+				a, c := r.Uint64()%(b+1), r.Uint64()%(b+1)
+				if a > c {
+					a, c = c, a
+				}
+				q.Lo[d], q.Hi[d] = a, c
+			}
+			subs := tr.Decompose(q, 8)
+			qc := tr.QueryCode(q, 8)
+			for _, s := range subs {
+				if !qc.IsPrefixOf(s.Code) {
+					return false
+				}
+			}
+			for k := 0; k < 30; k++ {
+				rec := propRecord(r, sch)
+				if k%3 == 0 { // force the point inside the query
+					for d := range bounds {
+						rec[d] = q.Lo[d] + r.Uint64()%(q.Hi[d]-q.Lo[d]+1)
+					}
+				}
+				hits := 0
+				for _, s := range subs {
+					if s.Rect.ContainsRecord(sch, rec) {
+						hits++
+					}
+				}
+				inside := q.ContainsRecord(sch, rec)
+				if inside && hits != 1 {
+					return false
+				}
+				if !inside && hits != 0 {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+			t.Errorf("tree %d: %v", ti, err)
+		}
+	}
+}
+
+// TestPropMarshalPreservesEmbedding: a marshalled and re-decoded tree
+// maps points to the same codes as the original — nodes exchange trees
+// over the wire (index definition floods, join transfers), so any drift
+// here silently splits the cluster's notion of record placement.
+func TestPropMarshalPreservesEmbedding(t *testing.T) {
+	sch := propSchema()
+	r := rand.New(rand.NewSource(44))
+	for ti, tr := range propTrees(t, r, sch.Bounds()) {
+		back, err := Unmarshal(tr.Marshal())
+		if err != nil {
+			t.Fatalf("tree %d: %v", ti, err)
+		}
+		tr := tr
+		f := func() bool {
+			p := propRecord(r, sch).Point(sch)
+			d := 1 + r.Intn(24)
+			return tr.PointCode(p, d).Equal(back.PointCode(p, d))
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("tree %d: %v", ti, err)
+		}
+	}
+}
+
+// FuzzPointCodeRoundTrip drives the containment and prefix-stability
+// properties from fuzzed raw coordinates, including the boundary values
+// the random generators above rarely hit exactly.
+func FuzzPointCodeRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0), uint8(1))
+	f.Add(uint64(1)<<32-1, uint64(86400), uint64(1)<<32-1, uint8(24))
+	f.Add(uint64(123456789), uint64(43200), uint64(987654321), uint8(12))
+	f.Add(uint64(1)<<31, uint64(86399), uint64(1), uint8(30))
+	sch := propSchema()
+	bounds := sch.Bounds()
+	tr := Uniform(bounds)
+	f.Fuzz(func(t *testing.T, x, y, z uint64, depth uint8) {
+		p := []uint64{x % (bounds[0] + 1), y % (bounds[1] + 1), z % (bounds[2] + 1)}
+		d := 1 + int(depth)%32
+		code := tr.PointCode(p, d)
+		if code.Len() != d {
+			t.Fatalf("PointCode depth %d returned len %d", d, code.Len())
+		}
+		if !tr.CodeRect(code).Contains(p) {
+			t.Fatalf("point %v escapes its own code rect %v", p, tr.CodeRect(code))
+		}
+		if d > 1 && !tr.PointCode(p, d-1).IsPrefixOf(code) {
+			t.Fatalf("code at depth %d is not an extension of depth %d", d, d-1)
+		}
+	})
+}
+
+// FuzzDecomposeCover fuzzes query rectangles (including degenerate
+// single-point and full-range spans) and checks the decomposition is
+// prefix-free and covers the query's own corner points exactly once.
+func FuzzDecomposeCover(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0))
+	f.Add(uint64(0), uint64(1)<<32-1, uint64(0), uint64(86400), uint64(0), uint64(1)<<32-1)
+	f.Add(uint64(5), uint64(5), uint64(100), uint64(200), uint64(7), uint64(7))
+	f.Add(uint64(1)<<31, uint64(1)<<31+1000, uint64(86400), uint64(86400), uint64(3), uint64(9))
+	sch := propSchema()
+	bounds := sch.Bounds()
+	tr := Uniform(bounds)
+	f.Fuzz(func(t *testing.T, lo0, hi0, lo1, hi1, lo2, hi2 uint64) {
+		los := []uint64{lo0 % (bounds[0] + 1), lo1 % (bounds[1] + 1), lo2 % (bounds[2] + 1)}
+		his := []uint64{hi0 % (bounds[0] + 1), hi1 % (bounds[1] + 1), hi2 % (bounds[2] + 1)}
+		q := schema.Rect{Lo: make([]uint64, 3), Hi: make([]uint64, 3)}
+		for d := 0; d < 3; d++ {
+			a, b := los[d], his[d]
+			if a > b {
+				a, b = b, a
+			}
+			q.Lo[d], q.Hi[d] = a, b
+		}
+		subs := tr.Decompose(q, 8)
+		if len(subs) == 0 {
+			t.Fatal("empty decomposition for a valid rect")
+		}
+		for i := range subs {
+			for j := i + 1; j < len(subs); j++ {
+				if subs[i].Code.IsPrefixOf(subs[j].Code) || subs[j].Code.IsPrefixOf(subs[i].Code) {
+					t.Fatalf("sub-codes %s and %s overlap", subs[i].Code, subs[j].Code)
+				}
+			}
+		}
+		corners := [][]uint64{
+			{q.Lo[0], q.Lo[1], q.Lo[2]},
+			{q.Hi[0], q.Hi[1], q.Hi[2]},
+			{q.Lo[0], q.Hi[1], q.Lo[2]},
+			{q.Hi[0], q.Lo[1], q.Hi[2]},
+		}
+		for _, p := range corners {
+			hits := 0
+			for _, s := range subs {
+				if s.Rect.Contains(p) {
+					hits++
+				}
+			}
+			if hits != 1 {
+				t.Fatalf("corner %v covered %d times", p, hits)
+			}
+		}
+	})
+}

@@ -107,7 +107,7 @@ func (o *Overlay) handleJoinLookupResp(m *wire.JoinLookupResp) {
 	if o.joined {
 		o.learn(m.Self)
 		for _, ni := range m.Neighbors {
-			o.learn(ni)
+			o.learnGossip(ni)
 		}
 		o.mu.Unlock()
 		return
@@ -324,7 +324,7 @@ func (o *Overlay) handleJoinAccept(m *wire.JoinAccept) {
 	o.repairAttempts = make(map[int]int)
 	o.learn(m.Sibling)
 	for _, n := range m.Neighbors {
-		o.learn(n)
+		o.learnGossip(n)
 	}
 	o.scheduleHeartbeatLocked()
 	self := wire.NodeInfo{Addr: o.ep.Addr(), Code: o.code}
@@ -365,7 +365,7 @@ func (o *Overlay) handleJoinCommit(m *wire.JoinCommit) {
 	if p := o.pending; p != nil && p.target.Addr == m.Target.Addr {
 		o.pending = nil
 	}
-	o.learn(m.Target)
-	o.learn(m.Joiner)
+	o.learn(m.Target) // the commit's sender
+	o.learnGossip(m.Joiner)
 	o.mu.Unlock()
 }

@@ -95,6 +95,14 @@ type Overlay struct {
 	// neighbor level; persistent emptiness despite repair is the
 	// evidence that the level's whole region is dead.
 	repairAttempts map[int]int
+	// tombstones records when this node itself declared an address dead.
+	// While a tombstone is fresh, gossip may not re-add the address:
+	// other nodes keep echoing their own stale entry for the corpse until
+	// they too declare it, and each echo would otherwise restart our full
+	// detect-probe-declare cycle — delaying region-death corroboration
+	// (and hence §3.8 relocation) almost indefinitely. Direct traffic
+	// from the address (a genuine restart) clears the tombstone at once.
+	tombstones map[string]time.Time
 
 	seenProbes   map[uint64]bool
 	probeSeq     uint64
@@ -136,6 +144,7 @@ func New(ep transport.Endpoint, clock transport.Clock, cfg Config, seed int64, c
 		seenProbes:     make(map[uint64]bool),
 		livenessWait:   make(map[uint64]func(bool)),
 		repairAttempts: make(map[int]int),
+		tombstones:     make(map[string]time.Time),
 	}
 }
 
@@ -206,18 +215,46 @@ func (o *Overlay) send(to string, m wire.Message) {
 	_ = o.ep.Send(to, wire.Encode(m))
 }
 
-// learn records or refreshes a contact. Callers hold o.mu. Contacts in a
-// prefix relation with our own code (transient takeover states) are kept
-// for liveness tracking but naturally drop out of routing. Per-level
-// contact counts are capped; the freshest contacts win.
+// learn records or refreshes a contact from a message the node itself
+// sent — direct traffic, so it counts as liveness evidence. Callers hold
+// o.mu. Contacts in a prefix relation with our own code (transient
+// takeover states) are kept for liveness tracking but naturally drop out
+// of routing. Per-level contact counts are capped; the freshest contacts
+// win.
 func (o *Overlay) learn(info wire.NodeInfo) {
+	o.learnContact(info, true)
+}
+
+// learnGossip records a contact carried as third-party information
+// (neighborhood lists in join lookups/accepts, the joiner in a commit
+// notice). Gossip may introduce unknown contacts and refresh codes, but
+// it must NOT advance lastSeen of an existing entry: lookup responses
+// echo stale entries for dead peers, and treating the echo as liveness
+// lets one node keep a corpse perpetually "fresh" — it then attests
+// every liveness probe for the dead peer and no node ever declares the
+// death, so the takeover that would re-cover the region never fires.
+func (o *Overlay) learnGossip(info wire.NodeInfo) {
+	o.learnContact(info, false)
+}
+
+func (o *Overlay) learnContact(info wire.NodeInfo, direct bool) {
 	if info.Addr == "" || info.Addr == o.ep.Addr() {
 		return
 	}
 	now := o.clock.Now()
+	if direct {
+		delete(o.tombstones, info.Addr)
+	} else if ts, ok := o.tombstones[info.Addr]; ok {
+		if now.Sub(ts) < 4*o.cfg.FailAfter {
+			return
+		}
+		delete(o.tombstones, info.Addr)
+	}
 	if c, ok := o.contacts[info.Addr]; ok {
 		c.info = info
-		c.lastSeen = now
+		if direct {
+			c.lastSeen = now
+		}
 		return
 	}
 	// Enforce the per-level cap by evicting the stalest same-level
@@ -243,6 +280,24 @@ func (o *Overlay) learn(info wire.NodeInfo) {
 		delete(o.contacts, stalest.info.Addr)
 	}
 	o.contacts[info.Addr] = &contact{info: info, lastSeen: now}
+}
+
+// repairRelayLocked picks a reachable contact to carry a repair lookup
+// that cannot make greedy progress from here, choosing deterministically:
+// longest common prefix with the target, then lowest address.
+func (o *Overlay) repairRelayLocked(target bitstr.Code) string {
+	best := ""
+	bestCPL := -1
+	for addr, c := range o.contacts {
+		if c.unreachable {
+			continue
+		}
+		cpl := c.info.Code.CommonPrefixLen(target)
+		if cpl > bestCPL || (cpl == bestCPL && (best == "" || addr < best)) {
+			best, bestCPL = addr, cpl
+		}
+	}
+	return best
 }
 
 // touch refreshes a contact's liveness on any inbound traffic.
@@ -355,6 +410,7 @@ func (o *Overlay) heartbeatTick() {
 			// dead.
 			dead = append(dead, c.info)
 			delete(o.contacts, addr)
+			o.tombstones[addr] = now
 		case now.Sub(c.suspectAt) > o.cfg.FailAfter:
 			// Attested alive during this window: restart the probe
 			// cycle; if the attestations dry up, a later window declares
@@ -372,7 +428,16 @@ func (o *Overlay) heartbeatTick() {
 	// several repair rounds is evidence that its whole region is dead —
 	// which triggers the §3.8 takeover rules for the sibling and uncle
 	// regions.
-	var repair []bitstr.Code
+	for addr, ts := range o.tombstones {
+		if now.Sub(ts) >= 4*o.cfg.FailAfter {
+			delete(o.tombstones, addr)
+		}
+	}
+	type repairReq struct {
+		target bitstr.Code
+		relay  string
+	}
+	var repair []repairReq
 	var deadSibling, deadUncle bool
 	uncleLevel := -1
 	if o.code.Len() > 0 {
@@ -393,7 +458,18 @@ func (o *Overlay) heartbeatTick() {
 			for t.Len() < o.cfg.LookupDepth && t.Len() < bitstr.MaxLen {
 				t = t.Append(int(o.rng.Uint64() & 1))
 			}
-			repair = append(repair, t)
+			req := repairReq{target: t}
+			if _, ok := o.nextHopLocked(t); !ok {
+				// The hole blocks its own repair: with the level empty we
+				// hold no contact making greedy progress toward the missing
+				// subtree, so dispatching the lookup locally would dead-end
+				// at self and "answer" with the very table that has the
+				// hole. Relay through the closest live contact instead; its
+				// table spans levels ours does not, so one non-greedy hop
+				// breaks the deadlock.
+				req.relay = o.repairRelayLocked(t)
+			}
+			repair = append(repair, req)
 		}
 		if o.repairAttempts[o.code.Len()-1] >= 4 {
 			deadSibling = true
@@ -436,8 +512,13 @@ func (o *Overlay) heartbeatTick() {
 	for _, addr := range targets {
 		o.send(addr, &wire.Heartbeat{From: self, Seq: seq})
 	}
-	for _, t := range repair {
-		o.handleJoinLookup(o.ep.Addr(), &wire.JoinLookup{JoinerAddr: o.ep.Addr(), Target: t})
+	for _, r := range repair {
+		lk := &wire.JoinLookup{JoinerAddr: o.ep.Addr(), Target: r.target}
+		if r.relay != "" {
+			o.send(r.relay, lk)
+		} else {
+			o.handleJoinLookup(o.ep.Addr(), lk)
+		}
 	}
 	for _, s := range probe {
 		s := s
@@ -460,17 +541,22 @@ func (o *Overlay) heartbeatTick() {
 }
 
 // contactFailed processes a declared-dead contact: notify the host and
-// run the takeover rules of §3.8 — the direct sibling rule, and the
-// recursive "a node in the sibling sub-tree takes over" rule via
-// relocation.
+// apply the direct-sibling takeover rule of §3.8. The recursive rule
+// (relocating into a dead ancestor-sibling region) is deliberately NOT
+// triggered here: one death only proves that contact dead, while
+// relocation claims an entire region is empty — a claim this node's
+// possibly-stale contact table cannot support on its own. (A table whose
+// region entries happen to all be dead would relocate into a region
+// that still has live inhabitants the table never learned, minting a
+// duplicate code that nothing ever resolves.) Relocation waits for the
+// corroborated path in heartbeatTick: four consecutive repair rounds,
+// each routing a lookup into the region through a live relay, all
+// failing to surface a single inhabitant.
 func (o *Overlay) contactFailed(dead wire.NodeInfo) {
 	if o.cb.OnContactDead != nil {
 		o.cb.OnContactDead(dead)
 	}
-	if o.maybeTakeover(dead) {
-		return
-	}
-	o.maybeRelocate(dead)
+	o.maybeTakeover(dead)
 }
 
 // maybeTakeover shortens our code if the dead node was the last known

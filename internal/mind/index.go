@@ -261,6 +261,21 @@ func (ix *index) history(now time.Time) (bool, string) {
 	return ix.histAddr != "" && now.Before(ix.histUntil), ix.histAddr
 }
 
+// clearHistory drops the history pointer if it targets addr. A dead
+// split sibling can never answer the sub-queries delegated to it, so an
+// intact pointer would leave every query over this region incomplete
+// until histUntil. The pre-split records the pointer protected are the
+// dead peer's data; recovering those is the replication machinery's
+// concern (§3.8), not the history pointer's.
+func (ix *index) clearHistory(addr string) {
+	ix.mu.Lock()
+	if ix.histAddr == addr {
+		ix.histAddr = ""
+		ix.histUntil = time.Time{}
+	}
+	ix.mu.Unlock()
+}
+
 // historyActive reports whether the history pointer still applies.
 func (ix *index) historyActive(now time.Time) bool {
 	active, _ := ix.history(now)

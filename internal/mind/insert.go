@@ -379,6 +379,12 @@ func (n *Node) replicaTargets() []string {
 	return replicaSet(n.ov.Code(), n.ov.Contacts(), n.cfg.Replication)
 }
 
+// ReplicaTargets exposes the node's current replica target set (§3.8:
+// one contact per longest-common-prefix level, deepest first). The chaos
+// harness's replica-set-completeness invariant compares this against the
+// set of live nodes.
+func (n *Node) ReplicaTargets() []string { return n.replicaTargets() }
+
 // replicaSet picks the replica target addresses per §3.8: the contacts
 // with the longest common code prefixes with myCode, one per level,
 // deepest levels first; m levels in total (all levels for

@@ -63,9 +63,15 @@ type Node struct {
 
 	triggerSubs map[uint64]*triggerSub // mu; subscriber-side standing queries
 
-	reqSeq  atomic.Uint64
-	recSeq  atomic.Uint64
-	addrTag uint64 // origin-unique record id namespace
+	reqSeq atomic.Uint64
+	recSeq atomic.Uint64
+	// addrTag is the origin-unique id namespace for record and request
+	// ids. It is salted with the node's start instant: a restarted node
+	// reuses its address and restarts its sequence counters, so an
+	// unsalted namespace would re-mint the previous incarnation's ids
+	// and receivers that still remember them would silently swallow the
+	// new records as idempotent duplicates — while acking them.
+	addrTag uint64
 
 	// Stats counters (read via Stats).
 	forwarded  atomic.Uint64
@@ -111,7 +117,7 @@ func NewNode(ep transport.Endpoint, clock transport.Clock, cfg Config) *Node {
 		queries:    make(map[uint64]*queryOp),
 		seenOps:    make(map[uint64]bool),
 		collect:    make(map[string]*histCollect),
-		addrTag:    hashAddr(ep.Addr()),
+		addrTag:    hashAddr(ep.Addr()) ^ mix64(uint64(clock.Now().UnixNano())),
 		tupleLinks: make(map[string]uint64),
 		batches:    make(map[string]*peerBatch),
 		ansDedup:   newDedupSet(dedupCap),
@@ -123,7 +129,7 @@ func NewNode(ep transport.Endpoint, clock transport.Clock, cfg Config) *Node {
 		OnTakeover:    n.onTakeover,
 		OnResume:      n.onResume,
 		CanResume:     n.canResumeFromReplicas,
-		OnContactDead: nil,
+		OnContactDead: n.onContactDead,
 		IndexDefs:     n.indexDefs,
 	})
 	ep.SetHandler(n.dispatch)
@@ -137,6 +143,17 @@ func hashAddr(s string) uint64 {
 		h *= 1099511628211
 	}
 	return h
+}
+
+// mix64 spreads a low-entropy value (a start timestamp) across all 64
+// bits, so the namespace salt reaches addrTag's high word.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
 }
 
 // Bootstrap founds a new overlay with this node.
@@ -204,6 +221,12 @@ type Stats struct {
 	Retransmits  uint64 // reliable-layer retransmissions sent
 	AcksReceived uint64 // end-to-end acks received over the wire
 	DedupHits    uint64 // duplicate requests absorbed at this receiver
+
+	// In-flight originator-side operations still awaiting an ack, a
+	// covering response, or their timeout. Both are zero at quiescence;
+	// the chaos harness asserts that after every settled epoch.
+	PendingInserts int
+	PendingQueries int
 }
 
 // Stats returns a snapshot of the node's counters.
@@ -212,6 +235,10 @@ func (n *Node) Stats() Stats {
 		Forwarded: n.forwarded.Load(), Stored: n.stored.Load(), Replicated: n.replicated.Load(),
 		Retransmits: n.retransmits.Load(), AcksReceived: n.acksReceived.Load(), DedupHits: n.dedupHits.Load(),
 	}
+	n.mu.Lock()
+	s.PendingInserts = len(n.inserts)
+	s.PendingQueries = len(n.queries)
+	n.mu.Unlock()
 	b := n.BatchStats()
 	s.BatchesSent = b.Sent.Batches
 	s.BatchedMsgs = b.Sent.Items
@@ -489,6 +516,18 @@ func (n *Node) onJoined(accept *wire.JoinAccept) {
 			ix.histUntil = n.clock.Now().Add(n.cfg.HistoryTTL)
 		}
 		n.indices[d.Schema.Tag] = ix
+	}
+}
+
+// onContactDead reacts to the overlay declaring a contact failed: any
+// index whose history pointer targets the dead peer stops delegating
+// query coverage to it. Found by the chaos harness: a joiner whose
+// split sibling later died kept forwarding Historic sub-queries into
+// the void for the full HistoryTTL, so every query touching its region
+// timed out incomplete.
+func (n *Node) onContactDead(info wire.NodeInfo) {
+	for _, ix := range n.sortedIndices() {
+		ix.clearHistory(info.Addr)
 	}
 }
 

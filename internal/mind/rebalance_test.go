@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"mind/internal/cluster"
+	"mind/internal/embed"
 	"mind/internal/schema"
 )
 
@@ -93,5 +94,84 @@ func TestHistogramCollectionDesignatedNode(t *testing.T) {
 		} else if code != refCode {
 			t.Fatalf("inconsistent installed trees: %s vs %s", code, refCode)
 		}
+	}
+}
+
+// TestRebalanceEdgeCases drives the collection loop through its
+// degenerate inputs: a day with no data anywhere (the merged histogram
+// is empty, so every balanced cut must fall back to the midpoint), a
+// single-node cluster (the designated node is the reporter itself and
+// the install flood has no recipients), and the version counter's
+// rollover at ^uint32(0) (day+1 wraps to version 0; the install must
+// land there rather than panic or vanish).
+func TestRebalanceEdgeCases(t *testing.T) {
+	const cutDepth = 5
+	cases := []struct {
+		name        string
+		nodes       int
+		day         uint32
+		inserts     int
+		wantVersion uint32
+		// wantMidpoint asserts the installed tree is indistinguishable
+		// from the uniform embedding (empty histogram fallback).
+		wantMidpoint bool
+	}{
+		{name: "empty histogram", nodes: 4, day: 0, inserts: 0, wantVersion: 1, wantMidpoint: true},
+		{name: "single node index", nodes: 1, day: 0, inserts: 20, wantVersion: 1},
+		{name: "version rollover", nodes: 2, day: ^uint32(0), inserts: 0, wantVersion: 0, wantMidpoint: true},
+	}
+	for ci, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			c := mkCluster(t, tc.nodes, 64+int64(ci), func(o *cluster.Options) {
+				o.Node.HistCollectWait = 2 * time.Second
+				o.Node.BalancedCutDepth = cutDepth
+			})
+			sch := testSchema()
+			if err := c.CreateIndex(sch); err != nil {
+				t.Fatal(err)
+			}
+			c.Settle(2 * time.Second)
+			for i := 0; i < tc.inserts; i++ {
+				rec := schema.Record{uint64(i * 37 % 10000), uint64(i * 90 % 3600), uint64(i % 500), uint64(i)}
+				res, _, _ := c.InsertWait(i%tc.nodes, "test-index", rec)
+				if !res.OK {
+					t.Fatal("insert failed")
+				}
+			}
+			for _, nd := range c.Nodes {
+				h, err := nd.LocalHistogram("test-index", tc.day, 6)
+				if err != nil {
+					t.Fatalf("%s: LocalHistogram: %v", nd.Addr(), err)
+				}
+				if tc.inserts == 0 && h.Total() != 0 {
+					t.Fatalf("%s: empty day has histogram total %v", nd.Addr(), h.Total())
+				}
+				if err := nd.ReportHistogram("test-index", tc.day, 6); err != nil {
+					t.Fatal(err)
+				}
+			}
+			c.Settle(20 * time.Second)
+			uni := embed.Uniform(sch.Bounds())
+			probes := [][]uint64{{0, 0, 0}, {9999, 86400, 9999}, {5000, 43200, 17}}
+			for _, nd := range c.Nodes {
+				tr, err := nd.CutTree("test-index", tc.wantVersion)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if tr.ExplicitDepth() != cutDepth {
+					t.Fatalf("%s: version %d tree depth %d, want %d",
+						nd.Addr(), tc.wantVersion, tr.ExplicitDepth(), cutDepth)
+				}
+				if tc.wantMidpoint {
+					for _, p := range probes {
+						if got, want := tr.PointCode(p, 10), uni.PointCode(p, 10); !got.Equal(want) {
+							t.Fatalf("%s: empty-histogram cuts diverge from midpoints at %v: %s != %s",
+								nd.Addr(), p, got, want)
+						}
+					}
+				}
+			}
+		})
 	}
 }

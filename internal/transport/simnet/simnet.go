@@ -107,6 +107,12 @@ type Network struct {
 	cutLinks  map[linkKey]bool      // bidirectional cuts stored both ways
 	partCuts  map[linkKey]bool      // cross-group cuts owned by Partition/Heal
 	outages   map[linkKey]time.Time // link down until the given time
+	linkLat   map[linkKey]time.Duration
+	// Reordering: with probability reorderProb a message's delivery is
+	// delayed by an extra uniform draw in [0, reorderWindow], letting
+	// later sends on the same link overtake it.
+	reorderProb   float64
+	reorderWindow time.Duration
 
 	linkBusy map[linkKey]time.Time
 	nodeBusy map[string]time.Time
@@ -129,6 +135,7 @@ func New(cfg Config) *Network {
 		cutLinks:  make(map[linkKey]bool),
 		partCuts:  make(map[linkKey]bool),
 		outages:   make(map[linkKey]time.Time),
+		linkLat:   make(map[linkKey]time.Duration),
 		linkBusy:  make(map[linkKey]time.Time),
 		nodeBusy:  make(map[string]time.Time),
 		linkMsgs:  make(map[linkKey]uint64),
@@ -320,6 +327,38 @@ func (n *Network) Heal() {
 	n.partCuts = make(map[linkKey]bool)
 }
 
+// SetLinkLatency overrides the propagation delay between a and b (both
+// directions) at runtime, modelling a congested or rerouted path. It
+// takes precedence over the configured Latency function until
+// ClearLinkLatency.
+func (n *Network) SetLinkLatency(a, b string, d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.linkLat[linkKey{a, b}] = d
+	n.linkLat[linkKey{b, a}] = d
+}
+
+// ClearLinkLatency removes a SetLinkLatency override.
+func (n *Network) ClearLinkLatency(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.linkLat, linkKey{a, b})
+	delete(n.linkLat, linkKey{b, a})
+}
+
+// SetReorder makes each message, with probability p, arrive up to window
+// later than its natural delivery time, so later sends on the same link
+// can overtake it — the out-of-order delivery UDP exhibits under ECMP
+// rerouting. p = 0 disables reordering and restores FIFO-per-link
+// behavior; while disabled no randomness is drawn, so trajectories of
+// seeded runs that never enable reordering are unaffected.
+func (n *Network) SetReorder(p float64, window time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.reorderProb = p
+	n.reorderWindow = window
+}
+
 // Outage makes the directed links between a and b lossy (down) for the
 // given duration of virtual time, modelling the transient routing
 // failures of §3.8.
@@ -388,13 +427,20 @@ func (n *Network) send(from, to string, msg []byte) error {
 		return nil
 	}
 
-	// Propagation delay + jitter.
+	// Propagation delay + jitter. A runtime per-link override beats the
+	// configured latency model.
 	lat := n.cfg.DefaultLatency
 	if n.cfg.Latency != nil {
 		lat = n.cfg.Latency(from, to)
 	}
+	if d, ok := n.linkLat[lk]; ok {
+		lat = d
+	}
 	if n.cfg.JitterFrac > 0 {
 		lat += time.Duration(n.rng.Float64() * n.cfg.JitterFrac * float64(lat))
+	}
+	if n.reorderProb > 0 && n.rng.Float64() < n.reorderProb {
+		lat += time.Duration(n.rng.Float64() * float64(n.reorderWindow))
 	}
 
 	// Link serialization: messages on the same directed link queue

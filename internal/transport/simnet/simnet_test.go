@@ -464,3 +464,165 @@ func TestPartitionAndHeal(t *testing.T) {
 		t.Fatal("RestoreLink after Heal did not deliver")
 	}
 }
+
+// TestPartitionHealAsymmetry pins the ownership split between the two
+// cut mechanisms: RestoreLink must not lift a partition cut, Heal must
+// not lift an individual cut, and repeated Partition calls accumulate
+// until one Heal clears them all.
+func TestPartitionHealAsymmetry(t *testing.T) {
+	n := New(Config{Seed: 11, DefaultLatency: time.Millisecond})
+	eps := map[string]*Endpoint{}
+	recv := map[string]*atomic.Int32{}
+	for _, addr := range []string{"a", "b", "c"} {
+		ep, err := n.Endpoint(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps[addr] = ep
+		cnt := &atomic.Int32{}
+		recv[addr] = cnt
+		ep.SetHandler(func(string, []byte) { cnt.Add(1) })
+	}
+	send := func(from, to string) int32 {
+		eps[from].Send(to, []byte("x"))
+		n.Run(0)
+		return recv[to].Load()
+	}
+
+	// RestoreLink on a partition cut is a no-op: partCuts are not
+	// cutLinks.
+	n.Partition([]string{"a"}, []string{"b"})
+	n.RestoreLink("a", "b")
+	if got := send("a", "b"); got != 0 {
+		t.Fatal("RestoreLink lifted a partition cut")
+	}
+	// Accumulated partitions all clear on one Heal.
+	n.Partition([]string{"a"}, []string{"c"})
+	if got := send("a", "c"); got != 0 {
+		t.Fatal("second Partition did not cut a–c")
+	}
+	n.Heal()
+	if got := send("a", "b"); got != 1 {
+		t.Fatal("Heal did not lift the first partition")
+	}
+	if got := send("a", "c"); got != 1 {
+		t.Fatal("Heal did not lift the accumulated partition")
+	}
+	// Heal is idempotent and safe with no partition outstanding.
+	n.Heal()
+	if got := send("b", "a"); got != 1 {
+		t.Fatal("Heal with no partition broke a link")
+	}
+}
+
+// TestSetLossProbBoundaries exercises the 0.0 and 1.0 boundary values the
+// chaos scheduler ramps between: 0.0 must never draw a loss, 1.0 must
+// never deliver, and returning to 0.0 restores lossless delivery.
+func TestSetLossProbBoundaries(t *testing.T) {
+	n := New(Config{Seed: 3, DefaultLatency: time.Millisecond})
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	var count atomic.Int32
+	b.SetHandler(func(string, []byte) { count.Add(1) })
+
+	for i := 0; i < 200; i++ {
+		a.Send("b", []byte("x"))
+	}
+	n.Run(0)
+	if got := count.Load(); got != 200 {
+		t.Fatalf("LossProb 0.0 delivered %d/200", got)
+	}
+	n.SetLossProb(1.0)
+	for i := 0; i < 200; i++ {
+		a.Send("b", []byte("x"))
+	}
+	n.Run(0)
+	if got := count.Load(); got != 200 {
+		t.Fatalf("LossProb 1.0 delivered %d extra", got-200)
+	}
+	n.SetLossProb(0.0)
+	for i := 0; i < 200; i++ {
+		a.Send("b", []byte("x"))
+	}
+	n.Run(0)
+	if got := count.Load(); got != 400 {
+		t.Fatalf("after reset to 0.0 delivered %d/400", got)
+	}
+	st := n.Stats()
+	if st.Dropped != 200 {
+		t.Fatalf("dropped = %d, want exactly the 200 sent at p=1.0", st.Dropped)
+	}
+}
+
+// TestSetLinkLatency checks that a runtime override beats the configured
+// latency model in both directions and that ClearLinkLatency restores it.
+func TestSetLinkLatency(t *testing.T) {
+	n := New(Config{Seed: 1, DefaultLatency: 10 * time.Millisecond})
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	var at time.Time
+	b.SetHandler(func(string, []byte) { at = n.Now() })
+	a.SetHandler(func(string, []byte) { at = n.Now() })
+
+	n.SetLinkLatency("a", "b", 150*time.Millisecond)
+	start := n.Now()
+	a.Send("b", []byte("x"))
+	n.Run(0)
+	if d := at.Sub(start); d != 150*time.Millisecond {
+		t.Fatalf("a→b latency = %v, want 150ms", d)
+	}
+	start = n.Now()
+	b.Send("a", []byte("x"))
+	n.Run(0)
+	if d := at.Sub(start); d != 150*time.Millisecond {
+		t.Fatalf("b→a latency = %v, want 150ms", d)
+	}
+	n.ClearLinkLatency("a", "b")
+	start = n.Now()
+	a.Send("b", []byte("x"))
+	n.Run(0)
+	if d := at.Sub(start); d != 10*time.Millisecond {
+		t.Fatalf("after clear latency = %v, want 10ms", d)
+	}
+}
+
+// TestReorderOvertakes checks that with reordering enabled some messages
+// arrive out of send order, and that SetReorder(0, 0) restores strict
+// FIFO-per-link delivery.
+func TestReorderOvertakes(t *testing.T) {
+	n := New(Config{Seed: 5, DefaultLatency: 5 * time.Millisecond})
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	var order []byte
+	b.SetHandler(func(_ string, msg []byte) { order = append(order, msg[0]) })
+
+	n.SetReorder(0.5, 50*time.Millisecond)
+	for i := 0; i < 64; i++ {
+		a.Send("b", []byte{byte(i)})
+	}
+	n.Run(0)
+	if len(order) != 64 {
+		t.Fatalf("delivered %d/64", len(order))
+	}
+	inverted := 0
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			inverted++
+		}
+	}
+	if inverted == 0 {
+		t.Fatal("reordering enabled but delivery stayed in send order")
+	}
+
+	order = nil
+	n.SetReorder(0, 0)
+	for i := 0; i < 64; i++ {
+		a.Send("b", []byte{byte(i)})
+	}
+	n.Run(0)
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatal("reordering persisted after SetReorder(0, 0)")
+		}
+	}
+}
