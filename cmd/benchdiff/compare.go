@@ -1,0 +1,172 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Verdict classifies one metric's movement between two reports.
+type Verdict int
+
+const (
+	// OK: within threshold, or an improvement.
+	OK Verdict = iota
+	// Info: reported but never gates — direction unknown, real-time
+	// (rt_-prefixed) metric, or a metric new in the current run.
+	Info
+	// Regression: worsened beyond the threshold, or vanished from the
+	// current run.
+	Regression
+)
+
+// Diff is one metric's comparison result.
+type Diff struct {
+	Experiment string
+	Metric     string
+	Base, Cur  float64
+	Rel        float64 // signed relative change vs baseline; NaN if base is 0
+	Verdict    Verdict
+	Reason     string
+}
+
+func (d Diff) String() string {
+	tag := map[Verdict]string{OK: "ok  ", Info: "info", Regression: "FAIL"}[d.Verdict]
+	rel := "      n/a"
+	if !math.IsNaN(d.Rel) {
+		rel = fmt.Sprintf("%+8.1f%%", d.Rel*100)
+	}
+	return fmt.Sprintf("%s %-18s %-32s %12.3f -> %12.3f  %s  %s",
+		tag, d.Experiment, d.Metric, d.Base, d.Cur, rel, d.Reason)
+}
+
+// direction returns +1 when higher is better, -1 when lower is better,
+// 0 when unknown. Matched against the metric-naming conventions the
+// experiments use; an unknown name is deliberately non-gating so a new
+// metric cannot fail the gate until someone teaches the comparator
+// which way it points.
+func direction(metric string) int {
+	m := strings.ToLower(metric)
+	lowerBetter := []string{
+		"latency", "_ms", "drop", "imbalance", "retransmit", "fail",
+		"incomplete", "hops", "miss", "lost", "stale", "error",
+	}
+	higherBetter := []string{
+		"per_sec", "rate", "recall", "acked", "inserted", "complete",
+		"success", "coverage", "survived", "accounting_ok",
+	}
+	for _, s := range lowerBetter {
+		if strings.Contains(m, s) {
+			return -1
+		}
+	}
+	for _, s := range higherBetter {
+		if strings.Contains(m, s) {
+			return 1
+		}
+	}
+	return 0
+}
+
+// Compare evaluates every baseline metric against the current run.
+// Real-time (rt_) metrics and unknown-direction metrics are
+// informational; a baseline metric missing from the current run is a
+// regression (lost coverage must not pass silently).
+func Compare(base, cur []report, threshold float64) []Diff {
+	curByID := make(map[string]map[string]float64, len(cur))
+	for _, r := range cur {
+		curByID[r.ID] = r.Values
+	}
+	var out []Diff
+	for _, b := range base {
+		ids := make([]string, 0, len(b.Values))
+		for k := range b.Values {
+			ids = append(ids, k)
+		}
+		sort.Strings(ids)
+		cv, haveExp := curByID[b.ID]
+		for _, metric := range ids {
+			bv := b.Values[metric]
+			d := Diff{Experiment: b.ID, Metric: metric, Base: bv, Rel: math.NaN()}
+			if !haveExp {
+				d.Verdict = Regression
+				d.Reason = "experiment missing from current run"
+				out = append(out, d)
+				continue
+			}
+			curV, ok := cv[metric]
+			if !ok {
+				d.Verdict = Regression
+				d.Reason = "metric missing from current run"
+				out = append(out, d)
+				continue
+			}
+			d.Cur = curV
+			if bv != 0 {
+				d.Rel = (curV - bv) / math.Abs(bv)
+			}
+			out = append(out, classify(d, metric, threshold))
+		}
+	}
+	return out
+}
+
+func classify(d Diff, metric string, threshold float64) Diff {
+	if strings.HasPrefix(metric, "rt_") {
+		d.Verdict = Info
+		d.Reason = "real-time metric (host-dependent), not gated"
+		return d
+	}
+	// Wall-clock-derived metrics inside otherwise-deterministic
+	// experiments (e.g. ablation-store's kd-vs-scan speedup ratio)
+	// move with the host and cannot gate.
+	if strings.Contains(strings.ToLower(metric), "speedup") {
+		d.Verdict = Info
+		d.Reason = "wall-clock measurement, not gated"
+		return d
+	}
+	dir := direction(metric)
+	if dir == 0 {
+		d.Verdict = Info
+		d.Reason = "unknown direction, not gated"
+		return d
+	}
+	// Worsening is movement against the metric's direction. A zero
+	// baseline has no relative scale: any movement against the
+	// direction fails (deterministic sim metrics are exact, so a
+	// failed-count going 0 -> 2 is a real break, not jitter).
+	var worse float64
+	if math.IsNaN(d.Rel) {
+		if d.Cur == d.Base {
+			d.Verdict = OK
+			d.Reason = "unchanged"
+			return d
+		}
+		if (dir > 0 && d.Cur < d.Base) || (dir < 0 && d.Cur > d.Base) {
+			d.Verdict = Regression
+			d.Reason = "moved against direction from zero baseline"
+			return d
+		}
+		d.Verdict = OK
+		d.Reason = "improved"
+		return d
+	}
+	if dir > 0 {
+		worse = -d.Rel
+	} else {
+		worse = d.Rel
+	}
+	switch {
+	case worse > threshold:
+		d.Verdict = Regression
+		d.Reason = fmt.Sprintf("worsened %.1f%% > %.0f%%", worse*100, threshold*100)
+	case worse > 0:
+		d.Verdict = OK
+		d.Reason = "within threshold"
+	default:
+		d.Verdict = OK
+		d.Reason = "improved or unchanged"
+	}
+	return d
+}

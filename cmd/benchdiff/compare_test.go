@@ -1,0 +1,129 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func rep(id string, values map[string]float64) report {
+	return report{ID: id, Values: values}
+}
+
+func find(t *testing.T, diffs []Diff, exp, metric string) Diff {
+	t.Helper()
+	for _, d := range diffs {
+		if d.Experiment == exp && d.Metric == metric {
+			return d
+		}
+	}
+	t.Fatalf("no diff for %s/%s", exp, metric)
+	return Diff{}
+}
+
+func TestCompareDirections(t *testing.T) {
+	base := []report{rep("e", map[string]float64{
+		"insert_per_sec": 1000, // higher better
+		"p99_latency_ms": 10,   // lower better
+		"drop_frac":      0.10, // lower better
+		"recall":         0.99, // higher better
+	})}
+	cur := []report{rep("e", map[string]float64{
+		"insert_per_sec": 800,  // -20%: regression
+		"p99_latency_ms": 10.5, // +5%: within threshold
+		"drop_frac":      0.01, // improved
+		"recall":         0.50, // -49%: regression
+	})}
+	diffs := Compare(base, cur, 0.15)
+	if got := find(t, diffs, "e", "insert_per_sec").Verdict; got != Regression {
+		t.Errorf("insert_per_sec verdict = %v, want Regression", got)
+	}
+	if got := find(t, diffs, "e", "p99_latency_ms").Verdict; got != OK {
+		t.Errorf("p99_latency_ms verdict = %v, want OK", got)
+	}
+	if got := find(t, diffs, "e", "drop_frac").Verdict; got != OK {
+		t.Errorf("drop_frac verdict = %v, want OK", got)
+	}
+	if got := find(t, diffs, "e", "recall").Verdict; got != Regression {
+		t.Errorf("recall verdict = %v, want Regression", got)
+	}
+}
+
+func TestCompareLatencyRegression(t *testing.T) {
+	base := []report{rep("e", map[string]float64{"query_latency_ms": 10})}
+	cur := []report{rep("e", map[string]float64{"query_latency_ms": 20})}
+	d := find(t, Compare(base, cur, 0.15), "e", "query_latency_ms")
+	if d.Verdict != Regression {
+		t.Fatalf("latency doubling: verdict = %v, want Regression", d.Verdict)
+	}
+}
+
+func TestCompareRealTimeInformational(t *testing.T) {
+	base := []report{rep("ingest-stream", map[string]float64{
+		"rt_sustained_acked_per_sec": 500_000,
+	})}
+	cur := []report{rep("ingest-stream", map[string]float64{
+		"rt_sustained_acked_per_sec": 100_000, // -80% but rt_: never gates
+	})}
+	d := find(t, Compare(base, cur, 0.15), "ingest-stream", "rt_sustained_acked_per_sec")
+	if d.Verdict != Info {
+		t.Fatalf("rt_ metric verdict = %v, want Info", d.Verdict)
+	}
+}
+
+func TestCompareUnknownDirectionInformational(t *testing.T) {
+	base := []report{rep("e", map[string]float64{"crossover_scale": 3})}
+	cur := []report{rep("e", map[string]float64{"crossover_scale": 9})}
+	d := find(t, Compare(base, cur, 0.15), "e", "crossover_scale")
+	if d.Verdict != Info {
+		t.Fatalf("unknown-direction verdict = %v, want Info", d.Verdict)
+	}
+}
+
+func TestCompareMissingMetricAndExperiment(t *testing.T) {
+	base := []report{
+		rep("e1", map[string]float64{"insert_per_sec": 1000, "recall": 0.9}),
+		rep("e2", map[string]float64{"recall": 0.9}),
+	}
+	cur := []report{rep("e1", map[string]float64{"insert_per_sec": 1000})}
+	diffs := Compare(base, cur, 0.15)
+	if d := find(t, diffs, "e1", "recall"); d.Verdict != Regression {
+		t.Errorf("missing metric verdict = %v, want Regression", d.Verdict)
+	}
+	if d := find(t, diffs, "e2", "recall"); d.Verdict != Regression {
+		t.Errorf("missing experiment verdict = %v, want Regression", d.Verdict)
+	}
+	if !strings.Contains(find(t, diffs, "e2", "recall").Reason, "experiment missing") {
+		t.Errorf("missing-experiment reason not surfaced")
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	base := []report{rep("e", map[string]float64{"failed": 0, "incomplete": 0})}
+	cur := []report{rep("e", map[string]float64{"failed": 2, "incomplete": 0})}
+	diffs := Compare(base, cur, 0.15)
+	if d := find(t, diffs, "e", "failed"); d.Verdict != Regression {
+		t.Errorf("failed 0->2 verdict = %v, want Regression", d.Verdict)
+	}
+	if d := find(t, diffs, "e", "incomplete"); d.Verdict != OK {
+		t.Errorf("incomplete 0->0 verdict = %v, want OK", d.Verdict)
+	}
+}
+
+func TestCompareNewMetricIgnored(t *testing.T) {
+	base := []report{rep("e", map[string]float64{"recall": 0.9})}
+	cur := []report{rep("e", map[string]float64{"recall": 0.9, "brand_new": 7})}
+	for _, d := range Compare(base, cur, 0.15) {
+		if d.Metric == "brand_new" {
+			t.Fatalf("new metric should not appear in baseline-driven diff")
+		}
+	}
+}
+
+func TestCompareWallClockInformational(t *testing.T) {
+	base := []report{rep("ablation-store", map[string]float64{"kd_speedup": 3.0})}
+	cur := []report{rep("ablation-store", map[string]float64{"kd_speedup": 1.5})}
+	d := find(t, Compare(base, cur, 0.15), "ablation-store", "kd_speedup")
+	if d.Verdict != Info {
+		t.Fatalf("speedup verdict = %v, want Info", d.Verdict)
+	}
+}

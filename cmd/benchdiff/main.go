@@ -1,0 +1,82 @@
+// Command benchdiff compares two mindbench -json reports and fails when
+// headline metrics regressed beyond a threshold — the comparator behind
+// the CI bench-gate job.
+//
+//	benchdiff -baseline BENCH_PR6.json -current bench.json
+//	benchdiff -baseline BENCH_PR6.json -current bench.json -warn-only
+//
+// Direction is inferred from the metric name (latency down is good,
+// throughput up is good); metrics whose direction is unknown and
+// metrics with the rt_ prefix (real-time measurements that move with
+// the host) are reported but never fail the gate. A metric present in
+// the baseline but missing from the current run counts as a regression:
+// silently losing coverage must not pass.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "committed baseline report (mindbench -json output)")
+		currentPath  = flag.String("current", "", "freshly measured report to compare")
+		threshold    = flag.Float64("threshold", 0.15, "relative worsening that fails the gate")
+		warnOnly     = flag.Bool("warn-only", false, "report regressions but exit 0")
+	)
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff -baseline FILE -current FILE [-threshold F] [-warn-only]")
+		os.Exit(2)
+	}
+
+	base, err := loadReport(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := loadReport(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	diffs := Compare(base, cur, *threshold)
+	regressions := 0
+	for _, d := range diffs {
+		fmt.Println(d.String())
+		if d.Verdict == Regression {
+			regressions++
+		}
+	}
+	if regressions > 0 {
+		fmt.Printf("benchdiff: %d regression(s) beyond %.0f%%\n", regressions, *threshold*100)
+		if !*warnOnly {
+			os.Exit(1)
+		}
+		fmt.Println("benchdiff: warn-only mode, exiting 0")
+		return
+	}
+	fmt.Println("benchdiff: no regressions")
+}
+
+// report mirrors cmd/mindbench's jsonReport.
+type report struct {
+	ID     string             `json:"id"`
+	Values map[string]float64 `json:"values"`
+}
+
+func loadReport(path string) ([]report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var reps []report
+	if err := json.Unmarshal(data, &reps); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return reps, nil
+}

@@ -38,6 +38,11 @@ func main() {
 	flag.Parse()
 	nodes := strings.Split(*nodesFlag, ",")
 
+	if *streamMode {
+		runStream(nodes, *duration, *seed)
+		return
+	}
+
 	ep, err := tcpnet.Listen("127.0.0.1:0")
 	if err != nil {
 		die("listen: %v", err)

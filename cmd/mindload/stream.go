@@ -1,0 +1,246 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mind/internal/aggregate"
+	"mind/internal/flowgen"
+	"mind/internal/ingest"
+	"mind/internal/metrics"
+	"mind/internal/schema"
+	"mind/internal/transport/tcpnet"
+	"mind/internal/wire"
+)
+
+// Stream mode: instead of one client-protocol RPC per record, replay
+// flow records as raw flow frames against the nodes' ingest listeners
+// (mindnode -ingest-listen) at a target rate, and report the knee —
+// the best sustained acked-inserts/sec/node the deployment held — plus
+// p99 frame latency and admission drops.
+//
+//	mindload -stream -nodes 127.0.0.1:7001 \
+//	    -ingest 127.0.0.1:9001,127.0.0.1:9002 -target 1000000
+var (
+	streamMode   = flag.Bool("stream", false, "stream flow frames to ingest listeners instead of client-protocol inserts")
+	streamIngest = flag.String("ingest", "", "comma-separated ingest listener addresses (stream mode)")
+	streamTarget = flag.Float64("target", 250_000, "target records/sec per node (stream mode)")
+	frameRecords = flag.Int("frame-records", 256, "records per flow frame (stream mode)")
+	streamJSON   = flag.String("stream-json", "", "write the stream report as JSON to this file")
+)
+
+// streamReport is the machine-readable stream-mode result.
+type streamReport struct {
+	Nodes                       int     `json:"nodes"`
+	TargetPerSecPerNode         float64 `json:"target_per_sec_per_node"`
+	DurationSec                 float64 `json:"duration_sec"`
+	Offered                     uint64  `json:"offered"`
+	Received                    uint64  `json:"received"`
+	Acked                       uint64  `json:"acked"`
+	Failed                      uint64  `json:"failed"`
+	Dropped                     uint64  `json:"dropped"`
+	SustainedAckedPerSecPerNode float64 `json:"sustained_acked_per_sec_per_node"`
+	P50FrameLatencyMS           float64 `json:"p50_frame_latency_ms"`
+	P99FrameLatencyMS           float64 `json:"p99_frame_latency_ms"`
+}
+
+// buildRecordPool returns a pool of valid Index-2 records: aggregated
+// flowgen traffic first (the realistic shape), topped up synthetically
+// so short generation runs still fill the pool. The pool length is a
+// multiple of frameN so frames slice it cyclically.
+func buildRecordPool(seed int64, horizon uint64, frameN, size int) [][]uint64 {
+	size -= size % frameN
+	recs := make([][]uint64, 0, size)
+	gcfg := flowgen.DefaultConfig(seed)
+	gcfg.BaseFlowsPerSec = 10_000
+	g := flowgen.New(gcfg)
+	w := aggregate.NewWindower(aggregate.Config{WindowSec: 30}, func(ws uint64, aggs []*aggregate.Agg) {
+		for _, a := range aggs {
+			if rec, ok := aggregate.Index2Record(ws, a); ok && len(recs) < size {
+				recs = append(recs, rec)
+			}
+		}
+	})
+	start := uint64(time.Now().Unix())
+	for t := start; len(recs) < size && t < start+600; t++ {
+		g.GenerateSecond(t, func(f flowgen.Flow) { w.Add(f) })
+	}
+	w.Flush()
+	rng := rand.New(rand.NewSource(seed))
+	for len(recs) < size {
+		recs = append(recs, []uint64{
+			rng.Uint64() & 0xffffffff, // dest_prefix
+			start + rng.Uint64()%600,  // timestamp
+			schema.OctetsThreshold + rng.Uint64()%(schema.OctetsBound-schema.OctetsThreshold), // octets
+			rng.Uint64() & 0xffffffff, // source_prefix
+			rng.Uint64() % 64,         // node
+		})
+	}
+	for i := range recs {
+		if recs[i][1] > horizon {
+			recs[i][1] = horizon
+		}
+	}
+	return recs
+}
+
+func runStream(nodes []string, duration time.Duration, seed int64) {
+	if *streamIngest == "" {
+		die("stream mode needs -ingest with at least one listener address")
+	}
+	targets := strings.Split(*streamIngest, ",")
+	frameN := *frameRecords
+	if frameN <= 0 || frameN > wire.MaxFlowFrameRecords {
+		die("-frame-records out of range")
+	}
+
+	// Create the index through the client protocol (idempotent).
+	horizon := uint64(time.Now().Unix()) + 7*86400
+	idx2 := schema.Index2(horizon)
+	ep, err := tcpnet.Listen("127.0.0.1:0")
+	if err != nil {
+		die("listen: %v", err)
+	}
+	defer ep.Close()
+	if err := ep.Send(nodes[0], wire.Encode(&wire.ClientCreateIndex{ReqID: 1, Schema: idx2})); err != nil {
+		die("create-index: %v", err)
+	}
+	time.Sleep(time.Second)
+
+	pool := buildRecordPool(seed, horizon, frameN, 1<<17)
+	frames := len(pool) / frameN
+	fmt.Printf("stream: %d nodes, target %.0f rec/s/node, %d-record frames, %d pooled records\n",
+		len(targets), *streamTarget, frameN, len(pool))
+
+	clients := make([]*ingest.Client, len(targets))
+	for i, addr := range targets {
+		cl, err := ingest.Dial(addr)
+		if err != nil {
+			die("dial ingest %s: %v", addr, err)
+		}
+		clients[i] = cl
+		defer cl.Close()
+	}
+
+	// Ack meter: one poller samples every connection's cumulative acked
+	// counter; the sustained window over its per-second buckets is the
+	// knee headline.
+	start := time.Now()
+	meter := metrics.NewMeter(start, time.Second)
+	pollDone := make(chan struct{})
+	var pollWG sync.WaitGroup
+	pollWG.Add(1)
+	go func() {
+		defer pollWG.Done()
+		lastAcked := make([]uint64, len(clients))
+		tick := time.NewTicker(50 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-pollDone:
+				return
+			case now := <-tick.C:
+				for i, cl := range clients {
+					st := cl.Status()
+					if st.Acked > lastAcked[i] {
+						meter.Add(now, st.Acked-lastAcked[i])
+						lastAcked[i] = st.Acked
+					}
+				}
+			}
+		}
+	}()
+
+	// One paced sender per connection: ship frames whenever the sent
+	// count falls behind target*elapsed, offsetting each node into the
+	// pool so the overlay sees different records from each entry point.
+	var sendWG sync.WaitGroup
+	var offered atomic.Uint64
+	for i, cl := range clients {
+		sendWG.Add(1)
+		go func(i int, cl *ingest.Client) {
+			defer sendWG.Done()
+			sent := 0
+			frame := i * 31 % frames
+			for {
+				elapsed := time.Since(start)
+				if elapsed >= duration {
+					return
+				}
+				allowed := int(*streamTarget * elapsed.Seconds())
+				for sent < allowed {
+					recs := pool[frame*frameN : (frame+1)*frameN]
+					frame = (frame + 1) % frames
+					if _, err := cl.SendFrame(idx2.Tag, len(pool[0]), recs); err != nil {
+						fmt.Fprintf(os.Stderr, "stream: send to %s: %v\n", targets[i], err)
+						return
+					}
+					sent += frameN
+					offered.Add(uint64(frameN))
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}(i, cl)
+	}
+	sendWG.Wait()
+
+	// Drain: let in-flight records settle, then take the final counters.
+	var rep streamReport
+	rep.Nodes = len(targets)
+	rep.TargetPerSecPerNode = *streamTarget
+	rep.DurationSec = duration.Seconds()
+	rep.Offered = offered.Load()
+	p50, p99 := 0.0, 0.0
+	for _, cl := range clients {
+		st := cl.WaitSettled(15 * time.Second)
+		rep.Received += st.Received
+		rep.Acked += st.Acked
+		rep.Failed += st.Failed
+		rep.Dropped += st.Dropped
+		lat := cl.Latency()
+		if lat.N() > 0 {
+			if v := lat.Percentile(50) * 1000; v > p50 {
+				p50 = v
+			}
+			if v := lat.Percentile(99) * 1000; v > p99 {
+				p99 = v
+			}
+		}
+	}
+	close(pollDone)
+	pollWG.Wait()
+	rep.P50FrameLatencyMS = p50
+	rep.P99FrameLatencyMS = p99
+	rep.SustainedAckedPerSecPerNode = meter.Sustained(3) / float64(len(targets))
+
+	fmt.Printf("stream: offered %d, received %d, acked %d, failed %d, dropped %d (%.2f%% shed)\n",
+		rep.Offered, rep.Received, rep.Acked, rep.Failed, rep.Dropped,
+		100*float64(rep.Dropped)/max1(float64(rep.Received)))
+	fmt.Printf("stream: knee %.0f sustained acked rec/s/node (3s window); frame latency p50 %.1f ms p99 %.1f ms\n",
+		rep.SustainedAckedPerSecPerNode, rep.P50FrameLatencyMS, rep.P99FrameLatencyMS)
+
+	if *streamJSON != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			die("marshal report: %v", err)
+		}
+		if err := os.WriteFile(*streamJSON, append(data, '\n'), 0o644); err != nil {
+			die("write %s: %v", *streamJSON, err)
+		}
+		fmt.Printf("stream: report written to %s\n", *streamJSON)
+	}
+}
+
+func max1(v float64) float64 {
+	if v < 1 {
+		return 1
+	}
+	return v
+}

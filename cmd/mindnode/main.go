@@ -7,7 +7,10 @@
 //
 // Clients (cmd/mindctl, or monitors embedding the client protocol) can
 // create indices, insert records and issue range queries against any
-// node's address.
+// node's address. With -ingest-listen the node additionally accepts
+// line-rate streaming ingest: raw flow frames on a dedicated port, fed
+// through the sharded ingest engine into the same insert path
+// (cmd/mindload -stream drives it).
 package main
 
 import (
@@ -19,7 +22,9 @@ import (
 	"syscall"
 	"time"
 
+	"mind/internal/ingest"
 	"mind/internal/mind"
+	"mind/internal/schema"
 	"mind/internal/transport"
 	"mind/internal/transport/tcpnet"
 )
@@ -32,6 +37,12 @@ func main() {
 		seed        = flag.Int64("seed", time.Now().UnixNano(), "randomness seed")
 		parallelism = flag.Int("query-parallelism", runtime.GOMAXPROCS(0), "worker pool size for local query execution (<=1 = inline)")
 		quiet       = flag.Bool("quiet", false, "suppress periodic status lines")
+
+		ingestListen = flag.String("ingest-listen", "", "TCP address for streaming flow-frame ingest (empty = disabled)")
+		ingestShards = flag.Int("ingest-shards", 0, "ingest worker/ring pairs (0 = GOMAXPROCS)")
+		ingestRing   = flag.Int("ingest-ring", 0, "per-shard ingest ring capacity (0 = 8192)")
+		ingestBlock  = flag.Bool("ingest-block", false, "block producers when ingest rings fill instead of dropping")
+		index2       = flag.Bool("index2", false, "create the paper's Index-2 at startup (bootstrap node only)")
 	)
 	flag.Parse()
 
@@ -48,6 +59,14 @@ func main() {
 	if *join == "" {
 		node.Bootstrap()
 		fmt.Printf("mindnode: bootstrapped overlay at %s\n", ep.Addr())
+		if *index2 {
+			horizon := uint64(time.Now().Unix()) + 7*86400
+			if err := node.CreateIndex(schema.Index2(horizon), nil); err != nil {
+				fmt.Fprintf(os.Stderr, "mindnode: create index2: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("mindnode: created index %q (horizon %d)\n", schema.Index2(horizon).Tag, horizon)
+		}
 	} else {
 		node.Join(*join)
 		deadline := time.Now().Add(30 * time.Second)
@@ -61,6 +80,38 @@ func main() {
 		fmt.Printf("mindnode: joined at %s with code %s\n", ep.Addr(), node.Code())
 	}
 
+	// Streaming ingest: a sharded engine in front of the node's
+	// InsertBatch path, plus the flow-frame listener on its own port.
+	var eng *ingest.Engine
+	var ingestLn *ingest.Listener
+	if *ingestListen != "" {
+		eng = ingest.New(node, ingest.Config{
+			Shards:      *ingestShards,
+			RingSize:    *ingestRing,
+			Block:       *ingestBlock,
+			SelfAddr:    node.Addr(),
+			NodePending: node.PendingInserts,
+		})
+		ingestLn, err = ingest.Listen(*ingestListen, eng, ingest.ListenerConfig{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("mindnode: streaming ingest on %s (%d shards)\n", ingestLn.Addr(), runtime.GOMAXPROCS(0))
+	}
+
+	shutdown := func() {
+		fmt.Println("mindnode: shutting down")
+		if ingestLn != nil {
+			ingestLn.Close()
+		}
+		if eng != nil {
+			eng.Close()
+		}
+		node.Close()
+		ep.Close()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	tick := time.NewTicker(10 * time.Second)
@@ -68,15 +119,19 @@ func main() {
 	for {
 		select {
 		case <-sig:
-			fmt.Println("mindnode: shutting down")
-			node.Close()
-			ep.Close()
+			shutdown()
 			return
 		case <-tick.C:
 			if !*quiet {
 				st := node.Stats()
-				fmt.Printf("mindnode: code=%s indices=%v stored=%d forwarded=%d replicated=%d\n",
+				line := fmt.Sprintf("mindnode: code=%s indices=%v stored=%d forwarded=%d replicated=%d",
 					node.Code(), node.Indices(), st.Stored, st.Forwarded, st.Replicated)
+				if eng != nil {
+					is := eng.Stats()
+					line += fmt.Sprintf(" ingest[recv=%d acked=%d dropped=%d pending=%d bp=%v]",
+						is.Received, is.Acked, is.DroppedRing+is.DroppedPending, is.Pending, is.Backpressured)
+				}
+				fmt.Println(line)
 			}
 		}
 	}

@@ -83,6 +83,8 @@ func Registry() map[string]Runner {
 		"ablation-arch":     AblationArchitectures,
 		"ablation-history":  AblationHistoryPointer,
 		"ablation-recovery": AblationRecovery,
+
+		"ingest-stream": IngestStream,
 	}
 }
 

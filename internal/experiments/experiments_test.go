@@ -17,7 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 	for _, want := range []string{"fig1", "fig2", "fig3", "fig7", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "table17",
 		"ablation-cuts", "ablation-cutorder", "ablation-hist", "ablation-store",
-		"ablation-arch", "ablation-history"} {
+		"ablation-arch", "ablation-history", "ingest-stream"} {
 		found := false
 		for _, id := range ids {
 			if id == want {

@@ -1,0 +1,221 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"mind/internal/metrics"
+	"mind/internal/wire"
+)
+
+// Client streams flow frames to one node's ingest listener and tracks
+// the status frames coming back: cumulative admission/ack counters and
+// frame-level round-trip latency (send → first status covering the
+// frame's seq), which is what mindload's knee report summarizes.
+type Client struct {
+	conn net.Conn
+	buf  []byte // reused frame encode buffer
+	seq  uint64
+
+	mu       sync.Mutex
+	inflight map[uint64]time.Time // frame seq → send time
+	last     wire.StreamStatus
+	statuses uint64
+	lat      *metrics.Dist
+	readErr  error
+	done     chan struct{}
+}
+
+// maxInflightSamples bounds the latency-tracking map; beyond it new
+// frames go unsampled rather than growing without bound when the
+// receiver stalls.
+const maxInflightSamples = 1 << 14
+
+// maxInflightFrames bounds frames sent beyond the last status frame's
+// covered sequence: application-level flow control so an overloaded
+// receiver throttles the sender at the frame level instead of letting
+// megabytes pile up in socket buffers (deep loopback queues have wedged
+// zero-window recovery on some kernels, freezing the connection for
+// good). The listener emits a status at least every StatusEvery frames
+// and StatusInterval of wall time, so the window refreshes quickly.
+const maxInflightFrames = 32
+
+// inflightWait caps how long SendFrame waits for the window to refresh
+// before sending anyway — a safety valve so a receiver that stops
+// sending statuses degrades to unthrottled sends instead of a stall.
+const inflightWait = time.Second
+
+// Dial connects to a node's ingest listener.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		conn:     conn,
+		inflight: make(map[uint64]time.Time),
+		lat:      metrics.NewDist(),
+		done:     make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// SendFrame ships one flow frame carrying recs and returns its sequence
+// number. The encode buffer is reused across calls, so the send side is
+// allocation-free at steady state.
+func (c *Client) SendFrame(tag string, arity int, recs [][]uint64) (uint64, error) {
+	if err := c.waitWindow(); err != nil {
+		return c.seq, err
+	}
+	c.seq++
+	seq := c.seq
+	c.buf = wire.AppendFlowFrame(c.buf[:0], seq, tag, arity, recs)
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(c.buf)))
+	now := time.Now()
+	if _, err := c.conn.Write(lenBuf[:]); err != nil {
+		return seq, err
+	}
+	if _, err := c.conn.Write(c.buf); err != nil {
+		return seq, err
+	}
+	c.mu.Lock()
+	if len(c.inflight) < maxInflightSamples {
+		c.inflight[seq] = now
+	}
+	c.mu.Unlock()
+	return seq, nil
+}
+
+// waitWindow blocks until the receiver's last status covers all but
+// maxInflightFrames of what we sent, the connection dies, or the
+// safety-valve deadline passes.
+func (c *Client) waitWindow() error {
+	deadline := time.Time{}
+	for {
+		c.mu.Lock()
+		covered, readErr := c.last.Seq, c.readErr
+		c.mu.Unlock()
+		if readErr != nil {
+			return readErr
+		}
+		if c.seq-covered < maxInflightFrames {
+			return nil
+		}
+		if deadline.IsZero() {
+			deadline = time.Now().Add(inflightWait)
+		} else if time.Now().After(deadline) {
+			return nil
+		}
+		select {
+		case <-c.done:
+			c.mu.Lock()
+			readErr = c.readErr
+			c.mu.Unlock()
+			return readErr
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+func (c *Client) readLoop() {
+	defer close(c.done)
+	var lenBuf [4]byte
+	buf := make([]byte, 0, 4096)
+	for {
+		if _, err := io.ReadFull(c.conn, lenBuf[:]); err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			c.mu.Unlock()
+			return
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n == 0 || n > maxFrame {
+			return
+		}
+		if cap(buf) < int(n) {
+			buf = make([]byte, 0, int(n))
+		}
+		buf = buf[:n]
+		if _, err := io.ReadFull(c.conn, buf); err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			c.mu.Unlock()
+			return
+		}
+		m, err := wire.Decode(buf)
+		if err != nil {
+			continue
+		}
+		st, ok := m.(*wire.StreamStatus)
+		if !ok {
+			continue
+		}
+		now := time.Now()
+		c.mu.Lock()
+		c.last = *st
+		c.statuses++
+		for seq, t0 := range c.inflight {
+			if seq <= st.Seq {
+				c.lat.AddDuration(now.Sub(t0))
+				delete(c.inflight, seq)
+			}
+		}
+		c.mu.Unlock()
+	}
+}
+
+// Status returns the most recent status frame.
+func (c *Client) Status() wire.StreamStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.last
+}
+
+// Statuses returns how many status frames have arrived.
+func (c *Client) Statuses() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.statuses
+}
+
+// Latency returns the frame round-trip latency distribution collected
+// so far.
+func (c *Client) Latency() *metrics.Dist {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lat
+}
+
+// WaitSettled polls until the receiver has settled every record this
+// connection got admitted (acked+failed+dropped >= received) or the
+// deadline passes; it returns the final status.
+func (c *Client) WaitSettled(timeout time.Duration) wire.StreamStatus {
+	deadline := time.Now().Add(timeout)
+	for {
+		st := c.Status()
+		if st.Received > 0 && st.Acked+st.Failed+st.Dropped >= st.Received {
+			return st
+		}
+		if time.Now().After(deadline) {
+			return st
+		}
+		select {
+		case <-c.done:
+			return c.Status()
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	<-c.done
+	return err
+}

@@ -1,0 +1,461 @@
+package ingest
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mind/internal/mind"
+	"mind/internal/schema"
+	"mind/internal/wire"
+)
+
+// BatchInserter is the slice of mind.Node the engine drives; the
+// indirection keeps the engine testable against a fake sink.
+type BatchInserter interface {
+	InsertBatch(tag string, recs []schema.Record, cb func([]mind.InsertResult)) error
+}
+
+// Config tunes an ingest engine.
+type Config struct {
+	// Shards is the number of worker/ring pairs; 0 means GOMAXPROCS.
+	Shards int
+	// RingSize is the per-shard ring capacity (rounded up to a power of
+	// two); 0 means 8192.
+	RingSize int
+	// MaxBatch caps the records one InsertBatch call carries; 0 means 256.
+	MaxBatch int
+	// MaxPending caps a shard's in-flight (submitted but un-acked)
+	// records before admission control engages; 0 means 8192.
+	MaxPending int
+	// Block selects the admission mode on overload: block the producer
+	// until space frees (true) or drop the record and count it (false).
+	// Blocking requires running workers (not Synchronous mode).
+	Block bool
+	// SelfAddr is the owning node's transport address. When set, records
+	// whose ack shows they were stored elsewhere (or not at all) return
+	// to the record pool; records stored locally are retained by the
+	// local store and must not be recycled. Empty disables recycling.
+	SelfAddr string
+	// NodePending optionally reports the node's own in-flight tracked
+	// operations (mind.Node.PendingInserts); admission also throttles on
+	// it so a node falling behind on acks sheds load at the edge instead
+	// of growing its tracking tables without bound.
+	NodePending func() int
+	// NodePendingLimit is the NodePending admission bound; 0 means 65536.
+	NodePendingLimit int
+	// OnResult, when set, observes every record's final InsertResult.
+	// The record slice is only valid during the call when recycling is
+	// enabled — clone it to retain it.
+	OnResult func(tag string, rec schema.Record, res mind.InsertResult)
+	// Synchronous disables the worker goroutines: records queue in the
+	// rings and the caller drains them with Pump. This is the
+	// deterministic mode the chaos/oracle tests run under simnet, where
+	// free-running goroutines would break schedule reproducibility.
+	Synchronous bool
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Shards <= 0 {
+		out.Shards = runtime.GOMAXPROCS(0)
+	}
+	if out.RingSize <= 0 {
+		out.RingSize = 8192
+	}
+	if out.MaxBatch <= 0 {
+		out.MaxBatch = 256
+	}
+	if out.MaxPending <= 0 {
+		out.MaxPending = 8192
+	}
+	if out.NodePendingLimit <= 0 {
+		out.NodePendingLimit = 1 << 16
+	}
+	return out
+}
+
+// shard is one ring/worker pair. pushMu serializes producers (see ring);
+// pending counts submitted-but-unresolved records for admission control.
+type shard struct {
+	ring    *ring
+	pushMu  sync.Mutex
+	pending atomic.Int64
+	notify  chan struct{} // producer → worker wakeup, capacity 1
+}
+
+// Engine is the streaming ingest front-end for one node.
+type Engine struct {
+	ins    BatchInserter
+	cfg    Config
+	shards []*shard
+
+	// Cumulative counters (Stats).
+	received       atomic.Uint64
+	droppedRing    atomic.Uint64
+	droppedPending atomic.Uint64
+	acked          atomic.Uint64
+	failed         atomic.Uint64
+	poolMisses     atomic.Uint64
+
+	// Record free list. A plain LIFO under a mutex rather than a
+	// sync.Pool: Put on a sync.Pool boxes the slice header, which is one
+	// heap allocation per recycled record — exactly the per-record cost
+	// the pool exists to avoid. The list is bounded to the engine's
+	// maximum live-record population so it cannot grow past what the
+	// rings and in-flight window can hold.
+	freeMu  sync.Mutex
+	free    []schema.Record
+	freeCap int
+
+	tagMu sync.RWMutex
+	tags  map[string]string // interned index tags
+
+	quit   chan struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// New builds an engine over a batch inserter and, unless cfg.Synchronous
+// is set, starts its shard workers.
+func New(ins BatchInserter, cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		ins:  ins,
+		cfg:  cfg,
+		tags: make(map[string]string),
+		quit: make(chan struct{}),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		e.shards = append(e.shards, &shard{
+			ring:   newRing(cfg.RingSize),
+			notify: make(chan struct{}, 1),
+		})
+	}
+	// Bound the free list by the maximum live-record population: every
+	// ring slot plus every in-flight record, across all shards.
+	e.freeCap = cfg.Shards * (e.shards[0].ring.capacity() + cfg.MaxPending)
+	if !cfg.Synchronous {
+		for _, s := range e.shards {
+			e.wg.Add(1)
+			go e.worker(s)
+		}
+	}
+	return e
+}
+
+// Close stops the workers after they drain their rings. Safe to call
+// once; Submit after Close drops.
+func (e *Engine) Close() {
+	if !e.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(e.quit)
+	e.wg.Wait()
+}
+
+// getRec returns a record buffer with exactly arity attributes, pooled
+// when possible.
+func (e *Engine) getRec(arity int) schema.Record {
+	var b schema.Record
+	e.freeMu.Lock()
+	if n := len(e.free); n > 0 {
+		b = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	}
+	e.freeMu.Unlock()
+	if cap(b) >= arity {
+		return b[:arity]
+	}
+	e.poolMisses.Add(1)
+	return make([]uint64, arity)
+}
+
+// putRec returns a record buffer to the free list (dropped when the
+// list is at capacity, which only happens transiently around arity
+// changes).
+func (e *Engine) putRec(rec schema.Record) {
+	e.freeMu.Lock()
+	if len(e.free) < e.freeCap {
+		e.free = append(e.free, rec)
+	}
+	e.freeMu.Unlock()
+}
+
+// internTag maps a tag's byte view to a shared string without
+// allocating on the steady-state path (the map lookup keyed by
+// string(b) does not escape).
+func (e *Engine) internTag(b []byte) string {
+	e.tagMu.RLock()
+	s, ok := e.tags[string(b)]
+	e.tagMu.RUnlock()
+	if ok {
+		return s
+	}
+	e.tagMu.Lock()
+	s, ok = e.tags[string(b)]
+	if !ok {
+		s = string(b)
+		e.tags[s] = s
+	}
+	e.tagMu.Unlock()
+	return s
+}
+
+// shardFor picks the shard for one record: a multiplicative hash of the
+// attributes, so one hot flow key cannot serialize every worker while
+// records stay spread independently of arrival order.
+func (e *Engine) shardFor(rec schema.Record) *shard {
+	var h uint64 = 14695981039346656037
+	for _, v := range rec {
+		h ^= v
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return e.shards[h%uint64(len(e.shards))]
+}
+
+// IngestFrame admits one parsed flow frame: each record is copied into
+// a pooled buffer and pushed to its shard's ring. It returns how many
+// records were accepted and how many admission control dropped (in
+// Block mode dropped is 0 unless the engine is closed).
+func (e *Engine) IngestFrame(f *wire.FlowFrame) (accepted, dropped int) {
+	tag := e.internTag(f.Tag)
+	for i := 0; i < f.Count; i++ {
+		rec := e.getRec(f.Arity)
+		f.Record(i, rec)
+		if e.submit(tag, rec) {
+			accepted++
+		} else {
+			e.putRec(rec)
+			dropped++
+		}
+	}
+	return accepted, dropped
+}
+
+// Submit admits one record the caller owns (the engine retains it until
+// its insert resolves; do not reuse the slice). It reports whether the
+// record was accepted.
+func (e *Engine) Submit(tag string, rec schema.Record) bool {
+	return e.submit(e.internTag([]byte(tag)), rec)
+}
+
+func (e *Engine) submit(tag string, rec schema.Record) bool {
+	e.received.Add(1)
+	if e.closed.Load() {
+		e.droppedRing.Add(1)
+		return false
+	}
+	s := e.shardFor(rec)
+	for {
+		if int(s.pending.Load()) >= e.cfg.MaxPending ||
+			(e.cfg.NodePending != nil && e.cfg.NodePending() >= e.cfg.NodePendingLimit) {
+			if e.block(s) {
+				continue
+			}
+			e.droppedPending.Add(1)
+			return false
+		}
+		s.pushMu.Lock()
+		ok := s.ring.push(item{tag: tag, rec: rec})
+		s.pushMu.Unlock()
+		if ok {
+			e.wake(s)
+			return true
+		}
+		if !e.block(s) {
+			e.droppedRing.Add(1)
+			return false
+		}
+	}
+}
+
+// block implements the blocking admission mode: wait a beat for the
+// shard worker to make progress. It reports whether the caller should
+// retry (false = drop: non-blocking mode, or engine closed).
+func (e *Engine) block(s *shard) bool {
+	if !e.cfg.Block || e.cfg.Synchronous || e.closed.Load() {
+		return false
+	}
+	e.wake(s)
+	time.Sleep(50 * time.Microsecond)
+	return true
+}
+
+// wake nudges a shard's worker without blocking the producer.
+func (e *Engine) wake(s *shard) {
+	if e.cfg.Synchronous {
+		return
+	}
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// worker drains one shard's ring into InsertBatch calls, batching
+// consecutive same-tag records up to MaxBatch.
+func (e *Engine) worker(s *shard) {
+	defer e.wg.Done()
+	batch := make([]schema.Record, 0, e.cfg.MaxBatch)
+	var tag string
+	for {
+		n := e.drainSome(s, &batch, &tag)
+		if n > 0 {
+			continue
+		}
+		select {
+		case <-s.notify:
+		case <-e.quit:
+			// Final drain: admitted records still complete after Close.
+			for e.drainSome(s, &batch, &tag) > 0 {
+			}
+			return
+		}
+	}
+}
+
+// drainSome pops up to one batch from the ring and flushes it; it
+// returns how many records it consumed. batch and tag carry the reused
+// buffer between calls.
+func (e *Engine) drainSome(s *shard, batch *[]schema.Record, tag *string) int {
+	b := (*batch)[:0]
+	consumed := 0
+	for len(b) < e.cfg.MaxBatch {
+		it, ok := s.ring.pop()
+		if !ok {
+			break
+		}
+		consumed++
+		if len(b) > 0 && it.tag != *tag {
+			// Tag boundary: flush what we have, start a fresh batch.
+			e.flush(s, *tag, b)
+			b = b[:0]
+		}
+		*tag = it.tag
+		b = append(b, it.rec)
+	}
+	if len(b) > 0 {
+		e.flush(s, *tag, b)
+	}
+	*batch = b[:0]
+	return consumed
+}
+
+// flush ships one batch of records into the node. The records slice is
+// snapshotted because the caller reuses its backing array; the ack
+// callback settles counters and recycles remotely-stored records.
+func (e *Engine) flush(s *shard, tag string, batch []schema.Record) {
+	recs := make([]schema.Record, len(batch))
+	copy(recs, batch)
+	s.pending.Add(int64(len(recs)))
+	err := e.ins.InsertBatch(tag, recs, func(results []mind.InsertResult) {
+		s.pending.Add(-int64(len(recs)))
+		for i, res := range results {
+			if res.OK {
+				e.acked.Add(1)
+			} else {
+				e.failed.Add(1)
+			}
+			if e.cfg.OnResult != nil {
+				e.cfg.OnResult(tag, recs[i], res)
+			}
+			if e.cfg.SelfAddr != "" && res.StoredAt != e.cfg.SelfAddr {
+				// Stored elsewhere (or nowhere): the wire encode copied the
+				// attributes, so the local buffer is free. Locally-stored
+				// records are retained by the store and stay out.
+				e.putRec(recs[i])
+			}
+		}
+	})
+	if err != nil {
+		// Rejected wholesale (unknown index, bad arity): settle directly.
+		s.pending.Add(-int64(len(recs)))
+		e.failed.Add(uint64(len(recs)))
+		for i, rec := range recs {
+			if e.cfg.OnResult != nil {
+				e.cfg.OnResult(tag, recs[i], mind.InsertResult{OK: false, Err: err})
+			}
+			if e.cfg.SelfAddr != "" {
+				e.putRec(rec)
+			}
+		}
+	}
+}
+
+// Pump drains every shard inline (Synchronous mode) and returns the
+// number of records flushed into the node. Deterministic: shards drain
+// in index order.
+func (e *Engine) Pump() int {
+	total := 0
+	batch := make([]schema.Record, 0, e.cfg.MaxBatch)
+	var tag string
+	for _, s := range e.shards {
+		for {
+			n := e.drainSome(s, &batch, &tag)
+			if n == 0 {
+				break
+			}
+			total += n
+		}
+	}
+	return total
+}
+
+// Stats is a snapshot of the engine's counters.
+type Stats struct {
+	Received       uint64 // records offered (frames and direct submits)
+	Accepted       uint64 // records admitted into the rings
+	DroppedRing    uint64 // dropped: ring full (or engine closed)
+	DroppedPending uint64 // dropped: in-flight bound reached
+	Acked          uint64 // records acked end-to-end
+	Failed         uint64 // records failed or timed out
+	Pending        int64  // in-flight records (submitted, not settled)
+	Queued         int    // records sitting in the rings
+	PoolMisses     uint64 // record-pool misses (fresh allocations)
+	Backpressured  bool   // admission is near its bounds
+}
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() Stats {
+	st := Stats{
+		Received:       e.received.Load(),
+		DroppedRing:    e.droppedRing.Load(),
+		DroppedPending: e.droppedPending.Load(),
+		Acked:          e.acked.Load(),
+		Failed:         e.failed.Load(),
+		PoolMisses:     e.poolMisses.Load(),
+	}
+	st.Accepted = st.Received - st.DroppedRing - st.DroppedPending
+	for _, s := range e.shards {
+		st.Pending += s.pending.Load()
+		st.Queued += s.ring.len()
+	}
+	st.Backpressured = e.backpressured(st)
+	return st
+}
+
+// Backpressured reports whether senders should throttle: any shard's
+// in-flight count or ring occupancy past 3/4 of its bound, or the
+// node-level pending gauge near its admission limit.
+func (e *Engine) Backpressured() bool { return e.Stats().Backpressured }
+
+func (e *Engine) backpressured(st Stats) bool {
+	for _, s := range e.shards {
+		if int(s.pending.Load()) >= e.cfg.MaxPending*3/4 {
+			return true
+		}
+		if s.ring.len() >= s.ring.capacity()*3/4 {
+			return true
+		}
+	}
+	if e.cfg.NodePending != nil && e.cfg.NodePending() >= e.cfg.NodePendingLimit*3/4 {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,342 @@
+package ingest
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"mind/internal/mind"
+	"mind/internal/schema"
+	"mind/internal/wire"
+)
+
+// fakeSink is a BatchInserter that acks every record, optionally holding
+// the callbacks so tests can keep records "in flight".
+type fakeSink struct {
+	mu       sync.Mutex
+	batches  [][]schema.Record
+	tags     []string
+	storedAt string
+	failWith error
+	hold     bool
+	held     []func()
+}
+
+func (s *fakeSink) InsertBatch(tag string, recs []schema.Record, cb func([]mind.InsertResult)) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failWith != nil {
+		return s.failWith
+	}
+	snap := make([]schema.Record, len(recs))
+	for i, r := range recs {
+		snap[i] = append(schema.Record(nil), r...)
+	}
+	s.batches = append(s.batches, snap)
+	s.tags = append(s.tags, tag)
+	results := make([]mind.InsertResult, len(recs))
+	for i := range results {
+		results[i] = mind.InsertResult{OK: true, StoredAt: s.storedAt}
+	}
+	if s.hold {
+		s.held = append(s.held, func() { cb(results) })
+		return nil
+	}
+	cb(results)
+	return nil
+}
+
+func (s *fakeSink) release() {
+	s.mu.Lock()
+	held := s.held
+	s.held = nil
+	s.mu.Unlock()
+	for _, f := range held {
+		f()
+	}
+}
+
+func frameOf(t *testing.T, tag string, recs [][]uint64) *wire.FlowFrame {
+	t.Helper()
+	buf := wire.AppendFlowFrame(nil, 1, tag, len(recs[0]), recs)
+	f, err := wire.ParseFlowFrame(buf)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return &f
+}
+
+func TestEngineSynchronousBatching(t *testing.T) {
+	sink := &fakeSink{storedAt: "remote"}
+	eng := New(sink, Config{Shards: 1, RingSize: 64, MaxBatch: 4, Synchronous: true})
+	defer eng.Close()
+	for i := 0; i < 10; i++ {
+		if !eng.Submit("a", schema.Record{uint64(i), 1, 2}) {
+			t.Fatalf("submit %d rejected", i)
+		}
+	}
+	if n := eng.Pump(); n != 10 {
+		t.Fatalf("Pump consumed %d, want 10", n)
+	}
+	total := 0
+	for i, b := range sink.batches {
+		if len(b) > 4 {
+			t.Fatalf("batch %d has %d records, MaxBatch 4", i, len(b))
+		}
+		if sink.tags[i] != "a" {
+			t.Fatalf("batch %d tag %q", i, sink.tags[i])
+		}
+		total += len(b)
+	}
+	if total != 10 {
+		t.Fatalf("sink saw %d records, want 10", total)
+	}
+	st := eng.Stats()
+	if st.Received != 10 || st.Accepted != 10 || st.Acked != 10 || st.Failed != 0 || st.Pending != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestEngineFlushesAtTagBoundary(t *testing.T) {
+	sink := &fakeSink{}
+	eng := New(sink, Config{Shards: 1, RingSize: 64, MaxBatch: 100, Synchronous: true})
+	defer eng.Close()
+	tags := []string{"a", "a", "b", "b", "b", "a"}
+	for i, tag := range tags {
+		eng.Submit(tag, schema.Record{uint64(i)})
+	}
+	eng.Pump()
+	for i, b := range sink.batches {
+		want := map[string]int{"a": 2, "b": 3}[sink.tags[i]]
+		if i == 2 {
+			want = 1 // the trailing "a"
+		}
+		if len(b) != want {
+			t.Fatalf("batch %d (%s): %d records, want %d", i, sink.tags[i], len(b), want)
+		}
+	}
+	if len(sink.batches) != 3 {
+		t.Fatalf("%d batches, want 3 (single-tag batches only)", len(sink.batches))
+	}
+}
+
+func TestEngineDropWhenRingFull(t *testing.T) {
+	sink := &fakeSink{}
+	eng := New(sink, Config{Shards: 1, RingSize: 4, Synchronous: true})
+	defer eng.Close()
+	accepted := 0
+	for i := 0; i < 10; i++ {
+		if eng.Submit("a", schema.Record{uint64(i)}) {
+			accepted++
+		}
+	}
+	if accepted != 4 {
+		t.Fatalf("accepted %d, want ring capacity 4", accepted)
+	}
+	st := eng.Stats()
+	if st.DroppedRing != 6 || st.Accepted != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if !st.Backpressured {
+		t.Fatalf("full ring did not raise backpressure")
+	}
+	eng.Pump()
+	st = eng.Stats()
+	if st.Acked != 4 || st.Received != 10 {
+		t.Fatalf("after pump: %+v", st)
+	}
+}
+
+func TestEngineMaxPendingAdmission(t *testing.T) {
+	sink := &fakeSink{hold: true}
+	eng := New(sink, Config{Shards: 1, RingSize: 64, MaxBatch: 4, MaxPending: 4, Synchronous: true})
+	defer eng.Close()
+	for i := 0; i < 4; i++ {
+		eng.Submit("a", schema.Record{uint64(i)})
+	}
+	eng.Pump() // 4 records now in flight, callbacks held
+	if st := eng.Stats(); st.Pending != 4 {
+		t.Fatalf("pending = %d, want 4", st.Pending)
+	}
+	if eng.Submit("a", schema.Record{99}) {
+		t.Fatalf("submit admitted past MaxPending")
+	}
+	if st := eng.Stats(); st.DroppedPending != 1 {
+		t.Fatalf("droppedPending = %d, want 1", st.DroppedPending)
+	}
+	sink.release()
+	st := eng.Stats()
+	if st.Pending != 0 || st.Acked != 4 {
+		t.Fatalf("after release: %+v", st)
+	}
+	if !eng.Submit("a", schema.Record{100}) {
+		t.Fatalf("submit rejected after pending drained")
+	}
+}
+
+func TestEngineNodePendingAdmission(t *testing.T) {
+	gauge := 0
+	sink := &fakeSink{}
+	eng := New(sink, Config{
+		Shards: 1, RingSize: 64, Synchronous: true,
+		NodePending: func() int { return gauge }, NodePendingLimit: 8,
+	})
+	defer eng.Close()
+	gauge = 8
+	if eng.Submit("a", schema.Record{1}) {
+		t.Fatalf("submit admitted past NodePendingLimit")
+	}
+	gauge = 0
+	if !eng.Submit("a", schema.Record{2}) {
+		t.Fatalf("submit rejected below NodePendingLimit")
+	}
+}
+
+func TestEngineInsertErrorSettlesBatch(t *testing.T) {
+	boom := errors.New("unknown index")
+	sink := &fakeSink{failWith: boom}
+	var results []error
+	eng := New(sink, Config{
+		Shards: 1, RingSize: 64, Synchronous: true, SelfAddr: "self",
+		OnResult: func(tag string, rec schema.Record, res mind.InsertResult) {
+			results = append(results, res.Err)
+		},
+	})
+	defer eng.Close()
+	for i := 0; i < 5; i++ {
+		eng.Submit("a", schema.Record{uint64(i)})
+	}
+	eng.Pump()
+	st := eng.Stats()
+	if st.Failed != 5 || st.Pending != 0 || st.Acked != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if len(results) != 5 {
+		t.Fatalf("OnResult saw %d records, want 5", len(results))
+	}
+	for _, err := range results {
+		if !errors.Is(err, boom) {
+			t.Fatalf("OnResult err = %v, want %v", err, boom)
+		}
+	}
+}
+
+// TestEngineRecordRecycling checks the pooled-record lifecycle: records
+// acked as stored elsewhere return to the pool (no new pool misses on
+// the second wave), while locally-stored records stay out (the kd store
+// keeps the slice).
+func TestEngineRecordRecycling(t *testing.T) {
+	recs := make([][]uint64, 16)
+	for i := range recs {
+		recs[i] = []uint64{uint64(i), 1, 2}
+	}
+
+	t.Run("remote recycles", func(t *testing.T) {
+		sink := &fakeSink{storedAt: "remote"}
+		eng := New(sink, Config{Shards: 1, RingSize: 64, Synchronous: true, SelfAddr: "self"})
+		defer eng.Close()
+		eng.IngestFrame(frameOf(t, "a", recs))
+		eng.Pump()
+		misses := eng.Stats().PoolMisses
+		if misses == 0 {
+			t.Fatalf("first wave had no pool misses")
+		}
+		eng.IngestFrame(frameOf(t, "a", recs))
+		eng.Pump()
+		if got := eng.Stats().PoolMisses; got != misses {
+			t.Fatalf("second wave missed the pool (%d -> %d): records not recycled", misses, got)
+		}
+	})
+
+	t.Run("local stays out", func(t *testing.T) {
+		sink := &fakeSink{storedAt: "self"}
+		eng := New(sink, Config{Shards: 1, RingSize: 64, Synchronous: true, SelfAddr: "self"})
+		defer eng.Close()
+		eng.IngestFrame(frameOf(t, "a", recs))
+		eng.Pump()
+		misses := eng.Stats().PoolMisses
+		eng.IngestFrame(frameOf(t, "a", recs))
+		eng.Pump()
+		if got := eng.Stats().PoolMisses; got <= misses {
+			t.Fatalf("locally-stored records were recycled (misses %d -> %d)", misses, got)
+		}
+	})
+}
+
+func TestEngineSubmitAfterClose(t *testing.T) {
+	sink := &fakeSink{}
+	eng := New(sink, Config{Shards: 1, Synchronous: true})
+	eng.Close()
+	if eng.Submit("a", schema.Record{1}) {
+		t.Fatalf("submit accepted after Close")
+	}
+	if st := eng.Stats(); st.DroppedRing != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestEngineWorkersDrain exercises the asynchronous mode end to end
+// under the race detector: shard workers, notify wakeups, and the
+// final-drain-on-Close path.
+func TestEngineWorkersDrain(t *testing.T) {
+	sink := &fakeSink{storedAt: "remote"}
+	eng := New(sink, Config{Shards: 2, RingSize: 1 << 12, MaxBatch: 32, SelfAddr: "self"})
+	const total = 5000
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < total/4; i++ {
+				rec := schema.Record{uint64(p*total + i), uint64(i % 7), uint64(i % 13)}
+				for !eng.Submit("a", rec) {
+					time.Sleep(10 * time.Microsecond)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := eng.Stats()
+		if st.Acked+st.Failed == total {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("records did not settle: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	eng.Close()
+	st := eng.Stats()
+	if st.Acked != total || st.Pending != 0 || st.Queued != 0 {
+		t.Fatalf("final stats = %+v", st)
+	}
+}
+
+// TestEngineBlockMode checks the blocking admission path: with a ring
+// far smaller than the offered load, every record must eventually be
+// admitted and none dropped.
+func TestEngineBlockMode(t *testing.T) {
+	sink := &fakeSink{storedAt: "remote"}
+	eng := New(sink, Config{Shards: 1, RingSize: 8, MaxBatch: 8, Block: true, SelfAddr: "self"})
+	const total = 2000
+	for i := 0; i < total; i++ {
+		if !eng.Submit("a", schema.Record{uint64(i), 1, 2}) {
+			t.Fatalf("blocking submit %d dropped", i)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for eng.Stats().Acked != total {
+		if time.Now().After(deadline) {
+			t.Fatalf("stats = %+v", eng.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	eng.Close()
+	st := eng.Stats()
+	if st.DroppedRing != 0 || st.DroppedPending != 0 {
+		t.Fatalf("block mode dropped records: %+v", st)
+	}
+}

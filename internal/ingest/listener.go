@@ -1,0 +1,213 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mind/internal/wire"
+)
+
+// maxFrame bounds one length-prefixed ingest frame (matches the TCP
+// transport's frame bound).
+const maxFrame = 16 << 20
+
+// ListenerConfig tunes the ingest listener.
+type ListenerConfig struct {
+	// StatusEvery sends a status frame after this many flow frames;
+	// 0 means 16.
+	StatusEvery int
+	// StatusInterval additionally sends a status frame at least this
+	// often while a connection is open — acks settle after the sender
+	// stops, and the periodic frame is what reports them. 0 means 100ms.
+	StatusInterval time.Duration
+}
+
+func (c *ListenerConfig) withDefaults() ListenerConfig {
+	out := *c
+	if out.StatusEvery <= 0 {
+		out.StatusEvery = 16
+	}
+	if out.StatusInterval <= 0 {
+		out.StatusInterval = 100 * time.Millisecond
+	}
+	return out
+}
+
+// Listener accepts streaming ingest connections and feeds their flow
+// frames to an Engine. Frames travel length-prefixed (4-byte big-endian
+// length), exactly like the TCP transport's message frames; each
+// connection gets periodic StreamStatus answers with cumulative
+// counters and the backpressure bit.
+type Listener struct {
+	ln     net.Listener
+	eng    *Engine
+	cfg    ListenerConfig
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+// Listen starts an ingest listener on addr over an engine.
+func Listen(addr string, eng *Engine, cfg ListenerConfig) (*Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: listen %s: %w", addr, err)
+	}
+	l := &Listener{ln: ln, eng: eng, cfg: cfg.withDefaults(), conns: make(map[net.Conn]struct{})}
+	l.wg.Add(1)
+	go l.acceptLoop()
+	return l, nil
+}
+
+// Addr returns the bound listen address.
+func (l *Listener) Addr() string { return l.ln.Addr().String() }
+
+// Close stops accepting and closes every open connection.
+func (l *Listener) Close() error {
+	if !l.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := l.ln.Close()
+	l.mu.Lock()
+	for c := range l.conns {
+		c.Close()
+	}
+	l.mu.Unlock()
+	l.wg.Wait()
+	return err
+}
+
+func (l *Listener) acceptLoop() {
+	defer l.wg.Done()
+	for {
+		conn, err := l.ln.Accept()
+		if err != nil {
+			return
+		}
+		l.mu.Lock()
+		l.conns[conn] = struct{}{}
+		l.mu.Unlock()
+		l.wg.Add(1)
+		go l.serve(conn)
+	}
+}
+
+// connState is the per-connection cumulative view reported in status
+// frames.
+type connState struct {
+	mu        sync.Mutex // serializes status writes (read loop + ticker)
+	conn      net.Conn
+	seq       uint64
+	received  uint64
+	accepted  uint64
+	dropped   uint64
+	ackedBase uint64 // engine acked+failed at connection start
+	failBase  uint64
+}
+
+func (l *Listener) serve(conn net.Conn) {
+	defer l.wg.Done()
+	defer func() {
+		l.mu.Lock()
+		delete(l.conns, conn)
+		l.mu.Unlock()
+		conn.Close()
+	}()
+
+	st := l.eng.Stats()
+	cs := &connState{conn: conn, ackedBase: st.Acked, failBase: st.Failed}
+
+	// Periodic status: keeps the sender's view fresh while acks settle
+	// after the last frame, and carries the backpressure bit even when
+	// the sender has paused.
+	stop := make(chan struct{})
+	defer close(stop)
+	l.wg.Add(1)
+	go func() {
+		defer l.wg.Done()
+		tick := time.NewTicker(l.cfg.StatusInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				if l.sendStatus(cs) != nil {
+					return
+				}
+			}
+		}
+	}()
+
+	var lenBuf [4]byte
+	buf := make([]byte, 0, 64<<10) // reused frame buffer
+	sinceStatus := 0
+	for {
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n == 0 || n > maxFrame {
+			return
+		}
+		if cap(buf) < int(n) {
+			buf = make([]byte, 0, int(n))
+		}
+		buf = buf[:n]
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return
+		}
+		f, err := wire.ParseFlowFrame(buf)
+		if err != nil {
+			return // not a flow frame: protocol error, drop the connection
+		}
+		accepted, dropped := l.eng.IngestFrame(&f)
+		cs.mu.Lock()
+		cs.seq = f.Seq
+		cs.received += uint64(f.Count)
+		cs.accepted += uint64(accepted)
+		cs.dropped += uint64(dropped)
+		cs.mu.Unlock()
+		sinceStatus++
+		if sinceStatus >= l.cfg.StatusEvery {
+			sinceStatus = 0
+			if l.sendStatus(cs) != nil {
+				return
+			}
+		}
+	}
+}
+
+// sendStatus writes one status frame reflecting the connection's
+// admission counters and the engine's ack/backpressure state.
+func (l *Listener) sendStatus(cs *connState) error {
+	st := l.eng.Stats()
+	cs.mu.Lock()
+	msg := &wire.StreamStatus{
+		Seq:          cs.seq,
+		Received:     cs.received,
+		Accepted:     cs.accepted,
+		Dropped:      cs.dropped,
+		Acked:        st.Acked - cs.ackedBase,
+		Failed:       st.Failed - cs.failBase,
+		Queued:       uint64(st.Queued),
+		Backpressure: st.Backpressured,
+	}
+	data := wire.Encode(msg)
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(data)))
+	_, err := cs.conn.Write(lenBuf[:])
+	if err == nil {
+		_, err = cs.conn.Write(data)
+	}
+	cs.mu.Unlock()
+	wire.RecycleBuf(data)
+	return err
+}

@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// Meter counts events into fixed time buckets so a load driver can
+// report sustained rather than instantaneous rates: the peak average
+// over a window of consecutive buckets is the "knee" headline
+// (mindload -stream), robust against warm-up and drain edges. Time is
+// passed in explicitly so the meter is deterministic under test.
+type Meter struct {
+	mu     sync.Mutex
+	bucket time.Duration
+	start  time.Time
+	counts []uint64
+}
+
+// NewMeter returns a meter with the given bucket width, anchored at
+// start.
+func NewMeter(start time.Time, bucket time.Duration) *Meter {
+	if bucket <= 0 {
+		bucket = time.Second
+	}
+	return &Meter{bucket: bucket, start: start}
+}
+
+// Add records n events at time now. Events before the anchor land in
+// the first bucket.
+func (m *Meter) Add(now time.Time, n uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	i := 0
+	if d := now.Sub(m.start); d > 0 {
+		i = int(d / m.bucket)
+	}
+	for len(m.counts) <= i {
+		m.counts = append(m.counts, 0)
+	}
+	m.counts[i] += n
+}
+
+// Total returns the total event count.
+func (m *Meter) Total() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var t uint64
+	for _, c := range m.counts {
+		t += c
+	}
+	return t
+}
+
+// Sustained returns the best average events-per-second over any window
+// of win consecutive buckets (0 when fewer than win buckets exist). A
+// window of 1 is the peak bucket rate; wider windows demand the rate be
+// held.
+func (m *Meter) Sustained(win int) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if win <= 0 {
+		win = 1
+	}
+	if len(m.counts) < win {
+		return 0
+	}
+	var sum, best uint64
+	for i, c := range m.counts {
+		sum += c
+		if i >= win {
+			sum -= m.counts[i-win]
+		}
+		if i >= win-1 && sum > best {
+			best = sum
+		}
+	}
+	return float64(best) / (float64(win) * m.bucket.Seconds())
+}
+
+// Rate returns the average events-per-second across every whole bucket
+// observed so far.
+func (m *Meter) Rate() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.counts) == 0 {
+		return 0
+	}
+	var t uint64
+	for _, c := range m.counts {
+		t += c
+	}
+	return float64(t) / (float64(len(m.counts)) * m.bucket.Seconds())
+}

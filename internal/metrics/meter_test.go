@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMeterSustained(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	m := NewMeter(t0, time.Second)
+	// Buckets: 100, 500, 600, 400, 50 events/sec.
+	for i, n := range []uint64{100, 500, 600, 400, 50} {
+		m.Add(t0.Add(time.Duration(i)*time.Second+time.Millisecond), n)
+	}
+	if got := m.Total(); got != 1650 {
+		t.Fatalf("Total = %d, want 1650", got)
+	}
+	if got := m.Sustained(1); got != 600 {
+		t.Fatalf("Sustained(1) = %v, want 600 (peak bucket)", got)
+	}
+	if got := m.Sustained(2); got != 550 {
+		t.Fatalf("Sustained(2) = %v, want 550 (500+600 window)", got)
+	}
+	if got := m.Sustained(3); got != 500 {
+		t.Fatalf("Sustained(3) = %v, want 500 (500+600+400 window)", got)
+	}
+	if got := m.Sustained(10); got != 0 {
+		t.Fatalf("Sustained(10) = %v, want 0 (window wider than data)", got)
+	}
+	if got := m.Rate(); got != 330 {
+		t.Fatalf("Rate = %v, want 330", got)
+	}
+}
+
+func TestMeterEdges(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	m := NewMeter(t0, 0)         // bucket defaults to 1s
+	m.Add(t0.Add(-time.Hour), 7) // before the anchor: first bucket
+	m.Add(t0, 3)
+	if got := m.Total(); got != 10 {
+		t.Fatalf("Total = %d, want 10", got)
+	}
+	if got := m.Sustained(0); got != 10 { // win clamps to 1
+		t.Fatalf("Sustained(0) = %v, want 10", got)
+	}
+	empty := NewMeter(t0, time.Second)
+	if empty.Rate() != 0 || empty.Sustained(1) != 0 || empty.Total() != 0 {
+		t.Fatalf("empty meter not zero")
+	}
+}
+
+func TestMeterSubSecondBuckets(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	m := NewMeter(t0, 100*time.Millisecond)
+	for i := 0; i < 10; i++ {
+		m.Add(t0.Add(time.Duration(i)*100*time.Millisecond), 50)
+	}
+	// 50 events per 100ms bucket = 500/sec, held for the whole run.
+	if got := m.Sustained(5); got != 500 {
+		t.Fatalf("Sustained(5) = %v, want 500", got)
+	}
+	if got := m.Rate(); got != 500 {
+		t.Fatalf("Rate = %v, want 500", got)
+	}
+}

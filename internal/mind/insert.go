@@ -22,7 +22,7 @@ type InsertResult struct {
 
 type insertOp struct {
 	cb    func(InsertResult)
-	timer transport.Timer // overall InsertTimeout bound
+	timer transport.Timer // overall InsertTimeout bound (nil for batch members)
 
 	// Reliable-request state (reliable.go): the message is kept for
 	// retransmission until the ack arrives or retries exhaust.
@@ -30,6 +30,17 @@ type insertOp struct {
 	lastHop string // first hop the latest attempt left through
 	attempt int
 	retry   transport.Timer
+}
+
+// batchGroup shares one timeout timer and one retransmission schedule
+// across every tracked op of one InsertBatch call. Per-record timers
+// are the dominant originator-side cost at streaming-ingest rates (two
+// timer allocations and heap operations per record); the group replaces
+// them with two timers per batch while keeping per-record ack tracking,
+// retransmission targeting and timeout semantics identical.
+type batchGroup struct {
+	ids     []uint64 // member request ids, in input order
+	attempt int      // shared retransmission attempt counter (mu)
 }
 
 // Insert hashes the record to its data-space code and greedy-routes it
@@ -65,6 +76,7 @@ func (n *Node) Insert(tag string, rec schema.Record, cb func(InsertResult)) erro
 	if cb != nil || n.retriesEnabled() {
 		op := &insertOp{cb: cb, msg: msg}
 		n.reqTracked.Add(1)
+		n.pendingGauge.Add(1)
 		n.mu.Lock()
 		n.inserts[reqID] = op
 		op.timer = n.clock.AfterFunc(n.cfg.InsertTimeout, func() { n.finishInsert(reqID, InsertResult{OK: false, Err: errTimeout}) })
@@ -72,7 +84,7 @@ func (n *Node) Insert(tag string, rec schema.Record, cb func(InsertResult)) erro
 		n.mu.Unlock()
 	}
 
-	n.handleInsert(n.ep.Addr(), msg, wire.Encode(msg))
+	n.handleInsert(n.ep.Addr(), msg)
 	return nil
 }
 
@@ -129,6 +141,10 @@ func (n *Node) InsertBatch(tag string, recs []schema.Record, cb func([]InsertRes
 	depth := clampDepth(n.ov.Code().Len() + n.cfg.InsertDepthSlack)
 	msgs := make([]*wire.Insert, len(recs))
 	tracked := cb != nil || n.retriesEnabled()
+	var grp *batchGroup
+	if tracked {
+		grp = &batchGroup{ids: make([]uint64, 0, len(recs))}
+	}
 	var scratch []uint64
 	n.mu.Lock()
 	for i, rec := range recs {
@@ -145,10 +161,8 @@ func (n *Node) InsertBatch(tag string, recs []schema.Record, cb func([]InsertRes
 			}
 			n.inserts[reqID] = op
 			n.reqTracked.Add(1)
-			rid := reqID
-			op.timer = n.clock.AfterFunc(n.cfg.InsertTimeout, func() {
-				n.finishInsert(rid, InsertResult{OK: false, Err: errTimeout})
-			})
+			n.pendingGauge.Add(1)
+			grp.ids = append(grp.ids, reqID)
 		}
 		scratch = rec.PointInto(ix.sch, scratch)
 		msgs[i] = &wire.Insert{
@@ -162,7 +176,19 @@ func (n *Node) InsertBatch(tag string, recs []schema.Record, cb func([]InsertRes
 		}
 		if op != nil {
 			op.msg = msgs[i]
-			n.armInsertRetryLocked(reqID, op)
+		}
+	}
+	if grp != nil && len(grp.ids) > 0 {
+		// One timeout and one retransmission schedule for the whole batch
+		// (batchGroup): a no-longer-pending member makes both no-ops.
+		ids := grp.ids
+		n.clock.AfterFunc(n.cfg.InsertTimeout, func() {
+			for _, id := range ids {
+				n.finishInsert(id, InsertResult{OK: false, Err: errTimeout})
+			}
+		})
+		if n.retriesEnabled() {
+			n.clock.AfterFunc(n.retryDelayLocked(1), func() { n.resendInsertGroup(grp) })
 		}
 	}
 	n.mu.Unlock()
@@ -175,7 +201,7 @@ func (n *Node) InsertBatch(tag string, recs []schema.Record, cb func([]InsertRes
 	var order []string // deterministic flush order (map iteration is not)
 	for _, m := range msgs {
 		if n.ov.Owns(m.Target) {
-			n.handleInsert(n.ep.Addr(), m, nil)
+			n.handleInsert(n.ep.Addr(), m)
 			continue
 		}
 		m.Hops = 1 // leaving the originator, as in the per-record path
@@ -242,6 +268,7 @@ func (n *Node) finishInsert(reqID uint64, res InsertResult) {
 		return
 	}
 	delete(n.inserts, reqID)
+	n.pendingGauge.Add(-1)
 	if op.timer != nil {
 		op.timer.Stop()
 	}
@@ -255,7 +282,7 @@ func (n *Node) finishInsert(reqID uint64, res InsertResult) {
 }
 
 // handleInsert processes a routed insertion at any hop.
-func (n *Node) handleInsert(from string, m *wire.Insert, raw []byte) {
+func (n *Node) handleInsert(from string, m *wire.Insert) {
 	if !n.ov.Joined() {
 		return
 	}

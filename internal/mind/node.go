@@ -65,6 +65,10 @@ type Node struct {
 
 	reqSeq atomic.Uint64
 	recSeq atomic.Uint64
+	// pendingGauge mirrors len(inserts) as an atomic so hot admission
+	// paths (the ingest engine's backpressure check) can read the
+	// node-level in-flight insert count without taking mu.
+	pendingGauge atomic.Int64
 	// addrTag is the origin-unique id namespace for record and request
 	// ids. It is salted with the node's start instant: a restarted node
 	// reuses its address and restarts its sequence counters, so an
@@ -248,6 +252,12 @@ func (n *Node) Stats() Stats {
 	return s
 }
 
+// PendingInserts returns the number of in-flight tracked inserts from a
+// lock-free gauge. The ingest engine polls it on every admission
+// decision, where taking mu would serialize producers against the
+// node's own operation tracking.
+func (n *Node) PendingInserts() int { return int(n.pendingGauge.Load()) }
+
 // TupleLinkCounts snapshots how many insert tuples this node sent over
 // each outgoing overlay link (Fig 12's per-link traffic).
 func (n *Node) TupleLinkCounts() map[string]uint64 {
@@ -300,10 +310,10 @@ func (n *Node) dispatch(from string, data []byte) {
 	if err != nil {
 		return // corrupt frame; drop
 	}
-	n.handleMessage(from, m, data)
+	n.handleMessage(from, m)
 }
 
-func (n *Node) handleMessage(from string, m wire.Message, raw []byte) {
+func (n *Node) handleMessage(from string, m wire.Message) {
 	if b, ok := m.(*wire.Batch); ok {
 		n.handleBatch(from, b)
 		return
@@ -313,15 +323,15 @@ func (n *Node) handleMessage(from string, m wire.Message, raw []byte) {
 	}
 	switch msg := m.(type) {
 	case *wire.Insert:
-		n.handleInsert(from, msg, raw)
+		n.handleInsert(from, msg)
 	case *wire.InsertAck:
 		n.handleInsertAck(msg)
 	case *wire.Replicate:
 		n.handleReplicate(msg)
 	case *wire.Query:
-		n.handleQuery(from, msg, raw)
+		n.handleQuery(from, msg)
 	case *wire.SubQuery:
-		n.handleSubQuery(from, msg, raw)
+		n.handleSubQuery(from, msg)
 	case *wire.QueryResp:
 		if msg.HasCover {
 			// A covering response is the sub-query's end-to-end ack; this
@@ -336,7 +346,7 @@ func (n *Node) handleMessage(from string, m wire.Message, raw []byte) {
 	case *wire.DropIndex:
 		n.handleDropIndex(msg)
 	case *wire.HistReport:
-		n.handleHistReport(from, msg, raw)
+		n.handleHistReport(from, msg)
 	case *wire.HistInstall:
 		n.handleHistInstall(msg)
 	case *wire.ClientInsert:
@@ -425,7 +435,7 @@ func (n *Node) handleRegionRecall(m *wire.RegionRecall) {
 			Rec:        o.rec,
 			Target:     o.target,
 		}
-		n.handleInsert(n.ep.Addr(), msg, nil)
+		n.handleInsert(n.ep.Addr(), msg)
 	}
 }
 

@@ -1,0 +1,123 @@
+package mind
+
+import (
+	"errors"
+	"testing"
+
+	"mind/internal/schema"
+	"mind/internal/transport"
+	"mind/internal/transport/simnet"
+	"mind/internal/wire"
+)
+
+func poolTestSchema() *schema.Schema {
+	return &schema.Schema{
+		Tag: "pool-test",
+		Attrs: []schema.Attr{
+			{Name: "x", Kind: schema.KindUint, Max: 9999},
+			{Name: "t", Kind: schema.KindTime, Max: 86400},
+			{Name: "y", Kind: schema.KindUint, Max: 9999},
+		},
+		IndexDims: 3,
+	}
+}
+
+// TestInsertOriginatorKeepsPooledBuffer is the regression test for the
+// originator-path buffer leak: Insert used to encode the message into a
+// pooled buffer it never sent nor recycled, draining the encode pool by
+// one buffer per insert. A local-owner insert performs no sends at all,
+// so the pool's resident buffer must survive it untouched.
+func TestInsertOriginatorKeepsPooledBuffer(t *testing.T) {
+	net := simnet.New(simnet.Config{Seed: 1})
+	ep, err := net.Endpoint("n0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := NewNode(ep, net.Clock(), DefaultConfig(1))
+	defer n.Close()
+	n.Bootstrap()
+	sch := poolTestSchema()
+	if err := n.CreateIndex(sch, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Converge on the buffer sitting in the pool's fast slot: encode and
+	// recycle until the same buffer round-trips twice. The probe encodes
+	// larger than any message the insert path could build, so a stray
+	// encode inside Insert cannot skip the resident buffer as too small.
+	probe := &wire.Insert{OriginAddr: "n0", Index: sch.Tag, Rec: make([]uint64, 64)}
+	var resident *byte
+	for i := 0; i < 10; i++ {
+		b := wire.Encode(probe)
+		p := &b[0]
+		wire.RecycleBuf(b)
+		if p == resident {
+			break
+		}
+		resident = p
+	}
+
+	done := false
+	err = n.Insert(sch.Tag, schema.Record{1, 2, 3}, func(res InsertResult) {
+		if !res.OK {
+			t.Errorf("local insert failed: %v", res.Err)
+		}
+		done = true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatalf("local-owner insert did not settle inline")
+	}
+
+	b := wire.Encode(probe)
+	defer wire.RecycleBuf(b)
+	if &b[0] != resident {
+		t.Fatalf("pooled encode buffer vanished across a local insert: the originator path is leaking pool buffers again")
+	}
+}
+
+// failEndpoint fails every Send, standing in for a peer whose transport
+// connection is down.
+type failEndpoint struct{ addr string }
+
+func (e *failEndpoint) Addr() string                     { return e.addr }
+func (e *failEndpoint) Send(to string, msg []byte) error { return errors.New("send failed") }
+func (e *failEndpoint) SetHandler(h transport.Handler)   {}
+func (e *failEndpoint) Close() error                     { return nil }
+
+// TestBatchDeliverRecycleOnSendError audits the coalescer's buffer
+// recycling when the transport rejects the send: the envelope and every
+// sub-message must go back to the pool exactly once — a double recycle
+// would hand the same buffer to two later Encode calls at once.
+func TestBatchDeliverRecycleOnSendError(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.BatchMaxMsgs = 4
+	n := NewNode(&failEndpoint{addr: "self"}, transport.RealClock{}, cfg)
+	defer n.Close()
+	n.Bootstrap()
+
+	// Two threshold flushes (4 messages each) and one single-message
+	// direct delivery, all through the failing Send.
+	for i := 0; i < 8; i++ {
+		n.send("peer", &wire.InsertAck{ReqID: uint64(i)})
+	}
+	n.deliverBatch("peer", [][]byte{wire.Encode(&wire.InsertAck{ReqID: 99})})
+
+	// Pool integrity: while previously-handed-out buffers are still
+	// held, no Encode may return the same backing array twice.
+	seen := make(map[*byte]bool)
+	var held [][]byte
+	for i := 0; i < 16; i++ {
+		b := wire.Encode(&wire.InsertAck{ReqID: uint64(100 + i)})
+		if seen[&b[0]] {
+			t.Fatalf("encode returned the same buffer twice: a batch-path buffer was recycled more than once")
+		}
+		seen[&b[0]] = true
+		held = append(held, b)
+	}
+	for _, b := range held {
+		wire.RecycleBuf(b)
+	}
+}

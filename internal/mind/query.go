@@ -124,7 +124,7 @@ func (n *Node) Query(tag string, rect schema.Rect, cb func(QueryResult)) error {
 	// Per-tree dispatch fans out to the worker pool; inline and in order
 	// when parallelism is off.
 	n.runSubTasks(len(dispatches), func(i int) {
-		n.handleQuery(n.ep.Addr(), dispatches[i], nil)
+		n.handleQuery(n.ep.Addr(), dispatches[i])
 	})
 	return nil
 }
@@ -164,7 +164,7 @@ func (n *Node) finishQuery(reqID uint64, complete bool) {
 
 // handleQuery processes a routed query at any hop; the owner of the
 // query code splits it.
-func (n *Node) handleQuery(from string, m *wire.Query, raw []byte) {
+func (n *Node) handleQuery(from string, m *wire.Query) {
 	if !n.ov.Joined() {
 		return
 	}
@@ -242,7 +242,7 @@ func (n *Node) routeSubQuery(m *wire.SubQuery) {
 }
 
 // handleSubQuery processes a sub-query at any hop.
-func (n *Node) handleSubQuery(from string, m *wire.SubQuery, raw []byte) {
+func (n *Node) handleSubQuery(from string, m *wire.SubQuery) {
 	if !n.ov.Joined() {
 		return
 	}
@@ -428,7 +428,7 @@ func (n *Node) answerFromReplicas(m *wire.SubQuery) bool {
 			// may be (inside) this node's own region, in which case it
 			// must be answered from primary storage, not re-routed into
 			// a dead end.
-			n.handleSubQuery(n.ep.Addr(), sq, nil)
+			n.handleSubQuery(n.ep.Addr(), sq)
 		}
 	}
 	return true

@@ -82,11 +82,11 @@ func (n *Node) ReportHistogram(tag string, day uint32, k int) error {
 		NodeAddr: n.ep.Addr(),
 		Hist:     h.Marshal(),
 	}
-	n.handleHistReport(n.ep.Addr(), msg, nil)
+	n.handleHistReport(n.ep.Addr(), msg)
 	return nil
 }
 
-func (n *Node) handleHistReport(from string, m *wire.HistReport, raw []byte) {
+func (n *Node) handleHistReport(from string, m *wire.HistReport) {
 	if !n.ov.Joined() {
 		return
 	}

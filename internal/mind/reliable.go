@@ -122,10 +122,15 @@ func (n *Node) resendInsert(reqID uint64) {
 	op.retry = n.clock.AfterFunc(n.retryDelayLocked(op.attempt+1), func() { n.resendInsert(reqID) })
 	n.mu.Unlock()
 
+	n.retransmitInsert(reqID, &msg, exclude)
+}
+
+// retransmitInsert re-routes one retransmitted insert: store locally if
+// ownership shifted to us (takeover) since the original attempt, else
+// leave through a first hop excluding the suspect one.
+func (n *Node) retransmitInsert(reqID uint64, msg *wire.Insert, exclude string) {
 	if n.ov.Owns(msg.Target) {
-		// Ownership may have shifted to us (takeover) since the original
-		// attempt: store locally, which self-acks.
-		n.handleInsert(n.ep.Addr(), &msg, nil)
+		n.handleInsert(n.ep.Addr(), msg)
 		return
 	}
 	next, ok := n.ov.NextHopExcluding(msg.Target, exclude)
@@ -135,7 +140,7 @@ func (n *Node) resendInsert(reqID uint64) {
 		next, ok = n.ov.NextHop(msg.Target)
 	}
 	if !ok {
-		n.ov.RingRecover(msg.Target, wire.Encode(&msg))
+		n.ov.RingRecover(msg.Target, wire.Encode(msg))
 		return
 	}
 	n.mu.Lock()
@@ -144,7 +149,65 @@ func (n *Node) resendInsert(reqID uint64) {
 	}
 	n.mu.Unlock()
 	msg.Hops++
-	n.send(next, &msg)
+	n.send(next, msg)
+}
+
+// resendInsertGroup is the batchGroup retransmission schedule: one
+// clock-driven backoff for the whole InsertBatch, retransmitting only
+// the members still pending. The schedule ends when every member has
+// settled or the shared attempt budget is exhausted (which feeds the
+// remaining members' last hops to the overlay's suspicion machinery,
+// exactly like the per-record path).
+func (n *Node) resendInsertGroup(g *batchGroup) {
+	type resend struct {
+		reqID   uint64
+		msg     wire.Insert
+		exclude string
+	}
+	n.mu.Lock()
+	if g.attempt >= n.cfg.MaxRetries {
+		seen := make(map[string]bool)
+		var suspects []string
+		for _, id := range g.ids {
+			if op, ok := n.inserts[id]; ok && op.lastHop != "" && !seen[op.lastHop] {
+				seen[op.lastHop] = true
+				suspects = append(suspects, op.lastHop)
+			}
+		}
+		n.mu.Unlock()
+		// Sorted so probe sends consume the simulator RNG reproducibly.
+		sort.Strings(suspects)
+		for _, hop := range suspects {
+			n.ov.SuspectContact(hop)
+		}
+		return
+	}
+	g.attempt++
+	attempt := g.attempt
+	var work []resend
+	for _, id := range g.ids {
+		op, ok := n.inserts[id]
+		if !ok || op.msg == nil {
+			continue
+		}
+		op.attempt = attempt
+		msg := *op.msg
+		msg.Attempt = uint8(attempt)
+		work = append(work, resend{reqID: id, msg: msg, exclude: op.lastHop})
+	}
+	if len(work) == 0 {
+		// Every member settled: the schedule dies here.
+		n.mu.Unlock()
+		return
+	}
+	n.retransmits.Add(uint64(len(work)))
+	n.clock.AfterFunc(n.retryDelayLocked(attempt+1), func() { n.resendInsertGroup(g) })
+	n.mu.Unlock()
+
+	for i := range work {
+		w := &work[i]
+		n.retransmitInsert(w.reqID, &w.msg, w.exclude)
+	}
 }
 
 // armQueryRetryLocked schedules the first retransmission check for a
@@ -250,7 +313,7 @@ func (n *Node) resendQuery(reqID uint64) {
 
 	for _, w := range work {
 		if n.ov.Owns(w.sq.RegionCode) {
-			n.handleSubQuery(n.ep.Addr(), w.sq, nil)
+			n.handleSubQuery(n.ep.Addr(), w.sq)
 			continue
 		}
 		next, ok := n.ov.NextHopExcluding(w.sq.RegionCode, w.exclude)

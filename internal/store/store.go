@@ -61,6 +61,7 @@ type KD struct {
 	wmu    sync.Mutex
 	root   atomic.Pointer[kdNode]
 	size   atomic.Int64
+	tick   uint64 // equal-coordinate tie-break state (under wmu)
 }
 
 // kdNode carries no materialized point: coordinates are computed on the
@@ -114,7 +115,19 @@ func (t *KD) Insert(rec schema.Record) {
 	depth := 0
 	for {
 		dim := depth % dims
-		if t.coord(rec, dim) < t.coord(cur.rec, dim) {
+		c, cc := t.coord(rec, dim), t.coord(cur.rec, dim)
+		goLeft := c < cc
+		if c == cc {
+			// Equal coordinates alternate sides. Sending them always
+			// right builds a spine under duplicate-heavy streams
+			// (replayed ingest frames, hot flow keys), tripping the
+			// depth bound on every insert and degrading to a full
+			// rebuild per record; queries already admit equality on
+			// both prunes, so either side is correct.
+			t.tick++
+			goLeft = t.tick&1 == 0
+		}
+		if goLeft {
 			next := cur.left.Load()
 			if next == nil {
 				cur.left.Store(n)

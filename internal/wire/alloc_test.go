@@ -1,0 +1,69 @@
+//go:build !race
+
+// Alloc-budget gates (CI runs these with -run AllocBudget and no race
+// detector, whose instrumentation would skew the counts). The budgets
+// guard the two hot paths the streaming ingest engine leans on: frame
+// parsing must not allocate at all, and pooled encode must stay at most
+// one allocation per message once the pool is warm.
+
+package wire
+
+import "testing"
+
+func TestAllocBudgetFlowFrameParse(t *testing.T) {
+	recs := make([][]uint64, 64)
+	for i := range recs {
+		recs[i] = []uint64{uint64(i), uint64(i) * 3, 1 << 40, 7, 0}
+	}
+	buf := AppendFlowFrame(nil, 1, "index2-octets", 5, recs)
+	dst := make([]uint64, 5)
+	var sink uint64
+	allocs := testing.AllocsPerRun(200, func() {
+		f, err := ParseFlowFrame(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < f.Count; i++ {
+			r := f.Record(i, dst)
+			sink += r[0]
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("flow-frame parse allocates %.1f times per frame, want 0", allocs)
+	}
+	_ = sink
+}
+
+func TestAllocBudgetFlowFrameAppend(t *testing.T) {
+	recs := make([][]uint64, 64)
+	for i := range recs {
+		recs[i] = []uint64{uint64(i), 2, 3, 4, 5}
+	}
+	buf := AppendFlowFrame(nil, 1, "index2-octets", 5, recs)
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = AppendFlowFrame(buf[:0], 2, "index2-octets", 5, recs)
+	})
+	if allocs != 0 {
+		t.Fatalf("flow-frame append allocates %.1f times per frame with a reused buffer, want 0", allocs)
+	}
+}
+
+func TestAllocBudgetEncodePooled(t *testing.T) {
+	msg := &Insert{
+		ReqID:      7,
+		OriginAddr: "n000",
+		Index:      "index2-octets",
+		RecID:      9,
+		Rec:        []uint64{1, 2, 3, 4, 5},
+	}
+	// Warm the buffer and writer pools.
+	for i := 0; i < 8; i++ {
+		RecycleBuf(Encode(msg))
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		RecycleBuf(Encode(msg))
+	})
+	if allocs > 1 {
+		t.Fatalf("pooled encode allocates %.1f times per message, want <= 1", allocs)
+	}
+}

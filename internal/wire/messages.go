@@ -131,6 +131,9 @@ func Decode(data []byte) (Message, error) {
 		m = newBatchMessage(k)
 	}
 	if m == nil {
+		m = newStreamMessage(k)
+	}
+	if m == nil {
 		return nil, fmt.Errorf("wire: unknown message kind %d", data[0])
 	}
 	r := NewReader(data[1:])

@@ -1,0 +1,129 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func sampleFrameRecs() [][]uint64 {
+	return [][]uint64{
+		{1, 2, 3, 4, 5},
+		{0xffffffff, 1 << 40, 0, 7, 1},
+		{9, 8, 7, 6, 5},
+	}
+}
+
+func TestFlowFrameRoundTrip(t *testing.T) {
+	recs := sampleFrameRecs()
+	buf := AppendFlowFrame(nil, 42, "index2-octets", 5, recs)
+	f, err := ParseFlowFrame(buf)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if f.Seq != 42 {
+		t.Fatalf("seq = %d, want 42", f.Seq)
+	}
+	if string(f.Tag) != "index2-octets" {
+		t.Fatalf("tag = %q", f.Tag)
+	}
+	if f.Arity != 5 || f.Count != 3 {
+		t.Fatalf("arity=%d count=%d, want 5/3", f.Arity, f.Count)
+	}
+	dst := make([]uint64, f.Arity)
+	for i, want := range recs {
+		got := f.Record(i, dst)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("record %d attr %d = %d, want %d", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestFlowFrameEmpty(t *testing.T) {
+	buf := AppendFlowFrame(nil, 1, "t", 3, nil)
+	f, err := ParseFlowFrame(buf)
+	if err != nil {
+		t.Fatalf("parse empty frame: %v", err)
+	}
+	if f.Count != 0 || f.Arity != 3 {
+		t.Fatalf("count=%d arity=%d, want 0/3", f.Count, f.Arity)
+	}
+}
+
+func TestFlowFrameAppendReusesBuffer(t *testing.T) {
+	recs := sampleFrameRecs()
+	buf := AppendFlowFrame(nil, 1, "tag", 5, recs)
+	first := string(buf)
+	buf2 := AppendFlowFrame(buf[:0], 1, "tag", 5, recs)
+	if &buf2[0] != &buf[0] {
+		t.Fatalf("append did not reuse the buffer")
+	}
+	if string(buf2) != first {
+		t.Fatalf("re-encoded frame differs")
+	}
+}
+
+func TestFlowFrameMalformed(t *testing.T) {
+	good := AppendFlowFrame(nil, 7, "tag", 2, [][]uint64{{1, 2}, {3, 4}})
+	cases := map[string][]byte{
+		"empty":          {},
+		"wrong kind":     {byte(KindInsert), 0},
+		"truncated":      good[:len(good)-1],
+		"extra payload":  append(append([]byte(nil), good...), 0),
+		"bad tag length": {byte(KindFlowFrame), 1, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 1},
+		"missing arity":  {byte(KindFlowFrame), 1, 1, 't'},
+		"zero arity":     {byte(KindFlowFrame), 1, 1, 't', 0, 0},
+		"huge arity":     {byte(KindFlowFrame), 1, 1, 't', 255, 0},
+	}
+	// A count over MaxFlowFrameRecords must fail before any payload walk.
+	tooMany := []byte{byte(KindFlowFrame), 1, 1, 't', 2}
+	tooMany = append(tooMany, 0x81, 0x80, 0x84, 0x00) // uvarint > MaxFlowFrameRecords
+	cases["huge count"] = tooMany
+	for name, buf := range cases {
+		if _, err := ParseFlowFrame(buf); err == nil {
+			t.Errorf("%s: parse accepted malformed frame", name)
+		}
+	}
+	if _, err := ParseFlowFrame(good); err != nil {
+		t.Fatalf("control case failed: %v", err)
+	}
+}
+
+func TestStreamStatusRoundTrip(t *testing.T) {
+	in := &StreamStatus{
+		Seq:          99,
+		Received:     1000,
+		Accepted:     990,
+		Dropped:      10,
+		Acked:        980,
+		Failed:       5,
+		Queued:       5,
+		Backpressure: true,
+	}
+	data := Encode(in)
+	m, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	out, ok := m.(*StreamStatus)
+	if !ok {
+		t.Fatalf("decoded %T, want *StreamStatus", m)
+	}
+	if *out != *in {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+	RecycleBuf(data)
+}
+
+func TestFlowFrameKindDistinct(t *testing.T) {
+	// Flow frames must never collide with a codec message: Decode has to
+	// reject them rather than misparse.
+	buf := AppendFlowFrame(nil, 1, "t", 1, [][]uint64{{1}})
+	if _, err := Decode(buf); err == nil {
+		t.Fatalf("Decode accepted a flow frame")
+	}
+	if !bytes.Equal(buf[:1], []byte{byte(KindFlowFrame)}) {
+		t.Fatalf("kind byte not first")
+	}
+}
