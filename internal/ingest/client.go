@@ -195,6 +195,13 @@ func (c *Client) Latency() *metrics.Dist {
 // WaitSettled polls until the receiver has settled every record this
 // connection got admitted (acked+failed+dropped >= received) or the
 // deadline passes; it returns the final status.
+//
+// The Acked/Failed counters a listener reports are engine-wide deltas
+// since the connection opened (see Listener), so the settled comparison
+// is only exact when this connection is the engine's sole traffic
+// source — concurrent connections or direct Engine.Submit calls inflate
+// the counts and can settle the wait early. Run one connection per
+// engine when the settled signal matters.
 func (c *Client) WaitSettled(timeout time.Duration) wire.StreamStatus {
 	deadline := time.Now().Add(timeout)
 	for {

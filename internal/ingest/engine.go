@@ -151,7 +151,21 @@ func (e *Engine) Close() {
 	if !e.closed.CompareAndSwap(false, true) {
 		return
 	}
+	// Hold every shard's pushMu across the quit signal: a producer that
+	// saw closed==false completes its push before we acquire (the
+	// workers' final drain then consumes it), and any later producer
+	// re-checks closed under the lock and drops. Without this fence a
+	// push could land after a worker's final drain — counted accepted but
+	// never flushed, its pooled buffer stranded. Only Close multi-locks
+	// (producers take exactly one pushMu), so there is no ordering
+	// deadlock.
+	for _, s := range e.shards {
+		s.pushMu.Lock()
+	}
 	close(e.quit)
+	for _, s := range e.shards {
+		s.pushMu.Unlock()
+	}
 	e.wg.Wait()
 }
 
@@ -262,6 +276,14 @@ func (e *Engine) submit(tag string, rec schema.Record) bool {
 			return false
 		}
 		s.pushMu.Lock()
+		if e.closed.Load() {
+			// Re-check under pushMu: Close fences on this lock before the
+			// workers' final drain, so a push that proceeds here is
+			// guaranteed to be drained.
+			s.pushMu.Unlock()
+			e.droppedRing.Add(1)
+			return false
+		}
 		ok := s.ring.push(item{tag: tag, rec: rec})
 		s.pushMu.Unlock()
 		if ok {
@@ -423,10 +445,14 @@ type Stats struct {
 
 // Stats snapshots the engine counters.
 func (e *Engine) Stats() Stats {
+	// Load the drop counters before Received: every drop increments
+	// Received first, so this order guarantees the loaded Received covers
+	// the loaded drops and the Accepted subtraction cannot underflow
+	// against a concurrent submit.
 	st := Stats{
-		Received:       e.received.Load(),
 		DroppedRing:    e.droppedRing.Load(),
 		DroppedPending: e.droppedPending.Load(),
+		Received:       e.received.Load(),
 		Acked:          e.acked.Load(),
 		Failed:         e.failed.Load(),
 		PoolMisses:     e.poolMisses.Load(),

@@ -43,6 +43,14 @@ func (c *ListenerConfig) withDefaults() ListenerConfig {
 // length), exactly like the TCP transport's message frames; each
 // connection gets periodic StreamStatus answers with cumulative
 // counters and the backpressure bit.
+//
+// Status-frame Received/Accepted/Dropped are tracked per connection, but
+// Acked/Failed are engine-wide deltas since the connection opened: the
+// engine settles records without connection provenance. With several
+// concurrent connections (or direct Engine.Submit traffic) on one
+// engine, a connection's Acked/Failed include other sources' records —
+// precise settled accounting (Client.WaitSettled) needs one connection
+// per engine.
 type Listener struct {
 	ln     net.Listener
 	eng    *Engine

@@ -179,17 +179,18 @@ func (n *Node) InsertBatch(tag string, recs []schema.Record, cb func([]InsertRes
 		}
 	}
 	if grp != nil && len(grp.ids) > 0 {
-		// One timeout and one retransmission schedule for the whole batch
-		// (batchGroup): a no-longer-pending member makes both no-ops.
+		// One timeout for the whole batch (batchGroup): a
+		// no-longer-pending member makes it a no-op. The group's
+		// retransmission schedule is armed after the dispatch loop below —
+		// the loop still mutates the tracked messages (m.Hops) outside
+		// n.mu, and an armed schedule with a short RetryBase could fire
+		// concurrently and read them mid-write.
 		ids := grp.ids
 		n.clock.AfterFunc(n.cfg.InsertTimeout, func() {
 			for _, id := range ids {
 				n.finishInsert(id, InsertResult{OK: false, Err: errTimeout})
 			}
 		})
-		if n.retriesEnabled() {
-			n.clock.AfterFunc(n.retryDelayLocked(1), func() { n.resendInsertGroup(grp) })
-		}
 	}
 	n.mu.Unlock()
 
@@ -229,6 +230,16 @@ func (n *Node) InsertBatch(tag string, recs []schema.Record, cb func([]InsertRes
 			n.mu.Unlock()
 		}
 		n.sendGrouped(next, group)
+	}
+	// Arm the group retransmission schedule only now that every message
+	// is dispatched and immutable: from here on the tracked msgs are only
+	// read (resendInsertGroup snapshots them under n.mu). Members that
+	// already settled inline (locally-owned stores) just make the resend
+	// skip them.
+	if grp != nil && len(grp.ids) > 0 && n.retriesEnabled() {
+		n.mu.Lock()
+		n.clock.AfterFunc(n.retryDelayLocked(1), func() { n.resendInsertGroup(grp) })
+		n.mu.Unlock()
 	}
 	return nil
 }

@@ -117,6 +117,13 @@ func (n *Node) resendInsert(reqID uint64) {
 	op.attempt++
 	n.retransmits.Add(1)
 	msg := *op.msg
+	// Deep-copy the record: op.msg.Rec may alias a caller-owned (e.g.
+	// ingest-pooled) buffer that is recycled the instant the op settles,
+	// and the settle can race with the encode/send below once n.mu is
+	// released. finishInsert removes the op under n.mu before running its
+	// callback, so while the op is still tracked here the buffer cannot
+	// have been recycled yet — the copy taken under the lock is stable.
+	msg.Rec = append([]uint64(nil), op.msg.Rec...)
 	msg.Attempt = uint8(op.attempt)
 	exclude := op.lastHop
 	op.retry = n.clock.AfterFunc(n.retryDelayLocked(op.attempt+1), func() { n.resendInsert(reqID) })
@@ -192,6 +199,14 @@ func (n *Node) resendInsertGroup(g *batchGroup) {
 		}
 		op.attempt = attempt
 		msg := *op.msg
+		// Deep-copy the record while holding n.mu: op.msg.Rec aliases the
+		// submitter's buffer (the ingest engine recycles it through its
+		// record pool as soon as the op settles, and a new producer then
+		// overwrites it). A member can settle the moment the lock drops —
+		// finishInsert deletes the op under n.mu before its callback runs,
+		// so an op still tracked here cannot have been recycled yet, and
+		// the copy makes the retransmit immune to the settle that follows.
+		msg.Rec = append([]uint64(nil), op.msg.Rec...)
 		msg.Attempt = uint8(attempt)
 		work = append(work, resend{reqID: id, msg: msg, exclude: op.lastHop})
 	}

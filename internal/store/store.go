@@ -256,9 +256,9 @@ func (t *KD) query(n *kdNode, depth int, rect schema.Rect, out *[]schema.Record)
 	if inside {
 		*out = append(*out, n.rec)
 	}
-	// Insertion sends equal coordinates right, but median rebuilds may
-	// leave equal coordinates on either side — so both prunes must admit
-	// equality.
+	// Insertion alternates equal coordinates between sides (t.tick), and
+	// median rebuilds may also leave equal coordinates on either side —
+	// so both prunes must admit equality.
 	v := t.coord(n.rec, dim)
 	if rect.Lo[dim] <= v {
 		t.query(n.left.Load(), depth+1, rect, out)
