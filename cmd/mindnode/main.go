@@ -10,7 +10,9 @@
 // node's address. With -ingest-listen the node additionally accepts
 // line-rate streaming ingest: raw flow frames on a dedicated port, fed
 // through the sharded ingest engine into the same insert path
-// (cmd/mindload -stream drives it).
+// (cmd/mindload -stream drives it). With -http-listen the node serves
+// the operator surface (internal/ops): /healthz, /readyz, /stats,
+// /peers, /indices.
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 
 	"mind/internal/ingest"
 	"mind/internal/mind"
+	"mind/internal/ops"
 	"mind/internal/schema"
 	"mind/internal/transport"
 	"mind/internal/transport/tcpnet"
@@ -43,10 +46,25 @@ func main() {
 		ingestRing   = flag.Int("ingest-ring", 0, "per-shard ingest ring capacity (0 = 8192)")
 		ingestBlock  = flag.Bool("ingest-block", false, "block producers when ingest rings fill instead of dropping")
 		index2       = flag.Bool("index2", false, "create the paper's Index-2 at startup (bootstrap node only)")
+
+		httpListen = flag.String("http-listen", "", "HTTP address for the operator surface: /healthz /readyz /stats /peers /indices (empty = disabled)")
+
+		dialTimeout  = flag.Duration("dial-timeout", 0, "outbound connection attempt bound (0 = 5s default)")
+		writeTimeout = flag.Duration("write-timeout", 0, "per-frame write deadline; a peer stalled past this is evicted (0 = 10s default)")
+		sendQueue    = flag.Int("send-queue", 0, "per-peer bounded send-queue length (0 = 512 default)")
+
+		clientRate    = flag.Float64("client-rate-limit", 0, "per-client admission rate on client RPCs, req/s (0 = unlimited)")
+		clientBurst   = flag.Int("client-rate-burst", 0, "per-client admission burst (0 = rate)")
+		gossipRate    = flag.Float64("gossip-rate-limit", 0, "per-peer admission rate on flood gossip, msg/s (0 = unlimited)")
+		maxPendingOps = flag.Int("max-pending-ops", 0, "shed client inserts past this many in-flight tracked inserts (0 = unlimited)")
 	)
 	flag.Parse()
 
-	ep, err := tcpnet.Listen(*listen)
+	ep, err := tcpnet.ListenConfig(*listen, tcpnet.Config{
+		DialTimeout:  *dialTimeout,
+		WriteTimeout: *writeTimeout,
+		SendQueue:    *sendQueue,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -54,6 +72,10 @@ func main() {
 	cfg := mind.DefaultConfig(*seed)
 	cfg.Replication = *replication
 	cfg.QueryParallelism = *parallelism
+	cfg.ClientRateLimit = *clientRate
+	cfg.ClientRateBurst = *clientBurst
+	cfg.GossipRateLimit = *gossipRate
+	cfg.MaxPendingOps = *maxPendingOps
 	node := mind.NewNode(ep, transport.RealClock{}, cfg)
 
 	if *join == "" {
@@ -100,8 +122,22 @@ func main() {
 		fmt.Printf("mindnode: streaming ingest on %s (%d shards)\n", ingestLn.Addr(), runtime.GOMAXPROCS(0))
 	}
 
+	// Operator surface: health/readiness/stats/introspection over HTTP.
+	var opsSrv *ops.Server
+	if *httpListen != "" {
+		opsSrv, err = ops.Serve(*httpListen, node, ep, eng)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("mindnode: operator surface on http://%s\n", opsSrv.Addr())
+	}
+
 	shutdown := func() {
 		fmt.Println("mindnode: shutting down")
+		if opsSrv != nil {
+			opsSrv.Close()
+		}
 		if ingestLn != nil {
 			ingestLn.Close()
 		}

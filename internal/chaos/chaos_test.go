@@ -172,6 +172,43 @@ func TestReplayReproducesFirstViolation(t *testing.T) {
 	}
 }
 
+// TestStallScenario: a hand-written schedule that freezes one node for
+// just under the failure-detection window while the workload keeps
+// inserting. The stall defers traffic instead of dropping it, so every
+// insert must ack, no takeover may fire, and the run must end with zero
+// violations — the "GC-paused peer rides it out" contract.
+func TestStallScenario(t *testing.T) {
+	s := &Schedule{
+		Seed:        9,
+		Nodes:       6,
+		Replication: 1,
+		Events: []Event{
+			{Op: "insert", N: 8},
+			{Op: "settle", Ms: 3000},
+			{Op: "stall", A: 2, Ms: 1200}, // < FailAfter (1800ms): no takeover
+			{Op: "insert", N: 8},
+			{Op: "settle", Ms: 6000},
+			{Op: "check", N: 3},
+		},
+	}
+	res, err := Run(s, Options{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.InsertFailures != 0 {
+		t.Fatalf("%d/%d inserts failed under a sub-detection stall",
+			res.InsertFailures, res.Inserts)
+	}
+	if len(res.Violations) > 0 {
+		v := res.Violations[0]
+		t.Fatalf("%d violations; first: event %d [%s] %s",
+			len(res.Violations), v.Event, v.Invariant, v.Detail)
+	}
+	if res.IncompleteQueries != 0 {
+		t.Fatalf("%d incomplete queries after the thaw", res.IncompleteQueries)
+	}
+}
+
 // TestGenerateValid: generated schedules are structurally valid for a
 // spread of seeds — no kills of dead nodes, no restarts of live ones,
 // and the live floor holds throughout.

@@ -261,6 +261,9 @@ func (r *runner) apply(i int, ev Event) {
 	case "restorelink":
 		r.c.Net.RestoreLink(r.addr(ev.A), r.addr(ev.B))
 		r.logf("restorelink %s<->%s", r.addr(ev.A), r.addr(ev.B))
+	case "stall":
+		r.c.Net.StallNode(r.addr(ev.A), time.Duration(ev.Ms)*time.Millisecond)
+		r.logf("stall %s for %dms", r.addr(ev.A), ev.Ms)
 	case "insert":
 		r.insertBurst(ev.N)
 	case "settle":

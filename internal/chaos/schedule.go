@@ -33,6 +33,8 @@ import (
 //	reorder     P, Ms: reorder probability and window; P = 0 clears
 //	cutlink     A, B: sever one link both ways
 //	restorelink A, B: undo cutlink
+//	stall       A, Ms: freeze node A for Ms of virtual time; its
+//	            traffic is deferred until the thaw, not lost
 //	insert      N: insert N workload records via live nodes
 //	settle      Ms: run the network for Ms of virtual time
 //	check       N: converge, run the invariant suite, then N oracle
@@ -63,7 +65,7 @@ type Schedule struct {
 var knownOps = map[string]bool{
 	"kill": true, "restart": true, "partition": true, "heal": true,
 	"loss": true, "latency": true, "reorder": true,
-	"cutlink": true, "restorelink": true,
+	"cutlink": true, "restorelink": true, "stall": true,
 	"insert": true, "settle": true, "check": true,
 }
 
@@ -88,6 +90,13 @@ func (s *Schedule) Validate() error {
 		case "loss", "reorder":
 			if e.P < 0 || e.P > 1 {
 				return fmt.Errorf("chaos: event %d: probability %v out of [0,1]", i, e.P)
+			}
+		case "stall":
+			if e.A < 0 || e.A >= s.Nodes {
+				return fmt.Errorf("chaos: event %d: node %d out of range", i, e.A)
+			}
+			if e.Ms <= 0 {
+				return fmt.Errorf("chaos: event %d: stall needs a positive duration", i)
 			}
 		}
 	}
@@ -214,7 +223,7 @@ func Generate(seed int64, cfg GenConfig) *Schedule {
 	}
 
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		action := r.Intn(8)
+		action := r.Intn(9)
 		if len(dead) > 0 && liveCount() <= floor+1 {
 			action = 1 // bring capacity back before failing more
 		}
@@ -268,6 +277,12 @@ func Generate(seed int64, cfg GenConfig) *Schedule {
 			settle(1000)
 			insert()
 			add(Event{Op: "restorelink", A: a, B: b})
+			settle(4000)
+		case 8: // stalled peer: freeze one node mid-burst, thaw before
+			// failure detection (300–1199ms << FailAfter 1800ms) so the
+			// overlay must ride it out rather than take over
+			add(Event{Op: "stall", A: pickLive(), Ms: int64(300 + r.Intn(900))})
+			insert()
 			settle(4000)
 		}
 		if action == 1 { // restart (or fallback when killing is unsafe)

@@ -85,6 +85,7 @@ func Registry() map[string]Runner {
 		"ablation-recovery": AblationRecovery,
 
 		"ingest-stream": IngestStream,
+		"overload":      Overload,
 	}
 }
 

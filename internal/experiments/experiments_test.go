@@ -17,7 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 	for _, want := range []string{"fig1", "fig2", "fig3", "fig7", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "table17",
 		"ablation-cuts", "ablation-cutorder", "ablation-hist", "ablation-store",
-		"ablation-arch", "ablation-history", "ingest-stream"} {
+		"ablation-arch", "ablation-history", "ingest-stream", "overload"} {
 		found := false
 		for _, id := range ids {
 			if id == want {
@@ -339,5 +339,24 @@ func TestAblations(t *testing.T) {
 	}
 	if len(co.Tables) == 0 {
 		t.Error("cut-order report empty")
+	}
+}
+
+func TestOverloadShape(t *testing.T) {
+	r, err := Overload(testSeed, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Values["overload_accounting_ok"] != 1 {
+		t.Errorf("shed accounting broken: %v", r.Notes)
+	}
+	if r.Values["paced_acked_frac"] != 1 {
+		t.Errorf("paced client shed: acked frac %.2f", r.Values["paced_acked_frac"])
+	}
+	if r.Values["recovery_acked_frac"] != 1 {
+		t.Errorf("post-restart client shed: acked frac %.2f", r.Values["recovery_acked_frac"])
+	}
+	if r.Values["rt_flood_shed"] == 0 {
+		t.Error("flood produced no sheds: overload never engaged")
 	}
 }

@@ -715,6 +715,15 @@ func (o *Overlay) Handle(from string, m wire.Message) bool {
 
 func (o *Overlay) handleHeartbeat(from string, m *wire.Heartbeat) {
 	o.mu.Lock()
+	// An unjoined node must not attest: a restarted process listening on
+	// a dead node's address would otherwise ack heartbeats meant for its
+	// predecessor, keeping the ghost identity perpetually "fresh" (its
+	// death is never declared) and poisoning the sender's contact table
+	// with the joiner's pre-join code.
+	if !o.joined {
+		o.mu.Unlock()
+		return
+	}
 	o.learn(m.From)
 	self := wire.NodeInfo{Addr: o.ep.Addr(), Code: o.code}
 	o.mu.Unlock()
@@ -723,6 +732,10 @@ func (o *Overlay) handleHeartbeat(from string, m *wire.Heartbeat) {
 
 func (o *Overlay) handleHeartbeatAck(m *wire.HeartbeatAck) {
 	o.mu.Lock()
+	if !o.joined {
+		o.mu.Unlock()
+		return
+	}
 	o.learn(m.From)
 	o.mu.Unlock()
 }

@@ -260,6 +260,15 @@ func (o *Overlay) ProbeLiveness(suspect wire.NodeInfo, onReply func(alive bool))
 }
 
 func (o *Overlay) handleLivenessProbe(from string, m *wire.LivenessProbe) {
+	o.mu.Lock()
+	joined := o.joined
+	o.mu.Unlock()
+	if !joined {
+		// Same rule as heartbeats: a restarted, not-yet-joined process on
+		// a dead node's address must not attest its predecessor's
+		// liveness (ghost identity).
+		return
+	}
 	if m.Suspect.Addr == o.ep.Addr() {
 		// The probe reached the suspect itself: the most direct
 		// attestation possible.

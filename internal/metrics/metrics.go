@@ -245,6 +245,58 @@ func (r Reliability) String() string {
 		r.Requests, r.Retransmits, r.Acks, r.DedupHits)
 }
 
+// Transport condenses a managed transport's connection health: dial and
+// reconnect churn, frames dropped at the transport (bounded queues,
+// write deadlines, open circuits), and the peer-state census. Produced
+// by tcpnet.Endpoint.Health and served by the ops endpoint.
+type Transport struct {
+	Dials         uint64 `json:"dials"`
+	Reconnects    uint64 `json:"reconnects"`
+	Evictions     uint64 `json:"evictions"`
+	FramesSent    uint64 `json:"frames_sent"`
+	FramesDropped uint64 `json:"frames_dropped"`
+	WriteTimeouts uint64 `json:"write_timeouts"`
+	PeersDialing  int    `json:"peers_dialing"`
+	PeersHealthy  int    `json:"peers_healthy"`
+	PeersDegraded int    `json:"peers_degraded"`
+	PeersDead     int    `json:"peers_dead"`
+	InboundConns  int    `json:"inbound_conns"`
+}
+
+// DropFraction returns frames dropped per frame offered; NaN before the
+// first frame.
+func (t Transport) DropFraction() float64 {
+	total := t.FramesSent + t.FramesDropped
+	if total == 0 {
+		return math.NaN()
+	}
+	return float64(t.FramesDropped) / float64(total)
+}
+
+func (t Transport) String() string {
+	return fmt.Sprintf("dials=%d reconnects=%d evictions=%d sent=%d dropped=%d wtimeouts=%d peers=%d/%d/%d/%d (h/dg/dd/di) in=%d",
+		t.Dials, t.Reconnects, t.Evictions, t.FramesSent, t.FramesDropped, t.WriteTimeouts,
+		t.PeersHealthy, t.PeersDegraded, t.PeersDead, t.PeersDialing, t.InboundConns)
+}
+
+// Admission accumulates the node-level overload-protection counters:
+// client RPCs and gossip floods offered versus shed. The vocabulary
+// mirrors the ingest engine's drop/block admission control — shedding is
+// an explicit drop with a response, never a silent stall.
+type Admission struct {
+	ShedInserts uint64 `json:"shed_inserts"`
+	ShedQueries uint64 `json:"shed_queries"`
+	ShedGossip  uint64 `json:"shed_gossip"`
+}
+
+// Total returns all shed operations.
+func (a Admission) Total() uint64 { return a.ShedInserts + a.ShedQueries + a.ShedGossip }
+
+func (a Admission) String() string {
+	return fmt.Sprintf("shed_inserts=%d shed_queries=%d shed_gossip=%d",
+		a.ShedInserts, a.ShedQueries, a.ShedGossip)
+}
+
 // Counter tracks per-key integer loads (per-link traffic, per-node
 // storage).
 type Counter struct {

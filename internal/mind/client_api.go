@@ -51,7 +51,19 @@ func (n *Node) storeClientOpLocked(key uint64, st *clientOpState) {
 	n.clientSeen[key] = st
 }
 
+// shedAck refuses one client request under overload: an explicit shed
+// response, no execution, no dedup-cache entry (the retry must be
+// re-admitted as a fresh request).
+func (n *Node) shedAck(from string, reqID uint64) {
+	n.send(from, &wire.ClientAck{ReqID: reqID, OK: false, Shed: true, Error: "overloaded: request shed"})
+}
+
 func (n *Node) handleClientInsert(from string, m *wire.ClientInsert) {
+	if !n.admitClient(from, true) {
+		n.shedInserts.Add(1)
+		n.shedAck(from, m.ReqID)
+		return
+	}
 	key := clientOpKey(from, m.ReqID)
 	n.mu.Lock()
 	if st := n.clientOpLocked(key); st != nil {
@@ -90,6 +102,11 @@ func (n *Node) handleClientInsert(from string, m *wire.ClientInsert) {
 }
 
 func (n *Node) handleClientQuery(from string, m *wire.ClientQuery) {
+	if !n.admitClient(from, false) {
+		n.shedQueries.Add(1)
+		n.send(from, &wire.ClientQueryResp{ReqID: m.ReqID, Complete: false, Shed: true})
+		return
+	}
 	key := clientOpKey(from, m.ReqID) ^ clientQueryKeyMix
 	n.mu.Lock()
 	if st := n.clientOpLocked(key); st != nil && !st.done {
@@ -125,6 +142,11 @@ func (n *Node) handleClientQuery(from string, m *wire.ClientQuery) {
 }
 
 func (n *Node) handleClientCreateIndex(from string, m *wire.ClientCreateIndex) {
+	if !n.admitClient(from, false) {
+		n.shedInserts.Add(1)
+		n.shedAck(from, m.ReqID)
+		return
+	}
 	err := n.CreateIndex(m.Schema, nil)
 	ack := &wire.ClientAck{ReqID: m.ReqID, OK: err == nil}
 	if err != nil {
@@ -134,6 +156,11 @@ func (n *Node) handleClientCreateIndex(from string, m *wire.ClientCreateIndex) {
 }
 
 func (n *Node) handleClientDropIndex(from string, m *wire.ClientDropIndex) {
+	if !n.admitClient(from, false) {
+		n.shedInserts.Add(1)
+		n.shedAck(from, m.ReqID)
+		return
+	}
 	err := n.DropIndex(m.Tag)
 	ack := &wire.ClientAck{ReqID: m.ReqID, OK: err == nil}
 	if err != nil {

@@ -83,6 +83,34 @@ type Config struct {
 	// ordering guarantee for parallel local execution on real transports.
 	QueryParallelism int
 
+	// ClientRateLimit enables per-client token-bucket admission control
+	// on inbound client RPCs (ClientInsert / ClientQuery / index
+	// control), in requests per second per client address. A refused
+	// request is shed explicitly — ClientAck{Shed:true} or
+	// ClientQueryResp{Shed:true} — without recording its request id, so
+	// a later retry is re-admitted. 0 disables (the default: lab runs
+	// and the chaos harness see no admission at all).
+	ClientRateLimit float64
+	// ClientRateBurst is the bucket capacity (and a new client's opening
+	// balance); 0 defaults to ClientRateLimit.
+	ClientRateBurst int
+	// GossipRateLimit enables per-peer admission control on flood and
+	// control gossip (CreateIndex, DropIndex, HistInstall,
+	// RetireVersion, RegionRecall), in messages per second per peer.
+	// Refused floods are counted and dropped before the dedup mark, so
+	// the operation still propagates via another contact or a later
+	// arrival. 0 disables.
+	GossipRateLimit float64
+	// GossipRateBurst is the gossip bucket capacity; 0 defaults to
+	// GossipRateLimit.
+	GossipRateBurst int
+	// MaxPendingOps sheds new ClientInserts while the node already has
+	// this many tracked in-flight inserts — the node-level analogue of
+	// the ingest engine's ring bound, keeping a request flood from
+	// growing the retransmission layer's state without limit. 0
+	// disables.
+	MaxPendingOps int
+
 	// HistCollectWait is how long the designated aggregation node waits
 	// after the first histogram report before computing balanced cuts.
 	HistCollectWait time.Duration

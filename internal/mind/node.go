@@ -94,6 +94,13 @@ type Node struct {
 	// ClientInsert is idempotent (client_api.go).
 	clientSeen map[uint64]*clientOpState // mu
 	clientPrev map[uint64]*clientOpState // mu
+	// Admission control (admission.go). admMu is an independent leaf.
+	admMu         sync.Mutex
+	clientBuckets *bucketMap
+	gossipBuckets *bucketMap
+	shedInserts   atomic.Uint64
+	shedQueries   atomic.Uint64
+	shedGossip    atomic.Uint64
 	// tupleLinks counts insert tuples sent per outgoing overlay link
 	// ("self→peer"), the Fig 12 metric.
 	linkMu     sync.Mutex
@@ -112,20 +119,22 @@ type Node struct {
 // installs itself as the endpoint's handler.
 func NewNode(ep transport.Endpoint, clock transport.Clock, cfg Config) *Node {
 	n := &Node{
-		ep:         ep,
-		clock:      clock,
-		cfg:        cfg,
-		rng:        rand.New(rand.NewSource(cfg.Seed)),
-		indices:    make(map[string]*index),
-		inserts:    make(map[uint64]*insertOp),
-		queries:    make(map[uint64]*queryOp),
-		seenOps:    make(map[uint64]bool),
-		collect:    make(map[string]*histCollect),
-		addrTag:    hashAddr(ep.Addr()) ^ mix64(uint64(clock.Now().UnixNano())),
-		tupleLinks: make(map[string]uint64),
-		batches:    make(map[string]*peerBatch),
-		ansDedup:   newDedupSet(dedupCap),
-		clientSeen: make(map[uint64]*clientOpState),
+		ep:            ep,
+		clock:         clock,
+		cfg:           cfg,
+		rng:           rand.New(rand.NewSource(cfg.Seed)),
+		indices:       make(map[string]*index),
+		inserts:       make(map[uint64]*insertOp),
+		queries:       make(map[uint64]*queryOp),
+		seenOps:       make(map[uint64]bool),
+		collect:       make(map[string]*histCollect),
+		addrTag:       hashAddr(ep.Addr()) ^ mix64(uint64(clock.Now().UnixNano())),
+		tupleLinks:    make(map[string]uint64),
+		batches:       make(map[string]*peerBatch),
+		ansDedup:      newDedupSet(dedupCap),
+		clientSeen:    make(map[uint64]*clientOpState),
+		clientBuckets: newBucketMap(),
+		gossipBuckets: newBucketMap(),
 	}
 	n.ov = hypercube.New(ep, clock, cfg.Overlay, cfg.Seed^0x5f5e100, hypercube.Callbacks{
 		OnJoined:      n.onJoined,
@@ -226,6 +235,11 @@ type Stats struct {
 	AcksReceived uint64 // end-to-end acks received over the wire
 	DedupHits    uint64 // duplicate requests absorbed at this receiver
 
+	// Admission-control sheds (admission.go): explicit overload refusals.
+	ShedInserts uint64 // client inserts / index control refused
+	ShedQueries uint64 // client queries refused
+	ShedGossip  uint64 // flood/control gossip dropped at admission
+
 	// In-flight originator-side operations still awaiting an ack, a
 	// covering response, or their timeout. Both are zero at quiescence;
 	// the chaos harness asserts that after every settled epoch.
@@ -238,6 +252,7 @@ func (n *Node) Stats() Stats {
 	s := Stats{
 		Forwarded: n.forwarded.Load(), Stored: n.stored.Load(), Replicated: n.replicated.Load(),
 		Retransmits: n.retransmits.Load(), AcksReceived: n.acksReceived.Load(), DedupHits: n.dedupHits.Load(),
+		ShedInserts: n.shedInserts.Load(), ShedQueries: n.shedQueries.Load(), ShedGossip: n.shedGossip.Load(),
 	}
 	n.mu.Lock()
 	s.PendingInserts = len(n.inserts)
@@ -281,8 +296,9 @@ func (n *Node) countTuples(next string, k uint64) {
 // coalescing enabled the message buffers in the per-destination queue
 // instead of leaving immediately (batch.go). Both transports have
 // consumed the encoded bytes by the time Send returns (simnet copies,
-// tcpnet writes the frame), so the buffer recycles immediately; the
-// coalescer recycles after the envelope is built (batch.go).
+// tcpnet copies into its per-peer send queue), so the buffer recycles
+// immediately; the coalescer recycles after the envelope is built
+// (batch.go).
 func (n *Node) send(to string, m wire.Message) {
 	data := wire.Encode(m)
 	if n.batchingEnabled() {
@@ -320,6 +336,18 @@ func (n *Node) handleMessage(from string, m wire.Message) {
 	}
 	if n.ov.Handle(from, m) {
 		return
+	}
+	switch m.(type) {
+	case *wire.CreateIndex, *wire.DropIndex, *wire.HistInstall,
+		*wire.RetireVersion, *wire.RegionRecall:
+		// Flood/control gossip is redundant by construction (every
+		// receiver re-floods, ids dedup), so overload refusal here is a
+		// counted drop before markOp: the same operation arriving later
+		// or from another contact still propagates.
+		if !n.admitGossip(from) {
+			n.shedGossip.Add(1)
+			return
+		}
 	}
 	switch msg := m.(type) {
 	case *wire.Insert:
@@ -723,6 +751,30 @@ func (n *Node) Indices() []string {
 func (n *Node) HasIndex(tag string) bool {
 	_, ok := n.getIndex(tag)
 	return ok
+}
+
+// IndexInfo is one installed index's introspection view: tag, the
+// stored version set, and record counts. Served by the ops endpoint.
+type IndexInfo struct {
+	Tag            string   `json:"tag"`
+	Versions       []uint32 `json:"versions"`
+	PrimaryRecords int      `json:"primary_records"`
+	ReplicaRecords int      `json:"replica_records"`
+}
+
+// IndexInfos snapshots every installed index in ascending tag order.
+func (n *Node) IndexInfos() []IndexInfo {
+	ixs := n.sortedIndices()
+	out := make([]IndexInfo, 0, len(ixs))
+	for _, ix := range ixs {
+		out = append(out, IndexInfo{
+			Tag:            ix.sch.Tag,
+			Versions:       ix.primary.Versions(),
+			PrimaryRecords: ix.primary.Len(),
+			ReplicaRecords: ix.replicas.Len(),
+		})
+	}
+	return out
 }
 
 // StoredRecords returns the primary record count for an index (all

@@ -107,6 +107,7 @@ type Network struct {
 	cutLinks  map[linkKey]bool      // bidirectional cuts stored both ways
 	partCuts  map[linkKey]bool      // cross-group cuts owned by Partition/Heal
 	outages   map[linkKey]time.Time // link down until the given time
+	stalls    map[string]time.Time  // node frozen until the given time
 	linkLat   map[linkKey]time.Duration
 	// Reordering: with probability reorderProb a message's delivery is
 	// delayed by an extra uniform draw in [0, reorderWindow], letting
@@ -135,6 +136,7 @@ func New(cfg Config) *Network {
 		cutLinks:  make(map[linkKey]bool),
 		partCuts:  make(map[linkKey]bool),
 		outages:   make(map[linkKey]time.Time),
+		stalls:    make(map[string]time.Time),
 		linkLat:   make(map[linkKey]time.Duration),
 		linkBusy:  make(map[linkKey]time.Time),
 		nodeBusy:  make(map[string]time.Time),
@@ -370,6 +372,29 @@ func (n *Network) Outage(a, b string, d time.Duration) {
 	n.outages[linkKey{b, a}] = until
 }
 
+// StallNode freezes the node at addr for d of virtual time: a stalled
+// process stops draining and filling its sockets, so messages to or
+// from it are buffered rather than lost and deliver only once the
+// stall ends — the frozen-connection behavior of a GC pause or a
+// CPU-starved peer, as opposed to the packet loss of Kill or Outage.
+// Overlapping stalls extend to the latest end time.
+func (n *Network) StallNode(addr string, d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	until := n.now.Add(d)
+	if cur, ok := n.stalls[addr]; !ok || until.After(cur) {
+		n.stalls[addr] = until
+	}
+}
+
+// Stalled reports whether addr is currently inside a StallNode window.
+func (n *Network) Stalled(addr string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	until, ok := n.stalls[addr]
+	return ok && n.now.Before(until)
+}
+
 // Stats summarizes traffic since creation.
 type Stats struct {
 	Sent, Delivered, Dropped uint64
@@ -461,6 +486,21 @@ func (n *Network) send(from, to string, msg []byte) error {
 	procStart := arrive
 	if busy, ok := n.nodeBusy[to]; ok && busy.After(procStart) {
 		procStart = busy
+	}
+	// A stalled endpoint neither transmits nor drains its sockets: the
+	// message sits buffered and is processed once the stall ends.
+	// Applying the push before the nodeBusy update keeps FIFO order, so
+	// the backlog drains in sequence after the thaw.
+	for _, a := range [2]string{from, to} {
+		if until, ok := n.stalls[a]; ok {
+			if n.now.Before(until) {
+				if until.After(procStart) {
+					procStart = until
+				}
+			} else {
+				delete(n.stalls, a)
+			}
+		}
 	}
 	done := procStart.Add(n.cfg.ServiceTime)
 	if n.cfg.ServiceTime > 0 {

@@ -586,6 +586,85 @@ func TestSetLinkLatency(t *testing.T) {
 	}
 }
 
+// TestStallNodeDefersDelivery: a stalled node's traffic is frozen, not
+// lost — messages to (and from) it sit buffered and deliver in order at
+// the thaw, and traffic after the stall window is unaffected.
+func TestStallNodeDefersDelivery(t *testing.T) {
+	n := New(Config{Seed: 1, DefaultLatency: 10 * time.Millisecond})
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	var order []byte
+	var times []time.Time
+	b.SetHandler(func(_ string, msg []byte) {
+		order = append(order, msg[0])
+		times = append(times, n.Now())
+	})
+
+	start := n.Now()
+	n.StallNode("b", 100*time.Millisecond)
+	if !n.Stalled("b") {
+		t.Fatal("Stalled false inside the window")
+	}
+	a.Send("b", []byte{1})
+	a.Send("b", []byte{2})
+	n.RunFor(50 * time.Millisecond)
+	if len(order) != 0 {
+		t.Fatalf("delivered %d messages mid-stall", len(order))
+	}
+	n.RunFor(100 * time.Millisecond)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("post-thaw backlog = %v, want [1 2]", order)
+	}
+	for i, at := range times {
+		if d := at.Sub(start); d != 100*time.Millisecond {
+			t.Fatalf("message %d delivered at %v, want the thaw at 100ms", i, d)
+		}
+	}
+	if n.Stalled("b") {
+		t.Fatal("Stalled true after the window")
+	}
+	// Nothing was dropped: the stall defers, Kill/Outage lose.
+	if st := n.Stats(); st.Dropped != 0 || st.Delivered != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// After the thaw, latency is back to normal.
+	start = n.Now()
+	a.Send("b", []byte{3})
+	n.Run(0)
+	if d := times[2].Sub(start); d != 10*time.Millisecond {
+		t.Fatalf("post-stall delivery at %v, want 10ms", d)
+	}
+
+	// A stalled *sender* is frozen too: its outbound bytes drain at the
+	// thaw.
+	start = n.Now()
+	n.StallNode("a", 80*time.Millisecond)
+	a.Send("b", []byte{4})
+	n.Run(0)
+	if d := times[3].Sub(start); d != 80*time.Millisecond {
+		t.Fatalf("stalled sender delivered at %v, want the thaw at 80ms", d)
+	}
+}
+
+// TestStallNodeOverlap: overlapping stalls extend to the latest end.
+func TestStallNodeOverlap(t *testing.T) {
+	n := New(Config{Seed: 1, DefaultLatency: time.Millisecond})
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	var at time.Time
+	b.SetHandler(func(string, []byte) { at = n.Now() })
+
+	start := n.Now()
+	n.StallNode("b", 100*time.Millisecond)
+	n.StallNode("b", 30*time.Millisecond) // shorter overlap must not shrink
+	a.Send("b", []byte{1})
+	n.Run(0)
+	if d := at.Sub(start); d != 100*time.Millisecond {
+		t.Fatalf("delivered at %v, want 100ms", d)
+	}
+}
+
 // TestReorderOvertakes checks that with reordering enabled some messages
 // arrive out of send order, and that SetReorder(0, 0) restores strict
 // FIFO-per-link delivery.

@@ -1,0 +1,266 @@
+package tcpnet
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// fastCfg keeps connection-management timing test-sized.
+func fastCfg() Config {
+	return Config{
+		DialTimeout:    500 * time.Millisecond,
+		WriteTimeout:   300 * time.Millisecond,
+		SendQueue:      8,
+		EnqueueTimeout: 150 * time.Millisecond,
+		ReconnectBase:  5 * time.Millisecond,
+		ReconnectMax:   50 * time.Millisecond,
+		FailThreshold:  2,
+	}
+}
+
+// TestPeerLifecycle walks one managed peer through its full state
+// machine: dialing → dead against a refused port (with the dial counter
+// bounded by backoff, not one dial per frame), then → healthy when a
+// listener appears on that address, with the recovery counted as a
+// reconnect.
+func TestPeerLifecycle(t *testing.T) {
+	a, err := ListenConfig("127.0.0.1:0", fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	// Reserve an address, then free it so dials are refused.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := l.Addr().String()
+	l.Close()
+
+	// Pump frames until the circuit opens.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("circuit never opened")
+		}
+		a.Send(target, []byte("x"))
+		if st, ok := a.PeerState(target); ok && st == StateDead {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// With ReconnectMax 50ms, five seconds of failures cannot have
+	// produced more than ~1s/5ms worth of dials; the point is that dial
+	// attempts are clocked by backoff, not by offered frames.
+	st := a.NetStats()
+	if len(st.Peers) != 1 {
+		t.Fatalf("peer table: %+v", st.Peers)
+	}
+	ps := st.Peers[0]
+	if ps.State != "dead" || ps.ConsecFails < 2 {
+		t.Fatalf("dead peer stats: %+v", ps)
+	}
+	if ps.Dials == 0 || ps.Dials > 200 {
+		t.Fatalf("dials = %d, want bounded by backoff", ps.Dials)
+	}
+	if ps.DropsWrite+ps.DropsBackoff == 0 {
+		t.Fatal("no drops counted for an unreachable peer")
+	}
+
+	// Bring the peer up on the reserved address: background probing must
+	// recover the connection and deliver.
+	b, err := ListenConfig(target, fastCfg())
+	if err != nil {
+		t.Skipf("rebind %s: %v (port taken)", target, err)
+	}
+	defer b.Close()
+	got := make(chan struct{}, 1)
+	b.SetHandler(func(string, []byte) {
+		select {
+		case got <- struct{}{}:
+		default:
+		}
+	})
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("peer never recovered after listener came up")
+		}
+		a.Send(target, []byte("y"))
+		if st, ok := a.PeerState(target); ok && st == StateHealthy {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	select {
+	case <-got:
+	case <-time.After(2 * time.Second):
+		t.Fatal("no delivery after recovery")
+	}
+	ps = a.NetStats().Peers[0]
+	if ps.Reconnects == 0 {
+		t.Fatalf("recovery not counted as reconnect: %+v", ps)
+	}
+	if ps.ConsecFails != 0 {
+		t.Fatalf("consec fails not reset on recovery: %+v", ps)
+	}
+}
+
+// TestListenerRestartMidTraffic restarts the receiving endpoint while
+// the sender streams frames at it. Delivery must resume on the restarted
+// listener, the outage must be visible in the reconnect/eviction
+// counters, and the dial count must stay bounded by backoff rather than
+// scaling with the frames offered during the outage.
+func TestListenerRestartMidTraffic(t *testing.T) {
+	a, err := ListenConfig("127.0.0.1:0", fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenConfig("127.0.0.1:0", fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bAddr := b.Addr()
+	got := make(chan struct{}, 1024)
+	handler := func(string, []byte) {
+		select {
+		case got <- struct{}{}:
+		default:
+		}
+	}
+	b.SetHandler(handler)
+
+	a.Send(bAddr, []byte("warm"))
+	select {
+	case <-got:
+	case <-time.After(2 * time.Second):
+		t.Fatal("no delivery before restart")
+	}
+
+	// Take the listener down and keep the traffic flowing into the
+	// outage: frames drop (counted), dials are paced by backoff.
+	b.Close()
+	for i := 0; i < 200; i++ {
+		a.Send(bAddr, []byte("during-outage"))
+		time.Sleep(time.Millisecond)
+	}
+
+	var b2 *Endpoint
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		b2, err = ListenConfig(bAddr, fastCfg())
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("rebind: %v", err)
+	}
+	defer b2.Close()
+	for len(got) > 0 {
+		<-got
+	}
+	b2.SetHandler(handler)
+
+	deadline = time.Now().Add(5 * time.Second)
+	delivered := false
+	for time.Now().Before(deadline) && !delivered {
+		a.Send(bAddr, []byte("after-restart"))
+		select {
+		case <-got:
+			delivered = true
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	if !delivered {
+		t.Fatal("no delivery after listener restart")
+	}
+
+	ps := a.NetStats().Peers[0]
+	if ps.State != "healthy" {
+		t.Fatalf("peer not healthy after recovery: %+v", ps)
+	}
+	if ps.Evictions == 0 {
+		t.Fatalf("outage left no eviction trace: %+v", ps)
+	}
+	if ps.Reconnects == 0 {
+		t.Fatalf("recovery not counted as reconnect: %+v", ps)
+	}
+	// 200 frames went into the outage; backoff pacing means dials must be
+	// far fewer than frames offered.
+	if ps.Dials > 100 {
+		t.Fatalf("dials = %d for ~200 offered frames: reconnect storm", ps.Dials)
+	}
+}
+
+// TestSlowPeerEviction points the sender at a raw TCP listener that
+// accepts and then never reads: the socket fills, the per-frame write
+// deadline expires, and the connection must be evicted with the stall
+// counted — while every Send returns within the bounded enqueue wait
+// instead of hanging on the frozen peer.
+func TestSlowPeerEviction(t *testing.T) {
+	cfg := fastCfg()
+	a, err := ListenConfig("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan net.Conn, 4)
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- c // held open, never read
+		}
+	}()
+	defer func() {
+		for {
+			select {
+			case c := <-accepted:
+				c.Close()
+			default:
+				return
+			}
+		}
+	}()
+
+	// Large frames fill the 64KiB write buffer and the kernel socket
+	// buffer quickly; after that writes stall until the deadline.
+	frame := make([]byte, 256<<10)
+	maxWait := cfg.EnqueueTimeout + cfg.WriteTimeout + time.Second
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("write deadline never fired against a non-reading peer")
+		}
+		start := time.Now()
+		a.Send(l.Addr().String(), frame)
+		if d := time.Since(start); d > maxWait {
+			t.Fatalf("Send blocked %v, want < %v (bounded sender blocking)", d, maxWait)
+		}
+		ps := a.NetStats().Peers[0]
+		if ps.WriteTimeouts > 0 {
+			if ps.Evictions == 0 {
+				t.Fatalf("write timeout without eviction: %+v", ps)
+			}
+			if ps.State == "healthy" {
+				t.Fatalf("stalled peer still healthy: %+v", ps)
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

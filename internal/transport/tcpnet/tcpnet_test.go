@@ -120,10 +120,10 @@ func TestReconnectAfterPeerRestart(t *testing.T) {
 	defer b2.Close()
 	b2.SetHandler(handler)
 
-	// a's cached connection is stale; Send must recover via re-dial.
-	// The first write into a half-dead TCP connection can succeed at the
-	// OS level, so allow a few attempts.
-	deadline = time.Now().Add(2 * time.Second)
+	// a's managed connection is stale; the peer writer must recover via
+	// re-dial. The first write into a half-dead TCP connection can
+	// succeed at the OS level, so allow a few attempts.
+	deadline = time.Now().Add(4 * time.Second)
 	for time.Now().Before(deadline) {
 		a.Send(bAddr, []byte("two"))
 		mu.Lock()
@@ -141,12 +141,32 @@ func TestReconnectAfterPeerRestart(t *testing.T) {
 	}
 }
 
+// TestSendToNowhere: dialing happens on the peer's writer goroutine, so
+// the first Send to an unreachable peer queues without error; once the
+// dial failures cross FailThreshold the circuit opens and Send reports
+// the dead peer synchronously.
 func TestSendToNowhere(t *testing.T) {
-	a, _ := Listen("127.0.0.1:0")
-	defer a.Close()
-	if err := a.Send("127.0.0.1:1", []byte("x")); err == nil {
-		t.Fatal("send to closed port succeeded")
+	a, err := ListenConfig("127.0.0.1:0", Config{
+		ReconnectBase: time.Millisecond,
+		ReconnectMax:  5 * time.Millisecond,
+		FailThreshold: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
+	defer a.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := a.Send("127.0.0.1:1", []byte("x")); err != nil {
+			st, ok := a.PeerState("127.0.0.1:1")
+			if !ok || st != StateDead {
+				t.Fatalf("send errored but peer state = %v, %v", st, ok)
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("circuit never opened for unreachable peer")
 }
 
 func TestClosedEndpointSend(t *testing.T) {
@@ -194,20 +214,20 @@ func TestFrameCodec(t *testing.T) {
 	if err := writeFrame(&buf, []byte("abc")); err != nil {
 		t.Fatal(err)
 	}
-	got, err := readFrame(&buf)
+	got, err := readFrame(&buf, 0)
 	if err != nil || string(got) != "abc" {
 		t.Fatalf("frame = %q, %v", got, err)
 	}
 	// Oversized frame header rejected.
 	var huge bytes.Buffer
 	huge.Write([]byte{0xff, 0xff, 0xff, 0xff})
-	if _, err := readFrame(&huge); err == nil {
+	if _, err := readFrame(&huge, 0); err == nil {
 		t.Fatal("oversized frame accepted")
 	}
 	// Truncated payload.
 	var trunc bytes.Buffer
 	trunc.Write([]byte{0, 0, 0, 10, 1, 2})
-	if _, err := readFrame(&trunc); err == nil {
+	if _, err := readFrame(&trunc, 0); err == nil {
 		t.Fatal("truncated frame accepted")
 	}
 }

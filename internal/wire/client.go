@@ -130,6 +130,11 @@ type ClientAck struct {
 	OK    bool
 	Error string
 	Hops  uint8
+	// Shed reports that the node refused the request under overload
+	// (admission control) without executing it. The client should retry
+	// later — the request id was NOT recorded, so the retry is a fresh
+	// request, not a duplicate.
+	Shed bool
 }
 
 func (m *ClientAck) Kind() Kind { return KindClientAck }
@@ -138,12 +143,14 @@ func (m *ClientAck) encode(w *Writer) {
 	w.Bool(m.OK)
 	w.String(m.Error)
 	w.U8(m.Hops)
+	w.Bool(m.Shed)
 }
 func (m *ClientAck) decode(r *Reader) {
 	m.ReqID = r.Uvarint()
 	m.OK = r.Bool()
 	m.Error = r.String()
 	m.Hops = r.U8()
+	m.Shed = r.Bool()
 }
 
 // ClientQueryResp answers ClientQuery with the assembled results.
@@ -152,12 +159,15 @@ type ClientQueryResp struct {
 	Complete   bool
 	Responders uint32
 	Recs       [][]uint64
+	// Shed reports overload refusal, as in ClientAck.
+	Shed bool
 }
 
 func (m *ClientQueryResp) Kind() Kind { return KindClientQueryResp }
 func (m *ClientQueryResp) encode(w *Writer) {
 	w.Uvarint(m.ReqID)
 	w.Bool(m.Complete)
+	w.Bool(m.Shed)
 	w.Uvarint(uint64(m.Responders))
 	w.Uvarint(uint64(len(m.Recs)))
 	for _, rec := range m.Recs {
@@ -167,6 +177,7 @@ func (m *ClientQueryResp) encode(w *Writer) {
 func (m *ClientQueryResp) decode(r *Reader) {
 	m.ReqID = r.Uvarint()
 	m.Complete = r.Bool()
+	m.Shed = r.Bool()
 	m.Responders = uint32(r.Uvarint())
 	n := r.Uvarint()
 	if n > MaxSliceLen {

@@ -144,9 +144,10 @@ func getBuf(n int) []byte {
 // must not touch the buffer afterwards. Recycling is strictly optional —
 // buffers that are retained (replica payloads, ring-recovery state) are
 // simply never recycled — but transports that consume the bytes
-// synchronously (simnet copies inside Send; tcpnet writes the frame
-// before returning) can recycle immediately after Send returns, which
-// removes the dominant per-message allocation from the hot path.
+// synchronously (simnet copies inside Send; tcpnet copies into its
+// per-peer send queue before returning) can recycle immediately after
+// Send returns, which removes the dominant per-message allocation from
+// the hot path.
 func RecycleBuf(b []byte) {
 	if cap(b) == 0 || cap(b) > maxPooledBuf {
 		return
