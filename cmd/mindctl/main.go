@@ -5,12 +5,19 @@
 //	mindctl -node 127.0.0.1:7001 insert -index index2-octets -rec 167772161,120,200000,2886729728,3
 //	mindctl -node 127.0.0.1:7001 query  -index index2-octets -lo 0,0,100000 -hi 4294967295,86400,2097152
 //	mindctl -node 127.0.0.1:7001 drop-index -index index2-octets
+//	mindctl skew -nodes 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003
+//
+// skew probes every listed node for its overlay identity, membership
+// epoch and per-(index, version) tree-epoch table, prints them side by
+// side, and exits non-zero if any version's tree epoch differs across
+// nodes — the operator check for a cluster stuck mid-reversion.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -38,7 +45,7 @@ func main() {
 	defer ep.Close()
 
 	var mu sync.Mutex
-	respCh := make(chan wire.Message, 1)
+	respCh := make(chan wire.Message, 64)
 	ep.SetHandler(func(from string, data []byte) {
 		m, err := wire.Decode(data)
 		if err != nil {
@@ -54,6 +61,19 @@ func main() {
 
 	var req wire.Message
 	switch cmd {
+	case "skew":
+		fs := flag.NewFlagSet("skew", flag.ExitOnError)
+		nodes := fs.String("nodes", "", "comma-separated node addresses (default: the -node flag)")
+		fs.Parse(rest)
+		list := []string{*node}
+		if *nodes != "" {
+			list = strings.Split(*nodes, ",")
+			for i := range list {
+				list[i] = strings.TrimSpace(list[i])
+			}
+		}
+		runSkew(ep, respCh, list, *timeout)
+		return
 	case "create-index":
 		req = buildCreateIndex(rest)
 	case "drop-index":
@@ -88,6 +108,106 @@ func main() {
 	case <-time.After(*timeout):
 		die("timed out waiting for %s", *node)
 	}
+}
+
+// runSkew probes each node for its version-epoch table and reports
+// cluster-wide disagreements. Exits 0 with no skew, 1 with skew or
+// unreachable nodes.
+func runSkew(ep *tcpnet.Endpoint, respCh chan wire.Message, nodes []string, timeout time.Duration) {
+	type row struct {
+		addr    string
+		code    string
+		epoch   uint64
+		entries []wire.TreeSyncEntry
+	}
+	byAddr := make(map[string]*row, len(nodes))
+	for i, addr := range nodes {
+		if err := ep.Send(addr, wire.Encode(&wire.ClientVersions{ReqID: uint64(i + 1)})); err != nil {
+			fmt.Fprintf(os.Stderr, "send %s: %v\n", addr, err)
+		}
+	}
+	deadline := time.After(timeout)
+	for len(byAddr) < len(nodes) {
+		select {
+		case m := <-respCh:
+			r, ok := m.(*wire.ClientVersionsResp)
+			if !ok {
+				continue
+			}
+			byAddr[r.Addr] = &row{addr: r.Addr, code: r.Code, epoch: r.Epoch, entries: r.Entries}
+		case <-deadline:
+			goto report
+		}
+	}
+report:
+	missing := 0
+	for _, addr := range nodes {
+		if byAddr[addr] == nil {
+			fmt.Printf("%-22s UNREACHABLE\n", addr)
+			missing++
+			continue
+		}
+		r := byAddr[addr]
+		fmt.Printf("%-22s code=%-12s membership-epoch=%d\n", r.addr, r.code, r.epoch)
+		for _, e := range r.entries {
+			fmt.Printf("    %s v%d epoch=%d\n", e.Index, e.Version, e.Epoch)
+		}
+	}
+	// Skew: any (index, version) present on multiple nodes with
+	// disagreeing tree epochs, or present on some responders but not
+	// others.
+	type key struct {
+		index   string
+		version uint32
+	}
+	epochs := make(map[key]map[uint64][]string)
+	for _, r := range byAddr {
+		for _, e := range r.entries {
+			k := key{e.Index, e.Version}
+			if epochs[k] == nil {
+				epochs[k] = make(map[uint64][]string)
+			}
+			epochs[k][e.Epoch] = append(epochs[k][e.Epoch], r.addr)
+		}
+	}
+	keys := make([]key, 0, len(epochs))
+	for k := range epochs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].index != keys[j].index {
+			return keys[i].index < keys[j].index
+		}
+		return keys[i].version < keys[j].version
+	})
+	skewed := 0
+	for _, k := range keys {
+		byEpoch := epochs[k]
+		holders := 0
+		es := make([]uint64, 0, len(byEpoch))
+		for e, addrs := range byEpoch {
+			holders += len(addrs)
+			es = append(es, e)
+			sort.Strings(addrs)
+		}
+		sort.Slice(es, func(i, j int) bool { return es[i] < es[j] })
+		if len(byEpoch) > 1 || holders != len(byAddr) {
+			skewed++
+			fmt.Printf("SKEW %s v%d:", k.index, k.version)
+			for _, e := range es {
+				fmt.Printf(" epoch=%d@%s", e, strings.Join(byEpoch[e], ","))
+			}
+			if holders != len(byAddr) {
+				fmt.Printf(" (missing on %d node(s))", len(byAddr)-holders)
+			}
+			fmt.Println()
+		}
+	}
+	if skewed == 0 && missing == 0 {
+		fmt.Printf("no version skew across %d node(s)\n", len(byAddr))
+		return
+	}
+	os.Exit(1)
 }
 
 func buildCreateIndex(rest []string) wire.Message {
@@ -148,7 +268,7 @@ func parseU64s(s string) []uint64 {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mindctl -node <addr> <create-index|drop-index|insert|query> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: mindctl -node <addr> <create-index|drop-index|insert|query|skew> [flags]")
 	os.Exit(2)
 }
 

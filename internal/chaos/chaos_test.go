@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -123,10 +124,12 @@ func TestScheduleRoundTrip(t *testing.T) {
 }
 
 // TestReplayReproducesFirstViolation: a hand-written schedule that
-// checks while a partition is still open must fail (the overlay has no
-// split-brain reconciliation, so both sides take over each other's
-// regions), and replaying the dumped schedule must hit the same first
-// violated invariant — the property that makes shrinking meaningful.
+// checks while a partition is STILL OPEN must fail — epoch fencing
+// reconciles split-brain only after the heal, so an unhealed partition
+// leaves both sides covering each other's regions and the cover
+// invariant genuinely broken — and replaying the dumped schedule must
+// hit the same first violated invariant, the property that makes
+// shrinking meaningful.
 func TestReplayReproducesFirstViolation(t *testing.T) {
 	s := &Schedule{
 		Seed:        7,
@@ -206,6 +209,179 @@ func TestStallScenario(t *testing.T) {
 	}
 	if res.IncompleteQueries != 0 {
 		t.Fatalf("%d incomplete queries after the thaw", res.IncompleteQueries)
+	}
+}
+
+// TestLongPartitionReconciliation: a partition that outlives the
+// failure-detection window makes both sides declare the other dead and
+// take over its regions — two fenced primaries per disputed code. After
+// the heal, the estranged probes detect the collisions, the
+// higher-epoch (lower-address on ties) side wins each dispute, and the
+// losers re-insert their primaries and step down; the settled check
+// must then see one exact cover and lose no acked record.
+func TestLongPartitionReconciliation(t *testing.T) {
+	s := &Schedule{
+		Seed:        11,
+		Nodes:       6,
+		Replication: 1,
+		Events: []Event{
+			{Op: "insert", N: 10},
+			{Op: "settle", Ms: 3000},
+			{Op: "partition", Cut: 2},
+			{Op: "settle", Ms: 6000}, // ≫ FailAfter: fenced takeovers on both sides
+			{Op: "insert", N: 6},     // mid-partition traffic; cross-side inserts may time out
+			{Op: "heal"},
+			{Op: "settle", Ms: 24000}, // estranged probes + dispute + reinsertion
+			{Op: "insert", N: 6},
+			{Op: "check", N: 3},
+		},
+	}
+	res, err := Run(s, Options{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(res.Violations) > 0 {
+		path := dumpFailing(t, s)
+		v := res.Violations[0]
+		for _, line := range res.Log {
+			t.Log(line)
+		}
+		t.Fatalf("%d violations; first: event %d [%s] %s; schedule dumped to %s",
+			len(res.Violations), v.Event, v.Invariant, v.Detail, path)
+	}
+}
+
+// TestReversionScenario: two full §3.7 cycles under live traffic. Each
+// reversion crosses a version boundary mid-workload, so the checks
+// exercise dual-version query fan-out (rects spanning old and new
+// versions) and the exact-cover and oracle invariants must stay green
+// throughout.
+func TestReversionScenario(t *testing.T) {
+	s := &Schedule{
+		Seed:        13,
+		Nodes:       6,
+		Replication: 1,
+		Events: []Event{
+			{Op: "insert", N: 10},
+			{Op: "settle", Ms: 2000},
+			{Op: "reversion"},
+			{Op: "insert", N: 10},
+			{Op: "settle", Ms: 4000},
+			{Op: "check", N: 3},
+			{Op: "reversion"},
+			{Op: "insert", N: 10},
+			{Op: "settle", Ms: 4000},
+			{Op: "check", N: 3},
+		},
+	}
+	res, err := Run(s, Options{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Reversions != 2 {
+		t.Fatalf("expected 2 reversions, got %d", res.Reversions)
+	}
+	if len(res.Violations) > 0 {
+		path := dumpFailing(t, s)
+		v := res.Violations[0]
+		for _, line := range res.Log {
+			t.Log(line)
+		}
+		t.Fatalf("%d violations; first: event %d [%s] %s; schedule dumped to %s",
+			len(res.Violations), v.Event, v.Invariant, v.Detail, path)
+	}
+}
+
+// TestReversionDuringPartition is the acceptance scenario: a version
+// flip crosses a partition that outlives FailAfter. Both fenced halves
+// run the reversion cycle independently — two competing cut trees for
+// the same version, each flooded on its own side — and traffic lands on
+// both. After the heal, the membership dispute resolves via epoch
+// fencing, the tree-epoch anti-entropy converges every node on the
+// higher-epoch tree (reshuffling records embedded under the loser), and
+// the settled check must pass exact-cover, version-agreement and the
+// differential oracle.
+func TestReversionDuringPartition(t *testing.T) {
+	s := &Schedule{
+		Seed:        17,
+		Nodes:       6,
+		Replication: 1,
+		Events: []Event{
+			{Op: "insert", N: 10},
+			{Op: "settle", Ms: 3000},
+			{Op: "partition", Cut: 2},
+			{Op: "settle", Ms: 2500}, // > FailAfter: both sides fence and take over
+			{Op: "reversion"},        // each side installs its own next-version cuts
+			{Op: "insert", N: 8},
+			{Op: "heal"},
+			{Op: "settle", Ms: 24000},
+			{Op: "insert", N: 8},
+			{Op: "check", N: 3},
+		},
+	}
+	res, err := Run(s, Options{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Reversions != 1 {
+		t.Fatalf("expected 1 reversion, got %d", res.Reversions)
+	}
+	if len(res.Violations) > 0 {
+		path := dumpFailing(t, s)
+		v := res.Violations[0]
+		for _, line := range res.Log {
+			t.Log(line)
+		}
+		t.Fatalf("%d violations; first: event %d [%s] %s; schedule dumped to %s",
+			len(res.Violations), v.Event, v.Invariant, v.Detail, path)
+	}
+}
+
+// TestRetirementScenario: with RetainVersions=1, the second reversion
+// (installing version 2) retires version 0 everywhere — cut tree,
+// primary and replica snapshots — and the runner purges the oracle to
+// match. The check's full-range queries then span retired, live and
+// never-installed versions and must still reconcile.
+func TestRetirementScenario(t *testing.T) {
+	s := &Schedule{
+		Seed:           19,
+		Nodes:          5,
+		Replication:    1,
+		RetainVersions: 1,
+		Events: []Event{
+			{Op: "insert", N: 8},
+			{Op: "settle", Ms: 2000},
+			{Op: "reversion"},
+			{Op: "insert", N: 8},
+			{Op: "settle", Ms: 2000},
+			{Op: "check", N: 2},
+			{Op: "reversion"},
+			{Op: "insert", N: 8},
+			{Op: "settle", Ms: 4000},
+			{Op: "check", N: 3},
+		},
+	}
+	res, err := Run(s, Options{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	purged := false
+	for _, line := range res.Log {
+		if strings.Contains(line, "oracle purge:") {
+			purged = true
+		}
+	}
+	if !purged {
+		t.Fatal("retention never purged the oracle")
+	}
+	if len(res.Violations) > 0 {
+		path := dumpFailing(t, s)
+		v := res.Violations[0]
+		for _, line := range res.Log {
+			t.Log(line)
+		}
+		t.Fatalf("%d violations; first: event %d [%s] %s; schedule dumped to %s",
+			len(res.Violations), v.Event, v.Invariant, v.Detail, path)
 	}
 }
 

@@ -3,10 +3,12 @@ package chaos
 import (
 	"fmt"
 	"math/big"
+	"sort"
 	"time"
 
 	"mind/internal/bitstr"
 	"mind/internal/cluster"
+	"mind/internal/mind"
 )
 
 // Violation is one invariant failure, anchored to the schedule event
@@ -226,6 +228,67 @@ func CheckReplicaSets(snaps []cluster.NodeState, cfg CheckConfig) []string {
 	return out
 }
 
+// CheckVersionAgreement: at a settled checkpoint every live joined node
+// holding an index must agree on its per-version tree state — same
+// version set, same tree epoch, same retirement markers. The install
+// flood plus the heartbeat digest anti-entropy are supposed to converge
+// this even across healed partitions where both sides ran their own
+// reversion; a lasting disagreement means inserts and queries for that
+// version are being decomposed under different embeddings on different
+// nodes.
+func CheckVersionAgreement(snaps []cluster.NodeState) []string {
+	var out []string
+	type refState struct {
+		addr  string
+		trees map[uint32]mind.TreeInfo
+	}
+	refs := make(map[string]refState)
+	for _, s := range liveJoined(snaps) {
+		for _, info := range s.Indices {
+			cur := make(map[uint32]mind.TreeInfo, len(info.Trees))
+			versions := make([]uint32, 0, len(info.Trees))
+			for _, t := range info.Trees {
+				cur[t.Version] = t
+				versions = append(versions, t.Version)
+			}
+			ref, ok := refs[info.Tag]
+			if !ok {
+				refs[info.Tag] = refState{addr: s.Addr, trees: cur}
+				continue
+			}
+			for _, v := range versions { // ascending: IndexInfos sorts entries
+				t := cur[v]
+				rt, ok := ref.trees[v]
+				switch {
+				case !ok:
+					out = append(out, fmt.Sprintf(
+						"%s has tree %s/v%d (epoch %d retired=%v) unknown to %s",
+						s.Addr, info.Tag, v, t.Epoch, t.Retired, ref.addr))
+				case rt != t:
+					out = append(out, fmt.Sprintf(
+						"%s tree %s/v%d epoch %d retired=%v, but %s has epoch %d retired=%v",
+						s.Addr, info.Tag, v, t.Epoch, t.Retired,
+						ref.addr, rt.Epoch, rt.Retired))
+				}
+			}
+			missing := make([]uint32, 0)
+			for v := range ref.trees {
+				if _, ok := cur[v]; !ok {
+					missing = append(missing, v)
+				}
+			}
+			sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
+			for _, v := range missing {
+				rt := ref.trees[v]
+				out = append(out, fmt.Sprintf(
+					"%s lacks tree %s/v%d (epoch %d retired=%v on %s)",
+					s.Addr, info.Tag, v, rt.Epoch, rt.Retired, ref.addr))
+			}
+		}
+	}
+	return out
+}
+
 // CheckQuiescence: once the workload has drained and the network has
 // settled, no live node may still be tracking in-flight originator-side
 // inserts or queries — a nonzero count means a callback leaked or a
@@ -259,6 +322,7 @@ func CheckAll(snaps []cluster.NodeState, cfg CheckConfig) []Violation {
 		{"contacts", CheckContacts(snaps, cfg)},
 		{"routability", CheckRoutability(snaps, cfg)},
 		{"replica-set", CheckReplicaSets(snaps, cfg)},
+		{"version-agreement", CheckVersionAgreement(snaps)},
 	} {
 		for _, d := range c.details {
 			out = append(out, Violation{Invariant: c.name, Detail: d})

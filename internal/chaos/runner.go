@@ -39,7 +39,7 @@ func Schema() *schema.Schema {
 // nodeConfig is the per-node configuration for chaos clusters: the fast
 // overlay timings the package tests use (so failure detection fits in
 // seconds of virtual time) with the schedule's replication degree.
-func nodeConfig(replication int) mind.Config {
+func nodeConfig(replication, retain int) mind.Config {
 	cfg := mind.DefaultConfig(0) // cluster.New re-seeds per node
 	cfg.Overlay.HeartbeatInterval = 500 * time.Millisecond
 	cfg.Overlay.FailAfter = 1800 * time.Millisecond
@@ -50,6 +50,8 @@ func nodeConfig(replication int) mind.Config {
 	cfg.InsertTimeout = 20 * time.Second
 	cfg.QueryTimeout = 20 * time.Second
 	cfg.VersionSeconds = 3600
+	cfg.HistCollectWait = 2 * time.Second
+	cfg.RetainVersions = retain
 	return cfg
 }
 
@@ -80,6 +82,7 @@ type Result struct {
 	Queries           int
 	IncompleteQueries int
 	OracleRecords     int
+	Reversions        int
 }
 
 // runner holds the mutable state of one schedule execution.
@@ -133,7 +136,7 @@ func Run(s *Schedule, opt Options) (*Result, error) {
 		N:    s.Nodes,
 		Seed: s.Seed,
 		Sim:  simnet.Config{Seed: s.Seed, DefaultLatency: 5 * time.Millisecond},
-		Node: nodeConfig(s.Replication),
+		Node: nodeConfig(s.Replication, s.RetainVersions),
 		OnEvent: func(kind, detail string) {
 			r.logf("cluster %s %s", kind, detail)
 		},
@@ -268,9 +271,68 @@ func (r *runner) apply(i int, ev Event) {
 		r.insertBurst(ev.N)
 	case "settle":
 		r.c.Settle(time.Duration(ev.Ms) * time.Millisecond)
+	case "reversion":
+		r.reversion()
 	case "check":
 		r.check(i, ev)
 	}
+}
+
+// reversion drives one §3.7 cycle under whatever fault conditions are
+// currently active: every live joined node reports its histogram for the
+// workload's current version period (the reports route to the designated
+// aggregator — or, mid-partition, to each side's own aggregator), the
+// collection window and install flood run, and the workload clock jumps
+// into the next version period so subsequent traffic crosses the
+// boundary. With retention enabled, versions falling out of the window
+// auto-retire on install, and the oracle is purged to match.
+func (r *runner) reversion() {
+	day := uint32(r.tsec / 3600)
+	reports := 0
+	for _, i := range r.c.LiveIndices() {
+		nd := r.c.Nodes[i]
+		if !nd.Joined() || !nd.HasIndex(Tag) {
+			continue
+		}
+		if err := nd.ReportHistogram(Tag, day, 8); err == nil {
+			reports++
+		}
+	}
+	// Collection window plus slack for the install flood (and its
+	// retransmissions) to spread.
+	r.c.Settle(nodeConfig(r.s.Replication, r.s.RetainVersions).HistCollectWait + 4*time.Second)
+	r.tsec = (uint64(day) + 1) * 3600
+	r.flows = nil
+	r.res.Reversions++
+	r.logf("reversion: day=%d reports=%d, workload enters version %d", day, reports, day+1)
+	if r.s.RetainVersions > 0 {
+		r.purgeRetired(day + 1)
+	}
+}
+
+// purgeRetired mirrors auto-retirement into the oracle: when version
+// newV installs, every node drops versions more than RetainVersions
+// behind it, so the oracle must stop expecting those records. Their uids
+// move to the ambiguous set — after the sweep they must not come back,
+// but a query racing the retirement flood may still surface one.
+func (r *runner) purgeRetired(newV uint32) {
+	if uint64(newV) <= uint64(r.s.RetainVersions) {
+		return
+	}
+	horizon := uint64(newV) - uint64(r.s.RetainVersions)
+	kept := baseline.NewOracle(r.sch)
+	dropped := 0
+	for _, rec := range r.oracle.Query(r.sch.FullRect()) {
+		if rec[1]/3600 < horizon {
+			delete(r.acked, rec[3])
+			r.maybe[rec[3]] = true
+			dropped++
+			continue
+		}
+		kept.Insert(rec)
+	}
+	r.oracle = kept
+	r.logf("oracle purge: %d records of versions below %d retired", dropped, horizon)
 }
 
 // nextOrigin rotates over nodes that can originate operations: live,
@@ -354,10 +416,11 @@ func (r *runner) checkConfig() CheckConfig {
 			targets[nd.Addr()] = nd.ReplicaTargets()
 		}
 	}
+	cfg := nodeConfig(r.s.Replication, r.s.RetainVersions)
 	return CheckConfig{
 		Replication:         r.s.Replication,
-		MaxContactsPerLevel: nodeConfig(r.s.Replication).Overlay.MaxContactsPerLevel,
-		FailAfter:           nodeConfig(r.s.Replication).Overlay.FailAfter,
+		MaxContactsPerLevel: cfg.Overlay.MaxContactsPerLevel,
+		FailAfter:           cfg.Overlay.FailAfter,
 		Now:                 r.c.Net.Now(),
 		DeadSince:           r.deadSince,
 		ReplicaTargets:      targets,
@@ -369,12 +432,15 @@ func (r *runner) check(evIdx int, ev Event) {
 	r.checkCount++
 	runInv := r.opt.CheckEvery <= 1 || (r.checkCount-1)%r.opt.CheckEvery == 0
 
-	// Converge: takeovers and re-joins may still be in flight ("modulo
-	// in-flight takeovers"); give the overlay bounded extra time to close
-	// the cover before judging it.
+	// Converge: takeovers, re-joins and tree anti-entropy may still be in
+	// flight ("modulo in-flight takeovers"); give the overlay bounded
+	// extra time to close the cover and agree on version epochs before
+	// judging them.
 	rounds := 0
 	for ; rounds < 15; rounds++ {
-		if r.c.AllJoined() && len(CheckCover(r.c.Snapshot())) == 0 {
+		snaps := r.c.Snapshot()
+		if r.c.AllJoined() && len(CheckCover(snaps)) == 0 &&
+			len(CheckVersionAgreement(snaps)) == 0 {
 			break
 		}
 		r.c.Settle(2 * time.Second)

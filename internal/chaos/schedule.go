@@ -37,6 +37,10 @@ import (
 //	            traffic is deferred until the thaw, not lost
 //	insert      N: insert N workload records via live nodes
 //	settle      Ms: run the network for Ms of virtual time
+//	reversion   run the §3.7 reversion cycle: every live node reports
+//	            its histogram, the designated node computes and floods
+//	            next-version cuts, and the workload clock jumps into
+//	            the new version period
 //	check       N: converge, run the invariant suite, then N oracle
 //	            queries and a quiescence check
 type Event struct {
@@ -55,10 +59,15 @@ type Event struct {
 // derived deterministically from Seed, so Schedule + Seed is the entire
 // reproduction recipe.
 type Schedule struct {
-	Seed        int64   `json:"seed"`
-	Nodes       int     `json:"nodes"`
-	Replication int     `json:"replication"`
-	Events      []Event `json:"events"`
+	Seed        int64 `json:"seed"`
+	Nodes       int   `json:"nodes"`
+	Replication int   `json:"replication"`
+	// RetainVersions, when > 0, enables mind.Config.RetainVersions on
+	// every node: a reversion that installs version V auto-retires
+	// versions more than RetainVersions behind it, and the runner purges
+	// the same versions from its oracle.
+	RetainVersions int     `json:"retain_versions,omitempty"`
+	Events         []Event `json:"events"`
 }
 
 // knownOps guards Validate against typoed hand-edited schedules.
@@ -66,7 +75,7 @@ var knownOps = map[string]bool{
 	"kill": true, "restart": true, "partition": true, "heal": true,
 	"loss": true, "latency": true, "reorder": true,
 	"cutlink": true, "restorelink": true, "stall": true,
-	"insert": true, "settle": true, "check": true,
+	"insert": true, "settle": true, "check": true, "reversion": true,
 }
 
 // Validate rejects malformed schedules before any cluster is built.
@@ -158,13 +167,17 @@ func (c GenConfig) withDefaults() GenConfig {
 // keeps at least max(3, Nodes/2) nodes alive so the overlay always has a
 // quorum to repair with.
 //
-// Partitions are kept shorter than the failure-detection window
-// (FailAfter) on purpose: the overlay has no split-brain reconciliation
-// (DESIGN.md "Simulation testing & invariants"), so a partition that
-// outlives failure detection makes both sides take over each other's
-// regions and the code-cover invariant genuinely breaks — replayable
-// with a hand-written schedule, but not a default any-seed-must-pass
-// condition.
+// Partitions come in two flavors: transient ones healed inside the
+// failure-detection window (the overlay must ride them out), and long
+// ones that outlive FailAfter, where both sides declare the other dead
+// and take over its regions. The latter used to be excluded — the
+// overlay had no split-brain reconciliation — but membership epochs now
+// fence every takeover, so after the heal the estranged-probe/dispute
+// machinery deterministically picks one primary per region and the
+// loser re-inserts its records; the post-heal settle gives that time to
+// converge before the check. Reversion epochs similarly make a §3.7
+// cycle safe to run mid-schedule (even mid-partition): competing cut
+// trees for the same version converge on the higher tree epoch.
 func Generate(seed int64, cfg GenConfig) *Schedule {
 	cfg = cfg.withDefaults()
 	r := rand.New(rand.NewSource(seed))
@@ -223,7 +236,7 @@ func Generate(seed int64, cfg GenConfig) *Schedule {
 	}
 
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		action := r.Intn(9)
+		action := r.Intn(11)
 		if len(dead) > 0 && liveCount() <= floor+1 {
 			action = 1 // bring capacity back before failing more
 		}
@@ -282,6 +295,25 @@ func Generate(seed int64, cfg GenConfig) *Schedule {
 			// failure detection (300–1199ms << FailAfter 1800ms) so the
 			// overlay must ride it out rather than take over
 			add(Event{Op: "stall", A: pickLive(), Ms: int64(300 + r.Intn(900))})
+			insert()
+			settle(4000)
+		case 9: // long partition: outlives FailAfter, so both sides fence
+			// their membership epochs and take over each other's regions;
+			// traffic lands mid-partition, and the post-heal settle covers
+			// estranged probes, dispute resolution and record reinsertion
+			if liveCount() >= 4 {
+				cut := 1 + r.Intn(liveCount()-1)
+				add(Event{Op: "partition", Cut: cut})
+				settle(int64(4000 + r.Intn(4000)))
+				insert()
+				add(Event{Op: "heal"})
+				settle(24000)
+			}
+			insert()
+		case 10: // reversion: run the §3.7 cycle mid-traffic, so inserts
+			// and queries cross a version boundary under live load
+			insert()
+			add(Event{Op: "reversion"})
 			insert()
 			settle(4000)
 		}

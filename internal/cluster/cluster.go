@@ -295,6 +295,7 @@ type NodeState struct {
 	Code    bitstr.Code
 	Overlay hypercube.Snapshot
 	Stats   mind.Stats
+	Indices []mind.IndexInfo
 }
 
 // Snapshot captures every node's state (including dead slots, flagged),
@@ -312,6 +313,7 @@ func (c *Cluster) Snapshot() []NodeState {
 			st.Joined = st.Overlay.Joined
 			st.Code = st.Overlay.Code
 			st.Stats = nd.Stats()
+			st.Indices = nd.IndexInfos()
 		}
 		out = append(out, st)
 	}

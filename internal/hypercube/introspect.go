@@ -30,10 +30,16 @@ type ContactState struct {
 // invariant checker consumes these; nothing in the overlay reads them
 // back.
 type Snapshot struct {
-	Addr     string
-	Joined   bool
-	Code     bitstr.Code
+	Addr   string
+	Joined bool
+	Code   bitstr.Code
+	// Epoch is the membership-fencing epoch (see Overlay.Epoch).
+	Epoch    uint64
 	Contacts []ContactState // ascending by Addr
+	// Estranged lists addresses this node declared dead and still probes
+	// for a post-heal reconnection, ascending.
+	Estranged []string
+	Recon     ReconStats
 }
 
 // Snapshot captures the overlay's current membership view. Contacts are
@@ -46,8 +52,14 @@ func (o *Overlay) Snapshot() Snapshot {
 		Addr:     o.ep.Addr(),
 		Joined:   o.joined,
 		Code:     o.code,
+		Epoch:    o.epoch,
 		Contacts: make([]ContactState, 0, len(o.contacts)),
+		Recon:    o.recon,
 	}
+	for addr := range o.estranged {
+		s.Estranged = append(s.Estranged, addr)
+	}
+	sort.Strings(s.Estranged)
 	for _, c := range o.contacts {
 		s.Contacts = append(s.Contacts, ContactState{
 			Addr:        c.info.Addr,

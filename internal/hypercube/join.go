@@ -21,7 +21,7 @@ func (o *Overlay) Join(seed string) {
 		o.mu.Unlock()
 		return
 	}
-	o.joining = &joinAttempt{seed: seed}
+	o.joining = &joinAttempt{seeds: []string{seed}}
 	o.mu.Unlock()
 	o.joinLookup()
 }
@@ -37,7 +37,10 @@ func (o *Overlay) joinLookup() {
 	j.attempt++
 	j.reqID = uint64(j.attempt)<<32 | uint64(o.rng.Uint32())
 	target := bitstr.New(o.rng.Uint64()>>(64-uint(o.cfg.LookupDepth)), o.cfg.LookupDepth)
-	seed := j.seed
+	// Rotate through the seed list across attempts: a post-step-down
+	// rejoin must not spin forever on a winner that died before the
+	// rejoin completed.
+	seed := j.seeds[(j.attempt-1)%len(j.seeds)]
 	reqID := j.reqID
 	if j.timer != nil {
 		j.timer.Stop()
@@ -274,6 +277,10 @@ func (o *Overlay) commitSplit() {
 	}
 	oldCode := o.code
 	o.code = oldCode.Append(0)
+	// A committed split is a membership change: bump the fencing epoch
+	// and hand it to the joiner, so both halves of the new region outrank
+	// any stale claim on the old one.
+	o.epoch++
 	o.repairAttempts = make(map[int]int)
 	joinerCode := oldCode.Append(1)
 	joiner := wire.NodeInfo{Addr: s.joinerAddr, Code: joinerCode}
@@ -283,6 +290,7 @@ func (o *Overlay) commitSplit() {
 		ReqID:   s.reqID,
 		NewCode: joinerCode,
 		Sibling: selfNew,
+		Epoch:   o.epoch,
 	}
 	var peers []string
 	for addr, c := range o.contacts {
@@ -321,12 +329,20 @@ func (o *Overlay) handleJoinAccept(m *wire.JoinAccept) {
 	o.joining = nil
 	o.joined = true
 	o.code = m.NewCode
+	if m.Epoch > o.epoch {
+		o.epoch = m.Epoch
+	}
 	o.repairAttempts = make(map[int]int)
 	o.learn(m.Sibling)
 	for _, n := range m.Neighbors {
 		o.learnGossip(n)
 	}
-	o.scheduleHeartbeatLocked()
+	// A rejoin after a step-down already has a live heartbeat chain
+	// (heartbeatTick reschedules itself while unjoined); starting a
+	// second one would double the heartbeat rate forever.
+	if !o.hbRunning {
+		o.scheduleHeartbeatLocked()
+	}
 	self := wire.NodeInfo{Addr: o.ep.Addr(), Code: o.code}
 	var peers []string
 	for addr := range o.contacts {

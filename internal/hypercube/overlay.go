@@ -44,9 +44,38 @@ type Callbacks struct {
 	CanResume func(target bitstr.Code) bool
 	// OnContactDead fires when a contact is declared failed.
 	OnContactDead func(info wire.NodeInfo)
+	// OnContactMoved fires (from the heartbeat tick, at most one tick
+	// after the observation) when a contact is seen claiming a
+	// different code than before, or enters the table fresh: the peer
+	// may have relocated or rejoined after a step-down. Hosts holding
+	// per-peer state keyed to a code (e.g. §3.4 history pointers)
+	// revalidate it here — fresh entries are included because a peer
+	// can be evicted under its old code and only reappear after the
+	// move, so a strict change-only signal would miss it.
+	OnContactMoved func(info wire.NodeInfo)
+	// OnRegionDead fires when a takeover names a region's code as dead
+	// — a code-level death notice, reaching even hosts that no longer
+	// track the dead node as a contact (OnContactDead cannot reach
+	// those). Hosts clear per-region delegations (§3.4 history
+	// pointers) aimed into the region.
+	OnRegionDead func(dead bitstr.Code)
 	// IndexDefs supplies the current index definitions included in join
 	// accepts.
 	IndexDefs func() []wire.IndexDef
+	// VersionDigest supplies the host's current tree-version digest,
+	// carried on heartbeats and acks so peers can detect version skew
+	// without extra round trips (anti-entropy for missed HistInstall
+	// floods). Zero means "all indices at base version".
+	VersionDigest func() uint64
+	// OnVersionSkew fires when a heartbeat exchange reveals a peer whose
+	// version digest differs from ours. The host decides who is behind
+	// (via a TreeSync exchange); the overlay only reports the mismatch.
+	OnVersionSkew func(peer wire.NodeInfo)
+	// OnStepDown fires when this node lost an ownership dispute after a
+	// healed split-brain and is about to rejoin through the winner. The
+	// host should arrange to re-insert the primary records it holds for
+	// regions it no longer owns once the rejoin completes (OnJoined).
+	OnStepDown func(winner wire.NodeInfo)
 }
 
 type contact struct {
@@ -81,16 +110,44 @@ type Overlay struct {
 
 	joined bool
 	code   bitstr.Code
+	// epoch is the monotonic membership-fencing epoch (§3.8 hardening):
+	// bumped on bootstrap, committed splits, takeovers, relocations and
+	// every death declaration, and adopted (max) from join accepts. Two
+	// primaries claiming overlapping regions after a healed partition
+	// resolve the dispute deterministically: higher epoch wins, lower
+	// address breaks ties.
+	epoch uint64
 
 	contacts map[string]*contact
+	// estranged records peers this node itself declared dead, so that a
+	// heal after a long partition actually reconnects the fenced halves:
+	// without it two disjoint overlays would never exchange another
+	// message and the split-brain would persist silently. Entries are
+	// heartbeat-probed every tick until direct traffic resurrects the
+	// peer or the TTL expires.
+	estranged map[string]estrangedEntry
+	// probeMuted rate-limits collision probes per disputed address: every
+	// heartbeat from a conflicting peer re-detects the same dispute.
+	probeMuted map[string]time.Time
+	// hintMuted rate-limits third-party collision hints per claimant
+	// pair. Disputes between two equal-code primaries are invisible to
+	// the pair itself — equal-code nodes are never each other's
+	// contacts, so they never heartbeat — and only a bystander that
+	// hears from both can connect them.
+	hintMuted map[string]time.Time
+	// moved queues contacts observed under a changed code since the
+	// last heartbeat tick; the tick drains it into OnContactMoved.
+	moved []wire.NodeInfo
+	recon ReconStats
 
 	joining *joinAttempt
 	split   *splitState
 	pending *pendingPrepare
 
-	hbTimer transport.Timer
-	hbSeq   uint64
-	closed  bool
+	hbTimer   transport.Timer
+	hbSeq     uint64
+	hbRunning bool
+	closed    bool
 	// repairAttempts counts consecutive failed level-repair lookups per
 	// neighbor level; persistent emptiness despite repair is the
 	// evidence that the level's whole region is dead.
@@ -111,10 +168,33 @@ type Overlay struct {
 }
 
 type joinAttempt struct {
-	reqID   uint64
-	seed    string
+	reqID uint64
+	// seeds are tried round-robin across attempts. A plain Join has one;
+	// a post-step-down rejoin lists the dispute winner first and the
+	// previous contact table as fallbacks, so a winner that dies before
+	// the rejoin completes does not strand the loser in a retry loop.
+	seeds   []string
 	timer   transport.Timer
 	attempt int
+}
+
+type estrangedEntry struct {
+	info wire.NodeInfo
+	at   time.Time
+}
+
+// ReconStats counts split-brain reconciliation events.
+type ReconStats struct {
+	// CollisionsDetected counts (rate-limited) observations of a peer
+	// claiming a code equal to or prefix-related with our own.
+	CollisionsDetected uint64
+	// CollisionsWon counts disputes this node won (the peer steps down).
+	CollisionsWon uint64
+	// CollisionsLost counts disputes this node lost.
+	CollisionsLost uint64
+	// StepDowns counts times this node left the overlay to rejoin through
+	// a dispute winner.
+	StepDowns uint64
 }
 
 type splitState struct {
@@ -145,6 +225,9 @@ func New(ep transport.Endpoint, clock transport.Clock, cfg Config, seed int64, c
 		livenessWait:   make(map[uint64]func(bool)),
 		repairAttempts: make(map[int]int),
 		tombstones:     make(map[string]time.Time),
+		estranged:      make(map[string]estrangedEntry),
+		probeMuted:     make(map[string]time.Time),
+		hintMuted:      make(map[string]time.Time),
 	}
 }
 
@@ -154,8 +237,23 @@ func (o *Overlay) Bootstrap() {
 	o.mu.Lock()
 	o.joined = true
 	o.code = bitstr.Empty
+	o.epoch = 1
 	o.mu.Unlock()
 	o.startHeartbeats()
+}
+
+// Epoch returns the node's current membership-fencing epoch.
+func (o *Overlay) Epoch() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.epoch
+}
+
+// Recon returns the reconciliation counters.
+func (o *Overlay) Recon() ReconStats {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.recon
 }
 
 // Code returns the node's current overlay code.
@@ -244,6 +342,7 @@ func (o *Overlay) learnContact(info wire.NodeInfo, direct bool) {
 	now := o.clock.Now()
 	if direct {
 		delete(o.tombstones, info.Addr)
+		delete(o.estranged, info.Addr)
 	} else if ts, ok := o.tombstones[info.Addr]; ok {
 		if now.Sub(ts) < 4*o.cfg.FailAfter {
 			return
@@ -251,6 +350,9 @@ func (o *Overlay) learnContact(info wire.NodeInfo, direct bool) {
 		delete(o.tombstones, info.Addr)
 	}
 	if c, ok := o.contacts[info.Addr]; ok {
+		if !c.info.Code.Equal(info.Code) {
+			o.moved = append(o.moved, info)
+		}
 		c.info = info
 		if direct {
 			c.lastSeen = now
@@ -279,6 +381,7 @@ func (o *Overlay) learnContact(info wire.NodeInfo, direct bool) {
 		}
 		delete(o.contacts, stalest.info.Addr)
 	}
+	o.moved = append(o.moved, info)
 	o.contacts[info.Addr] = &contact{info: info, lastSeen: now}
 }
 
@@ -368,6 +471,7 @@ func (o *Overlay) scheduleHeartbeatLocked() {
 	if o.closed || o.cfg.HeartbeatInterval <= 0 {
 		return
 	}
+	o.hbRunning = true
 	o.hbTimer = o.clock.AfterFunc(o.cfg.HeartbeatInterval, o.heartbeatTick)
 }
 
@@ -377,6 +481,10 @@ func (o *Overlay) scheduleHeartbeatLocked() {
 // if our direct link is down); only a negative or absent probe reply
 // declares it dead (§3.8).
 func (o *Overlay) heartbeatTick() {
+	var digest uint64
+	if o.cb.VersionDigest != nil {
+		digest = o.cb.VersionDigest()
+	}
 	o.mu.Lock()
 	if o.closed || !o.joined {
 		o.scheduleHeartbeatLocked()
@@ -407,10 +515,17 @@ func (o *Overlay) heartbeatTick() {
 			targets = append(targets, addr) // keep attempting reconnection
 		case now.Sub(c.suspectAt) > o.cfg.FailAfter && c.attestedAt.Before(c.suspectAt):
 			// Probe window elapsed and no attestation arrived within it:
-			// dead.
+			// dead. Bump the fencing epoch — takeovers and relocations
+			// derived from this declaration carry the bumped epoch, so if
+			// the "dead" peer was merely partitioned away the side that
+			// reorganized outranks the side that idled. Remember the
+			// corpse as estranged: should the partition heal, the probes
+			// reconnect the halves and trigger reconciliation.
 			dead = append(dead, c.info)
 			delete(o.contacts, addr)
 			o.tombstones[addr] = now
+			o.epoch++
+			o.estranged[addr] = estrangedEntry{info: c.info, at: now}
 		case now.Sub(c.suspectAt) > o.cfg.FailAfter:
 			// Attested alive during this window: restart the probe
 			// cycle; if the attestations dry up, a later window declares
@@ -431,6 +546,31 @@ func (o *Overlay) heartbeatTick() {
 	for addr, ts := range o.tombstones {
 		if now.Sub(ts) >= 4*o.cfg.FailAfter {
 			delete(o.tombstones, addr)
+		}
+	}
+	// Keep probing estranged peers: a genuinely dead node ignores the
+	// heartbeats until the TTL writes it off, but a partitioned-away peer
+	// answers after the heal, re-entering the contact table (direct
+	// traffic) and surfacing any code collision for reconciliation.
+	var estrangedTargets []string
+	for addr, e := range o.estranged {
+		if now.Sub(e.at) > o.cfg.estrangedTTL() {
+			delete(o.estranged, addr)
+			continue
+		}
+		if _, ok := o.contacts[addr]; ok {
+			continue
+		}
+		estrangedTargets = append(estrangedTargets, addr)
+	}
+	for addr, ts := range o.probeMuted {
+		if now.Sub(ts) >= 8*o.cfg.HeartbeatInterval {
+			delete(o.probeMuted, addr)
+		}
+	}
+	for pair, ts := range o.hintMuted {
+		if now.Sub(ts) >= 8*o.cfg.HeartbeatInterval {
+			delete(o.hintMuted, pair)
 		}
 	}
 	type repairReq struct {
@@ -494,12 +634,23 @@ func (o *Overlay) heartbeatTick() {
 	}
 	seq := o.hbSeq
 	o.scheduleHeartbeatLocked()
+	moved := o.moved
+	o.moved = nil
 	o.mu.Unlock()
+
+	// Append order of `moved` is message-processing order — already
+	// deterministic under the simulated network.
+	if o.cb.OnContactMoved != nil {
+		for _, m := range moved {
+			o.cb.OnContactMoved(m)
+		}
+	}
 
 	// The slices above were collected in map-iteration order; sends
 	// consume the simulator's seeded RNG (loss, jitter), so their order
 	// must be deterministic for same-seed runs to be bit-identical.
 	sort.Strings(targets)
+	sort.Strings(estrangedTargets)
 	sort.Slice(probe, func(i, j int) bool { return probe[i].Addr < probe[j].Addr })
 	sort.Slice(dead, func(i, j int) bool { return dead[i].Addr < dead[j].Addr })
 
@@ -510,7 +661,10 @@ func (o *Overlay) heartbeatTick() {
 	}
 
 	for _, addr := range targets {
-		o.send(addr, &wire.Heartbeat{From: self, Seq: seq})
+		o.send(addr, &wire.Heartbeat{From: self, Seq: seq, VerDigest: digest})
+	}
+	for _, addr := range estrangedTargets {
+		o.send(addr, &wire.Heartbeat{From: self, Seq: seq, VerDigest: digest})
 	}
 	for _, r := range repair {
 		lk := &wire.JoinLookup{JoinerAddr: o.ep.Addr(), Target: r.target}
@@ -583,6 +737,8 @@ func (o *Overlay) maybeTakeover(dead wire.NodeInfo) bool {
 	}
 	oldCode := o.code
 	o.code = o.code.Parent()
+	o.epoch++
+	epoch := o.epoch
 	o.repairAttempts = make(map[int]int)
 	self := wire.NodeInfo{Addr: o.ep.Addr(), Code: o.code}
 	var peers []string
@@ -593,7 +749,7 @@ func (o *Overlay) maybeTakeover(dead wire.NodeInfo) bool {
 
 	sort.Strings(peers)
 	for _, addr := range peers {
-		o.send(addr, &wire.Takeover{From: self, OldCode: oldCode, Dead: dead.Code})
+		o.send(addr, &wire.Takeover{From: self, OldCode: oldCode, Dead: dead.Code, Epoch: epoch, DeadAddr: dead.Addr})
 	}
 	if o.cb.OnTakeover != nil {
 		o.cb.OnTakeover(sib, oldCode)
@@ -652,6 +808,8 @@ func (o *Overlay) maybeRelocate(dead wire.NodeInfo) {
 	}
 	oldCode := o.code
 	o.code = region
+	o.epoch++
+	epoch := o.epoch
 	o.repairAttempts = make(map[int]int)
 	self := wire.NodeInfo{Addr: o.ep.Addr(), Code: o.code}
 	var peers []string
@@ -662,7 +820,7 @@ func (o *Overlay) maybeRelocate(dead wire.NodeInfo) {
 
 	sort.Strings(peers)
 	for _, addr := range peers {
-		o.send(addr, &wire.Takeover{From: self, OldCode: oldCode, Dead: dead.Code})
+		o.send(addr, &wire.Takeover{From: self, OldCode: oldCode, Dead: dead.Code, Epoch: epoch, DeadAddr: dead.Addr})
 	}
 	if o.cb.OnTakeover != nil {
 		o.cb.OnTakeover(region, oldCode)
@@ -699,6 +857,12 @@ func (o *Overlay) Handle(from string, m wire.Message) bool {
 		o.handleHeartbeatAck(msg)
 	case *wire.Takeover:
 		o.handleTakeover(msg)
+	case *wire.CollisionProbe:
+		o.handleCollisionProbe(msg)
+	case *wire.CollisionReply:
+		o.handleCollisionReply(msg)
+	case *wire.CollisionHint:
+		o.handleCollisionHint(msg)
 	case *wire.RingProbe:
 		o.handleRingProbe(from, msg)
 	case *wire.LivenessProbe:
@@ -724,10 +888,22 @@ func (o *Overlay) handleHeartbeat(from string, m *wire.Heartbeat) {
 		o.mu.Unlock()
 		return
 	}
+	probe, probeEpoch := o.collisionCheckLocked(m.From)
+	hints := o.collisionHintsLocked(m.From)
 	o.learn(m.From)
 	self := wire.NodeInfo{Addr: o.ep.Addr(), Code: o.code}
 	o.mu.Unlock()
-	o.send(from, &wire.HeartbeatAck{From: self, Seq: m.Seq})
+	digest := o.versionDigest()
+	if digest != m.VerDigest && o.cb.OnVersionSkew != nil {
+		o.cb.OnVersionSkew(m.From)
+	}
+	o.send(from, &wire.HeartbeatAck{From: self, Seq: m.Seq, VerDigest: digest})
+	if probe {
+		o.send(m.From.Addr, &wire.CollisionProbe{From: self, Epoch: probeEpoch})
+	}
+	for _, h := range hints {
+		o.send(h.to, &wire.CollisionHint{Peer: h.peer})
+	}
 }
 
 func (o *Overlay) handleHeartbeatAck(m *wire.HeartbeatAck) {
@@ -736,20 +912,284 @@ func (o *Overlay) handleHeartbeatAck(m *wire.HeartbeatAck) {
 		o.mu.Unlock()
 		return
 	}
+	probe, probeEpoch := o.collisionCheckLocked(m.From)
+	hints := o.collisionHintsLocked(m.From)
 	o.learn(m.From)
+	self := wire.NodeInfo{Addr: o.ep.Addr(), Code: o.code}
 	o.mu.Unlock()
+	if o.versionDigest() != m.VerDigest && o.cb.OnVersionSkew != nil {
+		o.cb.OnVersionSkew(m.From)
+	}
+	if probe {
+		o.send(m.From.Addr, &wire.CollisionProbe{From: self, Epoch: probeEpoch})
+	}
+	for _, h := range hints {
+		o.send(h.to, &wire.CollisionHint{Peer: h.peer})
+	}
+}
+
+// versionDigest invokes the host's digest callback without the lock held.
+func (o *Overlay) versionDigest() uint64 {
+	if o.cb.VersionDigest == nil {
+		return 0
+	}
+	return o.cb.VersionDigest()
+}
+
+// codesConflict reports whether two codes dispute ownership: equal codes
+// claim the same region, prefix-related codes claim nested regions. A
+// prefix-free code set never conflicts; two fenced primaries after a
+// healed partition do.
+func codesConflict(a, b bitstr.Code) bool {
+	return a.IsPrefixOf(b) || b.IsPrefixOf(a)
+}
+
+// collisionCheckLocked inspects a peer's self-reported code for an
+// ownership conflict with our own and decides (rate-limited per address)
+// whether to launch a collision probe. Callers hold o.mu and must send
+// the probe after unlocking, stamped with the returned epoch.
+func (o *Overlay) collisionCheckLocked(peer wire.NodeInfo) (bool, uint64) {
+	if !o.joined || peer.Addr == "" || peer.Addr == o.ep.Addr() {
+		return false, 0
+	}
+	if !codesConflict(o.code, peer.Code) {
+		return false, 0
+	}
+	now := o.clock.Now()
+	if t, ok := o.probeMuted[peer.Addr]; ok && now.Sub(t) < o.cfg.HeartbeatInterval {
+		return false, 0
+	}
+	o.probeMuted[peer.Addr] = now
+	o.recon.CollisionsDetected++
+	return true, o.epoch
+}
+
+// hintSend is a deferred CollisionHint: tell `to` that `peer` claims a
+// code conflicting with its own.
+type hintSend struct {
+	to   string
+	peer wire.NodeInfo
+}
+
+// collisionHintsLocked is third-party dispute detection. Pairwise
+// collision checks only ever compare our own code against a heartbeat
+// sender's, but the two claimants of a disputed region may never talk:
+// two fenced primaries with the *same* code are never each other's
+// contacts, so neither ever heartbeats the other and the dispute
+// persists indefinitely. A bystander that knows one claimant as a
+// contact and hears a conflicting code from the other must introduce
+// them. Callers hold o.mu and send the returned hints after unlocking;
+// each receiver verifies the conflict itself and opens the normal
+// probe/reply exchange.
+func (o *Overlay) collisionHintsLocked(peer wire.NodeInfo) []hintSend {
+	if !o.joined || peer.Addr == "" || peer.Addr == o.ep.Addr() {
+		return nil
+	}
+	var addrs []string
+	for addr, c := range o.contacts {
+		if addr == peer.Addr || addr == o.ep.Addr() {
+			continue
+		}
+		if codesConflict(c.info.Code, peer.Code) {
+			addrs = append(addrs, addr)
+		}
+	}
+	if len(addrs) == 0 {
+		return nil
+	}
+	sort.Strings(addrs)
+	now := o.clock.Now()
+	var hints []hintSend
+	for _, addr := range addrs {
+		pair := addr + "|" + peer.Addr
+		if addr > peer.Addr {
+			pair = peer.Addr + "|" + addr
+		}
+		if t, ok := o.hintMuted[pair]; ok && now.Sub(t) < o.cfg.HeartbeatInterval {
+			continue
+		}
+		o.hintMuted[pair] = now
+		hints = append(hints,
+			hintSend{to: addr, peer: peer},
+			hintSend{to: peer.Addr, peer: o.contacts[addr].info})
+	}
+	return hints
+}
+
+// handleCollisionHint acts on a bystander's introduction: if the named
+// peer's code really conflicts with ours, open the standard collision
+// probe exchange with it. A stale or malicious hint fails the local
+// conflict check and is dropped.
+func (o *Overlay) handleCollisionHint(m *wire.CollisionHint) {
+	o.mu.Lock()
+	probe, probeEpoch := o.collisionCheckLocked(m.Peer)
+	self := wire.NodeInfo{Addr: o.ep.Addr(), Code: o.code}
+	o.mu.Unlock()
+	if probe {
+		o.send(m.Peer.Addr, &wire.CollisionProbe{From: self, Epoch: probeEpoch})
+	}
+}
+
+// winsDisputeLocked applies the deterministic dispute rule: higher epoch
+// wins; equal epochs fall to the lower address. Both sides compute the
+// same verdict from the same pair. Callers hold o.mu.
+func (o *Overlay) winsDisputeLocked(peerAddr string, peerEpoch uint64) bool {
+	if o.epoch != peerEpoch {
+		return o.epoch > peerEpoch
+	}
+	return o.ep.Addr() < peerAddr
+}
+
+// handleCollisionProbe resolves an ownership dispute surfaced by a peer:
+// if we win, tell the peer so it steps down; if we lose, step down
+// ourselves.
+func (o *Overlay) handleCollisionProbe(m *wire.CollisionProbe) {
+	o.mu.Lock()
+	if !o.joined || o.closed || m.From.Addr == o.ep.Addr() {
+		o.mu.Unlock()
+		return
+	}
+	if !codesConflict(o.code, m.From.Code) {
+		// The dispute resolved while the probe was in flight (one side
+		// already stepped down or moved).
+		o.mu.Unlock()
+		return
+	}
+	if o.winsDisputeLocked(m.From.Addr, m.Epoch) {
+		o.recon.CollisionsWon++
+		self := wire.NodeInfo{Addr: o.ep.Addr(), Code: o.code}
+		epoch := o.epoch
+		o.mu.Unlock()
+		o.send(m.From.Addr, &wire.CollisionReply{From: self, Epoch: epoch})
+		return
+	}
+	o.mu.Unlock()
+	o.stepDown(m.From)
+}
+
+// handleCollisionReply is the loser side of a probe we sent: the peer
+// claims to win. Re-verify with the deterministic rule (epochs may have
+// moved since the probe) and step down if we indeed lose; if we compute
+// a win instead, do nothing — the next probe round resolves the race
+// once both epochs are stable.
+func (o *Overlay) handleCollisionReply(m *wire.CollisionReply) {
+	o.mu.Lock()
+	if !o.joined || o.closed || m.From.Addr == o.ep.Addr() {
+		o.mu.Unlock()
+		return
+	}
+	if !codesConflict(o.code, m.From.Code) || o.winsDisputeLocked(m.From.Addr, m.Epoch) {
+		o.mu.Unlock()
+		return
+	}
+	o.mu.Unlock()
+	o.stepDown(m.From)
+}
+
+// stepDown abandons this node's overlay identity after a lost ownership
+// dispute: forget the fenced view entirely and rejoin through the
+// winner. The host's OnStepDown callback fires before the rejoin starts
+// so it can arrange to re-insert the primary records it holds for
+// regions the winner now owns (it keeps serving local replicas in the
+// meantime; the rejoin completes via the normal OnJoined path).
+func (o *Overlay) stepDown(winner wire.NodeInfo) {
+	o.mu.Lock()
+	if !o.joined || o.closed {
+		o.mu.Unlock()
+		return
+	}
+	o.recon.CollisionsLost++
+	o.recon.StepDowns++
+	seeds := []string{winner.Addr}
+	var rest []string
+	for addr := range o.contacts {
+		if addr != winner.Addr {
+			rest = append(rest, addr)
+		}
+	}
+	sort.Strings(rest)
+	seeds = append(seeds, rest...)
+	o.joined = false
+	o.code = bitstr.Empty
+	o.contacts = make(map[string]*contact)
+	o.tombstones = make(map[string]time.Time)
+	o.estranged = make(map[string]estrangedEntry)
+	o.probeMuted = make(map[string]time.Time)
+	o.hintMuted = make(map[string]time.Time)
+	o.moved = nil
+	o.repairAttempts = make(map[int]int)
+	if o.split != nil && o.split.timer != nil {
+		o.split.timer.Stop()
+	}
+	o.split = nil
+	o.pending = nil
+	if o.joining != nil && o.joining.timer != nil {
+		o.joining.timer.Stop()
+	}
+	o.joining = &joinAttempt{seeds: seeds}
+	o.mu.Unlock()
+
+	if o.cb.OnStepDown != nil {
+		o.cb.OnStepDown(winner)
+	}
+	o.joinLookup()
 }
 
 func (o *Overlay) handleTakeover(m *wire.Takeover) {
 	o.mu.Lock()
+	// A takeover whose new code overlaps our own is an ownership dispute:
+	// the sender reorganized around a death declaration that may have
+	// been us (or our subtree) on the far side of a partition. Resolve it
+	// through the probe protocol rather than silently coexisting.
+	probe, probeEpoch := o.collisionCheckLocked(m.From)
 	// Drop any contact matching the dead code, refresh the sender.
+	var dropped []wire.NodeInfo
 	for addr, c := range o.contacts {
 		if c.info.Code.Equal(m.Dead) && addr != m.From.Addr {
+			dropped = append(dropped, c.info)
 			delete(o.contacts, addr)
 		}
 	}
 	o.learn(m.From)
+	self := wire.NodeInfo{Addr: o.ep.Addr(), Code: o.code}
 	o.mu.Unlock()
+	// A takeover is a second-hand death notice: the host must hear about
+	// the dropped contacts exactly as if this node had declared them dead
+	// itself. Found by the chaos harness: a node whose split sibling was
+	// declared dead by a THIRD party dropped the corpse from its contact
+	// table here, never fired OnContactDead, and kept delegating §3.4
+	// history coverage to the void — every query over its region timed
+	// out incomplete until HistoryTTL.
+	sort.Slice(dropped, func(i, j int) bool { return dropped[i].Addr < dropped[j].Addr })
+	if o.cb.OnContactDead != nil {
+		for _, d := range dropped {
+			o.cb.OnContactDead(d)
+		}
+	}
+	// The dead node's address travels with the flood when the declarer
+	// had first-hand knowledge. Relay it even when the corpse is absent
+	// from our own contact table: per-address host state can outlive the
+	// contact entry (a history pointer survives the level-cap eviction of
+	// its target, and the corpse's code in the flood need not match the
+	// stale position the pointer tracked).
+	if m.DeadAddr != "" && m.DeadAddr != o.ep.Addr() && o.cb.OnContactDead != nil {
+		already := false
+		for _, d := range dropped {
+			if d.Addr == m.DeadAddr {
+				already = true
+				break
+			}
+		}
+		if !already {
+			o.cb.OnContactDead(wire.NodeInfo{Addr: m.DeadAddr, Code: m.Dead})
+		}
+	}
+	if o.cb.OnRegionDead != nil {
+		o.cb.OnRegionDead(m.Dead)
+	}
+	if probe {
+		o.send(m.From.Addr, &wire.CollisionProbe{From: self, Epoch: probeEpoch})
+	}
 	// If the sender relocated AWAY from a region in our sibling subtree
 	// (its new code is not an extension of the old), that region is now
 	// vacated: absorb it through the normal rule.

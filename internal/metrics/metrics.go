@@ -245,6 +245,32 @@ func (r Reliability) String() string {
 		r.Requests, r.Retransmits, r.Acks, r.DedupHits)
 }
 
+// Reversion accumulates the live-reversioning counters: cut-tree
+// installs applied and refused by epoch ordering, versions retired,
+// tree pulls/pushes and sync exchanges of the skew-repair machinery,
+// data messages that exposed an epoch mismatch, records re-placed after
+// a mid-flip install, and split-brain reconciliation work (step-downs
+// and post-rejoin re-insertions).
+type Reversion struct {
+	Installs        uint64 `json:"installs"`
+	InstallsRefused uint64 `json:"installs_refused"`
+	Retired         uint64 `json:"retired"`
+	TreePulls       uint64 `json:"tree_pulls"`
+	TreePushes      uint64 `json:"tree_pushes"`
+	TreeSyncs       uint64 `json:"tree_syncs"`
+	SkewInserts     uint64 `json:"skew_inserts"`
+	SkewQueries     uint64 `json:"skew_queries"`
+	Reshuffled      uint64 `json:"reshuffled"`
+	StepDowns       uint64 `json:"step_downs"`
+	Reinserted      uint64 `json:"reinserted"`
+}
+
+func (r Reversion) String() string {
+	return fmt.Sprintf("installs=%d refused=%d retired=%d pulls=%d pushes=%d syncs=%d skew_ins=%d skew_q=%d reshuffled=%d stepdowns=%d reinserted=%d",
+		r.Installs, r.InstallsRefused, r.Retired, r.TreePulls, r.TreePushes, r.TreeSyncs,
+		r.SkewInserts, r.SkewQueries, r.Reshuffled, r.StepDowns, r.Reinserted)
+}
+
 // Transport condenses a managed transport's connection health: dial and
 // reconnect churn, frames dropped at the transport (bounded queues,
 // write deadlines, open circuits), and the peer-state census. Produced

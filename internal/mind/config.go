@@ -114,6 +114,13 @@ type Config struct {
 	// HistCollectWait is how long the designated aggregation node waits
 	// after the first histogram report before computing balanced cuts.
 	HistCollectWait time.Duration
+	// RetainVersions bounds the dual-version query window: when a cut
+	// tree installs for version V, every node locally retires versions
+	// more than RetainVersions behind V — cut tree, primary snapshot and
+	// replica snapshot — so storage stops growing across reversions.
+	// 0 disables auto-retirement (versions live until an explicit
+	// RetireVersion).
+	RetainVersions int
 	// BalancedCutDepth is the explicit depth of installed balanced cut
 	// trees.
 	BalancedCutDepth int

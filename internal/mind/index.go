@@ -2,6 +2,7 @@ package mind
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -28,6 +29,14 @@ type index struct {
 
 	mu   sync.RWMutex
 	vers map[uint32]*embed.Tree // per-version balanced cuts (§3.7)
+	// epochs totally orders tree installs per version: counter<<16 in the
+	// high bits, a content signature of the tree in the low 16, so two
+	// concurrent installs of the same counter (both sides of a partition
+	// ran the reversion) still converge on one deterministic winner. An
+	// entry with retiredEpochBit set marks the version retired: it beats
+	// any live epoch, so retirement is sticky even against stragglers
+	// re-flooding the old install. Absent means epoch 0 (base tree).
+	epochs map[uint32]uint64
 
 	primary  *store.Versioned
 	replicas *store.Versioned
@@ -41,9 +50,14 @@ type index struct {
 
 	// History pointer (§3.4): after this node joined by splitting
 	// histAddr's region, sub-queries are forwarded there until
-	// histUntil, because pre-split data stayed behind.
-	histAddr  string
-	histUntil time.Time
+	// histUntil, because pre-split data stayed behind. histRegion is
+	// the sibling's code at arm time: if the target is later seen
+	// claiming a code outside that region it relocated or rejoined
+	// elsewhere — and re-homed its stranded primaries in the process —
+	// so the pointer is dropped (clearHistoryMoved).
+	histAddr   string
+	histRegion bitstr.Code
+	histUntil  time.Time
 
 	// triggers are the standing queries installed at this node for the
 	// regions it owns (paper footnote 1).
@@ -57,6 +71,7 @@ func newIndex(sch *schema.Schema, base *embed.Tree) *index {
 		sch:           sch,
 		base:          base,
 		vers:          make(map[uint32]*embed.Tree),
+		epochs:        make(map[uint32]uint64),
 		primary:       store.NewVersioned(sch),
 		replicas:      store.NewVersioned(sch),
 		replicaOwners: make(map[bitstr.Code]bool),
@@ -88,10 +103,78 @@ func (ix *index) treeLocked(v uint32) *embed.Tree {
 	return ix.base
 }
 
-// setTree installs a per-version embedding.
+// setTree installs a per-version embedding without touching its epoch —
+// the raw pre-epoch behavior, kept for tests that simulate a node whose
+// tree state diverged from the flood (missed installs, fenced halves).
 func (ix *index) setTree(v uint32, t *embed.Tree) {
 	ix.mu.Lock()
 	ix.vers[v] = t
+	ix.mu.Unlock()
+}
+
+// setTreeEpoch force-sets a version's epoch (tests only).
+func (ix *index) setTreeEpoch(v uint32, epoch uint64) {
+	ix.mu.Lock()
+	ix.epochs[v] = epoch
+	ix.mu.Unlock()
+}
+
+// epochOf returns a version's tree epoch (0: base tree, never installed).
+func (ix *index) epochOf(v uint32) uint64 {
+	ix.mu.RLock()
+	e := ix.epochs[v]
+	ix.mu.RUnlock()
+	return e
+}
+
+// treeAndEpoch reads a version's embedding and epoch in one critical
+// section, so an originator's stamped epoch always matches the tree it
+// hashed with.
+func (ix *index) treeAndEpoch(v uint32) (*embed.Tree, uint64) {
+	ix.mu.RLock()
+	t := ix.treeLocked(v)
+	e := ix.epochs[v]
+	ix.mu.RUnlock()
+	return t, e
+}
+
+// install applies a flood- or pull-delivered tree iff its epoch beats
+// the local one (including a retired marker, which beats everything
+// live); it reports whether the install was applied.
+func (ix *index) install(v uint32, t *embed.Tree, epoch uint64) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if epoch <= ix.epochs[v] {
+		return false
+	}
+	ix.vers[v] = t
+	ix.epochs[v] = epoch
+	return true
+}
+
+// retire marks a version retired under the given marker epoch (must
+// have retiredEpochBit set) and drops its tree; it reports whether the
+// marker advanced the local state. Callers drop the version's store
+// snapshots afterwards.
+func (ix *index) retire(v uint32, marker uint64) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if marker <= ix.epochs[v] {
+		return false
+	}
+	delete(ix.vers, v)
+	ix.epochs[v] = marker
+	return true
+}
+
+// setHistory arms the §3.4 history pointer toward the split sibling on
+// an already-published index (the rejoin path; a fresh join sets the
+// fields directly before publication).
+func (ix *index) setHistory(addr string, region bitstr.Code, until time.Time) {
+	ix.mu.Lock()
+	ix.histAddr = addr
+	ix.histRegion = region
+	ix.histUntil = until
 	ix.mu.Unlock()
 }
 
@@ -100,6 +183,53 @@ func (ix *index) dropTree(v uint32) {
 	ix.mu.Lock()
 	delete(ix.vers, v)
 	ix.mu.Unlock()
+}
+
+// entries snapshots the per-version epoch state (installed and retired)
+// in ascending version order — the TreeSync summary.
+func (ix *index) entries() []wire.TreeSyncEntry {
+	ix.mu.RLock()
+	out := make([]wire.TreeSyncEntry, 0, len(ix.epochs))
+	for v, e := range ix.epochs {
+		out = append(out, wire.TreeSyncEntry{Index: ix.sch.Tag, Version: v, Epoch: e})
+	}
+	ix.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Version < out[j].Version })
+	return out
+}
+
+// digest folds the index's version-epoch state into one value for the
+// heartbeat anti-entropy exchange. XOR keeps it order-independent; 0
+// means "everything at base".
+func (ix *index) digest() uint64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var d uint64
+	for v, e := range ix.epochs {
+		h := uint64(14695981039346656037)
+		for i := 0; i < len(ix.sch.Tag); i++ {
+			h ^= uint64(ix.sch.Tag[i])
+			h *= 1099511628211
+		}
+		h ^= uint64(v)
+		h *= 1099511628211
+		h ^= e
+		h *= 1099511628211
+		d ^= h
+	}
+	return d
+}
+
+// treeVersions snapshots the versions with a non-zero epoch entry.
+func (ix *index) treeVersions() []uint32 {
+	ix.mu.RLock()
+	out := make([]uint32, 0, len(ix.epochs))
+	for v := range ix.epochs {
+		out = append(out, v)
+	}
+	ix.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // version maps a record to its version by the time attribute.
@@ -148,10 +278,22 @@ func (ix *index) def() wire.IndexDef {
 		d.Versions = append(d.Versions, wire.VersionDef{Version: baseVersionSentinel, Tree: ix.base.Marshal()})
 	}
 	ix.mu.RLock()
+	for v, e := range ix.epochs {
+		vd := wire.VersionDef{Version: v, Epoch: e}
+		if t, ok := ix.vers[v]; ok {
+			vd.Tree = t.Marshal()
+		}
+		// Retired versions carry the marker with no tree, so a joiner
+		// inherits the retirement instead of resurrecting the version.
+		d.Versions = append(d.Versions, vd)
+	}
 	for v, t := range ix.vers {
-		d.Versions = append(d.Versions, wire.VersionDef{Version: v, Tree: t.Marshal()})
+		if _, ok := ix.epochs[v]; !ok { // raw setTree state (tests)
+			d.Versions = append(d.Versions, wire.VersionDef{Version: v, Tree: t.Marshal()})
+		}
 	}
 	ix.mu.RUnlock()
+	sort.Slice(d.Versions, func(i, j int) bool { return d.Versions[i].Version < d.Versions[j].Version })
 	return d
 }
 
@@ -166,7 +308,12 @@ func indexFromDef(d wire.IndexDef) (*index, error) {
 	}
 	var base *embed.Tree
 	vers := make(map[uint32]*embed.Tree)
+	epochs := make(map[uint32]uint64)
 	for _, vd := range d.Versions {
+		if vd.Version != baseVersionSentinel && vd.Epoch&retiredEpochBit != 0 {
+			epochs[vd.Version] = vd.Epoch // retired: marker only, no tree
+			continue
+		}
 		t, err := embed.Unmarshal(vd.Tree)
 		if err != nil {
 			return nil, fmt.Errorf("index %q version %d: %w", d.Schema.Tag, vd.Version, err)
@@ -175,6 +322,9 @@ func indexFromDef(d wire.IndexDef) (*index, error) {
 			base = t
 		} else {
 			vers[vd.Version] = t
+			if vd.Epoch != 0 {
+				epochs[vd.Version] = vd.Epoch
+			}
 		}
 	}
 	if base == nil {
@@ -182,6 +332,7 @@ func indexFromDef(d wire.IndexDef) (*index, error) {
 	}
 	ix := newIndex(d.Schema, base)
 	ix.vers = vers
+	ix.epochs = epochs
 	return ix, nil
 }
 
@@ -271,6 +422,53 @@ func (ix *index) clearHistory(addr string) {
 	ix.mu.Lock()
 	if ix.histAddr == addr {
 		ix.histAddr = ""
+		ix.histRegion = bitstr.Empty
+		ix.histUntil = time.Time{}
+	}
+	ix.mu.Unlock()
+}
+
+// observeHistoryTarget tracks the pointer target's position. A code
+// still related to the armed region (deepened by further splits, or
+// shortened by the target's own takeover) keeps the pointer — the
+// records stayed put — and refines histRegion to the latest observed
+// code, so region-level death notices (clearHistoryRegion) can be
+// matched precisely. A code unrelated to the armed region means the
+// peer moved away (relocation §3.8, or a post-step-down rejoin); both
+// paths re-insert the stranded primary records it held — including the
+// pre-split data this pointer delegated coverage to — so the pointer
+// is obsolete, and keeping it would be worse than useless: the moved
+// peer may later die unnoticed (it usually stops being a contact),
+// leaving every query over this region incomplete until histUntil.
+func (ix *index) observeHistoryTarget(addr string, newCode bitstr.Code) {
+	ix.mu.Lock()
+	if ix.histAddr == addr {
+		if ix.histRegion.IsPrefixOf(newCode) || newCode.IsPrefixOf(ix.histRegion) {
+			ix.histRegion = newCode
+		} else {
+			ix.histAddr = ""
+			ix.histRegion = bitstr.Empty
+			ix.histUntil = time.Time{}
+		}
+	}
+	ix.mu.Unlock()
+}
+
+// clearHistoryRegion drops the history pointer when the region it
+// points into is declared dead (a Takeover flood names the dead code,
+// not the dead address). Matching requires the dead code to COVER the
+// target's last observed position: a deeper dead code may be some
+// other node's sub-region while our target lives on elsewhere inside
+// histRegion, so it does not clear. The eviction-then-death case this
+// handles: the pointer target falls out of the contact table (per-level
+// cap), this node stops heartbeating it, and the death would otherwise
+// go unnoticed here — leaving queries over the region incomplete until
+// histUntil while the delegated sub-queries drain into a corpse.
+func (ix *index) clearHistoryRegion(dead bitstr.Code) {
+	ix.mu.Lock()
+	if ix.histAddr != "" && dead.IsPrefixOf(ix.histRegion) {
+		ix.histAddr = ""
+		ix.histRegion = bitstr.Empty
 		ix.histUntil = time.Time{}
 	}
 	ix.mu.Unlock()

@@ -55,7 +55,7 @@ func (n *Node) Insert(tag string, rec schema.Record, cb func(InsertResult)) erro
 		return err
 	}
 	v := ix.version(rec, n.cfg.VersionSeconds)
-	tree := ix.tree(v)
+	tree, epoch := ix.treeAndEpoch(v)
 	depth := clampDepth(n.ov.Code().Len() + n.cfg.InsertDepthSlack)
 	var pbuf [8]uint64
 	target := tree.PointCode(rec.PointInto(ix.sch, pbuf[:0]), depth)
@@ -69,6 +69,7 @@ func (n *Node) Insert(tag string, rec schema.Record, cb func(InsertResult)) erro
 		RecID:      recID,
 		Rec:        rec,
 		Target:     target,
+		TreeEpoch:  epoch,
 	}
 	// Track the op whenever the reliable layer is on, even fire-and-forget
 	// inserts: retransmission needs the pending-ack state. The InsertTimeout
@@ -149,7 +150,7 @@ func (n *Node) InsertBatch(tag string, recs []schema.Record, cb func([]InsertRes
 	n.mu.Lock()
 	for i, rec := range recs {
 		v := ix.version(rec, n.cfg.VersionSeconds)
-		tree := ix.tree(v)
+		tree, epoch := ix.treeAndEpoch(v)
 		var reqID uint64
 		var op *insertOp
 		if tracked {
@@ -173,6 +174,7 @@ func (n *Node) InsertBatch(tag string, recs []schema.Record, cb func([]InsertRes
 			RecID:      n.nextRecID(),
 			Rec:        rec,
 			Target:     tree.PointCode(scratch, depth),
+			TreeEpoch:  epoch,
 		}
 		if op != nil {
 			op.msg = msgs[i]
@@ -292,7 +294,10 @@ func (n *Node) finishInsert(reqID uint64, res InsertResult) {
 	}
 }
 
-// handleInsert processes a routed insertion at any hop.
+// handleInsert processes a routed insertion at any hop. Version-skew
+// detection happens only here at the ownership point, never on pure
+// forwarding hops: routing needs no tree (Target travels with the
+// message), so an intermediate node's stale tree cannot misroute.
 func (n *Node) handleInsert(from string, m *wire.Insert) {
 	if !n.ov.Joined() {
 		return
@@ -300,16 +305,55 @@ func (n *Node) handleInsert(from string, m *wire.Insert) {
 	target := m.Target
 	if n.ov.Owns(target) {
 		myCode := n.ov.Code()
+		ix, ok := n.getIndex(m.Index)
+		if !ok {
+			return
+		}
+		if local := ix.epochOf(m.Version); m.TreeEpoch != local {
+			n.skewInserts.Add(1)
+			if m.TreeEpoch > local {
+				// The originator hashed with a newer tree than ours —
+				// we missed an install. Its Target is authoritative, and
+				// storing needs no tree, so accept the record whenever the
+				// code discriminates at our depth; catch up in parallel.
+				n.treePull(m.OriginAddr, m.Index, m.Version)
+				if target.Len() >= myCode.Len() {
+					n.storeAsOwner(m)
+				}
+				// Too-shallow target: deepening would need the newer tree
+				// we don't have yet. Drop — the originator's
+				// retransmission redelivers after the pull lands.
+				return
+			}
+			// The originator is behind: its Target was computed with a
+			// superseded tree, so the record may belong elsewhere under
+			// the current cuts. Push our tree back (rate-limited),
+			// recompute the placement locally and store or re-route.
+			n.treePushTo(m.OriginAddr, ix, m.Version)
+			if local&retiredEpochBit != 0 {
+				return // version retired here: the pushed marker stops the originator
+			}
+			tree, epoch := ix.treeAndEpoch(m.Version)
+			depth := clampDepth(myCode.Len() + n.cfg.InsertDepthSlack)
+			var pbuf [8]uint64
+			p := schema.Record(m.Rec).PointInto(ix.sch, pbuf[:0])
+			ext := *m
+			ext.Target = tree.PointCode(p, depth)
+			ext.TreeEpoch = epoch
+			if n.ov.Owns(ext.Target) {
+				n.storeAsOwner(&ext)
+			} else {
+				ext.Hops++
+				n.forwardInsert(&ext)
+			}
+			return
+		}
 		if target.Len() < myCode.Len() {
 			// Target code too shallow to discriminate among the nodes in
 			// its region: recompute it deeper from the record itself
 			// (§3.5: the computed code may not exactly match a node's
 			// code). Point codes are prefix-stable, so the extension
 			// preserves routing progress.
-			ix, ok := n.getIndex(m.Index)
-			if !ok {
-				return
-			}
 			tree := ix.tree(m.Version)
 			depth := clampDepth(myCode.Len() + n.cfg.InsertDepthSlack)
 			var pbuf [8]uint64

@@ -14,6 +14,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mind/internal/bitstr"
 	"mind/internal/embed"
@@ -59,7 +60,15 @@ type Node struct {
 	queries map[uint64]*queryOp  // mu
 	seenOps map[uint64]bool      // mu; flood dedup (create/drop/hist-install)
 
-	collect map[string]*histCollect // mu; designated-node histogram state
+	collect map[string]*histCollect  // mu; designated-node histogram state
+	reports map[uint64]*histReportOp // mu; originator-side tracked reports
+
+	// repairAt rate-limits skew-repair traffic per key (reversion.go).
+	repairAt map[string]time.Time // mu
+	// reinsertOnJoin flags that the next completed (re)join must re-insert
+	// primary records this node no longer owns (post-step-down
+	// reconciliation, reversion.go).
+	reinsertOnJoin bool // mu
 
 	triggerSubs map[uint64]*triggerSub // mu; subscriber-side standing queries
 
@@ -86,6 +95,18 @@ type Node struct {
 	retransmits  atomic.Uint64 // retransmissions sent
 	acksReceived atomic.Uint64 // end-to-end acks received over the wire
 	dedupHits    atomic.Uint64 // duplicate requests absorbed at this receiver
+	// Reversioning counters (reversion.go).
+	verInstalls        atomic.Uint64 // tree installs applied (flood, pull or sync)
+	verInstallsRefused atomic.Uint64 // installs refused by epoch ordering
+	verRetired         atomic.Uint64 // versions retired locally
+	treePulls          atomic.Uint64 // TreePull requests sent
+	treePushes         atomic.Uint64 // TreePush messages sent
+	treeSyncs          atomic.Uint64 // TreeSyncReq exchanges initiated
+	skewInserts        atomic.Uint64 // inserts that hit a tree-epoch mismatch
+	skewQueries        atomic.Uint64 // queries/sub-queries dropped on mismatch
+	reshuffled         atomic.Uint64 // records re-inserted after a mid-flip install
+	stepDowns          atomic.Uint64 // lost split-brain disputes
+	reinserted         atomic.Uint64 // records re-inserted after a step-down rejoin
 	// ansDedup counts repeated sub-query answering work (the request is
 	// still re-answered — the previous response may be the loss).
 	ansMu    sync.Mutex
@@ -128,6 +149,8 @@ func NewNode(ep transport.Endpoint, clock transport.Clock, cfg Config) *Node {
 		queries:       make(map[uint64]*queryOp),
 		seenOps:       make(map[uint64]bool),
 		collect:       make(map[string]*histCollect),
+		reports:       make(map[uint64]*histReportOp),
+		repairAt:      make(map[string]time.Time),
 		addrTag:       hashAddr(ep.Addr()) ^ mix64(uint64(clock.Now().UnixNano())),
 		tupleLinks:    make(map[string]uint64),
 		batches:       make(map[string]*peerBatch),
@@ -137,13 +160,18 @@ func NewNode(ep transport.Endpoint, clock transport.Clock, cfg Config) *Node {
 		gossipBuckets: newBucketMap(),
 	}
 	n.ov = hypercube.New(ep, clock, cfg.Overlay, cfg.Seed^0x5f5e100, hypercube.Callbacks{
-		OnJoined:      n.onJoined,
-		OnSplit:       n.onSplit,
-		OnTakeover:    n.onTakeover,
-		OnResume:      n.onResume,
-		CanResume:     n.canResumeFromReplicas,
-		OnContactDead: n.onContactDead,
-		IndexDefs:     n.indexDefs,
+		OnJoined:       n.onJoined,
+		OnSplit:        n.onSplit,
+		OnTakeover:     n.onTakeover,
+		OnResume:       n.onResume,
+		CanResume:      n.canResumeFromReplicas,
+		OnContactDead:  n.onContactDead,
+		OnContactMoved: n.onContactMoved,
+		OnRegionDead:   n.onRegionDead,
+		IndexDefs:      n.indexDefs,
+		VersionDigest:  n.versionDigest,
+		OnVersionSkew:  n.onVersionSkew,
+		OnStepDown:     n.onStepDown,
 	})
 	ep.SetHandler(n.dispatch)
 	return n
@@ -375,8 +403,20 @@ func (n *Node) handleMessage(from string, m wire.Message) {
 		n.handleDropIndex(msg)
 	case *wire.HistReport:
 		n.handleHistReport(from, msg)
+	case *wire.HistReportAck:
+		n.handleHistReportAck(msg)
 	case *wire.HistInstall:
 		n.handleHistInstall(msg)
+	case *wire.TreePull:
+		n.handleTreePull(msg)
+	case *wire.TreePush:
+		n.handleTreePush(msg)
+	case *wire.TreeSyncReq:
+		n.handleTreeSyncReq(msg)
+	case *wire.TreeSyncResp:
+		n.handleTreeSyncResp(msg)
+	case *wire.ClientVersions:
+		n.handleClientVersions(from, msg)
 	case *wire.ClientInsert:
 		n.handleClientInsert(from, msg)
 	case *wire.ClientQuery:
@@ -415,6 +455,7 @@ func (n *Node) handleRegionRecall(m *wire.RegionRecall) {
 		version uint32
 		rec     schema.Record
 		target  bitstr.Code
+		epoch   uint64
 	}
 	var outs []out
 	var scratch []uint64
@@ -422,7 +463,7 @@ func (n *Node) handleRegionRecall(m *wire.RegionRecall) {
 		ix := ix
 		scan := func(vs *store.Versioned, includeOwned bool) {
 			for _, v := range vs.Versions() {
-				tree := ix.tree(v)
+				tree, epoch := ix.treeAndEpoch(v)
 				vs.Version(v).All(func(rec schema.Record) bool {
 					scratch = rec.PointInto(ix.sch, scratch)
 					pc := tree.PointCode(scratch, clampDepth(m.Region.Len()+n.cfg.InsertDepthSlack))
@@ -432,7 +473,7 @@ func (n *Node) handleRegionRecall(m *wire.RegionRecall) {
 					if !includeOwned && myCode.IsPrefixOf(pc) {
 						return true // we already serve it
 					}
-					outs = append(outs, out{ix: ix, version: v, rec: rec, target: pc})
+					outs = append(outs, out{ix: ix, version: v, rec: rec, target: pc, epoch: epoch})
 					return true
 				})
 			}
@@ -441,12 +482,12 @@ func (n *Node) handleRegionRecall(m *wire.RegionRecall) {
 		// Stranded primary data: records this node still holds for a
 		// region it relocated away from.
 		for _, v := range ix.primary.Versions() {
-			tree := ix.tree(v)
+			tree, epoch := ix.treeAndEpoch(v)
 			ix.primary.Version(v).All(func(rec schema.Record) bool {
 				scratch = rec.PointInto(ix.sch, scratch)
 				pc := tree.PointCode(scratch, clampDepth(m.Region.Len()+n.cfg.InsertDepthSlack))
 				if m.Region.IsPrefixOf(pc) && !myCode.IsPrefixOf(pc) {
-					outs = append(outs, out{ix: ix, version: v, rec: rec, target: pc})
+					outs = append(outs, out{ix: ix, version: v, rec: rec, target: pc, epoch: epoch})
 				}
 				return true
 			})
@@ -462,6 +503,7 @@ func (n *Node) handleRegionRecall(m *wire.RegionRecall) {
 			RecID:      n.nextRecID(),
 			Rec:        o.rec,
 			Target:     o.target,
+			TreeEpoch:  o.epoch,
 		}
 		n.handleInsert(n.ep.Addr(), msg)
 	}
@@ -485,11 +527,13 @@ func (n *Node) RetireVersion(tag string, version uint32) error {
 }
 
 func (n *Node) retireLocal(tag string, version uint32) {
-	if ix, ok := n.getIndex(tag); ok {
-		ix.primary.Drop(version)
-		ix.replicas.Drop(version)
-		ix.dropTree(version)
+	ix, ok := n.getIndex(tag)
+	if !ok {
+		return
 	}
+	// Sticky marker: the retirement epoch beats the version's live epoch,
+	// so a straggler re-flooding the old install cannot resurrect it.
+	n.applyRetire(ix, version, retiredEpochBit|ix.epochOf(version)&^retiredEpochBit)
 }
 
 func (n *Node) handleRetireVersion(m *wire.RetireVersion) {
@@ -535,12 +579,36 @@ func (n *Node) indexDefs() []wire.IndexDef {
 }
 
 // onJoined installs the indices received in the join accept and arms the
-// history pointer toward the split sibling (§3.4).
+// history pointer toward the split sibling (§3.4). On a rejoin (the node
+// already holds the index — a post-step-down re-entry after a healed
+// split-brain) the accept instead reconciles version state: any version
+// epoch the acceptor's side is ahead on is adopted, retirements
+// included, so the fenced halves converge on one tree per version.
 func (n *Node) onJoined(accept *wire.JoinAccept) {
+	type mergeItem struct {
+		ix *index
+		vd wire.VersionDef
+	}
+	var merges []mergeItem
 	n.ixMu.Lock()
-	defer n.ixMu.Unlock()
 	for _, d := range accept.Indices {
-		if _, exists := n.indices[d.Schema.Tag]; exists {
+		if ix, exists := n.indices[d.Schema.Tag]; exists {
+			// A rejoin splits the sibling's region exactly like a fresh
+			// join, and the records of the annexed region stay behind
+			// there — without re-arming the pointer, a post-step-down
+			// node silently stops covering them (found by the chaos
+			// harness's long-partition schedules).
+			if !n.cfg.TransferOnSplit && n.cfg.HistoryTTL > 0 {
+				ix.setHistory(accept.Sibling.Addr, accept.Sibling.Code, n.clock.Now().Add(n.cfg.HistoryTTL))
+			}
+			for _, vd := range d.Versions {
+				if vd.Version == baseVersionSentinel || vd.Epoch == 0 {
+					continue
+				}
+				if vd.Epoch > ix.epochOf(vd.Version) {
+					merges = append(merges, mergeItem{ix: ix, vd: vd})
+				}
+			}
 			continue
 		}
 		ix, err := indexFromDef(d)
@@ -551,9 +619,27 @@ func (n *Node) onJoined(accept *wire.JoinAccept) {
 			// The index is not yet published, so direct field access is
 			// safe here.
 			ix.histAddr = accept.Sibling.Addr
+			ix.histRegion = accept.Sibling.Code
 			ix.histUntil = n.clock.Now().Add(n.cfg.HistoryTTL)
 		}
 		n.indices[d.Schema.Tag] = ix
+	}
+	n.ixMu.Unlock()
+
+	for _, mi := range merges {
+		if mi.vd.Epoch&retiredEpochBit != 0 {
+			n.applyRetire(mi.ix, mi.vd.Version, mi.vd.Epoch)
+		} else if tree, err := embed.Unmarshal(mi.vd.Tree); err == nil && tree.Dims() == mi.ix.sch.IndexDims {
+			n.applyInstall(mi.ix, mi.vd.Version, tree, mi.vd.Epoch)
+		}
+	}
+
+	n.mu.Lock()
+	reinsert := n.reinsertOnJoin
+	n.reinsertOnJoin = false
+	n.mu.Unlock()
+	if reinsert {
+		n.reinsertForeignPrimaries()
 	}
 }
 
@@ -569,6 +655,25 @@ func (n *Node) onContactDead(info wire.NodeInfo) {
 	}
 }
 
+// onContactMoved reacts to a peer observed under a changed code: any
+// history pointer armed at the peer's old position no longer has a
+// live target region behind it (the move re-homed the stranded
+// records), so stop delegating coverage to it.
+func (n *Node) onContactMoved(info wire.NodeInfo) {
+	for _, ix := range n.sortedIndices() {
+		ix.observeHistoryTarget(info.Addr, info.Code)
+	}
+}
+
+// onRegionDead reacts to a takeover flood declaring a region dead: a
+// history pointer into that region has a corpse for a target, whether
+// or not the target was still in this node's contact table.
+func (n *Node) onRegionDead(dead bitstr.Code) {
+	for _, ix := range n.sortedIndices() {
+		ix.clearHistoryRegion(dead)
+	}
+}
+
 // onSplit runs on the split-target side. In TransferOnSplit mode the
 // joiner-region records move to the joiner; otherwise they stay here and
 // the joiner's history pointer finds them.
@@ -580,18 +685,19 @@ func (n *Node) onSplit(oldCode, newCode bitstr.Code, joiner wire.NodeInfo) {
 		tag     string
 		version uint32
 		rec     schema.Record
+		epoch   uint64
 	}
 	var pushes []push
 	var scratch []uint64
 	for _, ix := range n.sortedIndices() {
 		for _, v := range ix.primary.Versions() {
-			tree := ix.tree(v)
+			tree, epoch := ix.treeAndEpoch(v)
 			st := ix.primary.Version(v)
 			var keep []schema.Record
 			st.All(func(rec schema.Record) bool {
 				scratch = rec.PointInto(ix.sch, scratch)
 				if joiner.Code.IsPrefixOf(tree.PointCode(scratch, joiner.Code.Len())) {
-					pushes = append(pushes, push{ix.sch.Tag, v, rec})
+					pushes = append(pushes, push{ix.sch.Tag, v, rec, epoch})
 				} else {
 					keep = append(keep, rec)
 				}
@@ -614,6 +720,7 @@ func (n *Node) onSplit(oldCode, newCode bitstr.Code, joiner wire.NodeInfo) {
 			RecID:      n.nextRecID(),
 			Rec:        p.rec,
 			Target:     joiner.Code,
+			TreeEpoch:  p.epoch,
 		})
 	}
 }
@@ -754,12 +861,26 @@ func (n *Node) HasIndex(tag string) bool {
 }
 
 // IndexInfo is one installed index's introspection view: tag, the
-// stored version set, and record counts. Served by the ops endpoint.
+// stored version set, record counts, and the per-version tree-epoch
+// state. Served by the ops endpoint.
 type IndexInfo struct {
-	Tag            string   `json:"tag"`
-	Versions       []uint32 `json:"versions"`
-	PrimaryRecords int      `json:"primary_records"`
-	ReplicaRecords int      `json:"replica_records"`
+	Tag            string     `json:"tag"`
+	Versions       []uint32   `json:"versions"`
+	PrimaryRecords int        `json:"primary_records"`
+	ReplicaRecords int        `json:"replica_records"`
+	Trees          []TreeInfo `json:"trees,omitempty"`
+	// HistoryAddr is the active §3.4 history-pointer target, if any:
+	// the split sibling still answering for this region's pre-split
+	// records.
+	HistoryAddr string `json:"history_addr,omitempty"`
+}
+
+// TreeInfo is one version's tree identity: the install epoch, or a
+// retirement marker.
+type TreeInfo struct {
+	Version uint32 `json:"version"`
+	Epoch   uint64 `json:"epoch"`
+	Retired bool   `json:"retired"`
 }
 
 // IndexInfos snapshots every installed index in ascending tag order.
@@ -767,12 +888,23 @@ func (n *Node) IndexInfos() []IndexInfo {
 	ixs := n.sortedIndices()
 	out := make([]IndexInfo, 0, len(ixs))
 	for _, ix := range ixs {
-		out = append(out, IndexInfo{
+		info := IndexInfo{
 			Tag:            ix.sch.Tag,
 			Versions:       ix.primary.Versions(),
 			PrimaryRecords: ix.primary.Len(),
 			ReplicaRecords: ix.replicas.Len(),
-		})
+		}
+		for _, e := range ix.entries() {
+			info.Trees = append(info.Trees, TreeInfo{
+				Version: e.Version,
+				Epoch:   e.Epoch &^ retiredEpochBit,
+				Retired: e.Epoch&retiredEpochBit != 0,
+			})
+		}
+		if active, addr := ix.history(n.clock.Now()); active {
+			info.HistoryAddr = addr
+		}
+		out = append(out, info)
 	}
 	return out
 }

@@ -38,6 +38,7 @@ type queryOp struct {
 	tries      map[uint32]*coverSet
 	regions    map[uint32]bitstr.Code // region each version's trie must cover
 	trees      map[uint32]*embed.Tree // embedding per version, for the coverage walk
+	epochs     map[uint32]uint64      // tree epoch stamped per version's dispatch
 	recIDs     map[uint64]bool
 	records    []schema.Record
 	responders map[string]bool
@@ -78,6 +79,7 @@ func (n *Node) Query(tag string, rect schema.Rect, cb func(QueryResult)) error {
 		tries:      make(map[uint32]*coverSet),
 		regions:    make(map[uint32]bitstr.Code),
 		trees:      make(map[uint32]*embed.Tree),
+		epochs:     make(map[uint32]uint64),
 		recIDs:     make(map[uint64]bool),
 		responders: make(map[string]bool),
 		retryHops:  make(map[string]string),
@@ -98,11 +100,16 @@ func (n *Node) Query(tag string, rect schema.Rect, cb func(QueryResult)) error {
 	for _, tree := range treeOrder {
 		vs := groups[tree]
 		qcode := tree.QueryCode(rect, maxDepth)
+		// One epoch per tree group: versions sharing a tree share its
+		// install state, so the first version's epoch represents the
+		// group (base-tree groups are all epoch 0 by construction).
+		epoch := ix.epochOf(vs[0])
 		vlist := make([]uint64, len(vs))
 		for i, v := range vs {
 			op.tries[v] = newCoverSet()
 			op.regions[v] = qcode
 			op.trees[v] = tree
+			op.epochs[v] = epoch
 			vlist[i] = uint64(v)
 		}
 		dispatches = append(dispatches, &wire.Query{
@@ -112,6 +119,7 @@ func (n *Node) Query(tag string, rect schema.Rect, cb func(QueryResult)) error {
 			Versions:   vlist,
 			Rect:       rect.Clone(),
 			Target:     qcode,
+			TreeEpoch:  epoch,
 		})
 	}
 	n.reqTracked.Add(1)
@@ -193,13 +201,18 @@ func (n *Node) handleQuery(from string, m *wire.Query) {
 	if !ok || len(m.Versions) == 0 {
 		return
 	}
-	tree := ix.tree(uint32(m.Versions[0]))
+	v0 := uint32(m.Versions[0])
+	if !n.checkQuerySkew(ix, v0, m.TreeEpoch, m.OriginAddr) {
+		return
+	}
+	tree := ix.tree(v0)
 	myCode := n.ov.Code()
 	if myCode.Len() <= m.Target.Len() {
 		// The whole query fits inside this node's region.
 		n.answerSubQuery(&wire.SubQuery{
 			ReqID: m.ReqID, OriginAddr: m.OriginAddr, Index: m.Index,
 			Versions: m.Versions, Rect: m.Rect, RegionCode: m.Target, Hops: m.Hops,
+			TreeEpoch: m.TreeEpoch,
 		})
 		return
 	}
@@ -214,6 +227,7 @@ func (n *Node) handleQuery(from string, m *wire.Query) {
 			Rect:       sub.Rect,
 			RegionCode: sub.Code,
 			Hops:       m.Hops,
+			TreeEpoch:  m.TreeEpoch,
 		}
 		if sub.Code.Equal(myCode) {
 			n.answerSubQuery(sq)
@@ -221,6 +235,28 @@ func (n *Node) handleQuery(from string, m *wire.Query) {
 			n.routeSubQuery(sq)
 		}
 	})
+}
+
+// checkQuerySkew guards every tree-dependent query decomposition: the
+// decomposition is only valid against the exact tree the originator
+// used, so an epoch mismatch drops the message and repairs whichever
+// side is behind (pull if us, push if them). The originator's
+// retransmission or a fresh query converges once the trees agree; a
+// dropped stale query can at worst time out incomplete, never complete
+// falsely. Answer paths are rect-based and never call this — a node
+// always answers honestly from what it stores.
+func (n *Node) checkQuerySkew(ix *index, version uint32, msgEpoch uint64, origin string) bool {
+	local := ix.epochOf(version)
+	if msgEpoch == local {
+		return true
+	}
+	n.skewQueries.Add(1)
+	if msgEpoch > local {
+		n.treePull(origin, ix.sch.Tag, version)
+	} else {
+		n.treePushTo(origin, ix, version)
+	}
+	return false
 }
 
 // routeSubQuery forwards a sub-query toward its region, with replica
@@ -263,7 +299,11 @@ func (n *Node) handleSubQuery(from string, m *wire.SubQuery) {
 		if !ok || len(m.Versions) == 0 {
 			return
 		}
-		tree := ix.tree(uint32(m.Versions[0]))
+		v0 := uint32(m.Versions[0])
+		if !n.checkQuerySkew(ix, v0, m.TreeEpoch, m.OriginAddr) {
+			return
+		}
+		tree := ix.tree(v0)
 		subs := tree.Decompose(m.Rect, myCode.Len())
 		n.runSubTasks(len(subs), func(i int) {
 			sub := subs[i]
@@ -275,6 +315,7 @@ func (n *Node) handleSubQuery(from string, m *wire.SubQuery) {
 				Rect:       sub.Rect,
 				RegionCode: sub.Code,
 				Hops:       m.Hops,
+				TreeEpoch:  m.TreeEpoch,
 			}
 			if sub.Code.Equal(myCode) {
 				n.answerSubQuery(sq)

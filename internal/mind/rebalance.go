@@ -21,6 +21,13 @@ import (
 
 // designatedTarget is the code the histogram reports route toward: deep
 // in the all-zero corner, so the owner of code 0^k receives them.
+//
+// There is no separate fallback-aggregator election: if the designated
+// node dies mid-collection, the overlay's takeover machinery hands the
+// all-zero region to its sibling, and the originators' retransmissions
+// re-route — greedy routing always resolves designatedTarget to the
+// CURRENT owner. Routing plus retransmission IS the deterministic
+// fallback aggregator.
 var designatedTarget = bitstr.New(0, 24)
 
 type histCollect struct {
@@ -28,7 +35,20 @@ type histCollect struct {
 	day     uint32
 	merged  *histogram.Hist
 	reports int
-	timer   transport.Timer
+	// reported dedups per reporting node: a retransmitted report (its
+	// ack was the lost message) must not double-count into the merge.
+	reported map[string]bool
+	timer    transport.Timer
+}
+
+// histReportOp is originator-side tracking for one HistReport: the
+// report retransmits on the reliable layer's backoff schedule until the
+// designated node acks, so a report (or its aggregator) lost mid-cycle
+// still reaches whoever owns the all-zero region by then.
+type histReportOp struct {
+	msg     *wire.HistReport
+	attempt int
+	retry   transport.Timer
 }
 
 // LocalHistogram builds the k-granularity histogram of one version of an
@@ -70,7 +90,10 @@ func (n *Node) LocalHistogram(tag string, day uint32, k int) (*histogram.Hist, e
 // ReportHistogram computes this node's local histogram for the given
 // version and routes it to the designated aggregation node. The
 // experiment harness (or a daily timer in a deployment) calls this on
-// every node at the end of a version period.
+// every node at the end of a version period. With the reliable layer
+// on, the report is tracked and retransmitted until acked — and each
+// retransmission re-resolves the designated target, so a coordinator
+// death mid-collection just redirects the report to the takeover node.
 func (n *Node) ReportHistogram(tag string, day uint32, k int) error {
 	h, err := n.LocalHistogram(tag, day, k)
 	if err != nil {
@@ -82,8 +105,58 @@ func (n *Node) ReportHistogram(tag string, day uint32, k int) error {
 		NodeAddr: n.ep.Addr(),
 		Hist:     h.Marshal(),
 	}
+	if n.retriesEnabled() {
+		msg.ReqID = n.nextReq()
+		op := &histReportOp{msg: msg}
+		reqID := msg.ReqID
+		n.reqTracked.Add(1)
+		n.mu.Lock()
+		n.reports[reqID] = op
+		op.retry = n.clock.AfterFunc(n.retryDelayLocked(1), func() { n.resendReport(reqID) })
+		n.mu.Unlock()
+	}
 	n.handleHistReport(n.ep.Addr(), msg)
 	return nil
+}
+
+// resendReport retransmits an un-acked histogram report. The re-dispatch
+// goes through handleHistReport, which re-resolves ownership of the
+// designated target from the CURRENT overlay view — after a coordinator
+// death and takeover, the retransmission lands at the new owner.
+func (n *Node) resendReport(reqID uint64) {
+	n.mu.Lock()
+	op, ok := n.reports[reqID]
+	if !ok {
+		n.mu.Unlock()
+		return
+	}
+	if op.attempt >= n.cfg.MaxRetries {
+		// Exhausted: the cycle proceeds with the reports that arrived
+		// (the merge is approximate anyway); drop the op.
+		delete(n.reports, reqID)
+		n.mu.Unlock()
+		return
+	}
+	op.attempt++
+	n.retransmits.Add(1)
+	msg := *op.msg
+	msg.Hops = 0
+	op.retry = n.clock.AfterFunc(n.retryDelayLocked(op.attempt+1), func() { n.resendReport(reqID) })
+	n.mu.Unlock()
+
+	n.handleHistReport(n.ep.Addr(), &msg)
+}
+
+func (n *Node) handleHistReportAck(m *wire.HistReportAck) {
+	n.acksReceived.Add(1)
+	n.mu.Lock()
+	if op, ok := n.reports[m.ReqID]; ok {
+		delete(n.reports, m.ReqID)
+		if op.retry != nil {
+			op.retry.Stop()
+		}
+	}
+	n.mu.Unlock()
 }
 
 func (n *Node) handleHistReport(from string, m *wire.HistReport) {
@@ -100,7 +173,19 @@ func (n *Node) handleHistReport(from string, m *wire.HistReport) {
 		}
 		return
 	}
-	// Designated node: merge the report.
+	// Designated node: ack the reporter, then merge (once per reporter —
+	// a duplicate means our previous ack was lost, so re-ack only).
+	ackReporter := func() {
+		if m.ReqID == 0 {
+			return
+		}
+		ack := &wire.HistReportAck{ReqID: m.ReqID}
+		if m.NodeAddr == n.ep.Addr() {
+			n.handleHistReportAck(ack)
+		} else {
+			n.send(m.NodeAddr, ack)
+		}
+	}
 	h, err := histogram.Unmarshal(m.Hist)
 	if err != nil {
 		return
@@ -109,16 +194,26 @@ func (n *Node) handleHistReport(from string, m *wire.HistReport) {
 	n.mu.Lock()
 	c, ok := n.collect[key]
 	if !ok {
-		c = &histCollect{tag: m.Index, day: m.Day, merged: h}
+		c = &histCollect{tag: m.Index, day: m.Day, merged: h, reports: 1,
+			reported: map[string]bool{m.NodeAddr: true}}
 		n.collect[key] = c
 		c.timer = n.clock.AfterFunc(n.cfg.HistCollectWait, func() { n.finalizeRebalance(key) })
 		n.mu.Unlock()
+		ackReporter()
 		return
 	}
+	if c.reported[m.NodeAddr] {
+		n.dedupHits.Add(1)
+		n.mu.Unlock()
+		ackReporter()
+		return
+	}
+	c.reported[m.NodeAddr] = true
 	if err := c.merged.Merge(h); err == nil {
 		c.reports++
 	}
 	n.mu.Unlock()
+	ackReporter()
 }
 
 // finalizeRebalance computes the next version's balanced cuts from the
@@ -144,16 +239,28 @@ func (n *Node) finalizeRebalance(key string) {
 
 // InstallCuts installs a cut tree for an index version locally and
 // floods it to the overlay. Exposed so experiments can also install
-// off-line-computed cuts, exactly as the paper's evaluation did.
+// off-line-computed cuts, exactly as the paper's evaluation did. The
+// flooded install carries an epoch derived from this node's current
+// view of the version (counter + content signature), so receivers — and
+// both halves of a healed partition that each ran the reversion —
+// converge on one deterministic tree per version.
 func (n *Node) InstallCuts(tag string, version uint32, tree *embed.Tree) {
+	ix, ok := n.getIndex(tag)
+	if !ok || tree.Dims() != ix.sch.IndexDims {
+		return
+	}
+	cur := ix.epochOf(version)
+	if cur&retiredEpochBit != 0 {
+		return // version retired: never resurrect it
+	}
+	treeBytes := tree.Marshal()
+	epoch := nextTreeEpoch(cur, treeBytes)
 	opID := n.nextReq()
 	n.mu.Lock()
 	n.seenOps[opID] = true
 	n.mu.Unlock()
-	if ix, ok := n.getIndex(tag); ok && tree.Dims() == ix.sch.IndexDims {
-		ix.setTree(version, tree)
-	}
-	n.flood(&wire.HistInstall{OpID: opID, Index: tag, Version: version, Tree: tree.Marshal()})
+	n.applyInstall(ix, version, tree, epoch)
+	n.flood(&wire.HistInstall{OpID: opID, Index: tag, Version: version, Tree: treeBytes, Epoch: epoch})
 }
 
 func (n *Node) handleHistInstall(m *wire.HistInstall) {
@@ -163,9 +270,17 @@ func (n *Node) handleHistInstall(m *wire.HistInstall) {
 	tree, err := embed.Unmarshal(m.Tree)
 	if err == nil {
 		if ix, ok := n.getIndex(m.Index); ok && tree.Dims() == ix.sch.IndexDims {
-			ix.setTree(m.Version, tree)
+			epoch := m.Epoch
+			if epoch == 0 {
+				// Pre-epoch installer (tests driving the raw flood): derive
+				// one locally so ordering still applies.
+				epoch = nextTreeEpoch(ix.epochOf(m.Version), m.Tree)
+			}
+			n.applyInstall(ix, m.Version, tree, epoch)
 		}
 	}
+	// Re-flood even a refused install: the OpID dedup is what stops the
+	// flood, and neighbors may not have seen this epoch yet.
 	n.flood(m)
 }
 

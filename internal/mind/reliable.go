@@ -312,6 +312,7 @@ func (n *Node) resendQuery(reqID uint64) {
 				Rect:       op.rect,
 				RegionCode: region,
 				Attempt:    uint8(attempt),
+				TreeEpoch:  op.epochs[uint32(g.versions[0])],
 			}
 			exclude := op.retryHops[region.String()]
 			if exclude == "" {

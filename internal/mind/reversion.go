@@ -1,0 +1,424 @@
+package mind
+
+import (
+	"fmt"
+	"time"
+
+	"mind/internal/embed"
+	"mind/internal/metrics"
+	"mind/internal/schema"
+	"mind/internal/wire"
+)
+
+// Crash-safe reversioning (§3.7 under faults). The paper's prototype
+// computed new cut trees off-line and assumed every node observed the
+// flip; under live load with message loss and partitions three things
+// go wrong, and this file owns their repair:
+//
+//   - A node misses the HistInstall flood and keeps hashing with the
+//     old tree. Every data message carries the originator's TreeEpoch;
+//     the side with the older epoch is detected at tree-use points and
+//     catches up via TreePull/TreePush before wrong-tree placement or
+//     wrong-tree query decomposition can do damage.
+//   - An idle node never touches traffic, so no data message exposes
+//     its skew. Heartbeats carry a digest of the whole version-epoch
+//     state; a mismatch triggers a TreeSyncReq/TreeSyncResp exchange
+//     and targeted pulls.
+//   - Both halves of a partition run the reversion independently.
+//     Epochs embed a content signature, so the concurrent installs
+//     compare unequal and every node converges on one deterministic
+//     winner after the heal.
+
+// retiredEpochBit marks a version's epoch entry as a retirement: the
+// marker beats any live epoch, making retirement sticky against
+// stragglers re-flooding an old install.
+const retiredEpochBit = uint64(1) << 63
+
+// makeTreeEpoch builds a tree epoch: install counter in the high bits,
+// a content signature of the marshalled tree in the low 16. Plain
+// uint64 comparison then totally orders installs — a later counter
+// beats an earlier one, and two concurrent installs with the same
+// counter (both partition halves reran the reversion) break the tie by
+// signature.
+func makeTreeEpoch(counter uint64, treeBytes []byte) uint64 {
+	return counter<<16 | fnvBytes(treeBytes)&0xffff
+}
+
+// nextTreeEpoch derives the epoch for a fresh install of a version from
+// its current local epoch. The retired bit is masked out of the
+// counter so a reinstall attempt under a retirement mints a live epoch
+// that the sticky marker correctly refuses everywhere.
+func nextTreeEpoch(cur uint64, treeBytes []byte) uint64 {
+	return makeTreeEpoch((cur&^retiredEpochBit)>>16+1, treeBytes)
+}
+
+func fnvBytes(b []byte) uint64 {
+	var h uint64 = 14695981039346656037
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// versionDigest is the overlay's VersionDigest callback: one value
+// summarizing every index's version-epoch state, carried on heartbeats.
+func (n *Node) versionDigest() uint64 {
+	var d uint64
+	for _, ix := range n.sortedIndices() {
+		d ^= ix.digest()
+	}
+	return d
+}
+
+// rateOnce is the per-key rate limiter for skew-repair traffic (pulls,
+// pushes, sync requests): every heartbeat or data message from a skewed
+// peer would otherwise re-trigger the same repair. The map is pruned
+// wholesale when it grows large, which at worst re-admits one early
+// repeat per key.
+func (n *Node) rateOnce(key string, interval time.Duration) bool {
+	now := n.clock.Now()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if t, ok := n.repairAt[key]; ok && now.Sub(t) < interval {
+		return false
+	}
+	if len(n.repairAt) > 4096 {
+		n.repairAt = make(map[string]time.Time)
+	}
+	n.repairAt[key] = now
+	return true
+}
+
+func (n *Node) repairInterval() time.Duration {
+	if hb := n.cfg.Overlay.HeartbeatInterval; hb > 0 {
+		return hb
+	}
+	return time.Second
+}
+
+// treePull asks addr for one version's installed tree (we observed a
+// newer epoch than ours).
+func (n *Node) treePull(addr, tag string, version uint32) {
+	if addr == "" || addr == n.ep.Addr() {
+		return
+	}
+	if !n.rateOnce(fmt.Sprintf("pull|%s|%s|%d", addr, tag, version), n.repairInterval()) {
+		return
+	}
+	n.treePulls.Add(1)
+	n.send(addr, &wire.TreePull{From: n.ep.Addr(), Index: tag, Version: version})
+}
+
+// treePushTo ships our installed tree (or retirement marker) for one
+// version to a peer observed using an older epoch.
+func (n *Node) treePushTo(addr string, ix *index, version uint32) {
+	if addr == "" || addr == n.ep.Addr() {
+		return
+	}
+	if !n.rateOnce(fmt.Sprintf("push|%s|%s|%d", addr, ix.sch.Tag, version), n.repairInterval()) {
+		return
+	}
+	tree, epoch := ix.treeAndEpoch(version)
+	if epoch == 0 {
+		return // nothing authoritative to share
+	}
+	msg := &wire.TreePush{Index: ix.sch.Tag, Version: version, Epoch: epoch}
+	if epoch&retiredEpochBit == 0 {
+		msg.Tree = tree.Marshal()
+	}
+	n.treePushes.Add(1)
+	n.send(addr, msg)
+}
+
+func (n *Node) handleTreePull(m *wire.TreePull) {
+	ix, ok := n.getIndex(m.Index)
+	if !ok {
+		return
+	}
+	tree, epoch := ix.treeAndEpoch(m.Version)
+	if epoch == 0 {
+		return
+	}
+	msg := &wire.TreePush{Index: m.Index, Version: m.Version, Epoch: epoch}
+	if epoch&retiredEpochBit == 0 {
+		msg.Tree = tree.Marshal()
+	}
+	n.treePushes.Add(1)
+	n.send(m.From, msg)
+}
+
+func (n *Node) handleTreePush(m *wire.TreePush) {
+	ix, ok := n.getIndex(m.Index)
+	if !ok {
+		return
+	}
+	if m.Epoch&retiredEpochBit != 0 {
+		n.applyRetire(ix, m.Version, m.Epoch)
+		return
+	}
+	tree, err := embed.Unmarshal(m.Tree)
+	if err != nil || tree.Dims() != ix.sch.IndexDims {
+		return
+	}
+	n.applyInstall(ix, m.Version, tree, m.Epoch)
+}
+
+// onVersionSkew is the overlay's skew callback: a heartbeat exchange
+// showed a peer whose digest differs from ours. Ask for its version
+// summary; whoever is behind on a version pulls. Rate-limited per peer,
+// since digests keep mismatching on every heartbeat until the sync
+// completes.
+func (n *Node) onVersionSkew(peer wire.NodeInfo) {
+	if !n.rateOnce("sync|"+peer.Addr, 2*n.repairInterval()) {
+		return
+	}
+	n.treeSyncs.Add(1)
+	n.send(peer.Addr, &wire.TreeSyncReq{From: n.ep.Addr()})
+}
+
+func (n *Node) handleTreeSyncReq(m *wire.TreeSyncReq) {
+	resp := &wire.TreeSyncResp{From: n.ep.Addr()}
+	for _, ix := range n.sortedIndices() {
+		resp.Entries = append(resp.Entries, ix.entries()...)
+	}
+	n.send(m.From, resp)
+}
+
+func (n *Node) handleTreeSyncResp(m *wire.TreeSyncResp) {
+	for _, e := range m.Entries {
+		ix, ok := n.getIndex(e.Index)
+		if !ok {
+			continue
+		}
+		if e.Epoch <= ix.epochOf(e.Version) {
+			continue // at least as fresh; the peer's own sync pulls from us
+		}
+		if e.Epoch&retiredEpochBit != 0 {
+			n.applyRetire(ix, e.Version, e.Epoch)
+		} else {
+			n.treePull(m.From, e.Index, e.Version)
+		}
+	}
+}
+
+// applyInstall runs the full local install path for a tree that arrived
+// with an epoch: apply if it advances the version, then re-place the
+// records the flip strands and sweep versions past the retention
+// window. Reports whether the install was applied.
+func (n *Node) applyInstall(ix *index, version uint32, tree *embed.Tree, epoch uint64) bool {
+	if !ix.install(version, tree, epoch) {
+		n.verInstallsRefused.Add(1)
+		return false
+	}
+	n.verInstalls.Add(1)
+	n.reshuffleVersion(ix, version)
+	n.autoRetire(ix, version)
+	return true
+}
+
+// applyRetire marks a version retired and drops its tree and store
+// snapshots — the end of the dual-version window for that version.
+func (n *Node) applyRetire(ix *index, version uint32, marker uint64) {
+	if !ix.retire(version, marker) {
+		return
+	}
+	ix.primary.Drop(version)
+	ix.replicas.Drop(version)
+	n.verRetired.Add(1)
+}
+
+// sendTrackedInsert dispatches one locally-originated repair insert
+// (reshuffle, post-step-down re-insertion) through the normal reliable
+// path: tracked with retransmission when the reliable layer is on,
+// fire-and-forget otherwise.
+func (n *Node) sendTrackedInsert(msg *wire.Insert) {
+	if n.retriesEnabled() {
+		reqID := msg.ReqID
+		op := &insertOp{msg: msg}
+		n.reqTracked.Add(1)
+		n.pendingGauge.Add(1)
+		n.mu.Lock()
+		n.inserts[reqID] = op
+		op.timer = n.clock.AfterFunc(n.cfg.InsertTimeout, func() {
+			n.finishInsert(reqID, InsertResult{OK: false, Err: errTimeout})
+		})
+		n.armInsertRetryLocked(reqID, op)
+		n.mu.Unlock()
+	} else {
+		msg.ReqID = 0
+	}
+	n.handleInsert(n.ep.Addr(), msg)
+}
+
+// reshuffleVersion repairs mid-flip placement: records of the flipped
+// version inserted before this node saw the install were placed by the
+// old tree, so under the new cuts some of them belong elsewhere and
+// queries decomposed with the new tree would never visit them here.
+// Re-insert those through normal routing (tracked, so the reliable
+// layer retransmits). The local copies stay — content-hash dedup
+// collapses duplicates at query originators, and keeping them is the
+// conservative side of a lost re-insert.
+func (n *Node) reshuffleVersion(ix *index, version uint32) {
+	if !n.ov.Joined() || !ix.primary.Has(version) {
+		return
+	}
+	myCode := n.ov.Code()
+	tree, epoch := ix.treeAndEpoch(version)
+	depth := clampDepth(myCode.Len() + n.cfg.InsertDepthSlack)
+	var outs []*wire.Insert
+	var scratch []uint64
+	ix.primary.Version(version).All(func(rec schema.Record) bool {
+		scratch = rec.PointInto(ix.sch, scratch)
+		pc := tree.PointCode(scratch, depth)
+		if myCode.IsPrefixOf(pc) {
+			return true // still ours under the new cuts
+		}
+		outs = append(outs, &wire.Insert{
+			ReqID:      n.nextReq(),
+			OriginAddr: n.ep.Addr(),
+			Index:      ix.sch.Tag,
+			Version:    version,
+			RecID:      n.nextRecID(),
+			Rec:        append(schema.Record(nil), rec...),
+			Target:     pc,
+			TreeEpoch:  epoch,
+		})
+		return true
+	})
+	n.reshuffled.Add(uint64(len(outs)))
+	for _, msg := range outs {
+		n.sendTrackedInsert(msg)
+	}
+}
+
+// autoRetire closes the dual-version window: after version V installs,
+// any version more than RetainVersions behind it is retired — tree,
+// primary snapshot and replica snapshot — so memory stops growing
+// across reversions. Distance uses uint32 wraparound arithmetic with a
+// half-range guard, so the ^uint32(0) → 0 rollover retires correctly
+// and a "newer" version can never be mistaken for a hugely old one.
+// Every node sweeps locally on install (the install flood reaches all
+// nodes, so no extra retire flood is needed); node-local markers may
+// differ in their low bits and converge via the TreeSync anti-entropy.
+func (n *Node) autoRetire(ix *index, installed uint32) {
+	r := n.cfg.RetainVersions
+	if r <= 0 {
+		return
+	}
+	old := func(v uint32) bool {
+		d := installed - v
+		return d > uint32(r) && d < 1<<31
+	}
+	for _, v := range ix.primary.Prune(func(v uint32) bool { return !old(v) }) {
+		marker := retiredEpochBit | ix.epochOf(v)&^retiredEpochBit
+		if ix.retire(v, marker) {
+			n.verRetired.Add(1)
+		}
+		ix.replicas.Drop(v)
+	}
+	// Tree-only versions (no local data) retire too.
+	for _, v := range ix.treeVersions() {
+		e := ix.epochOf(v)
+		if e&retiredEpochBit != 0 || !old(v) {
+			continue
+		}
+		if ix.retire(v, retiredEpochBit|e&^retiredEpochBit) {
+			ix.replicas.Drop(v)
+			n.verRetired.Add(1)
+		}
+	}
+}
+
+// onStepDown is the overlay's step-down callback: this node lost a
+// split-brain ownership dispute and is rejoining through the winner.
+// Flag the rejoin so onJoined re-inserts the primary records this node
+// holds for regions the winner's side now owns.
+func (n *Node) onStepDown(winner wire.NodeInfo) {
+	n.stepDowns.Add(1)
+	n.mu.Lock()
+	n.reinsertOnJoin = true
+	n.mu.Unlock()
+}
+
+// reinsertForeignPrimaries walks primary storage after a post-step-down
+// rejoin and re-inserts every record whose placement no longer falls
+// inside this node's (new, usually deeper) region — the loser's half of
+// the reconciliation contract: no acked record may be lost to the
+// fence. Local copies stay; query-side content dedup collapses the
+// duplicates.
+func (n *Node) reinsertForeignPrimaries() {
+	myCode := n.ov.Code()
+	var outs []*wire.Insert
+	var scratch []uint64
+	for _, ix := range n.sortedIndices() {
+		for _, v := range ix.primary.Versions() {
+			tree, epoch := ix.treeAndEpoch(v)
+			if epoch&retiredEpochBit != 0 {
+				continue
+			}
+			depth := clampDepth(myCode.Len() + n.cfg.InsertDepthSlack)
+			ix.primary.Version(v).All(func(rec schema.Record) bool {
+				scratch = rec.PointInto(ix.sch, scratch)
+				pc := tree.PointCode(scratch, depth)
+				if myCode.IsPrefixOf(pc) {
+					return true
+				}
+				outs = append(outs, &wire.Insert{
+					ReqID:      n.nextReq(),
+					OriginAddr: n.ep.Addr(),
+					Index:      ix.sch.Tag,
+					Version:    v,
+					RecID:      n.nextRecID(),
+					Rec:        append(schema.Record(nil), rec...),
+					Target:     pc,
+					TreeEpoch:  epoch,
+				})
+				return true
+			})
+		}
+	}
+	n.reinserted.Add(uint64(len(outs)))
+	for _, msg := range outs {
+		n.sendTrackedInsert(msg)
+	}
+}
+
+// ReversionStats snapshots the reversioning counters.
+func (n *Node) ReversionStats() metrics.Reversion {
+	return metrics.Reversion{
+		Installs:        n.verInstalls.Load(),
+		InstallsRefused: n.verInstallsRefused.Load(),
+		Retired:         n.verRetired.Load(),
+		TreePulls:       n.treePulls.Load(),
+		TreePushes:      n.treePushes.Load(),
+		TreeSyncs:       n.treeSyncs.Load(),
+		SkewInserts:     n.skewInserts.Load(),
+		SkewQueries:     n.skewQueries.Load(),
+		Reshuffled:      n.reshuffled.Load(),
+		StepDowns:       n.stepDowns.Load(),
+		Reinserted:      n.reinserted.Load(),
+	}
+}
+
+// VersionEntries snapshots every index's version-epoch state — the
+// ClientVersions RPC payload and the ops /indices detail.
+func (n *Node) VersionEntries() []wire.TreeSyncEntry {
+	var out []wire.TreeSyncEntry
+	for _, ix := range n.sortedIndices() {
+		out = append(out, ix.entries()...)
+	}
+	return out
+}
+
+// handleClientVersions answers the mindctl skew probe with this node's
+// overlay identity, membership epoch and full version-epoch table.
+func (n *Node) handleClientVersions(from string, m *wire.ClientVersions) {
+	n.send(from, &wire.ClientVersionsResp{
+		ReqID:   m.ReqID,
+		Addr:    n.ep.Addr(),
+		Code:    n.ov.Code().String(),
+		Epoch:   n.ov.Epoch(),
+		Entries: n.VersionEntries(),
+	})
+}

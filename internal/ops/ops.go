@@ -10,13 +10,16 @@
 //	              (readiness: a node that lost its overlay membership
 //	              stops receiving traffic from a health-checking LB)
 //	GET /stats    JSON: node counters (stored/forwarded/replicated,
-//	              reliable-layer, shed counters), transport health,
-//	              admission stats, ingest stats when enabled
+//	              reliable-layer, shed counters), membership-epoch and
+//	              split-brain reconciliation state, reversion counters,
+//	              transport health, admission stats, ingest stats when
+//	              enabled
 //	GET /peers    JSON: managed outbound peer table (lifecycle state,
 //	              queue depth, drop counters per peer), inbound
 //	              connection count, and the overlay contact table
-//	GET /indices  JSON: installed indices with versions and record
-//	              counts
+//	GET /indices  JSON: installed indices with versions, per-version
+//	              tree epochs (and retirement markers), history-pointer
+//	              targets, and record counts
 //
 // Everything is read-only; the server never mutates node state.
 package ops
@@ -99,10 +102,25 @@ type statsView struct {
 	UptimeSec float64 `json:"uptime_sec"`
 
 	Node        mind.Stats  `json:"node"`
+	Overlay     overlayView `json:"overlay"`
+	Reversion   interface{} `json:"reversion"`
 	Reliability interface{} `json:"reliability"`
 	Admission   interface{} `json:"admission"`
 	Transport   interface{} `json:"transport,omitempty"`
 	Ingest      interface{} `json:"ingest,omitempty"`
+}
+
+// overlayView is the membership-fencing state an operator checks when a
+// partition heals: the region epoch this node's ownership claims carry,
+// the peers it declared dead and still probes for reconnection, and the
+// dispute counters of the split-brain reconciliation protocol.
+type overlayView struct {
+	Epoch              uint64   `json:"epoch"`
+	Estranged          []string `json:"estranged,omitempty"`
+	CollisionsDetected uint64   `json:"collisions_detected"`
+	CollisionsWon      uint64   `json:"collisions_won"`
+	CollisionsLost     uint64   `json:"collisions_lost"`
+	StepDowns          uint64   `json:"step_downs"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -110,12 +128,22 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if math.IsNaN(ns.BatchOccupancy) {
 		ns.BatchOccupancy = 0 // JSON has no NaN; zero means "no batches yet"
 	}
+	snap := s.node.Overlay().Snapshot()
 	v := statsView{
-		Addr:        s.node.Addr(),
-		Code:        s.node.Code().String(),
-		Joined:      s.node.Joined(),
-		UptimeSec:   time.Since(s.start).Seconds(),
-		Node:        ns,
+		Addr:      s.node.Addr(),
+		Code:      s.node.Code().String(),
+		Joined:    s.node.Joined(),
+		UptimeSec: time.Since(s.start).Seconds(),
+		Node:      ns,
+		Overlay: overlayView{
+			Epoch:              snap.Epoch,
+			Estranged:          snap.Estranged,
+			CollisionsDetected: snap.Recon.CollisionsDetected,
+			CollisionsWon:      snap.Recon.CollisionsWon,
+			CollisionsLost:     snap.Recon.CollisionsLost,
+			StepDowns:          snap.Recon.StepDowns,
+		},
+		Reversion:   s.node.ReversionStats(),
 		Reliability: s.node.ReliabilityStats(),
 		Admission:   s.node.AdmissionStats(),
 	}

@@ -110,6 +110,14 @@ func TestOperatorSurface(t *testing.T) {
 		Admission struct {
 			ShedInserts uint64 `json:"shed_inserts"`
 		} `json:"admission"`
+		Overlay *struct {
+			Epoch     uint64   `json:"epoch"`
+			Estranged []string `json:"estranged"`
+			StepDowns uint64   `json:"step_downs"`
+		} `json:"overlay"`
+		Reversion *struct {
+			Installs uint64 `json:"installs"`
+		} `json:"reversion"`
 		Transport struct {
 			Dials        uint64 `json:"dials"`
 			FramesSent   uint64 `json:"frames_sent"`
@@ -121,6 +129,9 @@ func TestOperatorSurface(t *testing.T) {
 	}
 	if stats.Addr != node1.Addr() || !stats.Joined {
 		t.Fatalf("stats identity: %+v", stats)
+	}
+	if stats.Overlay == nil || stats.Reversion == nil {
+		t.Fatalf("stats missing overlay/reversion sections:\n%s", body)
 	}
 	if stats.Transport.Dials == 0 || stats.Transport.FramesSent == 0 || stats.Transport.PeersHealthy == 0 {
 		t.Fatalf("transport counters empty: %+v", stats.Transport)

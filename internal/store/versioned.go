@@ -122,3 +122,20 @@ func (vs *Versioned) Drop(v uint32) {
 	defer vs.mu.Unlock()
 	delete(vs.versions, v)
 }
+
+// Prune removes every version the keep predicate rejects and returns
+// the removed ids in ascending order — the bulk retirement sweep run
+// when a new version's install closes the retention window.
+func (vs *Versioned) Prune(keep func(uint32) bool) []uint32 {
+	vs.mu.Lock()
+	var out []uint32
+	for v := range vs.versions {
+		if !keep(v) {
+			out = append(out, v)
+			delete(vs.versions, v)
+		}
+	}
+	vs.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -16,18 +16,22 @@ const (
 	KindClientDropIndex
 	KindClientAck
 	KindClientQueryResp
+	KindClientVersions
+	KindClientVersionsResp
 
 	clientKindSentinel
 )
 
 func init() {
 	for k, name := range map[Kind]string{
-		KindClientInsert:      "client-insert",
-		KindClientQuery:       "client-query",
-		KindClientCreateIndex: "client-create-index",
-		KindClientDropIndex:   "client-drop-index",
-		KindClientAck:         "client-ack",
-		KindClientQueryResp:   "client-query-resp",
+		KindClientInsert:       "client-insert",
+		KindClientQuery:        "client-query",
+		KindClientCreateIndex:  "client-create-index",
+		KindClientDropIndex:    "client-drop-index",
+		KindClientAck:          "client-ack",
+		KindClientQueryResp:    "client-query-resp",
+		KindClientVersions:     "client-versions",
+		KindClientVersionsResp: "client-versions-resp",
 	} {
 		clientKindNames[k] = name
 	}
@@ -49,6 +53,10 @@ func newClientMessage(k Kind) Message {
 		return &ClientAck{}
 	case KindClientQueryResp:
 		return &ClientQueryResp{}
+	case KindClientVersions:
+		return &ClientVersions{}
+	case KindClientVersionsResp:
+		return &ClientVersionsResp{}
 	}
 	return nil
 }
@@ -187,5 +195,61 @@ func (m *ClientQueryResp) decode(r *Reader) {
 	m.Recs = make([][]uint64, n)
 	for i := range m.Recs {
 		m.Recs[i] = r.U64Slice()
+	}
+}
+
+// ClientVersions asks the receiving node for its per-index installed
+// tree-version summary plus its membership epoch — the probe mindctl's
+// skew subcommand sends to every listed node to diff version state
+// across a deployment.
+type ClientVersions struct {
+	ReqID uint64
+}
+
+func (m *ClientVersions) Kind() Kind { return KindClientVersions }
+func (m *ClientVersions) encode(w *Writer) {
+	w.Uvarint(m.ReqID)
+}
+func (m *ClientVersions) decode(r *Reader) {
+	m.ReqID = r.Uvarint()
+}
+
+// ClientVersionsResp answers ClientVersions.
+type ClientVersionsResp struct {
+	ReqID   uint64
+	Addr    string
+	Code    string
+	Epoch   uint64 // membership (fencing) epoch
+	Entries []TreeSyncEntry
+}
+
+func (m *ClientVersionsResp) Kind() Kind { return KindClientVersionsResp }
+func (m *ClientVersionsResp) encode(w *Writer) {
+	w.Uvarint(m.ReqID)
+	w.String(m.Addr)
+	w.String(m.Code)
+	w.Uvarint(m.Epoch)
+	w.Uvarint(uint64(len(m.Entries)))
+	for _, e := range m.Entries {
+		w.String(e.Index)
+		w.Uvarint(uint64(e.Version))
+		w.Uvarint(e.Epoch)
+	}
+}
+func (m *ClientVersionsResp) decode(r *Reader) {
+	m.ReqID = r.Uvarint()
+	m.Addr = r.String()
+	m.Code = r.String()
+	m.Epoch = r.Uvarint()
+	n := r.Uvarint()
+	if n > 1<<16 {
+		r.fail("too many version entries: %d", n)
+		return
+	}
+	m.Entries = make([]TreeSyncEntry, n)
+	for i := range m.Entries {
+		m.Entries[i].Index = r.String()
+		m.Entries[i].Version = uint32(r.Uvarint())
+		m.Entries[i].Epoch = r.Uvarint()
 	}
 }

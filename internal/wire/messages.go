@@ -52,6 +52,20 @@ const (
 	KindHistReport
 	KindHistInstall
 
+	// Reversion reliability and version-skew catch-up (§3.7 under
+	// faults): report acks, tree pull/push, and the heartbeat-driven
+	// tree-summary exchange.
+	KindHistReportAck
+	KindTreePull
+	KindTreePush
+	KindTreeSyncReq
+	KindTreeSyncResp
+
+	// Epoch-fenced membership reconciliation after a healed partition.
+	KindCollisionProbe
+	KindCollisionReply
+	KindCollisionHint
+
 	kindSentinel
 )
 
@@ -83,6 +97,14 @@ var kindNames = [...]string{
 	KindDropIndex:       "drop-index",
 	KindHistReport:      "hist-report",
 	KindHistInstall:     "hist-install",
+	KindHistReportAck:   "hist-report-ack",
+	KindTreePull:        "tree-pull",
+	KindTreePush:        "tree-push",
+	KindTreeSyncReq:     "tree-sync-req",
+	KindTreeSyncResp:    "tree-sync-resp",
+	KindCollisionProbe:  "collision-probe",
+	KindCollisionReply:  "collision-reply",
+	KindCollisionHint:   "collision-hint",
 }
 
 func (k Kind) String() string {
@@ -198,6 +220,22 @@ func newMessage(k Kind) Message {
 		return &HistReport{}
 	case KindHistInstall:
 		return &HistInstall{}
+	case KindHistReportAck:
+		return &HistReportAck{}
+	case KindTreePull:
+		return &TreePull{}
+	case KindTreePush:
+		return &TreePush{}
+	case KindTreeSyncReq:
+		return &TreeSyncReq{}
+	case KindTreeSyncResp:
+		return &TreeSyncResp{}
+	case KindCollisionProbe:
+		return &CollisionProbe{}
+	case KindCollisionReply:
+		return &CollisionReply{}
+	case KindCollisionHint:
+		return &CollisionHint{}
 	}
 	return nil
 }
@@ -277,10 +315,13 @@ func DecodeSchema(r *Reader) *schema.Schema {
 	return s
 }
 
-// VersionDef carries one index version's cut tree.
+// VersionDef carries one index version's cut tree and its install
+// epoch, so a joiner adopts not just the tree but its identity in the
+// install total order (a retired-marker epoch propagates retirement).
 type VersionDef struct {
 	Version uint32
 	Tree    []byte // embed.Tree.Marshal output
+	Epoch   uint64
 }
 
 // IndexDef carries a full index definition: schema plus the cut tree of
@@ -296,6 +337,7 @@ func (d IndexDef) encode(w *Writer) {
 	for _, v := range d.Versions {
 		w.Uvarint(uint64(v.Version))
 		w.BytesField(v.Tree)
+		w.Uvarint(v.Epoch)
 	}
 }
 
@@ -310,6 +352,7 @@ func (d *IndexDef) decode(r *Reader) {
 	for i := range d.Versions {
 		d.Versions[i].Version = uint32(r.Uvarint())
 		d.Versions[i].Tree = r.BytesField()
+		d.Versions[i].Epoch = r.Uvarint()
 	}
 }
 
@@ -420,13 +463,16 @@ func (m *JoinAbort) decode(r *Reader) { m.Target.decode(r) }
 
 // JoinAccept completes a join from the target's side: the joiner learns
 // its code, its new sibling, its initial neighbor table and all index
-// definitions.
+// definitions. Epoch is the target's region epoch after the split; the
+// joiner adopts it so a freshly joined node is fenced at least as high
+// as its region's membership history.
 type JoinAccept struct {
 	ReqID     uint64
 	NewCode   bitstr.Code
 	Sibling   NodeInfo // target with its deepened code
 	Neighbors []NodeInfo
 	Indices   []IndexDef
+	Epoch     uint64
 }
 
 func (m *JoinAccept) Kind() Kind { return KindJoinAccept }
@@ -435,6 +481,7 @@ func (m *JoinAccept) encode(w *Writer) {
 	w.Code(m.NewCode)
 	m.Sibling.encode(w)
 	encodeNodeInfos(w, m.Neighbors)
+	w.Uvarint(m.Epoch)
 	w.Uvarint(uint64(len(m.Indices)))
 	for _, d := range m.Indices {
 		d.encode(w)
@@ -445,6 +492,7 @@ func (m *JoinAccept) decode(r *Reader) {
 	m.NewCode = r.Code()
 	m.Sibling.decode(r)
 	m.Neighbors = decodeNodeInfos(r)
+	m.Epoch = r.Uvarint()
 	n := r.Uvarint()
 	if n > 1<<12 {
 		r.fail("too many indices: %d", n)
@@ -495,44 +543,65 @@ func (m *JoinCommit) decode(r *Reader) {
 // --- Overlay maintenance -----------------------------------------------
 
 // Heartbeat probes a neighbor's liveness and carries the sender's
-// current code so stale neighbor entries self-correct.
+// current code so stale neighbor entries self-correct. VerDigest is an
+// order-independent digest of the sender's installed cut-tree epochs;
+// a mismatch triggers the tree-summary exchange that lets nodes which
+// missed a HistInstall flood (e.g. across a partition) catch up without
+// waiting for data traffic.
 type Heartbeat struct {
-	From NodeInfo
-	Seq  uint64
+	From      NodeInfo
+	Seq       uint64
+	VerDigest uint64
 }
 
 func (m *Heartbeat) Kind() Kind { return KindHeartbeat }
 func (m *Heartbeat) encode(w *Writer) {
 	m.From.encode(w)
 	w.Uvarint(m.Seq)
+	w.U64(m.VerDigest)
 }
 func (m *Heartbeat) decode(r *Reader) {
 	m.From.decode(r)
 	m.Seq = r.Uvarint()
+	m.VerDigest = r.U64()
 }
 
 // HeartbeatAck answers a heartbeat.
 type HeartbeatAck struct {
-	From NodeInfo
-	Seq  uint64
+	From      NodeInfo
+	Seq       uint64
+	VerDigest uint64
 }
 
 func (m *HeartbeatAck) Kind() Kind { return KindHeartbeatAck }
 func (m *HeartbeatAck) encode(w *Writer) {
 	m.From.encode(w)
 	w.Uvarint(m.Seq)
+	w.U64(m.VerDigest)
 }
 func (m *HeartbeatAck) decode(r *Reader) {
 	m.From.decode(r)
 	m.Seq = r.Uvarint()
+	m.VerDigest = r.U64()
 }
 
 // Takeover announces that the sender shortened its code to absorb a
-// failed sibling's region (§3.8).
+// failed sibling's region (§3.8). Epoch is the sender's region epoch
+// after the takeover bump: a receiver whose own code conflicts with the
+// announced one treats the message as an ownership dispute and resolves
+// it by epoch instead of silently learning a conflicting contact.
 type Takeover struct {
 	From    NodeInfo    // sender with its new, shortened code
 	OldCode bitstr.Code // sender's previous code
 	Dead    bitstr.Code // the failed sibling's code
+	Epoch   uint64
+	// DeadAddr is the failed node's address when the sender declared the
+	// death from first-hand failure detection; empty when the takeover
+	// absorbed a region known only by code (repair-corroborated sibling
+	// death, relocation-vacated regions). Receivers use it to drop
+	// per-address state — notably §3.4 history pointers — for a peer
+	// they may have long since evicted from their own contact tables.
+	DeadAddr string
 }
 
 func (m *Takeover) Kind() Kind { return KindTakeover }
@@ -540,11 +609,15 @@ func (m *Takeover) encode(w *Writer) {
 	m.From.encode(w)
 	w.Code(m.OldCode)
 	w.Code(m.Dead)
+	w.Uvarint(m.Epoch)
+	w.String(m.DeadAddr)
 }
 func (m *Takeover) decode(r *Reader) {
 	m.From.decode(r)
 	m.OldCode = r.Code()
 	m.Dead = r.Code()
+	m.Epoch = r.Uvarint()
+	m.DeadAddr = r.String()
 }
 
 // RingProbe is the expanding-ring scoped broadcast used when greedy
@@ -654,6 +727,9 @@ type Insert struct {
 	Target     bitstr.Code
 	Hops       uint8
 	Attempt    uint8
+	// TreeEpoch identifies the cut tree the originator used to compute
+	// Target for Version (version-skew detection, §3.7 under faults).
+	TreeEpoch uint64
 }
 
 func (m *Insert) Kind() Kind { return KindInsert }
@@ -667,6 +743,7 @@ func (m *Insert) encode(w *Writer) {
 	w.Code(m.Target)
 	w.U8(m.Hops)
 	w.U8(m.Attempt)
+	w.Uvarint(m.TreeEpoch)
 }
 func (m *Insert) decode(r *Reader) {
 	m.ReqID = r.Uvarint()
@@ -678,6 +755,7 @@ func (m *Insert) decode(r *Reader) {
 	m.Target = r.Code()
 	m.Hops = r.U8()
 	m.Attempt = r.U8()
+	m.TreeEpoch = r.Uvarint()
 }
 
 // InsertAck confirms storage directly to the originator.
@@ -734,6 +812,9 @@ type Query struct {
 	Rect       schema.Rect
 	Target     bitstr.Code
 	Hops       uint8
+	// TreeEpoch identifies the cut tree the originator used for this
+	// version group (all Versions in one Query share a tree).
+	TreeEpoch uint64
 }
 
 func (m *Query) Kind() Kind { return KindQuery }
@@ -745,6 +826,7 @@ func (m *Query) encode(w *Writer) {
 	encodeRect(w, m.Rect)
 	w.Code(m.Target)
 	w.U8(m.Hops)
+	w.Uvarint(m.TreeEpoch)
 }
 func (m *Query) decode(r *Reader) {
 	m.ReqID = r.Uvarint()
@@ -754,6 +836,7 @@ func (m *Query) decode(r *Reader) {
 	m.Rect = decodeRect(r)
 	m.Target = r.Code()
 	m.Hops = r.U8()
+	m.TreeEpoch = r.Uvarint()
 }
 
 // SubQuery is one decomposed piece of a query, routed to the region code
@@ -775,6 +858,9 @@ type SubQuery struct {
 	// originator re-issues the sub-query for a region still missing from
 	// its coverage trie; answers are idempotent at the originator.
 	Attempt uint8
+	// TreeEpoch identifies the cut tree the originator decomposed with;
+	// a receiver only re-splits the region against the same tree.
+	TreeEpoch uint64
 }
 
 func (m *SubQuery) Kind() Kind { return KindSubQuery }
@@ -788,6 +874,7 @@ func (m *SubQuery) encode(w *Writer) {
 	w.U8(m.Hops)
 	w.Bool(m.Historic)
 	w.U8(m.Attempt)
+	w.Uvarint(m.TreeEpoch)
 }
 func (m *SubQuery) decode(r *Reader) {
 	m.ReqID = r.Uvarint()
@@ -799,6 +886,7 @@ func (m *SubQuery) decode(r *Reader) {
 	m.Hops = r.U8()
 	m.Historic = r.Bool()
 	m.Attempt = r.U8()
+	m.TreeEpoch = r.Uvarint()
 }
 
 // QueryResp carries matching records straight back to the originator.
@@ -888,12 +976,17 @@ func (m *DropIndex) decode(r *Reader) {
 
 // HistReport routes a node's local data-distribution histogram toward
 // the designated aggregation node (the all-zero code owner) (§3.7).
+// ReqID tracks the report end-to-end: the aggregator answers with
+// HistReportAck and the reporter retransmits until acked, so a report
+// lost in flight — or merged by a coordinator that then died — is
+// re-delivered to whoever owns the aggregation point by then.
 type HistReport struct {
 	Index    string
 	Day      uint32
 	NodeAddr string
 	Hist     []byte // histogram.Hist.Marshal output
 	Hops     uint8
+	ReqID    uint64
 }
 
 func (m *HistReport) Kind() Kind { return KindHistReport }
@@ -903,6 +996,7 @@ func (m *HistReport) encode(w *Writer) {
 	w.String(m.NodeAddr)
 	w.BytesField(m.Hist)
 	w.U8(m.Hops)
+	w.Uvarint(m.ReqID)
 }
 func (m *HistReport) decode(r *Reader) {
 	m.Index = r.String()
@@ -910,14 +1004,34 @@ func (m *HistReport) decode(r *Reader) {
 	m.NodeAddr = r.String()
 	m.Hist = r.BytesField()
 	m.Hops = r.U8()
+	m.ReqID = r.Uvarint()
 }
 
-// HistInstall floods the next index version's balanced cut tree.
+// HistReportAck confirms that the designated aggregator merged (or
+// deduplicated) one histogram report.
+type HistReportAck struct {
+	ReqID uint64
+}
+
+func (m *HistReportAck) Kind() Kind { return KindHistReportAck }
+func (m *HistReportAck) encode(w *Writer) {
+	w.Uvarint(m.ReqID)
+}
+func (m *HistReportAck) decode(r *Reader) {
+	m.ReqID = r.Uvarint()
+}
+
+// HistInstall floods the next index version's balanced cut tree. Epoch
+// totally orders installs for one (index, version): a higher counter in
+// the top bits wins, with a content signature in the low bits breaking
+// ties between concurrent installs (e.g. both sides of a partition ran
+// the reversion), so every node converges on the same tree.
 type HistInstall struct {
 	OpID    uint64
 	Index   string
 	Version uint32
 	Tree    []byte // embed.Tree.Marshal output
+	Epoch   uint64
 }
 
 func (m *HistInstall) Kind() Kind { return KindHistInstall }
@@ -926,10 +1040,172 @@ func (m *HistInstall) encode(w *Writer) {
 	w.String(m.Index)
 	w.Uvarint(uint64(m.Version))
 	w.BytesField(m.Tree)
+	w.Uvarint(m.Epoch)
 }
 func (m *HistInstall) decode(r *Reader) {
 	m.OpID = r.Uvarint()
 	m.Index = r.String()
 	m.Version = uint32(r.Uvarint())
 	m.Tree = r.BytesField()
+	m.Epoch = r.Uvarint()
+}
+
+// TreePull asks a peer (unicast) for one version's installed cut tree —
+// the pull half of version-skew catch-up: a node that receives a data
+// message stamped with a newer TreeEpoch than it has installed drops the
+// message and pulls the tree from the originator; the originator's
+// retransmission then finds the receiver caught up.
+type TreePull struct {
+	From    string // requester's address (reply target)
+	Index   string
+	Version uint32
+}
+
+func (m *TreePull) Kind() Kind { return KindTreePull }
+func (m *TreePull) encode(w *Writer) {
+	w.String(m.From)
+	w.String(m.Index)
+	w.Uvarint(uint64(m.Version))
+}
+func (m *TreePull) decode(r *Reader) {
+	m.From = r.String()
+	m.Index = r.String()
+	m.Version = uint32(r.Uvarint())
+}
+
+// TreePush delivers one version's cut tree (answer to TreePull, or an
+// eager push to an originator observed using an older tree). A push
+// with a retired-marker epoch carries no tree and propagates the
+// retirement instead.
+type TreePush struct {
+	Index   string
+	Version uint32
+	Epoch   uint64
+	Tree    []byte
+}
+
+func (m *TreePush) Kind() Kind { return KindTreePush }
+func (m *TreePush) encode(w *Writer) {
+	w.String(m.Index)
+	w.Uvarint(uint64(m.Version))
+	w.Uvarint(m.Epoch)
+	w.BytesField(m.Tree)
+}
+func (m *TreePush) decode(r *Reader) {
+	m.Index = r.String()
+	m.Version = uint32(r.Uvarint())
+	m.Epoch = r.Uvarint()
+	m.Tree = r.BytesField()
+}
+
+// TreeSyncReq asks a peer for its installed-tree summary after a
+// heartbeat digest mismatch.
+type TreeSyncReq struct {
+	From string
+}
+
+func (m *TreeSyncReq) Kind() Kind { return KindTreeSyncReq }
+func (m *TreeSyncReq) encode(w *Writer) {
+	w.String(m.From)
+}
+func (m *TreeSyncReq) decode(r *Reader) {
+	m.From = r.String()
+}
+
+// TreeSyncEntry is one (index, version) tree identity.
+type TreeSyncEntry struct {
+	Index   string
+	Version uint32
+	Epoch   uint64
+}
+
+// TreeSyncResp lists the sender's installed (and retired-marker) tree
+// epochs; the receiver pulls any version where the sender is ahead.
+type TreeSyncResp struct {
+	From    string
+	Entries []TreeSyncEntry
+}
+
+func (m *TreeSyncResp) Kind() Kind { return KindTreeSyncResp }
+func (m *TreeSyncResp) encode(w *Writer) {
+	w.String(m.From)
+	w.Uvarint(uint64(len(m.Entries)))
+	for _, e := range m.Entries {
+		w.String(e.Index)
+		w.Uvarint(uint64(e.Version))
+		w.Uvarint(e.Epoch)
+	}
+}
+func (m *TreeSyncResp) decode(r *Reader) {
+	m.From = r.String()
+	n := r.Uvarint()
+	if n > 1<<16 {
+		r.fail("too many tree-sync entries: %d", n)
+		return
+	}
+	m.Entries = make([]TreeSyncEntry, n)
+	for i := range m.Entries {
+		m.Entries[i].Index = r.String()
+		m.Entries[i].Version = uint32(r.Uvarint())
+		m.Entries[i].Epoch = r.Uvarint()
+	}
+}
+
+// --- Membership reconciliation ------------------------------------------
+
+// CollisionProbe challenges a peer whose code conflicts with the
+// sender's (equal, or one a prefix of the other) — the situation a
+// partition that outlives FailAfter leaves behind, where both sides took
+// over each other's regions. The receiver resolves the dispute
+// deterministically: higher epoch wins, lower address breaks ties; the
+// loser steps down and rejoins through the winner.
+type CollisionProbe struct {
+	From  NodeInfo
+	Epoch uint64
+}
+
+func (m *CollisionProbe) Kind() Kind { return KindCollisionProbe }
+func (m *CollisionProbe) encode(w *Writer) {
+	m.From.encode(w)
+	w.Uvarint(m.Epoch)
+}
+func (m *CollisionProbe) decode(r *Reader) {
+	m.From.decode(r)
+	m.Epoch = r.Uvarint()
+}
+
+// CollisionReply answers a collision probe the sender won, telling the
+// probing loser to step down.
+type CollisionReply struct {
+	From  NodeInfo
+	Epoch uint64
+}
+
+func (m *CollisionReply) Kind() Kind { return KindCollisionReply }
+func (m *CollisionReply) encode(w *Writer) {
+	m.From.encode(w)
+	w.Uvarint(m.Epoch)
+}
+func (m *CollisionReply) decode(r *Reader) {
+	m.From.decode(r)
+	m.Epoch = r.Uvarint()
+}
+
+// CollisionHint is third-party dispute detection: a node that observes
+// two peers claiming conflicting codes tells each about the other. The
+// two claimants may never exchange heartbeats themselves — equal-code
+// nodes are never each other's contacts — so without a bystander's
+// hint the dispute can persist indefinitely. The receiver verifies the
+// conflict against its own code and, if real, opens the normal
+// CollisionProbe exchange with the named peer.
+type CollisionHint struct {
+	Peer NodeInfo
+}
+
+func (m *CollisionHint) Kind() Kind { return KindCollisionHint }
+func (m *CollisionHint) encode(w *Writer) {
+	m.Peer.encode(w)
+}
+func (m *CollisionHint) decode(r *Reader) {
+	m.Peer.decode(r)
 }

@@ -152,33 +152,44 @@ func allMessages() []Message {
 		&JoinPrepare{Target: ni},
 		&JoinPrepareResp{From: ni, TargetCode: c, Approve: true},
 		&JoinAbort{Target: ni},
-		&JoinAccept{ReqID: 4, NewCode: c.Append(1), Sibling: ni, Neighbors: []NodeInfo{ni},
-			Indices: []IndexDef{{Schema: testSchema(), Versions: []VersionDef{{Version: 1, Tree: []byte{1, 2}}}}}},
+		&JoinAccept{ReqID: 4, NewCode: c.Append(1), Sibling: ni, Neighbors: []NodeInfo{ni}, Epoch: 9,
+			Indices: []IndexDef{{Schema: testSchema(), Versions: []VersionDef{{Version: 1, Tree: []byte{1, 2}, Epoch: 3}}}}},
 		&JoinReject{ReqID: 5, Reason: "busy"},
 		&JoinCommit{OldCode: c, Target: ni, Joiner: NodeInfo{Addr: "j", Code: c.Append(1)}},
-		&Heartbeat{From: ni, Seq: 42},
-		&HeartbeatAck{From: ni, Seq: 42},
-		&Takeover{From: ni, OldCode: c.Append(0), Dead: c.Append(1)},
+		&Heartbeat{From: ni, Seq: 42, VerDigest: 0xdeadbeef},
+		&HeartbeatAck{From: ni, Seq: 42, VerDigest: 0xdeadbeef},
+		&Takeover{From: ni, OldCode: c.Append(0), Dead: c.Append(1), Epoch: 5, DeadAddr: "d"},
 		&RingProbe{ProbeID: 6, Origin: ni, Target: c, MatchLen: 2, TTL: 3, Ring: 1, Payload: []byte{9, 9}},
 		&RingResumed{ProbeID: 6},
 		&LivenessProbe{ReqID: 7, Asker: ni, Suspect: NodeInfo{Addr: "s", Code: c}, Hops: 1},
 		&LivenessReply{ReqID: 7, Alive: true},
-		&Insert{ReqID: 8, OriginAddr: "o", Index: "idx", Version: 3, RecID: 99, Rec: []uint64{1, 2, 3, 4}, Target: c, Hops: 2, Attempt: 1},
+		&Insert{ReqID: 8, OriginAddr: "o", Index: "idx", Version: 3, RecID: 99, Rec: []uint64{1, 2, 3, 4}, Target: c, Hops: 2, Attempt: 1, TreeEpoch: 1<<16 | 7},
 		&InsertAck{ReqID: 8, StoredAt: ni, Hops: 4},
 		&Replicate{Index: "idx", Version: 3, RecID: 99, Rec: []uint64{1, 2, 3, 4}, OwnerCode: c},
-		&Query{ReqID: 9, OriginAddr: "o", Index: "idx", Versions: []uint64{1, 2}, Rect: rect, Target: c, Hops: 1},
-		&SubQuery{ReqID: 9, OriginAddr: "o", Index: "idx", Versions: []uint64{1}, Rect: rect, RegionCode: c, Hops: 2, Historic: true, Attempt: 2},
+		&Query{ReqID: 9, OriginAddr: "o", Index: "idx", Versions: []uint64{1, 2}, Rect: rect, Target: c, Hops: 1, TreeEpoch: 4},
+		&SubQuery{ReqID: 9, OriginAddr: "o", Index: "idx", Versions: []uint64{1}, Rect: rect, RegionCode: c, Hops: 2, Historic: true, Attempt: 2, TreeEpoch: 4},
 		&QueryResp{ReqID: 9, From: ni, HasCover: true, Cover: c, Versions: []uint64{0, 1}, RecID: []uint64{5, 6}, Recs: [][]uint64{{1, 2}, {3, 4}}, Hops: 3},
 		&CreateIndex{OpID: 10, Def: IndexDef{Schema: testSchema(), Versions: []VersionDef{{Version: 0, Tree: []byte{7}}}}},
 		&DropIndex{OpID: 11, Tag: "idx"},
-		&HistReport{Index: "idx", Day: 12, NodeAddr: "n", Hist: []byte{1, 2, 3}, Hops: 5},
-		&HistInstall{OpID: 13, Index: "idx", Version: 13, Tree: []byte{4, 5}},
+		&HistReport{Index: "idx", Day: 12, NodeAddr: "n", Hist: []byte{1, 2, 3}, Hops: 5, ReqID: 31},
+		&HistInstall{OpID: 13, Index: "idx", Version: 13, Tree: []byte{4, 5}, Epoch: 2<<16 | 9},
+		&HistReportAck{ReqID: 31},
+		&TreePull{From: "n", Index: "idx", Version: 13},
+		&TreePush{Index: "idx", Version: 13, Epoch: 2<<16 | 9, Tree: []byte{4, 5}},
+		&TreeSyncReq{From: "n"},
+		&TreeSyncResp{From: "n", Entries: []TreeSyncEntry{{Index: "idx", Version: 13, Epoch: 2<<16 | 9}}},
+		&CollisionProbe{From: ni, Epoch: 6},
+		&CollisionReply{From: ni, Epoch: 7},
+		&CollisionHint{Peer: ni},
 		&ClientInsert{ReqID: 20, Index: "idx", Rec: []uint64{1, 2, 3}},
 		&ClientQuery{ReqID: 21, Index: "idx", Rect: rect},
 		&ClientCreateIndex{ReqID: 22, Schema: testSchema()},
 		&ClientDropIndex{ReqID: 23, Tag: "idx"},
 		&ClientAck{ReqID: 24, OK: true, Error: "e", Hops: 2},
 		&ClientQueryResp{ReqID: 25, Complete: true, Responders: 3, Recs: [][]uint64{{1, 2}}},
+		&ClientVersions{ReqID: 30},
+		&ClientVersionsResp{ReqID: 30, Addr: "n", Code: "01", Epoch: 4,
+			Entries: []TreeSyncEntry{{Index: "idx", Version: 2, Epoch: 1<<16 | 5}}},
 		&TriggerInstall{TriggerID: 26, Subscriber: "s", Index: "idx", Rect: rect, Target: c, Hops: 1},
 		&TriggerFire{TriggerID: 27, Index: "idx", From: ni, RecID: 5, Rec: []uint64{9, 9}},
 		&TriggerRemove{OpID: 28, TriggerID: 27},
