@@ -86,6 +86,7 @@ func Registry() map[string]Runner {
 
 		"ingest-stream": IngestStream,
 		"overload":      Overload,
+		"store-layout":  StoreLayout,
 	}
 }
 

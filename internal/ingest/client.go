@@ -192,9 +192,14 @@ func (c *Client) Latency() *metrics.Dist {
 	return c.lat
 }
 
-// WaitSettled polls until the receiver has settled every record this
-// connection got admitted (acked+failed+dropped >= received) or the
-// deadline passes; it returns the final status.
+// WaitSettled polls until the receiver's status covers every frame
+// sent on this connection AND every record it admitted has settled
+// (acked+failed+dropped >= received), or the deadline passes; it
+// returns the final status. Without the frame-coverage condition a
+// mid-stream status could satisfy the settled comparison while later
+// frames were still in the socket, ending the wait early. Call it from
+// the sending goroutine after the last SendFrame (it reads the
+// unsynchronized send sequence).
 //
 // The Acked/Failed counters a listener reports are engine-wide deltas
 // since the connection opened (see Listener), so the settled comparison
@@ -204,9 +209,10 @@ func (c *Client) Latency() *metrics.Dist {
 // engine when the settled signal matters.
 func (c *Client) WaitSettled(timeout time.Duration) wire.StreamStatus {
 	deadline := time.Now().Add(timeout)
+	sent := c.seq
 	for {
 		st := c.Status()
-		if st.Received > 0 && st.Acked+st.Failed+st.Dropped >= st.Received {
+		if st.Seq >= sent && st.Received > 0 && st.Acked+st.Failed+st.Dropped >= st.Received {
 			return st
 		}
 		if time.Now().After(deadline) {

@@ -83,6 +83,24 @@ type Config struct {
 	// ordering guarantee for parallel local execution on real transports.
 	QueryParallelism int
 
+	// StoreShards is the per-core shard count of each index's store
+	// engine (internal/store.Options.Shards): every shard owns its own
+	// writer mutex and static+delta pair, so insert throughput scales to
+	// the shard count and each shard's working set stays cache-sized.
+	// Zero selects the store's deterministic default (1) — like
+	// QueryParallelism, the default must not probe the hardware, because
+	// shard placement shapes result ordering and merge timing and simnet
+	// seeds must replay identically on every machine. Hash routing means
+	// reads traverse every shard, so shard only where writers contend;
+	// mindnode sizes it to the machine via -store-shards (default
+	// GOMAXPROCS).
+	StoreShards int
+	// DeltaMergeFrac bounds each store shard's delta buffer as a
+	// fraction of its static partner's size before a merge rebuild
+	// (internal/store.Options.DeltaMergeFrac). Zero selects the store
+	// default (0.25).
+	DeltaMergeFrac float64
+
 	// ClientRateLimit enables per-client token-bucket admission control
 	// on inbound client RPCs (ClientInsert / ClientQuery / index
 	// control), in requests per second per client address. A refused

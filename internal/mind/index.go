@@ -43,10 +43,17 @@ type index struct {
 	// replicaOwners records the owner codes whose data we replicate,
 	// enabling fail-over answers for their regions.
 	replicaOwners map[bitstr.Code]bool
-	// seen dedups record ids against originator retransmission and
+	// stripes dedup record ids against originator retransmission and
 	// ring-recovery double delivery; bounded, so memory stays O(1) per
 	// index while the window far exceeds any retransmission horizon.
-	seen *dedupSet
+	// The set is striped by record id so concurrent InsertBatch writers
+	// serialize only per stripe (the store engine underneath is sharded
+	// per core; a single dedup mutex here would re-impose the
+	// single-writer ceiling the sharding removes). The mark and the
+	// store insert happen under one stripe lock, so a retransmitted
+	// record id still can never slip past its first copy's in-flight
+	// store — the old whole-index-mutex guarantee, now per record id.
+	stripes [recStripes]recStripe
 
 	// History pointer (§3.4): after this node joined by splitting
 	// histAddr's region, sub-queries are forwarded there until
@@ -66,17 +73,38 @@ type index struct {
 	timeAttr int // index of the KindTime attribute among indexed dims, or -1
 }
 
+// recStripes is the record-dedup stripe count. Power of two; sequential
+// record ids from one originator round-robin the stripes, so the
+// per-stripe dedup window shrinks by the stripe count while the total
+// remembered-id budget stays dedupCap..2·dedupCap.
+const recStripes = 16
+
+// recStripe is one lock-striped slice of the record-id dedup set.
+type recStripe struct {
+	mu   sync.Mutex
+	seen *dedupSet
+}
+
+// newIndex creates an index with default store-engine options (tests).
 func newIndex(sch *schema.Schema, base *embed.Tree) *index {
+	return newIndexOpts(sch, base, store.Options{})
+}
+
+// newIndexOpts creates an index whose versioned stores use the given
+// engine options (Config.StoreShards / Config.DeltaMergeFrac).
+func newIndexOpts(sch *schema.Schema, base *embed.Tree, opts store.Options) *index {
 	ix := &index{
 		sch:           sch,
 		base:          base,
 		vers:          make(map[uint32]*embed.Tree),
 		epochs:        make(map[uint32]uint64),
-		primary:       store.NewVersioned(sch),
-		replicas:      store.NewVersioned(sch),
+		primary:       store.NewVersionedOpts(sch, opts),
+		replicas:      store.NewVersionedOpts(sch, opts),
 		replicaOwners: make(map[bitstr.Code]bool),
-		seen:          newDedupSet(dedupCap),
 		timeAttr:      -1,
+	}
+	for i := range ix.stripes {
+		ix.stripes[i].seen = newDedupSet(dedupCap / recStripes)
 	}
 	for i := 0; i < sch.IndexDims; i++ {
 		if sch.Attrs[i].Kind == schema.KindTime {
@@ -301,8 +329,15 @@ func (ix *index) def() wire.IndexDef {
 // list.
 const baseVersionSentinel = ^uint32(0)
 
-// indexFromDef reconstructs an index from a wire definition.
+// indexFromDef reconstructs an index from a wire definition with
+// default store options (tests and standalone callers).
 func indexFromDef(d wire.IndexDef) (*index, error) {
+	return indexFromDefOpts(d, store.Options{})
+}
+
+// indexFromDefOpts reconstructs an index from a wire definition, with
+// the node's store engine options.
+func indexFromDefOpts(d wire.IndexDef, opts store.Options) (*index, error) {
 	if err := d.Schema.Validate(); err != nil {
 		return nil, err
 	}
@@ -330,7 +365,7 @@ func indexFromDef(d wire.IndexDef) (*index, error) {
 	if base == nil {
 		base = embed.Uniform(d.Schema.Bounds())
 	}
-	ix := newIndex(d.Schema, base)
+	ix := newIndexOpts(d.Schema, base, opts)
 	ix.vers = vers
 	ix.epochs = epochs
 	return ix, nil
@@ -338,12 +373,15 @@ func indexFromDef(d wire.IndexDef) (*index, error) {
 
 // storeRecord inserts into primary storage with RecID dedup; it reports
 // whether the record was new. The dedup check and the insert happen
-// under ix.mu so a retransmitted record can never slip past its first
-// copy's in-flight store.
+// under the record id's stripe lock, so a retransmitted record can
+// never slip past its first copy's in-flight store, while records with
+// different ids proceed on different stripes concurrently into the
+// sharded store engine.
 func (ix *index) storeRecord(v uint32, recID uint64, rec schema.Record) bool {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	if ix.seen.Seen(recID) {
+	s := &ix.stripes[recID%recStripes]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seen.Seen(recID) {
 		return false
 	}
 	ix.primary.Insert(v, rec)
@@ -354,9 +392,12 @@ func (ix *index) storeRecord(v uint32, recID uint64, rec schema.Record) bool {
 func (ix *index) storeReplica(owner bitstr.Code, v uint32, recID uint64, rec schema.Record) {
 	key := recID ^ 0x9e3779b97f4a7c15 // replica dedup namespace
 	ix.mu.Lock()
-	defer ix.mu.Unlock()
 	ix.replicaOwners[owner] = true
-	if ix.seen.Seen(key) {
+	ix.mu.Unlock()
+	s := &ix.stripes[key%recStripes]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seen.Seen(key) {
 		return
 	}
 	ix.replicas.Insert(v, rec)

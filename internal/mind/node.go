@@ -611,7 +611,7 @@ func (n *Node) onJoined(accept *wire.JoinAccept) {
 			}
 			continue
 		}
-		ix, err := indexFromDef(d)
+		ix, err := indexFromDefOpts(d, n.storeOpts())
 		if err != nil {
 			continue
 		}
@@ -793,6 +793,14 @@ func (n *Node) onTakeover(dead, oldCode bitstr.Code) {
 
 // --- Index lifecycle -----------------------------------------------------
 
+// storeOpts maps the node config's store engine knobs onto
+// store.Options. Every index this node builds — created locally,
+// reconstructed from a flood, or received in a split transfer — uses
+// the same engine shape.
+func (n *Node) storeOpts() store.Options {
+	return store.Options{Shards: n.cfg.StoreShards, DeltaMergeFrac: n.cfg.DeltaMergeFrac}
+}
+
 // CreateIndex installs a new index locally and floods its definition
 // across the overlay (§3.4). A nil tree gets the uniform embedding; pass
 // a histogram-balanced tree to start balanced (§3.7).
@@ -811,7 +819,7 @@ func (n *Node) CreateIndex(sch *schema.Schema, tree *embed.Tree) error {
 		n.ixMu.Unlock()
 		return fmt.Errorf("mind: index %q already exists", sch.Tag)
 	}
-	ix := newIndex(sch.Clone(), tree)
+	ix := newIndexOpts(sch.Clone(), tree, n.storeOpts())
 	n.indices[sch.Tag] = ix
 	n.ixMu.Unlock()
 	def := ix.def()
@@ -979,7 +987,7 @@ func (n *Node) handleCreateIndex(m *wire.CreateIndex) {
 	}
 	n.ixMu.Lock()
 	if _, exists := n.indices[m.Def.Schema.Tag]; !exists {
-		if ix, err := indexFromDef(m.Def); err == nil {
+		if ix, err := indexFromDefOpts(m.Def, n.storeOpts()); err == nil {
 			n.indices[m.Def.Schema.Tag] = ix
 		}
 	}

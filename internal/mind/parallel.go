@@ -53,16 +53,34 @@ func (n *Node) runSubTasks(count int, fn func(int)) {
 }
 
 // resolveLocal queries a versioned store for the given versions,
-// resolving each version's k-d tree on the worker pool when parallelism
-// is enabled. Results concatenate in version-argument order either way,
-// so the response payload does not depend on scheduling.
+// fanning one task per (version, store shard) onto the worker pool
+// when parallelism is enabled — the sharded engine makes even a
+// single-version query parallelizable, since every shard is an
+// independent lock-free snapshot. Results concatenate in
+// (version-argument, shard) order either way, so the response payload
+// does not depend on scheduling.
 func (n *Node) resolveLocal(vs *store.Versioned, versions []uint32, rect schema.Rect) []schema.Record {
-	if n.cfg.QueryParallelism <= 1 || len(versions) < 2 {
+	if n.cfg.QueryParallelism <= 1 {
 		return vs.Query(versions, rect)
 	}
-	parts := make([][]schema.Record, len(versions))
-	n.runSubTasks(len(versions), func(i int) {
-		parts[i] = vs.Query(versions[i:i+1], rect)
+	type shardTask struct {
+		eng   *store.Sharded
+		shard int
+	}
+	var tasks []shardTask
+	for _, v := range versions {
+		if eng := vs.Get(v); eng != nil {
+			for s := 0; s < eng.NumShards(); s++ {
+				tasks = append(tasks, shardTask{eng, s})
+			}
+		}
+	}
+	if len(tasks) < 2 {
+		return vs.Query(versions, rect)
+	}
+	parts := make([][]schema.Record, len(tasks))
+	n.runSubTasks(len(tasks), func(i int) {
+		parts[i] = tasks[i].eng.QueryShardAppend(tasks[i].shard, rect, nil)
 	})
 	total := 0
 	for _, part := range parts {

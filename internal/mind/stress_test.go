@@ -28,6 +28,9 @@ func TestTCPConcurrentStress(t *testing.T) {
 	}
 	cfg := mind.DefaultConfig(42)
 	cfg.QueryParallelism = 4
+	// Multi-shard store under the full node: concurrent writers land on
+	// different shard mutexes and resolveLocal fans per (version, shard).
+	cfg.StoreShards = 4
 	node := mind.NewNode(ep, transport.RealClock{}, cfg)
 	defer func() {
 		node.Close()

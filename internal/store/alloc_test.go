@@ -1,0 +1,41 @@
+//go:build !race
+
+package store
+
+import (
+	"math/rand"
+	"testing"
+
+	"mind/internal/schema"
+)
+
+// TestAllocBudgetShardedInsert is the CI alloc gate on the store insert
+// fast path: routing hash + arena node hand-out + atomic link must cost
+// zero heap allocations per record while no merge fires. Merges (and
+// depth-triggered delta rebuilds) allocate by design — the budget is on
+// the per-record steady state between them.
+func TestAllocBudgetShardedInsert(t *testing.T) {
+	opts := Options{Shards: 4, DeltaMergeFrac: 0.25, DeltaMin: 4096}
+	e := NewSharded(sch3(), opts)
+	r := rand.New(rand.NewSource(46))
+	// Pre-populate and compact: large statics push every shard's merge
+	// threshold far above what the measured runs insert, so no merge (or
+	// arena exhaustion) can fire inside AllocsPerRun.
+	for i := 0; i < 40000; i++ {
+		e.Insert(randRec(r))
+	}
+	e.Compact()
+
+	recs := make([]schema.Record, 512)
+	for i := range recs {
+		recs[i] = randRec(r)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.Insert(recs[i%len(recs)])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("non-merge insert fast path allocates %.3f per record, budget is 0", allocs)
+	}
+}

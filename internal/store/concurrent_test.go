@@ -86,17 +86,24 @@ func TestKDConcurrentInsertQuery(t *testing.T) {
 	}
 }
 
-// BenchmarkStoreConcurrentQuery compares parallel read throughput of the
-// snapshot-reading KD against the old single-big-lock discipline (every
-// query serialized behind one mutex, as Node.mu used to impose). Run with
-// -cpu 1,4: at -cpu 4 the snapshot path must scale with readers while the
-// single-lock path stays flat.
+// BenchmarkStoreConcurrentQuery compares parallel read throughput of
+// three read disciplines over the same 100k records: the sharded
+// static+delta engine (compacted: all records in cache-oblivious flat
+// arrays), the snapshot-reading pointer KD, and the old single-big-lock
+// discipline (every query serialized behind one mutex, as Node.mu used
+// to impose). Run with -cpu 1,4,16: the lock-free paths must scale with
+// readers while the single-lock path stays flat, and sharded must beat
+// snapshot per-op from its vEB layout.
 func BenchmarkStoreConcurrentQuery(b *testing.B) {
 	r := rand.New(rand.NewSource(37))
 	kd := NewKD(sch3())
+	sharded := NewSharded(sch3(), Options{})
 	for i := 0; i < 100000; i++ {
-		kd.Insert(randRec(r))
+		rec := randRec(r)
+		kd.Insert(rec)
+		sharded.Insert(rec)
 	}
+	sharded.Compact()
 	// Selective window rects (≈1% of each dimension), the shape of the
 	// §4.1 monitoring queries: per-query cost is tree traversal, not
 	// result materialization, so read throughput can actually scale
@@ -115,6 +122,18 @@ func BenchmarkStoreConcurrentQuery(b *testing.B) {
 	// every client lands here), so run 8 reader goroutines per proc:
 	// with snapshots they proceed independently; behind one mutex they
 	// convoy.
+	b.Run("sharded", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetParallelism(8)
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				_ = sharded.Query(rects[i%len(rects)])
+				i++
+			}
+		})
+	})
+
 	b.Run("snapshot", func(b *testing.B) {
 		b.ReportAllocs()
 		b.SetParallelism(8)

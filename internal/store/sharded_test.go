@@ -1,0 +1,306 @@
+package store
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mind/internal/schema"
+)
+
+// smallOpts forces merges early and often so differential tests cross
+// many merge boundaries with modest record counts.
+func smallOpts() Options {
+	return Options{Shards: 4, DeltaMergeFrac: 0.25, DeltaMin: 16}
+}
+
+func TestShardedEmpty(t *testing.T) {
+	e := NewSharded(sch3(), Options{})
+	if e.Len() != 0 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+	if got := e.Query(fullRect()); len(got) != 0 {
+		t.Fatalf("empty engine returned %d records", len(got))
+	}
+	if e.StaticFrac() != 1 {
+		t.Fatalf("empty StaticFrac = %v", e.StaticFrac())
+	}
+}
+
+func TestShardedOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Shards != defaultShards || o.DeltaMergeFrac != defaultMergeFrac || o.DeltaMin != defaultDeltaMin {
+		t.Fatalf("defaults = %+v", o)
+	}
+	if got := (Options{Shards: 5}).withDefaults().Shards; got != 8 {
+		t.Fatalf("shards rounded to %d, want 8", got)
+	}
+	if got := (Options{Shards: 1000}).withDefaults().Shards; got != 256 {
+		t.Fatalf("shards capped at %d, want 256", got)
+	}
+}
+
+// TestShardedDifferentialFuzz runs random insert streams — uniform,
+// duplicate-heavy, and monotone orders — against the Scan oracle,
+// interleaving Query/Count/All checks so merge boundaries are crossed
+// mid-stream, not just at the end.
+func TestShardedDifferentialFuzz(t *testing.T) {
+	gens := map[string]func(r *rand.Rand, i int) schema.Record{
+		"uniform": func(r *rand.Rand, i int) schema.Record { return randRec(r) },
+		"dupheavy": func(r *rand.Rand, i int) schema.Record {
+			// 16 hot points carry most of the stream (replayed ingest
+			// frames, hot flow keys).
+			if r.Intn(4) > 0 {
+				k := uint64(r.Intn(16))
+				return schema.Record{k * 100, k * 100, k * 100, uint64(i)}
+			}
+			return randRec(r)
+		},
+		"monotone": func(r *rand.Rand, i int) schema.Record {
+			v := uint64(i % 9999)
+			return schema.Record{v, v, v, uint64(i)}
+		},
+	}
+	for name, gen := range gens {
+		t.Run(name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(int64(len(name))*1000 + 9))
+			e := NewSharded(sch3(), smallOpts())
+			sc := NewScan(sch3())
+			const total = 4000
+			for i := 0; i < total; i++ {
+				rec := gen(r, i)
+				e.Insert(rec)
+				sc.Insert(rec)
+				// Check at a non-power-of-two cadence so checks land on
+				// both sides of merge thresholds.
+				if i%37 == 0 {
+					q := randRect(r)
+					a, b := e.Query(q), sc.Query(q)
+					if !sameRecs(a, b) {
+						t.Fatalf("i=%d query %v: sharded %d recs, scan %d", i, q, len(a), len(b))
+					}
+					if e.Count(q) != len(b) {
+						t.Fatalf("i=%d: Count = %d, want %d", i, e.Count(q), len(b))
+					}
+					if e.Len() != sc.Len() {
+						t.Fatalf("i=%d: Len = %d, want %d", i, e.Len(), sc.Len())
+					}
+				}
+			}
+			// All must stream every record exactly once.
+			var streamed []schema.Record
+			e.All(func(rec schema.Record) bool {
+				streamed = append(streamed, rec)
+				return true
+			})
+			var want []schema.Record
+			sc.All(func(rec schema.Record) bool {
+				want = append(want, rec)
+				return true
+			})
+			if !sameRecs(streamed, want) {
+				t.Fatalf("All mismatch: %d streamed, %d want", len(streamed), len(want))
+			}
+			// Compact must not change query results.
+			e.Compact()
+			if e.StaticFrac() != 1 {
+				t.Fatalf("post-Compact StaticFrac = %v", e.StaticFrac())
+			}
+			for q := 0; q < 50; q++ {
+				rect := randRect(r)
+				if !sameRecs(e.Query(rect), sc.Query(rect)) {
+					t.Fatalf("post-Compact mismatch for %v", rect)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedQueryShardAppendPartition checks the parallel fan-out
+// primitive: per-shard results concatenated over all shards must equal
+// the whole-engine query.
+func TestShardedQueryShardAppendPartition(t *testing.T) {
+	r := rand.New(rand.NewSource(91))
+	e := NewSharded(sch3(), smallOpts())
+	for i := 0; i < 3000; i++ {
+		e.Insert(randRec(r))
+	}
+	for q := 0; q < 50; q++ {
+		rect := randRect(r)
+		var parts []schema.Record
+		for s := 0; s < e.NumShards(); s++ {
+			parts = e.QueryShardAppend(s, rect, parts)
+		}
+		if !sameRecs(parts, e.Query(rect)) {
+			t.Fatalf("shard partition mismatch for %v", rect)
+		}
+	}
+}
+
+// TestShardedDeterministicPlacement: shard routing is a pure function
+// of the record, so two engines fed the same stream agree shard by
+// shard — the property simnet reproducibility rests on.
+func TestShardedDeterministicPlacement(t *testing.T) {
+	r := rand.New(rand.NewSource(92))
+	a := NewSharded(sch3(), smallOpts())
+	b := NewSharded(sch3(), smallOpts())
+	recs := make([]schema.Record, 2000)
+	for i := range recs {
+		recs[i] = randRec(r)
+		a.Insert(recs[i])
+	}
+	// Same records, different arrival order.
+	r.Shuffle(len(recs), func(i, j int) { recs[i], recs[j] = recs[j], recs[i] })
+	for _, rec := range recs {
+		b.Insert(rec)
+	}
+	for s := 0; s < a.NumShards(); s++ {
+		x := a.QueryShardAppend(s, fullRect(), nil)
+		y := b.QueryShardAppend(s, fullRect(), nil)
+		if !sameRecs(x, y) {
+			t.Fatalf("shard %d holds different records across arrival orders", s)
+		}
+	}
+}
+
+// TestShardedConcurrentInsertQuery mirrors TestKDConcurrentInsertQuery
+// for the sharded engine under -race: concurrent writers drive deltas
+// across merge boundaries while readers query, count and stream, then a
+// differential sweep against the oracle proves nothing was lost or
+// duplicated.
+func TestShardedConcurrentInsertQuery(t *testing.T) {
+	const (
+		writers       = 4
+		readers       = 4
+		recsPerWriter = 2000
+	)
+	e := NewSharded(sch3(), smallOpts()) // DeltaMin 16: merges constantly
+	recs := make([][]schema.Record, writers)
+	for w := range recs {
+		r := rand.New(rand.NewSource(int64(300 + w)))
+		for i := 0; i < recsPerWriter; i++ {
+			recs[w] = append(recs[w], randRec(r))
+		}
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := randRect(r)
+				got := e.Query(q)
+				if n := e.Count(q); n < 0 {
+					t.Errorf("negative count %d", n)
+				}
+				for _, rec := range got {
+					if !q.ContainsRecord(sch3(), rec) {
+						t.Errorf("query returned record outside rect")
+					}
+				}
+				e.All(func(schema.Record) bool { return true })
+				_ = e.StaticFrac()
+			}
+		}(int64(400 + g))
+	}
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ww.Add(1)
+		go func(w int) {
+			defer ww.Done()
+			for _, rec := range recs[w] {
+				e.Insert(rec)
+			}
+		}(w)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+
+	if e.Len() != writers*recsPerWriter {
+		t.Fatalf("Len = %d, want %d", e.Len(), writers*recsPerWriter)
+	}
+	sc := NewScan(sch3())
+	for _, batch := range recs {
+		for _, rec := range batch {
+			sc.Insert(rec)
+		}
+	}
+	r := rand.New(rand.NewSource(43))
+	for i := 0; i < 50; i++ {
+		q := randRect(r)
+		a, b := e.Query(q), sc.Query(q)
+		if !sameRecs(a, b) {
+			t.Fatalf("post-concurrency mismatch: sharded %d recs, scan %d", len(a), len(b))
+		}
+	}
+}
+
+// TestKDLenNeverLeadsVisible pins the Insert publish order: size is
+// incremented only after the node is linked, so a reader that observes
+// Len() == n can always count at least n records. (The regression this
+// guards: publishing size before the child-pointer store let a
+// concurrent Count momentarily trail Len with no insert in flight
+// anymore.)
+func TestKDLenNeverLeadsVisible(t *testing.T) {
+	kd := NewKD(sch3())
+	full := fullRect()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				l := kd.Len()
+				if c := kd.Count(full); c < l {
+					t.Errorf("Count %d < previously observed Len %d", c, l)
+					return
+				}
+			}
+		}()
+	}
+	r := rand.New(rand.NewSource(44))
+	for i := 0; i < 20000; i++ {
+		kd.Insert(randRec(r))
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestDeltaArenaRecycle checks the arena-backed delta across COW
+// rebuilds: records survive, and the arena keeps absorbing inserts
+// without heap fallback until capacity.
+func TestDeltaArenaRecycle(t *testing.T) {
+	sch := sch3()
+	d := newDelta(sch, sch.Bounds(), 64)
+	sc := NewScan(sch)
+	// Monotone order trips depth-triggered rebuilds inside the delta.
+	for i := 0; i < 200; i++ {
+		rec := schema.Record{uint64(i), uint64(i), uint64(i), uint64(i)}
+		d.Insert(rec)
+		sc.Insert(rec)
+	}
+	if d.Len() != 200 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	r := rand.New(rand.NewSource(45))
+	for q := 0; q < 30; q++ {
+		rect := randRect(r)
+		if !sameRecs(d.Query(rect), sc.Query(rect)) {
+			t.Fatalf("arena delta mismatch for %v", rect)
+		}
+	}
+}

@@ -2,24 +2,30 @@
 // paper's prototype delegated per-node storage to MySQL via JDBC (§3.9),
 // funnelling all database access through a single DAC queue; this
 // implementation provides the same contract — insert multi-attribute
-// records, resolve orthogonal range queries — with an embedded in-memory
-// k-d tree, and drops the single-queue bottleneck: KD (and Versioned) are
-// safe for concurrent use, with inserts serialized on an internal writer
-// mutex while queries traverse lock-free against a consistent view of the
-// tree.
+// records, resolve orthogonal range queries — fully in memory and
+// concurrent.
+//
+// The engine is a hybrid static+delta design, sharded per core
+// (DESIGN.md §4h):
+//
+//   - Static (static.go) is a bulk-loaded k-d index over a flat node
+//     array in a cache-oblivious van Emde Boas layout: no per-node
+//     pointers, no per-query allocations, iterative traversal.
+//   - KD (delta.go) is the mutable copy-on-write k-d tree. It serves
+//     standalone (the pre-PR9 engine, still used by the differential
+//     baselines) and as the bounded delta buffer in front of a Static.
+//   - Sharded (shard.go) composes the two: per-core shards routed by a
+//     hash of the record's indexed point, each with its own writer
+//     mutex and static+delta pair, merged amortizedly.
+//   - Versioned (versioned.go) keeps one Sharded engine per index
+//     version (§3.7).
 //
 // A Store holds the records of one index (or one daily version of one
 // index) at one node. Scan, the differential-test oracle, keeps the old
 // single-threaded contract and must be serialized by its caller.
 package store
 
-import (
-	"math/bits"
-	"sync"
-	"sync/atomic"
-
-	"mind/internal/schema"
-)
+import "mind/internal/schema"
 
 // Store is the contract the MIND node requires of its storage engine.
 type Store interface {
@@ -39,312 +45,36 @@ type Store interface {
 	All(yield func(rec schema.Record) bool)
 }
 
-// KD is a k-d tree over the indexed dimensions of one schema. The split
-// dimension cycles with depth. The tree self-balances by rebuilding with
-// median splits whenever an insertion path exceeds a logarithmic depth
-// bound, which keeps monotone insertion orders (timestamps, sequential
-// prefixes) from degrading the tree into a list.
-//
-// Concurrency: KD is a single-writer / multi-reader structure. Insert
-// serializes on wmu and only ever publishes fully initialized nodes
-// through atomic child pointers, so readers (Query, Count, All, Len,
-// Depth) run without any lock and never observe a torn tree. A reader
-// sees a consistent snapshot as of the moment it loads a subtree root;
-// concurrent inserts may or may not be visible, which matches the
-// node-level contract (an unacknowledged insert has no visibility
-// guarantee). Rebuilds are copy-on-write: a balanced replacement tree is
-// built from fresh nodes and swapped in with one atomic root store, so
-// in-flight readers finish on the old tree and never block.
-type KD struct {
-	sch    *schema.Schema
-	bounds []uint64 // per-dimension clamp, precomputed from the schema
-	wmu    sync.Mutex
-	root   atomic.Pointer[kdNode]
-	size   atomic.Int64
-	tick   uint64 // equal-coordinate tie-break state (under wmu)
-}
-
-// kdNode carries no materialized point: coordinates are computed on the
-// fly from the record and the precomputed bounds (coord), which drops a
-// per-insert slice allocation and shrinks nodes to record + two child
-// pointers.
-type kdNode struct {
-	rec         schema.Record
-	left, right atomic.Pointer[kdNode]
-}
-
-// NewKD creates an empty k-d store for the schema.
-func NewKD(sch *schema.Schema) *KD {
-	return &KD{sch: sch, bounds: sch.Bounds()}
-}
-
-// coord returns the record's clamped coordinate on dim.
-func (t *KD) coord(rec schema.Record, dim int) uint64 {
-	v := rec[dim]
-	if v > t.bounds[dim] {
-		v = t.bounds[dim]
-	}
-	return v
-}
-
-// Len returns the number of stored records.
-func (t *KD) Len() int { return int(t.size.Load()) }
-
-// depthLimit returns the rebuild threshold: generous enough that random
-// orders never trigger it, tight enough that adversarial orders stay
-// O(log n) after rebuild.
-func depthLimit(size int) int {
-	if size < 16 {
-		return 16
-	}
-	return 3*bits.Len(uint(size)) + 4
-}
-
-// Insert adds a record.
-func (t *KD) Insert(rec schema.Record) {
-	t.wmu.Lock()
-	defer t.wmu.Unlock()
-	dims := t.sch.Dims()
-	n := &kdNode{rec: rec}
-	size := int(t.size.Add(1))
-	cur := t.root.Load()
-	if cur == nil {
-		t.root.Store(n)
-		return
-	}
-	depth := 0
-	for {
-		dim := depth % dims
-		c, cc := t.coord(rec, dim), t.coord(cur.rec, dim)
-		goLeft := c < cc
-		if c == cc {
-			// Equal coordinates alternate sides. Sending them always
-			// right builds a spine under duplicate-heavy streams
-			// (replayed ingest frames, hot flow keys), tripping the
-			// depth bound on every insert and degrading to a full
-			// rebuild per record; queries already admit equality on
-			// both prunes, so either side is correct.
-			t.tick++
-			goLeft = t.tick&1 == 0
+// rectContains reports whether the record's indexed point — clamped
+// per-dimension to bounds, the schema's precomputed sch.Bounds() — lies
+// inside rect. This is THE inside-rect test: every engine (KD, Scan,
+// Static's bulk loader, Sharded) routes record membership through it or
+// through coordinates produced by the same clamp, so a future change to
+// the clamping rule cannot desynchronize the engines from the oracle.
+func rectContains(bounds []uint64, rect schema.Rect, rec schema.Record) bool {
+	for i, b := range bounds {
+		v := rec[i]
+		if v > b {
+			v = b
 		}
-		if goLeft {
-			next := cur.left.Load()
-			if next == nil {
-				cur.left.Store(n)
-				break
-			}
-			cur = next
-		} else {
-			next := cur.right.Load()
-			if next == nil {
-				cur.right.Store(n)
-				break
-			}
-			cur = next
-		}
-		depth++
-	}
-	if depth+1 > depthLimit(size) {
-		t.rebuildLocked()
-	}
-}
-
-// rebuildLocked reconstructs a balanced tree with median splits and
-// publishes it with one atomic root swap. Caller holds wmu. The old
-// nodes are left untouched for in-flight readers.
-func (t *KD) rebuildLocked() {
-	recs := make([]schema.Record, 0, t.size.Load())
-	var collect func(n *kdNode)
-	collect = func(n *kdNode) {
-		if n == nil {
-			return
-		}
-		collect(n.left.Load())
-		recs = append(recs, n.rec)
-		collect(n.right.Load())
-	}
-	collect(t.root.Load())
-	t.root.Store(t.build(recs, 0))
-}
-
-// build constructs a balanced subtree from fresh nodes at the given
-// depth by median partitioning (quickselect) on the cycling dimension.
-func (t *KD) build(recs []schema.Record, depth int) *kdNode {
-	if len(recs) == 0 {
-		return nil
-	}
-	dim := depth % t.sch.Dims()
-	mid := len(recs) / 2
-	t.selectNth(recs, mid, dim)
-	root := &kdNode{rec: recs[mid]}
-	root.left.Store(t.build(recs[:mid], depth+1))
-	root.right.Store(t.build(recs[mid+1:], depth+1))
-	return root
-}
-
-// selectNth partially sorts recs so recs[n] is the n-th smallest by the
-// clamped coordinate on dim, everything before it is <= and everything
-// after is >=.
-func (t *KD) selectNth(recs []schema.Record, n, dim int) {
-	lo, hi := 0, len(recs)-1
-	for lo < hi {
-		// Median-of-three pivot to dodge sorted-input quadratic blowup.
-		mid := lo + (hi-lo)/2
-		a, b, c := t.coord(recs[lo], dim), t.coord(recs[mid], dim), t.coord(recs[hi], dim)
-		var pivot uint64
-		switch {
-		case (a <= b && b <= c) || (c <= b && b <= a):
-			pivot = b
-		case (b <= a && a <= c) || (c <= a && a <= b):
-			pivot = a
-		default:
-			pivot = c
-		}
-		i, j := lo, hi
-		for i <= j {
-			for t.coord(recs[i], dim) < pivot {
-				i++
-			}
-			for t.coord(recs[j], dim) > pivot {
-				j--
-			}
-			if i <= j {
-				recs[i], recs[j] = recs[j], recs[i]
-				i++
-				j--
-			}
-		}
-		if n <= j {
-			hi = j
-		} else if n >= i {
-			lo = i
-		} else {
-			return
-		}
-	}
-}
-
-// Query resolves an orthogonal range query.
-func (t *KD) Query(rect schema.Rect) []schema.Record {
-	var out []schema.Record
-	t.query(t.root.Load(), 0, rect, &out)
-	return out
-}
-
-// QueryAppend resolves rect and appends matches to out, returning the
-// extended slice. Callers that presize out (e.g. from Count) resolve the
-// query with zero result-slice reallocations.
-func (t *KD) QueryAppend(rect schema.Rect, out []schema.Record) []schema.Record {
-	t.query(t.root.Load(), 0, rect, &out)
-	return out
-}
-
-func (t *KD) query(n *kdNode, depth int, rect schema.Rect, out *[]schema.Record) {
-	if n == nil {
-		return
-	}
-	dims := t.sch.Dims()
-	dim := depth % dims
-	// Check the node itself.
-	inside := true
-	for i := 0; i < dims; i++ {
-		if v := t.coord(n.rec, i); v < rect.Lo[i] || v > rect.Hi[i] {
-			inside = false
-			break
-		}
-	}
-	if inside {
-		*out = append(*out, n.rec)
-	}
-	// Insertion alternates equal coordinates between sides (t.tick), and
-	// median rebuilds may also leave equal coordinates on either side —
-	// so both prunes must admit equality.
-	v := t.coord(n.rec, dim)
-	if rect.Lo[dim] <= v {
-		t.query(n.left.Load(), depth+1, rect, out)
-	}
-	if rect.Hi[dim] >= v {
-		t.query(n.right.Load(), depth+1, rect, out)
-	}
-}
-
-// Count returns the number of records inside rect without materializing
-// them.
-func (t *KD) Count(rect schema.Rect) int {
-	n := 0
-	t.countIn(t.root.Load(), 0, rect, &n)
-	return n
-}
-
-func (t *KD) countIn(n *kdNode, depth int, rect schema.Rect, acc *int) {
-	if n == nil {
-		return
-	}
-	dims := t.sch.Dims()
-	dim := depth % dims
-	inside := true
-	for i := 0; i < dims; i++ {
-		if v := t.coord(n.rec, i); v < rect.Lo[i] || v > rect.Hi[i] {
-			inside = false
-			break
-		}
-	}
-	if inside {
-		*acc++
-	}
-	v := t.coord(n.rec, dim)
-	if rect.Lo[dim] <= v {
-		t.countIn(n.left.Load(), depth+1, rect, acc)
-	}
-	if rect.Hi[dim] >= v {
-		t.countIn(n.right.Load(), depth+1, rect, acc)
-	}
-}
-
-// All streams every record in-order; stops early if yield returns false.
-func (t *KD) All(yield func(rec schema.Record) bool) {
-	var walk func(n *kdNode) bool
-	walk = func(n *kdNode) bool {
-		if n == nil {
-			return true
-		}
-		if !walk(n.left.Load()) {
+		if v < rect.Lo[i] || v > rect.Hi[i] {
 			return false
 		}
-		if !yield(n.rec) {
-			return false
-		}
-		return walk(n.right.Load())
 	}
-	walk(t.root.Load())
-}
-
-// Depth returns the current tree height (diagnostics and tests).
-func (t *KD) Depth() int {
-	var d func(n *kdNode) int
-	d = func(n *kdNode) int {
-		if n == nil {
-			return 0
-		}
-		l, r := d(n.left.Load()), d(n.right.Load())
-		if l > r {
-			return l + 1
-		}
-		return r + 1
-	}
-	return d(t.root.Load())
+	return true
 }
 
 // Scan is the naive O(n)-per-query store used as the differential-test
-// oracle and the ablation baseline for the k-d tree. Unlike KD it is not
-// safe for concurrent use.
+// oracle and the ablation baseline for the indexed engines. Unlike the
+// other engines it is not safe for concurrent use.
 type Scan struct {
-	sch  *schema.Schema
-	recs []schema.Record
+	sch    *schema.Schema
+	bounds []uint64
+	recs   []schema.Record
 }
 
 // NewScan creates an empty scan store.
-func NewScan(sch *schema.Schema) *Scan { return &Scan{sch: sch} }
+func NewScan(sch *schema.Schema) *Scan { return &Scan{sch: sch, bounds: sch.Bounds()} }
 
 // Insert appends the record.
 func (s *Scan) Insert(rec schema.Record) { s.recs = append(s.recs, rec) }
@@ -356,7 +86,7 @@ func (s *Scan) Len() int { return len(s.recs) }
 func (s *Scan) Query(rect schema.Rect) []schema.Record {
 	var out []schema.Record
 	for _, r := range s.recs {
-		if rect.ContainsRecord(s.sch, r) {
+		if rectContains(s.bounds, rect, r) {
 			out = append(out, r)
 		}
 	}
@@ -367,7 +97,7 @@ func (s *Scan) Query(rect schema.Rect) []schema.Record {
 func (s *Scan) Count(rect schema.Rect) int {
 	n := 0
 	for _, r := range s.recs {
-		if rect.ContainsRecord(s.sch, r) {
+		if rectContains(s.bounds, rect, r) {
 			n++
 		}
 	}
@@ -386,4 +116,5 @@ func (s *Scan) All(yield func(rec schema.Record) bool) {
 var (
 	_ Store = (*KD)(nil)
 	_ Store = (*Scan)(nil)
+	_ Store = (*Sharded)(nil)
 )

@@ -14,22 +14,33 @@ import (
 // (§3.7). The version id is the day number (timestamp / 86400) by
 // convention, but Versioned itself treats it as opaque.
 //
+// Each version's store is a Sharded static+delta engine (shard.go),
+// constructed with the Options the Versioned was built with.
+//
 // Versioned is safe for concurrent use: an RWMutex guards the version
-// map (held only for map lookups, never across a tree operation), and
-// the per-version KD stores handle their own reader/writer coordination.
+// map (held only for map lookups, never across a store operation), and
+// the per-version engines handle their own reader/writer coordination.
 type Versioned struct {
 	sch      *schema.Schema
+	opts     Options
 	mu       sync.RWMutex
-	versions map[uint32]*KD
+	versions map[uint32]*Sharded
 }
 
-// NewVersioned creates an empty versioned store.
+// NewVersioned creates an empty versioned store with default engine
+// options.
 func NewVersioned(sch *schema.Schema) *Versioned {
-	return &Versioned{sch: sch, versions: make(map[uint32]*KD)}
+	return NewVersionedOpts(sch, Options{})
+}
+
+// NewVersionedOpts creates an empty versioned store with explicit
+// engine options (shard count, delta merge policy).
+func NewVersionedOpts(sch *schema.Schema, opts Options) *Versioned {
+	return &Versioned{sch: sch, opts: opts.withDefaults(), versions: make(map[uint32]*Sharded)}
 }
 
 // Version returns the store for version v, creating it if absent.
-func (vs *Versioned) Version(v uint32) *KD {
+func (vs *Versioned) Version(v uint32) *Sharded {
 	vs.mu.RLock()
 	s, ok := vs.versions[v]
 	vs.mu.RUnlock()
@@ -39,18 +50,23 @@ func (vs *Versioned) Version(v uint32) *KD {
 	vs.mu.Lock()
 	defer vs.mu.Unlock()
 	if s, ok = vs.versions[v]; !ok {
-		s = NewKD(vs.sch)
+		s = NewSharded(vs.sch, vs.opts)
 		vs.versions[v] = s
 	}
 	return s
 }
 
 // get returns the store for version v, or nil.
-func (vs *Versioned) get(v uint32) *KD {
+func (vs *Versioned) get(v uint32) *Sharded {
 	vs.mu.RLock()
 	defer vs.mu.RUnlock()
 	return vs.versions[v]
 }
+
+// Get returns the store for version v, or nil if absent. Unlike
+// Version it never creates the version — read paths (parallel shard
+// fan-out) use it to enumerate shards without materializing stores.
+func (vs *Versioned) Get(v uint32) *Sharded { return vs.get(v) }
 
 // Has reports whether version v exists.
 func (vs *Versioned) Has(v uint32) bool { return vs.get(v) != nil }
@@ -77,7 +93,7 @@ func (vs *Versioned) Insert(v uint32, rec schema.Record) {
 // from per-version counts, so the concatenation performs exactly one
 // allocation regardless of result size.
 func (vs *Versioned) Query(versions []uint32, rect schema.Rect) []schema.Record {
-	stores := make([]*KD, 0, len(versions))
+	stores := make([]*Sharded, 0, len(versions))
 	vs.mu.RLock()
 	for _, v := range versions {
 		if s, ok := vs.versions[v]; ok {
