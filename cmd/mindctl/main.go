@@ -4,8 +4,17 @@
 //	mindctl -node 127.0.0.1:7001 create-index -preset index2 -horizon 86400
 //	mindctl -node 127.0.0.1:7001 insert -index index2-octets -rec 167772161,120,200000,2886729728,3
 //	mindctl -node 127.0.0.1:7001 query  -index index2-octets -lo 0,0,100000 -hi 4294967295,86400,2097152
+//	mindctl -node 127.0.0.1:7001 agg    -index index2-octets -lo 0,0,100000 -hi 4294967295,86400,2097152 -topk 16
 //	mindctl -node 127.0.0.1:7001 drop-index -index index2-octets
 //	mindctl skew -nodes 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003
+//
+// agg answers COUNT, per-attribute SUMs and the top-k heavy-hitter keys
+// over the rectangle from the per-node summary rollups — O(cover) work
+// per node instead of streaming every matching record back, the
+// wide-rectangle triage step before an exact query or drilldown hunt.
+// Counters are exact; the heavy-hitter list is a bounded space-saving
+// sketch, so each entry carries its maximum overcount (±err) and the
+// response carries the floor below which keys may be missing.
 //
 // skew probes every listed node for its overlay identity, membership
 // epoch and per-(index, version) tree-epoch table, prints them side by
@@ -95,6 +104,15 @@ func main() {
 		fs.Parse(rest)
 		req = &wire.ClientQuery{ReqID: 1, Index: *index,
 			Rect: schema.Rect{Lo: parseU64s(*lo), Hi: parseU64s(*hi)}}
+	case "agg":
+		fs := flag.NewFlagSet("agg", flag.ExitOnError)
+		index := fs.String("index", "", "index tag")
+		lo := fs.String("lo", "", "comma-separated lower bounds (indexed dims)")
+		hi := fs.String("hi", "", "comma-separated upper bounds (indexed dims)")
+		topk := fs.Int("topk", 0, "heavy-hitter entries to return (0: server default)")
+		fs.Parse(rest)
+		req = &wire.ClientAgg{ReqID: 1, Index: *index,
+			Rect: schema.Rect{Lo: parseU64s(*lo), Hi: parseU64s(*hi)}, TopK: uint32(*topk)}
 	default:
 		usage()
 	}
@@ -246,6 +264,22 @@ func printResp(m wire.Message) {
 			}
 			fmt.Println("  " + strings.Join(parts, ","))
 		}
+	case *wire.ClientAggResp:
+		if r.Shed {
+			die("error: request shed under overload")
+		}
+		sums := make([]string, len(r.Sums))
+		for i, s := range r.Sums {
+			sums[i] = strconv.FormatUint(s, 10)
+		}
+		fmt.Printf("complete=%v responders=%d count=%d sums=%s\n",
+			r.Complete, r.Responders, r.Count, strings.Join(sums, ","))
+		if len(r.Keys) > 0 {
+			fmt.Printf("top-%d keys (sketch exact=%v, absent keys <= %d):\n", len(r.Keys), r.Exact, r.Floor)
+			for i := range r.Keys {
+				fmt.Printf("  %-20d %d (±%d)\n", r.Keys[i], r.Counts[i], r.Errs[i])
+			}
+		}
 	default:
 		die("unexpected response %s", m.Kind())
 	}
@@ -268,7 +302,7 @@ func parseU64s(s string) []uint64 {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mindctl -node <addr> <create-index|drop-index|insert|query|skew> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: mindctl -node <addr> <create-index|drop-index|insert|query|agg|skew> [flags]")
 	os.Exit(2)
 }
 

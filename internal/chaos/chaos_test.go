@@ -281,6 +281,13 @@ func TestReversionScenario(t *testing.T) {
 	if res.Reversions != 2 {
 		t.Fatalf("expected 2 reversions, got %d", res.Reversions)
 	}
+	// No kills, no partitions, no loss: every differential must have run
+	// in exact mode, so the summary counters were compared bit-for-bit
+	// against the record path across both version flips.
+	if res.AggQueries == 0 || res.AggExactChecks != res.AggQueries {
+		t.Fatalf("agg differential not exact across reversions: %d/%d",
+			res.AggExactChecks, res.AggQueries)
+	}
 	if len(res.Violations) > 0 {
 		path := dumpFailing(t, s)
 		v := res.Violations[0]
@@ -373,6 +380,12 @@ func TestRetirementScenario(t *testing.T) {
 	}
 	if !purged {
 		t.Fatal("retention never purged the oracle")
+	}
+	// The purge drops whole versions from both stores and rollups; the
+	// post-retirement checks must still reconcile aggregates exactly.
+	if res.AggQueries == 0 || res.AggExactChecks != res.AggQueries {
+		t.Fatalf("agg differential not exact across retirement: %d/%d",
+			res.AggExactChecks, res.AggQueries)
 	}
 	if len(res.Violations) > 0 {
 		path := dumpFailing(t, s)

@@ -299,9 +299,9 @@ func CheckQuiescence(snaps []cluster.NodeState) []string {
 		if s.Dead {
 			continue
 		}
-		if s.Stats.PendingInserts > 0 || s.Stats.PendingQueries > 0 {
-			out = append(out, fmt.Sprintf("%s not quiescent: %d inserts, %d queries pending",
-				s.Addr, s.Stats.PendingInserts, s.Stats.PendingQueries))
+		if s.Stats.PendingInserts > 0 || s.Stats.PendingQueries > 0 || s.Stats.PendingAggs > 0 {
+			out = append(out, fmt.Sprintf("%s not quiescent: %d inserts, %d queries, %d aggs pending",
+				s.Addr, s.Stats.PendingInserts, s.Stats.PendingQueries, s.Stats.PendingAggs))
 		}
 	}
 	return out

@@ -83,6 +83,11 @@ type Result struct {
 	IncompleteQueries int
 	OracleRecords     int
 	Reversions        int
+	AggQueries        int
+	// AggExactChecks counts aggregate differentials run in exact mode:
+	// no duplicate-copy risk had accrued yet, so the rollup counters were
+	// required to equal the record-path answer bit-for-bit.
+	AggExactChecks int
 }
 
 // runner holds the mutable state of one schedule execution.
@@ -104,6 +109,20 @@ type runner struct {
 	acked  map[uint64]bool // uids the distributed insert acked (mirrored in oracle)
 	maybe  map[uint64]bool // uids whose insert timed out: may or may not be stored
 	atRisk map[uint64]bool // uids held as primary by some node at the moment it was killed
+
+	// dupRisk flips (permanently — the copies persist in the stores) once
+	// some event may have left a record stored as two primary copies:
+	// a kill (the post-takeover RegionRecall re-inserts surviving replica
+	// copies under fresh record ids), a partition or link cut that
+	// outlived the failure-detection window (false takeovers, dispute
+	// reinsertion), or a retransmitted/timed-out insert (the retry can
+	// race its first copy onto a distinct owner). The record path
+	// collapses such duplicates by content hash; the aggregate path
+	// counts geometrically and cannot, so the differential downgrades
+	// from exact equality to two-sided bounds.
+	dupRisk   bool
+	faultAt   map[string]time.Time // open partition/cutlink windows
+	failAfter time.Duration
 
 	deadSince    map[string]time.Time
 	originCursor int
@@ -130,6 +149,8 @@ func Run(s *Schedule, opt Options) (*Result, error) {
 		acked:     make(map[uint64]bool),
 		maybe:     make(map[uint64]bool),
 		atRisk:    make(map[uint64]bool),
+		faultAt:   make(map[string]time.Time),
+		failAfter: nodeConfig(s.Replication, s.RetainVersions).Overlay.FailAfter,
 		deadSince: make(map[string]time.Time),
 	}
 	c, err := cluster.New(cluster.Options{
@@ -159,9 +180,10 @@ func Run(s *Schedule, opt Options) (*Result, error) {
 		}
 	}
 	r.res.OracleRecords = r.oracle.Len()
-	r.logf("run done: checks=%d inserts=%d/%d queries=%d violations=%d oracle=%d",
+	r.logf("run done: checks=%d inserts=%d/%d queries=%d aggs=%d (exact=%d) violations=%d oracle=%d",
 		r.res.Checks, r.res.Inserts-r.res.InsertFailures, r.res.Inserts,
-		r.res.Queries, len(r.res.Violations), r.res.OracleRecords)
+		r.res.Queries, r.res.AggQueries, r.res.AggExactChecks,
+		len(r.res.Violations), r.res.OracleRecords)
 	h := fnv.New64a()
 	for _, line := range r.res.Log {
 		io.WriteString(h, line)
@@ -209,6 +231,7 @@ func (r *runner) apply(i int, ev Event) {
 			n++
 		}
 		r.deadSince[r.addr(ev.A)] = r.c.Net.Now()
+		r.dupRisk = true
 		r.c.Kill(ev.A) // logs via OnEvent
 		r.logf("at-risk primaries on %s: %d", r.addr(ev.A), n)
 	case "restart":
@@ -239,9 +262,13 @@ func (r *runner) apply(i int, ev Event) {
 			}
 		}
 		r.c.Net.Partition(ga, gb)
+		if _, open := r.faultAt["partition"]; !open {
+			r.faultAt["partition"] = r.c.Net.Now()
+		}
 		r.logf("partition %v | %v", ga, gb)
 	case "heal":
 		r.c.Net.Heal()
+		r.closeFault("partition")
 		r.logf("heal")
 	case "loss":
 		r.c.Net.SetLossProb(ev.P)
@@ -260,11 +287,18 @@ func (r *runner) apply(i int, ev Event) {
 		r.logf("reorder p=%.3f window=%dms", ev.P, ev.Ms)
 	case "cutlink":
 		r.c.Net.CutLink(r.addr(ev.A), r.addr(ev.B))
+		if _, open := r.faultAt[linkKey(ev.A, ev.B)]; !open {
+			r.faultAt[linkKey(ev.A, ev.B)] = r.c.Net.Now()
+		}
 		r.logf("cutlink %s<->%s", r.addr(ev.A), r.addr(ev.B))
 	case "restorelink":
 		r.c.Net.RestoreLink(r.addr(ev.A), r.addr(ev.B))
+		r.closeFault(linkKey(ev.A, ev.B))
 		r.logf("restorelink %s<->%s", r.addr(ev.A), r.addr(ev.B))
 	case "stall":
+		if time.Duration(ev.Ms)*time.Millisecond >= r.failAfter {
+			r.dupRisk = true // stall long enough to be declared dead: takeover
+		}
 		r.c.Net.StallNode(r.addr(ev.A), time.Duration(ev.Ms)*time.Millisecond)
 		r.logf("stall %s for %dms", r.addr(ev.A), ev.Ms)
 	case "insert":
@@ -275,6 +309,38 @@ func (r *runner) apply(i int, ev Event) {
 		r.reversion()
 	case "check":
 		r.check(i, ev)
+	}
+}
+
+// linkKey names one cutlink window, order-insensitively.
+func linkKey(a, b int) string {
+	if a > b {
+		a, b = b, a
+	}
+	return fmt.Sprintf("link:%d-%d", a, b)
+}
+
+// closeFault ends one partition/cutlink window: if it outlived the
+// failure-detection window, some node was falsely declared dead and
+// taken over, so duplicate primary copies may now exist.
+func (r *runner) closeFault(key string) {
+	t, open := r.faultAt[key]
+	if !open {
+		return
+	}
+	delete(r.faultAt, key)
+	if r.c.Net.Now().Sub(t) >= r.failAfter {
+		r.dupRisk = true
+	}
+}
+
+// sweepFaults marks duplicate risk for fault windows still open at a
+// checkpoint (a hand-written schedule may check mid-partition).
+func (r *runner) sweepFaults() {
+	for _, t := range r.faultAt {
+		if r.c.Net.Now().Sub(t) >= r.failAfter {
+			r.dupRisk = true
+		}
 	}
 }
 
@@ -376,9 +442,13 @@ func (r *runner) insertBurst(n int) {
 			r.oracle.Insert(rec)
 			r.acked[uid] = true
 			acked++
+			if res.Attempts > 0 {
+				r.dupRisk = true // a retransmission may have raced its first copy
+			}
 		} else {
 			r.res.InsertFailures++
 			r.maybe[uid] = true
+			r.dupRisk = true // every attempt of a timed-out insert may have stored
 		}
 	}
 	r.logf("insert burst n=%d acked=%d", n, acked)
@@ -430,6 +500,7 @@ func (r *runner) checkConfig() CheckConfig {
 func (r *runner) check(evIdx int, ev Event) {
 	r.res.Checks++
 	r.checkCount++
+	r.sweepFaults()
 	runInv := r.opt.CheckEvery <= 1 || (r.checkCount-1)%r.opt.CheckEvery == 0
 
 	// Converge: takeovers, re-joins and tree anti-entropy may still be in
@@ -538,4 +609,100 @@ func (r *runner) oracleQuery(evIdx int) {
 	}
 	r.logf("query origin=%s got=%d want=%d complete=%v responders=%d",
 		r.addr(origin), len(qr.Records), len(want), qr.Complete, qr.Responders)
+	r.aggDifferential(evIdx, rect, origin, qr)
+}
+
+// aggDifferential re-asks the same rectangle through the aggregate path
+// and reconciles the summary rollup's counters with the record-path
+// answer. While the run is still duplicate-free (no kills, no
+// takeover-width fault windows, no retransmitted inserts), every stored
+// record is exactly one primary copy and the comparison is exact: COUNT
+// and per-attribute SUMs must equal the record answer bit-for-bit, every
+// reported heavy hitter's true count must lie in its [Count-Err, Count]
+// interval, and no key above the sketch floor may be missing. Once
+// duplicate copies may exist, the aggregate (which counts geometrically,
+// without record identity) is held to two-sided bounds instead: it must
+// never count fewer than the acked records the loss accounting requires,
+// and — on an unretried run — never more than the primary copies the
+// live nodes actually store in the rectangle.
+func (r *runner) aggDifferential(evIdx int, rect schema.Rect, origin int, qr mind.QueryResult) {
+	ar, _, err := r.c.AggWait(origin, Tag, rect, 0)
+	r.res.AggQueries++
+	if err != nil {
+		r.violate(evIdx, "agg-error", fmt.Sprintf("origin %s: %v", r.addr(origin), err))
+		return
+	}
+	if !ar.Complete {
+		r.violate(evIdx, "agg-coverage",
+			fmt.Sprintf("incomplete at settled check (uncovered: %v)", ar.Uncovered))
+		return
+	}
+	if !r.dupRisk && qr.Complete {
+		r.res.AggExactChecks++
+		exact := uint64(len(qr.Records))
+		sums := make([]uint64, len(r.sch.Attrs))
+		keys := make(map[uint64]uint64)
+		for _, rec := range qr.Records {
+			for i := range sums {
+				if i < len(rec) {
+					sums[i] += rec[i]
+				}
+			}
+			keys[rec[0]]++
+		}
+		if ar.Count != exact {
+			r.violate(evIdx, "agg-count", fmt.Sprintf("agg count %d != exact %d", ar.Count, exact))
+		}
+		for i, s := range sums {
+			if i < len(ar.Sums) && ar.Sums[i] != s {
+				r.violate(evIdx, "agg-sum", fmt.Sprintf("agg sum[%d] %d != exact %d", i, ar.Sums[i], s))
+			}
+		}
+		reported := make(map[uint64]bool, len(ar.TopK))
+		for _, e := range ar.TopK { // deterministic: sorted count desc, key asc
+			reported[e.Key] = true
+			truth := keys[e.Key]
+			if truth > e.Count || truth < e.Count-e.Err {
+				r.violate(evIdx, "agg-sketch", fmt.Sprintf("key %d true count %d outside [%d,%d]",
+					e.Key, truth, e.Count-e.Err, e.Count))
+			}
+		}
+		var missing []uint64
+		for k, truth := range keys {
+			if !reported[k] && truth > ar.Floor {
+				missing = append(missing, k)
+			}
+		}
+		sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
+		for _, k := range missing {
+			r.violate(evIdx, "agg-sketch", fmt.Sprintf("key %d true count %d missing with floor %d",
+				k, keys[k], ar.Floor))
+		}
+	} else {
+		lower := uint64(0)
+		for _, rec := range r.oracle.Query(rect) {
+			if !r.atRisk[rec[3]] {
+				lower++
+			}
+		}
+		if ar.Count < lower {
+			r.violate(evIdx, "agg-undercount",
+				fmt.Sprintf("agg count %d < %d acked records beyond loss accounting", ar.Count, lower))
+		}
+		if !ar.Retried {
+			upper := uint64(0)
+			for _, i := range r.c.LiveIndices() {
+				nd := r.c.Nodes[i]
+				if nd.Joined() && nd.HasIndex(Tag) {
+					upper += uint64(len(nd.LocalQuery(Tag, rect)))
+				}
+			}
+			if ar.Count > upper {
+				r.violate(evIdx, "agg-overcount",
+					fmt.Sprintf("agg count %d > %d primary copies stored in rect", ar.Count, upper))
+			}
+		}
+	}
+	r.logf("agg origin=%s count=%d responders=%d exact=%v duprisk=%v",
+		r.addr(origin), ar.Count, ar.Responders, ar.Exact, r.dupRisk)
 }

@@ -212,6 +212,24 @@ func (c *Cluster) QueryWait(from int, tag string, rect schema.Rect) (mind.QueryR
 	return res, c.Net.Now().Sub(start), nil
 }
 
+// AggWait runs an aggregate query (COUNT/SUM/top-k) from the given node
+// and pumps the network until the result callback fires. It returns the
+// result and the virtual-time latency.
+func (c *Cluster) AggWait(from int, tag string, rect schema.Rect, topK int) (mind.AggResult, time.Duration, error) {
+	var res mind.AggResult
+	done := false
+	start := c.Net.Now()
+	err := c.Nodes[from].Agg(tag, rect, topK, func(r mind.AggResult) {
+		res = r
+		done = true
+	})
+	if err != nil {
+		return res, 0, err
+	}
+	c.Net.RunUntil(func() bool { return done }, 50_000_000)
+	return res, c.Net.Now().Sub(start), nil
+}
+
 // Kill fails a node at the network level (it stops receiving and its
 // sends vanish), as in the §4.4 robustness experiment. The node object
 // stays in Nodes/byAddr so its slot can be Restarted; the dead-aware

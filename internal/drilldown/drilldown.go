@@ -15,9 +15,12 @@ import (
 	"mind/internal/schema"
 )
 
-// QueryFunc resolves one range query; complete=false responses abort the
-// hunt (partial data would mislead the refinement). cluster.Cluster and
-// mind.Node are adapted trivially.
+// QueryFunc resolves one range query; persistently incomplete responses
+// abort the hunt (partial data would mislead the refinement), but a
+// single incomplete response is re-issued once first — the reliable
+// layer under a live deployment recovers most transient holes (a
+// suspected node, an in-flight takeover) by the time the retry lands.
+// cluster.Cluster and mind.Node are adapted trivially.
 type QueryFunc func(rect schema.Rect) (records []schema.Record, complete bool, err error)
 
 // Config tunes the refinement.
@@ -79,8 +82,7 @@ func Hunt(query QueryFunc, start schema.Rect, cfg Config) (*Result, error) {
 		if res.Queries >= cfg.MaxQueries {
 			// Out of budget: report what we have at current granularity.
 			res.Truncated = true
-			recs, complete, err := query(rect)
-			res.Queries++
+			recs, complete, err := queryRetry(query, rect, res)
 			if err != nil {
 				return nil, err
 			}
@@ -89,8 +91,7 @@ func Hunt(query QueryFunc, start schema.Rect, cfg Config) (*Result, error) {
 			}
 			continue
 		}
-		recs, complete, err := query(rect)
-		res.Queries++
+		recs, complete, err := queryRetry(query, rect, res)
 		if err != nil {
 			return nil, err
 		}
@@ -110,6 +111,22 @@ func Hunt(query QueryFunc, start schema.Rect, cfg Config) (*Result, error) {
 	}
 	sortFindings(res.Findings)
 	return res, nil
+}
+
+// queryRetry issues one range query, re-asking once on an incomplete
+// response before giving up. The retry goes back through the same
+// QueryFunc — over a live deployment that is the reliable layer, whose
+// second attempt routes around the suspected hop that produced the
+// hole. Both attempts count against the query budget.
+func queryRetry(query QueryFunc, rect schema.Rect, res *Result) ([]schema.Record, bool, error) {
+	recs, complete, err := query(rect)
+	res.Queries++
+	if err != nil || complete {
+		return recs, complete, err
+	}
+	recs, complete, err = query(rect)
+	res.Queries++
+	return recs, complete, err
 }
 
 // widestSplittable picks the unfrozen dimension with the largest

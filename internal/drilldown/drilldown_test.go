@@ -140,6 +140,53 @@ func TestHuntBudgetTruncation(t *testing.T) {
 	}
 }
 
+func TestHuntRetriesTransientIncomplete(t *testing.T) {
+	// The first response for every rect is incomplete (as when a routing
+	// hole is still being recovered); the retry answers fully. The hunt
+	// must recover via the one re-ask instead of aborting, and both
+	// attempts must count against the budget.
+	recs := []schema.Record{{100, 200, 7}, {105, 205, 7}}
+	attempts := map[string]int{}
+	q := func(rect schema.Rect) ([]schema.Record, bool, error) {
+		key := fmt.Sprint(rect)
+		attempts[key]++
+		if attempts[key] == 1 {
+			return nil, false, nil
+		}
+		var out []schema.Record
+		for _, r := range recs {
+			if r[0] >= rect.Lo[0] && r[0] <= rect.Hi[0] &&
+				r[1] >= rect.Lo[1] && r[1] <= rect.Hi[1] {
+				out = append(out, r)
+			}
+		}
+		return out, true, nil
+	}
+	start := schema.Rect{Lo: []uint64{0, 0}, Hi: []uint64{9999, 9999}}
+	res, err := Hunt(q, start, Config{SmallEnough: 2, MaxQueries: 100})
+	if err != nil {
+		t.Fatalf("transient incompleteness must be retried, not fatal: %v", err)
+	}
+	total := 0
+	for _, f := range res.Findings {
+		total += len(f.Records)
+	}
+	if total != len(recs) {
+		t.Fatalf("findings cover %d/%d records", total, len(recs))
+	}
+	// Every rect was asked exactly twice, and each attempt was counted.
+	want := 0
+	for key, n := range attempts {
+		want += n
+		if n != 2 {
+			t.Errorf("rect %s asked %d times, want 2", key, n)
+		}
+	}
+	if res.Queries != want {
+		t.Fatalf("Queries = %d, want %d (retries must count)", res.Queries, want)
+	}
+}
+
 func TestHuntIncompleteQueryFails(t *testing.T) {
 	q := func(rect schema.Rect) ([]schema.Record, bool, error) {
 		return []schema.Record{{1, 1}}, false, nil

@@ -87,6 +87,7 @@ func Registry() map[string]Runner {
 		"ingest-stream": IngestStream,
 		"overload":      Overload,
 		"store-layout":  StoreLayout,
+		"whale-agg":     WhaleAgg,
 	}
 }
 

@@ -1,0 +1,274 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"mind/internal/metrics"
+	"mind/internal/schema"
+	"mind/internal/store"
+	"mind/internal/summary"
+)
+
+// WhaleAgg measures what the per-node summary rollup buys on the §5
+// triage query: "how much traffic, and which destinations dominate it,
+// inside this wide rectangle?" A million Index-2-shaped records with a
+// handful of whale destinations hiding in uniform background land in
+// the sharded store and its lockstep rollup; each wide rectangle is
+// then answered two ways — exact (materialize every matching record
+// and fold it, what a coordinator without summaries must do) and
+// rollup (Resolve the cover, drill into only the boundary cells). The
+// headline rt_agg_speedup is the exact/rollup latency ratio; the
+// deterministic agg_ok value gates the differential: rollup COUNT and
+// SUMs must equal the exact fold bit-for-bit on every rectangle, and
+// every whale must surface in the sketch's top entries with its true
+// count inside the [count-err, count] interval.
+//
+// Like store-layout this runs on the wall clock, so the latency-derived
+// values carry the rt_ prefix benchdiff treats as informational; the
+// agg_ok and whale_found values are exact and gated.
+func WhaleAgg(seed int64, scale float64) (*Report, error) {
+	r := newReport("whale-agg", "Summary rollup vs exact scan on wide aggregate rectangles (real-time)")
+
+	n := int(1_000_000 * scale)
+	if n < 50_000 {
+		n = 50_000
+	}
+	horizon := uint64(7 * 86400)
+	sch := schema.Index2(horizon)
+	bounds := sch.Bounds()
+	arity := sch.Arity()
+
+	// Eight whale destinations carry 1/64 of the traffic each (an eighth
+	// combined); the rest is uniform background. keyOf is the first
+	// attribute, so the sketch tracks destinations.
+	whales := make([]uint64, 8)
+	rnd := xorshift(uint64(seed)*6364136223846793005 + 3)
+	for i := range whales {
+		whales[i] = rnd.next() % (bounds[0] + 1)
+	}
+	mkRec := func(i int) schema.Record {
+		rec := make(schema.Record, len(sch.Attrs))
+		for d := range rec {
+			if d < len(bounds) {
+				rec[d] = rnd.next() % (bounds[d] + 1)
+			} else {
+				rec[d] = rnd.next() % 65536 // bounded payload: sums stay comparable
+			}
+		}
+		if i%8 == 0 {
+			rec[0] = whales[(i/8)%len(whales)]
+		}
+		return rec
+	}
+
+	// Shard count is pinned (not a hardware probe) so every Value below is
+	// identical on every machine — bench-gate diffs these across runners.
+	// The sketch K is raised above the production default because the
+	// background keyspace here is 2^32-uniform: each truncating merge up
+	// the cut tree raises the floor by the smallest discarded estimate,
+	// and at K=32 the accumulated floor at the root rivals a 1/64-share
+	// whale's count at the 50k CI scale. K=128 keeps the low tree levels
+	// exact (leaf cells hold ~n/2^Depth/shards unique keys) so the floor
+	// stays an order of magnitude under the whales.
+	shards := store.ResolveShards(8)
+	const sketchK = 128
+	eng := store.NewSharded(sch, store.Options{Shards: shards})
+	sums := summary.NewShardedSummary(sch, shards, summary.Options{K: sketchK})
+	loadStart := time.Now()
+	for i := 0; i < n; i++ {
+		rec := mkRec(i)
+		eng.Insert(rec)
+		sums.Insert(eng.ShardOf(rec), rec)
+	}
+	eng.Compact()
+	sums.Fold()
+	load := time.Since(loadStart)
+
+	// Wide rectangles: the full space, then half/quarter/eighth windows of
+	// the time dimension with everything else unconstrained — the "whole
+	// backbone over the suspicious window" triage shape. The windows walk
+	// the tree's own cut geometry (each is a genuine time-dim cell), the
+	// shape operators ask for ("this half of the horizon", "that day") and
+	// the shape the rollup answers from pure cover. One deliberately
+	// unaligned window rides along: its edges fall below the tree's time
+	// resolution, so the rollup degrades toward an exact boundary scan —
+	// still bit-for-bit correct, just not fast. Its ratio is reported
+	// separately and excluded from the headline speedup.
+	fullRect := func() schema.Rect {
+		rc := schema.Rect{Lo: make([]uint64, len(bounds)), Hi: make([]uint64, len(bounds))}
+		copy(rc.Hi, bounds)
+		return rc
+	}
+	alignedWindow := func(halvings int) (uint64, uint64) {
+		lo, hi := uint64(0), bounds[1]
+		for i := 0; i < halvings; i++ {
+			mid := lo + (hi-lo)/2
+			if rnd.next()&1 == 0 {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		return lo, hi
+	}
+	rects := []schema.Rect{fullRect()}
+	labels := []string{"full-space"}
+	for _, halvings := range []int{1, 2, 3} {
+		rc := fullRect()
+		rc.Lo[1], rc.Hi[1] = alignedWindow(halvings)
+		rects = append(rects, rc)
+		labels = append(labels, fmt.Sprintf("1/%d-time-window", 1<<halvings))
+	}
+	const timed = 4 // rects[:timed] feed the headline speedup
+	{
+		rc := fullRect()
+		w := bounds[1] / 8
+		lo := rnd.next() % (bounds[1] - w + 1)
+		rc.Lo[1], rc.Hi[1] = lo, lo+w
+		rects = append(rects, rc)
+		labels = append(labels, "1/8-unaligned")
+	}
+
+	// exactFold materializes every matching record and folds it — the
+	// no-summary answer path.
+	buf := make([]schema.Record, 0, n)
+	exactFold := func(rect schema.Rect) (summary.Agg, []schema.Record) {
+		out := summary.NewAgg(arity, sketchK)
+		buf = buf[:0]
+		for i := 0; i < eng.NumShards(); i++ {
+			buf = eng.QueryShardAppend(i, rect, buf)
+		}
+		for _, rec := range buf {
+			out.Add(rec)
+		}
+		return out, buf
+	}
+	// rollupFold resolves the summary cover and drills into only the
+	// boundary cells — resolveLocalAgg's per-shard answer path.
+	rollupFold := func(rect schema.Rect) summary.Agg {
+		out := summary.NewAgg(arity, sketchK)
+		var bbuf []schema.Record
+		parts := make([]*summary.Sketch, 0, sums.NumShards())
+		for i := 0; i < sums.NumShards(); i++ {
+			part := sums.Shard(i).Resolve(rect)
+			out.Merge(part.Count, part.Sums, nil)
+			parts = append(parts, part.Sketch)
+			for _, br := range part.Boundary {
+				bbuf = eng.QueryShardAppend(i, br, bbuf[:0])
+				for _, rec := range bbuf {
+					out.Add(rec)
+				}
+			}
+		}
+		out.Sketch.MergeMany(parts)
+		return out
+	}
+
+	aggOK, whaleFound := 1.0, 1.0
+	whalesSurfaced := 0
+	unalignedSp := 0.0
+	var exactTotal, aggTotal time.Duration
+	t := metrics.NewTable("rect", "matched", "exact(ms)", "rollup(ms)", "speedup")
+	var speedups []float64
+	for ri, rect := range rects {
+		// Differential first (untimed): counters exact, whales surfaced.
+		exact, matched := exactFold(rect)
+		got := rollupFold(rect)
+		if got.Count != exact.Count {
+			aggOK = 0
+			r.notef("DIFFERENTIAL FAILURE: rect %d rollup count %d != exact %d", ri, got.Count, exact.Count)
+		}
+		for d := range exact.Sums {
+			if got.Sums[d] != exact.Sums[d] {
+				aggOK = 0
+				r.notef("DIFFERENTIAL FAILURE: rect %d rollup sum[%d] %d != exact %d",
+					ri, d, got.Sums[d], exact.Sums[d])
+			}
+		}
+		truth := make(map[uint64]uint64)
+		for _, rec := range matched {
+			truth[rec[0]]++
+		}
+		top := got.Sketch.Top()
+		inTop := make(map[uint64]summary.Entry, len(top))
+		for _, e := range top {
+			inTop[e.Key] = e
+		}
+		for _, w := range whales {
+			e, ok := inTop[w]
+			if !ok {
+				// The sketch's own contract: an unmonitored key's true weight
+				// is bounded by the floor. On a narrow window a whale's
+				// in-window mass can legitimately sink below the merge floor
+				// accumulated over the cover — but the full space must always
+				// surface every whale, and no rect may hide one whose count
+				// exceeds the floor.
+				if truth[w] > got.Sketch.Floor() {
+					whaleFound = 0
+					r.notef("whale %d (count %d > floor %d) missing from rect %d top-%d",
+						w, truth[w], got.Sketch.Floor(), ri, len(top))
+				} else if ri == 0 {
+					whaleFound = 0
+					r.notef("whale %d missing from full-space top-%d", w, len(top))
+				}
+				continue
+			}
+			whalesSurfaced++
+			if truth[w] > e.Count || truth[w] < e.Count-e.Err {
+				whaleFound = 0
+				r.notef("whale %d true count %d outside [%d,%d] on rect %d",
+					w, truth[w], e.Count-e.Err, e.Count, ri)
+			}
+		}
+
+		// Latency: best of three, both paths, after the differential has
+		// warmed whatever the OS will cache.
+		best := func(f func()) time.Duration {
+			bestD := time.Duration(0)
+			for rep := 0; rep < 3; rep++ {
+				start := time.Now()
+				f()
+				d := time.Since(start)
+				if rep == 0 || d < bestD {
+					bestD = d
+				}
+			}
+			return bestD
+		}
+		exactD := best(func() { exactFold(rect) })
+		aggD := best(func() { rollupFold(rect) })
+		sp := exactD.Seconds() / aggD.Seconds()
+		if ri < timed {
+			exactTotal += exactD
+			aggTotal += aggD
+			speedups = append(speedups, sp)
+		} else {
+			unalignedSp = sp
+		}
+		t.Row(labels[ri], len(matched), float64(exactD.Microseconds())/1000,
+			float64(aggD.Microseconds())/1000, sp)
+	}
+	r.table(t)
+
+	speedup := exactTotal.Seconds() / aggTotal.Seconds()
+	minSp := speedups[0]
+	for _, s := range speedups[1:] {
+		if s < minSp {
+			minSp = s
+		}
+	}
+	staticN, deltaN, folds := sums.Stats()
+	r.Values["agg_ok"] = aggOK
+	r.Values["whale_found"] = whaleFound
+	r.Values["summary_records"] = float64(staticN) + float64(deltaN)
+	r.Values["summary_folds"] = float64(folds)
+	r.Values["whales_surfaced"] = float64(whalesSurfaced)
+	r.Values["rt_agg_speedup"] = speedup
+	r.Values["rt_agg_speedup_min"] = minSp
+	r.Values["rt_agg_speedup_unaligned"] = unalignedSp
+	r.Values["rt_load_recs_per_sec"] = float64(n) / load.Seconds()
+	r.notef("n=%d records over %d shards; rollup answers aligned rects %.0fx faster than exact overall (worst %.0fx); unaligned window degrades to boundary scan (%.1fx)",
+		n, shards, speedup, minSp, unalignedSp)
+	return r, nil
+}

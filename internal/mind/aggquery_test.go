@@ -1,0 +1,267 @@
+package mind_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"mind/internal/cluster"
+	"mind/internal/schema"
+)
+
+// aggOracle recomputes the exact aggregate of recs over rect: count,
+// per-attribute sums (wrapping), and the exact per-key counts of rec[0].
+func aggOracle(recs []schema.Record, rect schema.Rect, arity int) (uint64, []uint64, map[uint64]uint64) {
+	sch := testSchema()
+	var count uint64
+	sums := make([]uint64, arity)
+	keys := make(map[uint64]uint64)
+	for _, rec := range recs {
+		if !rect.ContainsRecord(sch, rec) {
+			continue
+		}
+		count++
+		for i := range sums {
+			if i < len(rec) {
+				sums[i] += rec[i]
+			}
+		}
+		keys[rec[0]]++
+	}
+	return count, sums, keys
+}
+
+func TestAggSingleNode(t *testing.T) {
+	c := mkCluster(t, 1, 31, nil)
+	if err := c.CreateIndex(testSchema()); err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(32))
+	var all []schema.Record
+	for i := 0; i < 100; i++ {
+		rec := randRec(r)
+		res, _, err := c.InsertWait(0, "test-index", rec)
+		if err != nil || !res.OK {
+			t.Fatalf("insert %d: %v %+v", i, err, res)
+		}
+		all = append(all, rec)
+	}
+	rects := []schema.Rect{
+		fullRect(),
+		{Lo: []uint64{0, 0, 0}, Hi: []uint64{5000, 86400, 9999}},
+		{Lo: []uint64{2000, 1000, 3000}, Hi: []uint64{8000, 50000, 7000}},
+		{Lo: []uint64{9990, 0, 9990}, Hi: []uint64{9999, 86400, 9999}}, // likely empty
+	}
+	for ri, rect := range rects {
+		ar, _, err := c.AggWait(0, "test-index", rect, 0)
+		if err != nil {
+			t.Fatalf("rect %d: %v", ri, err)
+		}
+		if !ar.Complete {
+			t.Fatalf("rect %d: incomplete: %+v", ri, ar)
+		}
+		count, sums, keys := aggOracle(all, rect, 4)
+		if ar.Count != count {
+			t.Fatalf("rect %d: count %d, want %d", ri, ar.Count, count)
+		}
+		for i, s := range sums {
+			if ar.Sums[i] != s {
+				t.Fatalf("rect %d: sum[%d] %d, want %d", ri, i, ar.Sums[i], s)
+			}
+		}
+		// Sketch error contract: every reported entry's true count lies in
+		// [Count-Err, Count], and any absent key's count is at most Floor.
+		reported := make(map[uint64]bool)
+		for _, e := range ar.TopK {
+			reported[e.Key] = true
+			truth := keys[e.Key]
+			if truth > e.Count || truth < e.Count-e.Err {
+				t.Fatalf("rect %d: key %d true %d outside [%d,%d]",
+					ri, e.Key, truth, e.Count-e.Err, e.Count)
+			}
+		}
+		for k, truth := range keys {
+			if !reported[k] && truth > ar.Floor {
+				t.Fatalf("rect %d: key %d count %d missing with floor %d",
+					ri, k, truth, ar.Floor)
+			}
+		}
+	}
+}
+
+func TestAggMultiNodeMatchesExact(t *testing.T) {
+	c := mkCluster(t, 16, 33, nil)
+	if err := c.CreateIndex(testSchema()); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(3 * time.Second)
+	r := rand.New(rand.NewSource(34))
+	for i := 0; i < 300; i++ {
+		res, _, err := c.InsertWait(i%16, "test-index", randRec(r))
+		if err != nil || !res.OK {
+			t.Fatalf("insert %d: %v %+v", i, err, res)
+		}
+	}
+	for qi := 0; qi < 12; qi++ {
+		lo0, lo2 := r.Uint64()%9000, r.Uint64()%9000
+		rect := schema.Rect{
+			Lo: []uint64{lo0, 0, lo2},
+			Hi: []uint64{lo0 + 1000 + r.Uint64()%3000, 86400, lo2 + 1000 + r.Uint64()%3000},
+		}
+		qr, _, err := c.QueryWait(qi%16, "test-index", rect)
+		if err != nil || !qr.Complete {
+			t.Fatalf("exact query %d: %v %+v", qi, err, qr)
+		}
+		ar, _, err := c.AggWait((qi+5)%16, "test-index", rect, 0)
+		if err != nil || !ar.Complete {
+			t.Fatalf("agg query %d: %v %+v", qi, err, ar)
+		}
+		count, sums, _ := aggOracle(qr.Records, rect, 4)
+		if ar.Count != count {
+			t.Fatalf("query %d: agg count %d, exact %d", qi, ar.Count, count)
+		}
+		for i, s := range sums {
+			if ar.Sums[i] != s {
+				t.Fatalf("query %d: agg sum[%d] %d, exact %d", qi, i, ar.Sums[i], s)
+			}
+		}
+		if ar.Responders == 0 {
+			t.Fatalf("query %d: no responders", qi)
+		}
+	}
+}
+
+func TestAggHeavyHitters(t *testing.T) {
+	c := mkCluster(t, 8, 35, nil)
+	if err := c.CreateIndex(testSchema()); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(3 * time.Second)
+	r := rand.New(rand.NewSource(36))
+	// One whale key dominating a uniform background: the space-saving
+	// sketch must never lose it, whatever the merge order.
+	const whale = uint64(7777)
+	whaleCount := uint64(0)
+	for i := 0; i < 240; i++ {
+		rec := randRec(r)
+		if i%3 == 0 {
+			rec[0] = whale
+			whaleCount++
+		}
+		res, _, err := c.InsertWait(i%8, "test-index", rec)
+		if err != nil || !res.OK {
+			t.Fatalf("insert %d: %v %+v", i, err, res)
+		}
+	}
+	ar, _, err := c.AggWait(0, "test-index", fullRect(), 8)
+	if err != nil || !ar.Complete {
+		t.Fatalf("agg: %v %+v", err, ar)
+	}
+	found := false
+	for _, e := range ar.TopK {
+		if e.Key == whale {
+			found = true
+			if whaleCount > e.Count || whaleCount < e.Count-e.Err {
+				t.Fatalf("whale true count %d outside [%d,%d]", whaleCount, e.Count-e.Err, e.Count)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("whale key %d missing from top-%d: %+v", whale, len(ar.TopK), ar.TopK)
+	}
+}
+
+func TestAggAcrossVersions(t *testing.T) {
+	c := mkCluster(t, 8, 37, nil)
+	if err := c.CreateIndex(testSchema()); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(3 * time.Second)
+	r := rand.New(rand.NewSource(38))
+	var all []schema.Record
+	// Hourly versions (testNodeCfg): spread records across three hours so
+	// the aggregate fans out per (version, shard) and merges across
+	// version tries.
+	for i := 0; i < 180; i++ {
+		rec := randRec(r)
+		rec[1] = uint64(i%3)*3600 + r.Uint64()%3600
+		res, _, err := c.InsertWait(i%8, "test-index", rec)
+		if err != nil || !res.OK {
+			t.Fatalf("insert %d: %v %+v", i, err, res)
+		}
+		all = append(all, rec)
+	}
+	// A rect spanning all three versions, and one clipped to the middle.
+	for ri, rect := range []schema.Rect{
+		{Lo: []uint64{0, 0, 0}, Hi: []uint64{9999, 3*3600 - 1, 9999}},
+		{Lo: []uint64{0, 3600, 0}, Hi: []uint64{9999, 2*3600 - 1, 9999}},
+	} {
+		ar, _, err := c.AggWait(ri%8, "test-index", rect, 0)
+		if err != nil || !ar.Complete {
+			t.Fatalf("rect %d: %v %+v", ri, err, ar)
+		}
+		count, sums, _ := aggOracle(all, rect, 4)
+		if ar.Count != count {
+			t.Fatalf("rect %d: count %d, want %d", ri, ar.Count, count)
+		}
+		for i, s := range sums {
+			if ar.Sums[i] != s {
+				t.Fatalf("rect %d: sum[%d] %d, want %d", ri, i, ar.Sums[i], s)
+			}
+		}
+	}
+}
+
+func TestAggSurvivesKillWithReplication(t *testing.T) {
+	// Kill one node with replication on: after takeover settles, aggregate
+	// answers must still complete and must never undercount. Exact
+	// equality with the record-path query is NOT guaranteed here: the
+	// post-takeover RegionRecall re-inserts surviving replica copies
+	// under fresh record ids, the record path collapses those duplicates
+	// by content hash, and aggregates count geometrically (the documented
+	// DESIGN.md §4i duplicate-copy caveat) — so the upper bound is the
+	// total primary copies actually stored across live nodes.
+	c := mkCluster(t, 12, 39, func(o *cluster.Options) {
+		o.Node.Replication = 1
+		o.Node.QueryTimeout = 8 * time.Second
+	})
+	if err := c.CreateIndex(testSchema()); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(3 * time.Second)
+	r := rand.New(rand.NewSource(40))
+	n := 200
+	for i := 0; i < n; i++ {
+		res, _, err := c.InsertWait(i%12, "test-index", randRec(r))
+		if err != nil || !res.OK {
+			t.Fatalf("insert %d: %v %+v", i, err, res)
+		}
+	}
+	c.Kill(3)
+	c.Settle(30 * time.Second)
+
+	qr, _, err := c.QueryWait(5, "test-index", fullRect())
+	if err != nil || !qr.Complete {
+		t.Fatalf("exact query after kill: %v %+v", err, qr)
+	}
+	ar, _, err := c.AggWait(5, "test-index", fullRect(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ar.Complete {
+		t.Fatalf("agg incomplete after kill: %+v", ar)
+	}
+	exact := uint64(len(qr.Records))
+	totalPrimary := uint64(0)
+	for i, nd := range c.Nodes {
+		if !c.IsDead(i) {
+			totalPrimary += uint64(nd.StoredRecords("test-index"))
+		}
+	}
+	if ar.Count < exact {
+		t.Fatalf("agg undercounts after kill: %d < exact %d", ar.Count, exact)
+	}
+	if ar.Count > totalPrimary {
+		t.Fatalf("agg count %d exceeds total primary copies %d", ar.Count, totalPrimary)
+	}
+}

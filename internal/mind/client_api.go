@@ -32,6 +32,9 @@ func clientOpKey(from string, reqID uint64) uint64 {
 // clientQueryKeyMix separates query ids from insert ids in the cache.
 const clientQueryKeyMix = 0x517cc1b727220a95
 
+// clientAggKeyMix separates aggregate-query ids from the other kinds.
+const clientAggKeyMix = 0x2545f4914f6cdd1d
+
 // clientOpLocked looks a request up in the bounded client cache.
 // Callers hold n.mu.
 func (n *Node) clientOpLocked(key uint64) *clientOpState {
@@ -138,6 +141,53 @@ func (n *Node) handleClientQuery(from string, m *wire.ClientQuery) {
 		st.done = true
 		n.mu.Unlock()
 		n.send(from, &wire.ClientQueryResp{ReqID: m.ReqID, Complete: false})
+	}
+}
+
+func (n *Node) handleClientAgg(from string, m *wire.ClientAgg) {
+	if !n.admitClient(from, false) {
+		n.shedQueries.Add(1)
+		n.send(from, &wire.ClientAggResp{ReqID: m.ReqID, Complete: false, Shed: true})
+		return
+	}
+	key := clientOpKey(from, m.ReqID) ^ clientAggKeyMix
+	n.mu.Lock()
+	if st := n.clientOpLocked(key); st != nil && !st.done {
+		// Still answering the first copy; its callback will respond.
+		n.dedupHits.Add(1)
+		n.mu.Unlock()
+		return
+	}
+	st := &clientOpState{}
+	n.storeClientOpLocked(key, st)
+	n.mu.Unlock()
+
+	err := n.Agg(m.Index, m.Rect, int(m.TopK), func(res AggResult) {
+		resp := &wire.ClientAggResp{
+			ReqID:      m.ReqID,
+			Complete:   res.Complete,
+			Responders: uint32(res.Responders),
+			Count:      res.Count,
+			Sums:       res.Sums,
+			Exact:      res.Exact,
+			SketchN:    res.SketchN,
+			Floor:      res.Floor,
+		}
+		for _, e := range res.TopK {
+			resp.Keys = append(resp.Keys, e.Key)
+			resp.Counts = append(resp.Counts, e.Count)
+			resp.Errs = append(resp.Errs, e.Err)
+		}
+		n.mu.Lock()
+		st.done = true
+		n.mu.Unlock()
+		n.send(from, resp)
+	})
+	if err != nil {
+		n.mu.Lock()
+		st.done = true
+		n.mu.Unlock()
+		n.send(from, &wire.ClientAggResp{ReqID: m.ReqID, Complete: false})
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"mind/internal/embed"
 	"mind/internal/schema"
 	"mind/internal/store"
+	"mind/internal/summary"
 	"mind/internal/wire"
 )
 
@@ -40,6 +41,13 @@ type index struct {
 
 	primary  *store.Versioned
 	replicas *store.Versioned
+	// sums is the aggregate summary layer (DESIGN.md §4i): one rollup per
+	// (version, shard), maintained in lockstep with primary — inserted
+	// under the same stripe lock, sharded by the same routing function,
+	// folded by the store's merge hook, dropped on the same retirements.
+	// Replica storage is NOT summarized: fail-over aggregate answers are
+	// rare and scan the replica store exactly.
+	sums *summary.Versioned
 	// replicaOwners records the owner codes whose data we replicate,
 	// enabling fail-over answers for their regions.
 	replicaOwners map[bitstr.Code]bool
@@ -85,21 +93,32 @@ type recStripe struct {
 	seen *dedupSet
 }
 
-// newIndex creates an index with default store-engine options (tests).
+// newIndex creates an index with default store-engine and summary
+// options (tests).
 func newIndex(sch *schema.Schema, base *embed.Tree) *index {
-	return newIndexOpts(sch, base, store.Options{})
+	return newIndexOpts(sch, base, store.Options{}, summary.Options{})
 }
 
 // newIndexOpts creates an index whose versioned stores use the given
-// engine options (Config.StoreShards / Config.DeltaMergeFrac).
-func newIndexOpts(sch *schema.Schema, base *embed.Tree, opts store.Options) *index {
+// engine options (Config.StoreShards / Config.DeltaMergeFrac) and whose
+// summary layer uses the given rollup options. The summary is sharded
+// identically to the primary store (store.ResolveShards), and the
+// primary's merge hook folds the matching summary shard so the rollup
+// tracks the store's static/delta rhythm.
+func newIndexOpts(sch *schema.Schema, base *embed.Tree, opts store.Options, sopts summary.Options) *index {
+	sums := summary.NewVersioned(sch, store.ResolveShards(opts.Shards), sopts)
+	popts := opts
+	if popts.OnMerge == nil {
+		popts.OnMerge = func(shard, _ int) { sums.FoldShard(shard) }
+	}
 	ix := &index{
 		sch:           sch,
 		base:          base,
 		vers:          make(map[uint32]*embed.Tree),
 		epochs:        make(map[uint32]uint64),
-		primary:       store.NewVersionedOpts(sch, opts),
+		primary:       store.NewVersionedOpts(sch, popts),
 		replicas:      store.NewVersionedOpts(sch, opts),
+		sums:          sums,
 		replicaOwners: make(map[bitstr.Code]bool),
 		timeAttr:      -1,
 	}
@@ -330,14 +349,14 @@ func (ix *index) def() wire.IndexDef {
 const baseVersionSentinel = ^uint32(0)
 
 // indexFromDef reconstructs an index from a wire definition with
-// default store options (tests and standalone callers).
+// default store and summary options (tests and standalone callers).
 func indexFromDef(d wire.IndexDef) (*index, error) {
-	return indexFromDefOpts(d, store.Options{})
+	return indexFromDefOpts(d, store.Options{}, summary.Options{})
 }
 
 // indexFromDefOpts reconstructs an index from a wire definition, with
-// the node's store engine options.
-func indexFromDefOpts(d wire.IndexDef, opts store.Options) (*index, error) {
+// the node's store engine and summary options.
+func indexFromDefOpts(d wire.IndexDef, opts store.Options, sopts summary.Options) (*index, error) {
 	if err := d.Schema.Validate(); err != nil {
 		return nil, err
 	}
@@ -365,7 +384,7 @@ func indexFromDefOpts(d wire.IndexDef, opts store.Options) (*index, error) {
 	if base == nil {
 		base = embed.Uniform(d.Schema.Bounds())
 	}
-	ix := newIndexOpts(d.Schema, base, opts)
+	ix := newIndexOpts(d.Schema, base, opts, sopts)
 	ix.vers = vers
 	ix.epochs = epochs
 	return ix, nil
@@ -384,7 +403,14 @@ func (ix *index) storeRecord(v uint32, recID uint64, rec schema.Record) bool {
 	if s.seen.Seen(recID) {
 		return false
 	}
-	ix.primary.Insert(v, rec)
+	// Store and summary mutate under the same stripe lock, so the two
+	// multisets advance in lockstep per record id: any record the store
+	// acknowledges is summarized, and vice versa. The summary shard is
+	// the store's own routing, keeping the (version, shard) partitions
+	// identical for the aggregate fan-out.
+	eng := ix.primary.Version(v)
+	eng.Insert(rec)
+	ix.sums.Version(v).Insert(eng.ShardOf(rec), rec)
 	return true
 }
 
@@ -435,10 +461,13 @@ func (ix *index) absorbReplicas(dead bitstr.Code) {
 	for _, v := range ix.replicas.Versions() {
 		rs := ix.replicas.Version(v)
 		tree := ix.treeLocked(v)
+		eng := ix.primary.Version(v)
+		ss := ix.sums.Version(v)
 		rs.All(func(rec schema.Record) bool {
 			scratch = rec.PointInto(ix.sch, scratch)
 			if dead.IsPrefixOf(tree.PointCode(scratch, dead.Len())) {
-				ix.primary.Insert(v, rec)
+				eng.Insert(rec)
+				ss.Insert(eng.ShardOf(rec), rec)
 			}
 			return true
 		})

@@ -17,6 +17,12 @@ type InsertResult struct {
 	OK       bool
 	Hops     int    // overlay hops the record travelled
 	StoredAt string // owner node address
+	// Attempts counts originator retransmissions of this insert. A
+	// retransmitted insert may race its first copy through ring recovery
+	// onto distinct owners — the only path by which an acked record can
+	// end up stored twice — so callers needing exact aggregate oracles
+	// (the chaos differential) treat Attempts > 0 as a duplicate risk.
+	Attempts int
 	Err      error
 }
 
@@ -288,6 +294,7 @@ func (n *Node) finishInsert(reqID uint64, res InsertResult) {
 	if op.retry != nil {
 		op.retry.Stop()
 	}
+	res.Attempts = op.attempt
 	n.mu.Unlock()
 	if op.cb != nil {
 		op.cb(res)

@@ -22,6 +22,7 @@ import (
 	"mind/internal/metrics"
 	"mind/internal/schema"
 	"mind/internal/store"
+	"mind/internal/summary"
 	"mind/internal/transport"
 	"mind/internal/wire"
 )
@@ -58,6 +59,7 @@ type Node struct {
 
 	inserts map[uint64]*insertOp // mu
 	queries map[uint64]*queryOp  // mu
+	aggs    map[uint64]*aggOp    // mu; aggregate queries (aggquery.go)
 	seenOps map[uint64]bool      // mu; flood dedup (create/drop/hist-install)
 
 	collect map[string]*histCollect  // mu; designated-node histogram state
@@ -107,6 +109,9 @@ type Node struct {
 	reshuffled         atomic.Uint64 // records re-inserted after a mid-flip install
 	stepDowns          atomic.Uint64 // lost split-brain disputes
 	reinserted         atomic.Uint64 // records re-inserted after a step-down rejoin
+	// Aggregate-path counters (aggquery.go).
+	aggAnswered     atomic.Uint64 // aggregate pieces answered from local summaries
+	aggCoverDropped atomic.Uint64 // aggregate responses dropped for overlapping coverage
 	// ansDedup counts repeated sub-query answering work (the request is
 	// still re-answered — the previous response may be the loss).
 	ansMu    sync.Mutex
@@ -147,6 +152,7 @@ func NewNode(ep transport.Endpoint, clock transport.Clock, cfg Config) *Node {
 		indices:       make(map[string]*index),
 		inserts:       make(map[uint64]*insertOp),
 		queries:       make(map[uint64]*queryOp),
+		aggs:          make(map[uint64]*aggOp),
 		seenOps:       make(map[uint64]bool),
 		collect:       make(map[string]*histCollect),
 		reports:       make(map[uint64]*histReportOp),
@@ -268,11 +274,18 @@ type Stats struct {
 	ShedQueries uint64 // client queries refused
 	ShedGossip  uint64 // flood/control gossip dropped at admission
 
+	// Aggregate-path counters (aggquery.go): pieces answered from local
+	// summaries, and responses the originator dropped for overlapping
+	// coverage (retransmission races; the remainder regions are re-asked).
+	AggAnswered     uint64
+	AggCoverDropped uint64
+
 	// In-flight originator-side operations still awaiting an ack, a
-	// covering response, or their timeout. Both are zero at quiescence;
+	// covering response, or their timeout. All are zero at quiescence;
 	// the chaos harness asserts that after every settled epoch.
 	PendingInserts int
 	PendingQueries int
+	PendingAggs    int
 }
 
 // Stats returns a snapshot of the node's counters.
@@ -281,10 +294,12 @@ func (n *Node) Stats() Stats {
 		Forwarded: n.forwarded.Load(), Stored: n.stored.Load(), Replicated: n.replicated.Load(),
 		Retransmits: n.retransmits.Load(), AcksReceived: n.acksReceived.Load(), DedupHits: n.dedupHits.Load(),
 		ShedInserts: n.shedInserts.Load(), ShedQueries: n.shedQueries.Load(), ShedGossip: n.shedGossip.Load(),
+		AggAnswered: n.aggAnswered.Load(), AggCoverDropped: n.aggCoverDropped.Load(),
 	}
 	n.mu.Lock()
 	s.PendingInserts = len(n.inserts)
 	s.PendingQueries = len(n.queries)
+	s.PendingAggs = len(n.aggs)
 	n.mu.Unlock()
 	b := n.BatchStats()
 	s.BatchesSent = b.Sent.Batches
@@ -397,6 +412,15 @@ func (n *Node) handleMessage(from string, m wire.Message) {
 			n.acksReceived.Add(1)
 		}
 		n.handleQueryResp(msg)
+	case *wire.AggQuery:
+		n.handleAggQuery(from, msg)
+	case *wire.AggResp:
+		if msg.HasCover {
+			// Covering aggregate responses are end-to-end acks, exactly
+			// like covering QueryResps.
+			n.acksReceived.Add(1)
+		}
+		n.handleAggResp(msg)
 	case *wire.CreateIndex:
 		n.handleCreateIndex(msg)
 	case *wire.DropIndex:
@@ -421,6 +445,8 @@ func (n *Node) handleMessage(from string, m wire.Message) {
 		n.handleClientInsert(from, msg)
 	case *wire.ClientQuery:
 		n.handleClientQuery(from, msg)
+	case *wire.ClientAgg:
+		n.handleClientAgg(from, msg)
 	case *wire.ClientCreateIndex:
 		n.handleClientCreateIndex(from, msg)
 	case *wire.ClientDropIndex:
@@ -611,7 +637,7 @@ func (n *Node) onJoined(accept *wire.JoinAccept) {
 			}
 			continue
 		}
-		ix, err := indexFromDefOpts(d, n.storeOpts())
+		ix, err := indexFromDefOpts(d, n.storeOpts(), n.summaryOpts())
 		if err != nil {
 			continue
 		}
@@ -705,8 +731,12 @@ func (n *Node) onSplit(oldCode, newCode bitstr.Code, joiner wire.NodeInfo) {
 			})
 			if len(keep) < st.Len() {
 				ix.primary.Drop(v)
+				ix.sums.Drop(v)
+				eng := ix.primary.Version(v)
+				ss := ix.sums.Version(v)
 				for _, rec := range keep {
-					ix.primary.Insert(v, rec)
+					eng.Insert(rec)
+					ss.Insert(eng.ShardOf(rec), rec)
 				}
 			}
 		}
@@ -801,6 +831,16 @@ func (n *Node) storeOpts() store.Options {
 	return store.Options{Shards: n.cfg.StoreShards, DeltaMergeFrac: n.cfg.DeltaMergeFrac}
 }
 
+// summaryOpts maps the node config's summary-layer knobs onto
+// summary.Options (zeros select the summary defaults).
+func (n *Node) summaryOpts() summary.Options {
+	return summary.Options{
+		Depth:    n.cfg.SummaryDepth,
+		K:        n.cfg.SummaryTopK,
+		DeltaMax: n.cfg.SummaryDeltaMax,
+	}
+}
+
 // CreateIndex installs a new index locally and floods its definition
 // across the overlay (§3.4). A nil tree gets the uniform embedding; pass
 // a histogram-balanced tree to start balanced (§3.7).
@@ -819,7 +859,7 @@ func (n *Node) CreateIndex(sch *schema.Schema, tree *embed.Tree) error {
 		n.ixMu.Unlock()
 		return fmt.Errorf("mind: index %q already exists", sch.Tag)
 	}
-	ix := newIndexOpts(sch.Clone(), tree, n.storeOpts())
+	ix := newIndexOpts(sch.Clone(), tree, n.storeOpts(), n.summaryOpts())
 	n.indices[sch.Tag] = ix
 	n.ixMu.Unlock()
 	def := ix.def()
@@ -881,6 +921,21 @@ type IndexInfo struct {
 	// the split sibling still answering for this region's pre-split
 	// records.
 	HistoryAddr string `json:"history_addr,omitempty"`
+	// Summary is the per-index aggregate rollup state (hierarchical
+	// counters plus heavy-hitter sketches), maintained in lockstep with
+	// the primary store.
+	Summary SummaryInfo `json:"summary"`
+}
+
+// SummaryInfo is one index's rollup maintenance state: how many records
+// the folded (static) and unfolded (delta) rollup halves hold across
+// all versions, and how many delta folds have run. StaticRecords +
+// DeltaRecords always equals PrimaryRecords — the rollup advances in
+// lockstep with the store under the same stripe locks.
+type SummaryInfo struct {
+	StaticRecords uint64 `json:"static_records"`
+	DeltaRecords  int    `json:"delta_records"`
+	Folds         uint64 `json:"folds"`
 }
 
 // TreeInfo is one version's tree identity: the install epoch, or a
@@ -912,6 +967,8 @@ func (n *Node) IndexInfos() []IndexInfo {
 		if active, addr := ix.history(n.clock.Now()); active {
 			info.HistoryAddr = addr
 		}
+		staticN, deltaN, folds := ix.sums.Stats()
+		info.Summary = SummaryInfo{StaticRecords: staticN, DeltaRecords: deltaN, Folds: folds}
 		out = append(out, info)
 	}
 	return out
@@ -987,7 +1044,7 @@ func (n *Node) handleCreateIndex(m *wire.CreateIndex) {
 	}
 	n.ixMu.Lock()
 	if _, exists := n.indices[m.Def.Schema.Tag]; !exists {
-		if ix, err := indexFromDefOpts(m.Def, n.storeOpts()); err == nil {
+		if ix, err := indexFromDefOpts(m.Def, n.storeOpts(), n.summaryOpts()); err == nil {
 			n.indices[m.Def.Schema.Tag] = ix
 		}
 	}

@@ -28,6 +28,9 @@ func poolTestSchema() *schema.Schema {
 // one buffer per insert. A local-owner insert performs no sends at all,
 // so the pool's resident buffer must survive it untouched.
 func TestInsertOriginatorKeepsPooledBuffer(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("race mode randomizes sync.Pool retention; buffer residency is unobservable")
+	}
 	net := simnet.New(simnet.Config{Seed: 1})
 	ep, err := net.Endpoint("n0")
 	if err != nil {

@@ -243,8 +243,11 @@ func (n *Node) handleQuery(from string, m *wire.Query) {
 // side is behind (pull if us, push if them). The originator's
 // retransmission or a fresh query converges once the trees agree; a
 // dropped stale query can at worst time out incomplete, never complete
-// falsely. Answer paths are rect-based and never call this — a node
-// always answers honestly from what it stores.
+// falsely. Record answer paths are rect-based and never call this — a
+// node always answers honestly from what it stores. The one exception
+// is the aggregate path (aggquery.go): aggregate answers restrict to
+// the answered region's cell rect, which is tree geometry, so
+// answerAggQuery re-checks epoch agreement before answering.
 func (n *Node) checkQuerySkew(ix *index, version uint32, msgEpoch uint64, origin string) bool {
 	local := ix.epochOf(version)
 	if msgEpoch == local {

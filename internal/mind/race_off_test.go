@@ -1,0 +1,10 @@
+//go:build !race
+
+package mind
+
+// raceDetectorEnabled reports whether the binary was built with the
+// race detector. Tests that depend on sync.Pool retention semantics
+// check it: under -race the runtime deliberately randomizes pool
+// behavior (Put drops items, the fast slot is bypassed), so buffer
+// residency cannot be observed.
+const raceDetectorEnabled = false

@@ -196,4 +196,41 @@ func TestOperatorSurface(t *testing.T) {
 	if len(infos) != 1 || infos[0].Tag != sch.Tag {
 		t.Fatalf("indices: %+v", infos)
 	}
+
+	// The summary rollup advances in lockstep with the primary store:
+	// after a few inserts, static+delta record counts across both nodes
+	// must equal the acked inserts, and each node's rollup must match its
+	// own primary count.
+	const inserts = 10
+	for i := 0; i < inserts; i++ {
+		done := make(chan mind.InsertResult, 1)
+		rec := schema.Record{uint64(i * 997 % 10000), uint64(i * 31), uint64(i)}
+		if err := node1.Insert(sch.Tag, rec, func(r mind.InsertResult) { done <- r }); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case r := <-done:
+			if !r.OK {
+				t.Fatalf("insert %d failed: %+v", i, r)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("insert %d timed out", i)
+		}
+	}
+	_, body = get(t, base+"/indices")
+	if err := json.Unmarshal(body, &infos); err != nil {
+		t.Fatalf("indices json after inserts: %v\n%s", err, body)
+	}
+	total := 0
+	for _, info := range append(infos, node0.IndexInfos()...) {
+		got := int(info.Summary.StaticRecords) + info.Summary.DeltaRecords
+		if got != info.PrimaryRecords {
+			t.Fatalf("summary drifted from store on %s: %d+%d != %d",
+				info.Tag, info.Summary.StaticRecords, info.Summary.DeltaRecords, info.PrimaryRecords)
+		}
+		total += got
+	}
+	if total != inserts {
+		t.Fatalf("summaries cover %d records, want %d", total, inserts)
+	}
 }

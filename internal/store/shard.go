@@ -44,6 +44,13 @@ type Options struct {
 	// DeltaMin is the merge-threshold floor, so small shards do not
 	// thrash merges. 0 selects 512.
 	DeltaMin int
+	// OnMerge, when set, observes each delta→static merge with the shard
+	// index and the merged static length. It is invoked at the end of
+	// the merge while the shard writer mutex is held, so the callback
+	// must be fast and must not re-enter the store. The mind layer hooks
+	// the per-shard summary fold here so the aggregate layer tracks the
+	// store's static/delta rhythm.
+	OnMerge func(shard, staticLen int)
 }
 
 func (o Options) withDefaults() Options {
@@ -65,6 +72,14 @@ func (o Options) withDefaults() Options {
 		o.DeltaMin = defaultDeltaMin
 	}
 	return o
+}
+
+// ResolveShards reports the shard count Options{Shards: n} resolves to
+// after defaulting, power-of-two rounding and capping — for callers (the
+// summary layer) that must partition a side structure identically to the
+// store engine.
+func ResolveShards(n int) int {
+	return Options{Shards: n}.withDefaults().Shards
 }
 
 // shardSnap is one shard's published state: an immutable static index
@@ -151,16 +166,23 @@ func (e *Sharded) shardOf(rec schema.Record) int {
 	return int((h ^ h>>32) & e.mask)
 }
 
+// ShardOf exposes the shard routing function: the shard index a record
+// resolves to. Callers that maintain side structures partitioned in
+// lockstep with the store (the summary layer) route with this so both
+// partitions stay identical.
+func (e *Sharded) ShardOf(rec schema.Record) int { return e.shardOf(rec) }
+
 // Insert adds a record to its shard's delta buffer, merging the shard
 // when the delta crosses its bound. The non-merge fast path performs
 // zero heap allocations (hash + arena node + atomic link).
 func (e *Sharded) Insert(rec schema.Record) {
-	sh := &e.shards[e.shardOf(rec)]
+	i := e.shardOf(rec)
+	sh := &e.shards[i]
 	sh.mu.Lock()
 	snap := sh.snap.Load()
 	snap.delta.Insert(rec)
 	if snap.delta.Len() >= snap.mergeAt {
-		e.mergeLocked(sh, snap)
+		e.mergeLocked(i, sh, snap)
 	}
 	sh.mu.Unlock()
 }
@@ -169,7 +191,7 @@ func (e *Sharded) Insert(rec schema.Record) {
 // publishes a fresh snapshot with an empty delta. Caller holds sh.mu.
 // The old snapshot's parts are never mutated: in-flight readers drain
 // on them and the GC reclaims them after.
-func (e *Sharded) mergeLocked(sh *engineShard, snap *shardSnap) {
+func (e *Sharded) mergeLocked(i int, sh *engineShard, snap *shardSnap) {
 	recs := make([]schema.Record, 0, snap.static.Len()+snap.delta.Len())
 	recs = snap.static.appendRecs(recs)
 	snap.delta.All(func(rec schema.Record) bool {
@@ -186,6 +208,9 @@ func (e *Sharded) mergeLocked(sh *engineShard, snap *shardSnap) {
 		delta:   newDelta(e.sch, e.bounds, mergeAt),
 		mergeAt: mergeAt,
 	})
+	if e.opts.OnMerge != nil {
+		e.opts.OnMerge(i, st.Len())
+	}
 }
 
 // Compact force-merges every shard, leaving all records in the static
@@ -196,7 +221,7 @@ func (e *Sharded) Compact() {
 		sh := &e.shards[i]
 		sh.mu.Lock()
 		if snap := sh.snap.Load(); snap.delta.Len() > 0 {
-			e.mergeLocked(sh, snap)
+			e.mergeLocked(i, sh, snap)
 		}
 		sh.mu.Unlock()
 	}

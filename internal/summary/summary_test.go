@@ -1,0 +1,356 @@
+package summary
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mind/internal/schema"
+	"mind/internal/store"
+)
+
+// testSchema mirrors the store tests' shape: three indexed dims with
+// bounds, one payload attribute.
+func testSchema() *schema.Schema {
+	return &schema.Schema{
+		Tag: "t",
+		Attrs: []schema.Attr{
+			{Name: "a", Kind: schema.KindUint, Max: 9999},
+			{Name: "b", Kind: schema.KindUint, Max: 9999},
+			{Name: "c", Kind: schema.KindUint, Max: 9999},
+			{Name: "p", Kind: schema.KindUint},
+		},
+		IndexDims: 3,
+	}
+}
+
+func randRec(r *rand.Rand) schema.Record {
+	// Skewed first attribute so the sketch sees real heavy hitters.
+	a := uint64(r.Intn(10000))
+	if r.Intn(2) == 0 {
+		a = uint64(r.Intn(8)) * 100
+	}
+	return schema.Record{a, uint64(r.Intn(10000)), uint64(r.Intn(10000)), uint64(r.Intn(1000))}
+}
+
+func randRect(r *rand.Rand) schema.Rect {
+	rc := schema.Rect{Lo: make([]uint64, 3), Hi: make([]uint64, 3)}
+	for d := 0; d < 3; d++ {
+		if r.Intn(3) == 0 {
+			rc.Lo[d], rc.Hi[d] = 0, 9999 // wildcard dim: whale shape
+		} else {
+			w := uint64(r.Intn(4000) + 1)
+			lo := uint64(r.Intn(10000 - int(w)))
+			rc.Lo[d], rc.Hi[d] = lo, lo+w
+		}
+	}
+	return rc
+}
+
+// resolveExact finishes a Resolve the way the mind layer does: boundary
+// cells are scanned exactly against the record set (here the flat
+// slice standing in for the store shard) and folded in via Add.
+func resolveExact(s *Summary, sch *schema.Schema, rect schema.Rect, recs []schema.Record) Agg {
+	agg := s.Resolve(rect)
+	for _, b := range agg.Boundary {
+		for _, rec := range recs {
+			if b.ContainsRecord(sch, rec) {
+				agg.Add(rec)
+			}
+		}
+	}
+	return agg
+}
+
+// flatAgg is the oracle: a recount straight off the record slice.
+func flatAgg(sch *schema.Schema, rect schema.Rect, recs []schema.Record) (count uint64, sums []uint64, hist map[uint64]uint64) {
+	sums = make([]uint64, sch.Arity())
+	hist = make(map[uint64]uint64)
+	for _, rec := range recs {
+		if rect.ContainsRecord(sch, rec) {
+			count++
+			for i := range sums {
+				sums[i] += rec[i]
+			}
+			hist[rec[0]]++
+		}
+	}
+	return
+}
+
+func checkAgg(t *testing.T, tag string, agg Agg, count uint64, sums []uint64, hist map[uint64]uint64) {
+	t.Helper()
+	if agg.Count != count {
+		t.Fatalf("%s: Count = %d, want %d", tag, agg.Count, count)
+	}
+	for i := range sums {
+		if agg.Sums[i] != sums[i] {
+			t.Fatalf("%s: Sums[%d] = %d, want %d", tag, i, agg.Sums[i], sums[i])
+		}
+	}
+	// Sketch: bracketing and containment against the exact histogram.
+	seen := make(map[uint64]bool)
+	for _, e := range agg.Sketch.Top() {
+		seen[e.Key] = true
+		truth := hist[e.Key]
+		if truth > e.Count || e.Count-e.Err > truth {
+			t.Fatalf("%s: key %d true %d outside [%d, %d]", tag, e.Key, truth, e.Count-e.Err, e.Count)
+		}
+	}
+	for k, truth := range hist {
+		if !seen[k] && truth > agg.Sketch.Floor() {
+			t.Fatalf("%s: heavy key %d (%d > floor %d) unmonitored", tag, k, truth, agg.Sketch.Floor())
+		}
+	}
+	if agg.Sketch.Exact() {
+		for _, e := range agg.Sketch.Top() {
+			if e.Count != hist[e.Key] {
+				t.Fatalf("%s: exact-flagged sketch wrong for key %d: %d vs %d", tag, e.Key, e.Count, hist[e.Key])
+			}
+		}
+	}
+}
+
+// TestSummaryDifferentialFlatRecount mirrors the store's differential
+// fuzz: a random insert stream checked against a flat recount at a
+// cadence that crosses fold boundaries mid-stream.
+func TestSummaryDifferentialFlatRecount(t *testing.T) {
+	sch := testSchema()
+	for _, depth := range []int{2, 5, 8} {
+		r := rand.New(rand.NewSource(int64(depth) * 41))
+		s := New(sch, Options{Depth: depth, K: 16, DeltaMax: 32})
+		var recs []schema.Record
+		for i := 0; i < 2500; i++ {
+			rec := randRec(r)
+			s.Insert(rec)
+			recs = append(recs, rec)
+			if i%37 == 0 {
+				rect := randRect(r)
+				agg := resolveExact(s, sch, rect, recs)
+				count, sums, hist := flatAgg(sch, rect, recs)
+				checkAgg(t, "mid-stream", agg, count, sums, hist)
+			}
+		}
+		// Full-space rect resolves purely from the root rollup.
+		full := sch.FullRect()
+		agg := s.Resolve(full)
+		if len(agg.Boundary) != 0 {
+			t.Fatalf("full rect produced %d boundary cells", len(agg.Boundary))
+		}
+		count, sums, hist := flatAgg(sch, full, recs)
+		checkAgg(t, "full", agg, count, sums, hist)
+	}
+}
+
+// TestSummaryFoldBoundaries pins behavior right at the delta fold
+// threshold: resolves must agree with the oracle one insert before the
+// fold, at it, and after it, and the fold counter must advance.
+func TestSummaryFoldBoundaries(t *testing.T) {
+	sch := testSchema()
+	const deltaMax = 8
+	cases := []int{deltaMax - 1, deltaMax, deltaMax + 1, 3*deltaMax - 1, 3 * deltaMax}
+	for _, n := range cases {
+		r := rand.New(rand.NewSource(int64(n)))
+		s := New(sch, Options{Depth: 6, K: 8, DeltaMax: deltaMax})
+		var recs []schema.Record
+		for i := 0; i < n; i++ {
+			rec := randRec(r)
+			s.Insert(rec)
+			recs = append(recs, rec)
+		}
+		if s.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, s.Len())
+		}
+		wantFolds := uint64(n / deltaMax)
+		if _, deltaN, folds := s.Stats(); folds != wantFolds || deltaN != n%deltaMax {
+			t.Fatalf("n=%d: folds=%d deltaN=%d, want %d/%d", n, folds, deltaN, wantFolds, n%deltaMax)
+		}
+		for q := 0; q < 20; q++ {
+			rect := randRect(r)
+			agg := resolveExact(s, sch, rect, recs)
+			count, sums, hist := flatAgg(sch, rect, recs)
+			checkAgg(t, "boundary", agg, count, sums, hist)
+		}
+		// A forced fold (the store merge hook path) must not change
+		// answers.
+		s.Fold()
+		if _, deltaN, _ := s.Stats(); deltaN != 0 {
+			t.Fatalf("n=%d: delta not empty after Fold", n)
+		}
+		for q := 0; q < 10; q++ {
+			rect := randRect(r)
+			agg := resolveExact(s, sch, rect, recs)
+			count, sums, hist := flatAgg(sch, rect, recs)
+			checkAgg(t, "post-fold", agg, count, sums, hist)
+		}
+	}
+}
+
+// TestSummaryStoreMergeBoundary is the delta→static merge interaction
+// table test: records stream into a store.Sharded and shard-aligned
+// summaries, with the store's OnMerge hook folding the matching summary
+// shard. At offsets straddling every store merge boundary the aggregate
+// read path (per-shard Resolve + exact boundary scan via
+// QueryShardAppend — exactly what mind.resolveLocalAgg does) must agree
+// with store.Count and a flat oracle.
+func TestSummaryStoreMergeBoundary(t *testing.T) {
+	sch := testSchema()
+	opts := store.Options{Shards: 4, DeltaMergeFrac: 0.25, DeltaMin: 16}
+	var sums *Sharded
+	var merges []int
+	opts.OnMerge = func(shard, staticLen int) {
+		sums.Shard(shard).Fold()
+		merges = append(merges, shard)
+	}
+	eng := store.NewSharded(sch, opts)
+	sums = NewShardedSummary(sch, eng.NumShards(), Options{Depth: 6, K: 16, DeltaMax: 64})
+
+	r := rand.New(rand.NewSource(7))
+	var recs []schema.Record
+	check := func(tag string) {
+		for q := 0; q < 8; q++ {
+			rect := randRect(r)
+			agg := NewAgg(sch.Arity(), 16)
+			for sh := 0; sh < eng.NumShards(); sh++ {
+				part := sums.Shard(sh).Resolve(rect)
+				agg.Merge(part.Count, part.Sums, part.Sketch)
+				for _, b := range part.Boundary {
+					for _, rec := range eng.QueryShardAppend(sh, b, nil) {
+						agg.Add(rec)
+					}
+				}
+			}
+			count, wsums, hist := flatAgg(sch, rect, recs)
+			if uint64(eng.Count(rect)) != count {
+				t.Fatalf("%s: store count diverged from oracle", tag)
+			}
+			checkAgg(t, tag, agg, count, wsums, hist)
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		rec := randRec(r)
+		eng.Insert(rec)
+		sums.Insert(eng.ShardOf(rec), rec)
+		recs = append(recs, rec)
+		// Check exactly at and next to each merge: the hook appends per
+		// merge, so a length change marks a boundary insert.
+		if n := len(merges); n > 0 && merges[n-1] >= 0 && i%16 == 15 {
+			check("merge-cadence")
+		}
+	}
+	if len(merges) == 0 {
+		t.Fatal("no store merges fired; DeltaMin too high for stream")
+	}
+	check("final")
+	eng.Compact() // fires OnMerge → folds summaries
+	check("post-compact")
+}
+
+// TestSummaryCOWConsistency hammers concurrent inserts and resolves
+// under -race: every read must see an internally consistent snapshot.
+// The payload attribute is pinned to 1, so Sums[payload] == Count must
+// hold in every observed aggregate regardless of timing.
+func TestSummaryCOWConsistency(t *testing.T) {
+	sch := testSchema()
+	s := New(sch, Options{Depth: 6, K: 8, DeltaMax: 32})
+	full := sch.FullRect()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rect := full
+				if r.Intn(2) == 0 {
+					rect = randRect(r)
+				}
+				agg := s.Resolve(rect)
+				for range agg.Boundary {
+					// boundary cells resolve against the store in
+					// production; here we only check rollup consistency
+				}
+				if len(agg.Boundary) == 0 && agg.Sums[3] != agg.Count {
+					t.Errorf("inconsistent snapshot: count %d, payload sum %d", agg.Count, agg.Sums[3])
+					return
+				}
+			}
+		}(int64(100 + g))
+	}
+	r := rand.New(rand.NewSource(9))
+	const n = 20000
+	for i := 0; i < n; i++ {
+		rec := randRec(r)
+		rec[3] = 1
+		s.Insert(rec)
+	}
+	close(stop)
+	wg.Wait()
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
+	}
+	agg := s.Resolve(full)
+	if agg.Count != n || agg.Sums[3] != n {
+		t.Fatalf("final full resolve: count %d sum %d, want %d", agg.Count, agg.Sums[3], n)
+	}
+}
+
+func TestVersionedSummaryLifecycle(t *testing.T) {
+	sch := testSchema()
+	v := NewVersioned(sch, 4, Options{Depth: 4, K: 8, DeltaMax: 16})
+	if v.Get(3) != nil {
+		t.Fatal("Get created a version")
+	}
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 100; i++ {
+		rec := randRec(r)
+		v.Version(uint32(i%3)).Insert(i%4, rec)
+	}
+	if got := v.Versions(); len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Fatalf("Versions = %v", got)
+	}
+	if v.Len() != 100 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	v.Drop(1)
+	if v.Get(1) != nil || len(v.Versions()) != 2 {
+		t.Fatal("Drop did not remove version 1")
+	}
+	if v.Len() >= 100 {
+		t.Fatalf("Len after drop = %d", v.Len())
+	}
+}
+
+// FuzzSummaryRollup drives record streams from fuzz bytes through the
+// cut-tree rollup and compares against a flat recount.
+func FuzzSummaryRollup(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, uint8(4), uint8(8))
+	f.Fuzz(func(t *testing.T, data []byte, depthRaw, deltaRaw uint8) {
+		sch := testSchema()
+		s := New(sch, Options{Depth: int(depthRaw%10) + 1, K: 8, DeltaMax: int(deltaRaw%16) + 1})
+		var recs []schema.Record
+		for i := 0; i+3 < len(data); i += 4 {
+			rec := schema.Record{
+				uint64(data[i]) * 39,
+				uint64(data[i+1]) * 39,
+				uint64(data[i+2]) * 39,
+				uint64(data[i+3]),
+			}
+			s.Insert(rec)
+			recs = append(recs, rec)
+		}
+		r := rand.New(rand.NewSource(int64(len(data))))
+		for q := 0; q < 4; q++ {
+			rect := randRect(r)
+			agg := resolveExact(s, sch, rect, recs)
+			count, sums, hist := flatAgg(sch, rect, recs)
+			checkAgg(t, "fuzz", agg, count, sums, hist)
+		}
+	})
+}

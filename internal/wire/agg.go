@@ -1,0 +1,213 @@
+package wire
+
+import (
+	"mind/internal/bitstr"
+	"mind/internal/schema"
+)
+
+// Aggregate path (DESIGN.md §4i): COUNT/SUM/top-k over a rectangle
+// answered from the per-node summary layer instead of materializing
+// records. AggQuery plays both roles the record path splits between
+// Query and SubQuery — the initial message routed toward the smallest
+// region containing the rect, and the decomposed per-region pieces —
+// because an aggregate answer carries no record payload, so there is
+// nothing to gain from a distinct whole-query envelope.
+
+// AggQuery asks the owner of RegionCode for the aggregate of Rect
+// restricted to that region. A receiver whose code is a prefix of
+// RegionCode answers the whole region; one whose code extends it
+// re-decomposes against the originator's tree; otherwise it forwards.
+type AggQuery struct {
+	ReqID      uint64
+	OriginAddr string
+	Index      string
+	Versions   []uint64
+	Rect       schema.Rect
+	RegionCode bitstr.Code
+	// TopK caps the heavy-hitter entries in each answer (<= the summary
+	// sketch capacity; 0 means the node's configured capacity).
+	TopK uint32
+	Hops uint8
+	// Historic marks a piece forwarded along a §3.4 history pointer;
+	// answered from local storage, skipping ownership checks.
+	Historic bool
+	// Attempt counts originator re-issues for a still-missing region.
+	Attempt uint8
+	// TreeEpoch identifies the cut tree the originator decomposed with.
+	// Aggregate answers ARE geometry-dependent (the answering node
+	// restricts to its region's cell rect), so unlike the record path
+	// the answer side also re-checks epoch agreement.
+	TreeEpoch uint64
+}
+
+func (m *AggQuery) Kind() Kind { return KindAggQuery }
+func (m *AggQuery) encode(w *Writer) {
+	w.Uvarint(m.ReqID)
+	w.String(m.OriginAddr)
+	w.String(m.Index)
+	w.U64Slice(m.Versions)
+	encodeRect(w, m.Rect)
+	w.Code(m.RegionCode)
+	w.Uvarint(uint64(m.TopK))
+	w.U8(m.Hops)
+	w.Bool(m.Historic)
+	w.U8(m.Attempt)
+	w.Uvarint(m.TreeEpoch)
+}
+func (m *AggQuery) decode(r *Reader) {
+	m.ReqID = r.Uvarint()
+	m.OriginAddr = r.String()
+	m.Index = r.String()
+	m.Versions = r.U64Slice()
+	m.Rect = decodeRect(r)
+	m.RegionCode = r.Code()
+	m.TopK = uint32(r.Uvarint())
+	m.Hops = r.U8()
+	m.Historic = r.Bool()
+	m.Attempt = r.U8()
+	m.TreeEpoch = r.Uvarint()
+}
+
+// AggResp carries one region's partial aggregate back to the
+// originator: exact count and per-attribute sums (wrapping mod 2^64)
+// over Rect ∩ the answered region, plus the region's heavy-hitter
+// sketch flattened to parallel slices. Cover/HasCover work exactly as
+// in QueryResp — the originator tiles Cover codes until the query
+// region is complete, and a history-delegating node contributes with
+// HasCover false.
+type AggResp struct {
+	ReqID    uint64
+	From     NodeInfo
+	HasCover bool
+	Cover    bitstr.Code
+	Versions []uint64
+	Hops     uint8
+
+	Count uint64
+	Sums  []uint64
+
+	// Flattened summary.Sketch: parallel Keys/Counts/Errs in canonical
+	// order, total offered weight and the absent-key floor. Floor == 0
+	// means the partial's top-k is exact.
+	SketchK uint32
+	SketchN uint64
+	Floor   uint64
+	Keys    []uint64
+	Counts  []uint64
+	Errs    []uint64
+}
+
+func (m *AggResp) Kind() Kind { return KindAggResp }
+func (m *AggResp) encode(w *Writer) {
+	w.Uvarint(m.ReqID)
+	m.From.encode(w)
+	w.Bool(m.HasCover)
+	w.Code(m.Cover)
+	w.U64Slice(m.Versions)
+	w.U8(m.Hops)
+	w.U64(m.Count)
+	w.U64Slice(m.Sums)
+	w.Uvarint(uint64(m.SketchK))
+	w.U64(m.SketchN)
+	w.U64(m.Floor)
+	w.U64Slice(m.Keys)
+	w.U64Slice(m.Counts)
+	w.U64Slice(m.Errs)
+}
+func (m *AggResp) decode(r *Reader) {
+	m.ReqID = r.Uvarint()
+	m.From.decode(r)
+	m.HasCover = r.Bool()
+	m.Cover = r.Code()
+	m.Versions = r.U64Slice()
+	m.Hops = r.U8()
+	m.Count = r.U64()
+	m.Sums = r.U64Slice()
+	m.SketchK = uint32(r.Uvarint())
+	m.SketchN = r.U64()
+	m.Floor = r.U64()
+	m.Keys = r.U64Slice()
+	m.Counts = r.U64Slice()
+	m.Errs = r.U64Slice()
+	if len(m.Counts) != len(m.Keys) || len(m.Errs) != len(m.Keys) {
+		r.fail("sketch slices disagree: %d keys, %d counts, %d errs",
+			len(m.Keys), len(m.Counts), len(m.Errs))
+	}
+}
+
+// ClientAgg asks the receiving node to resolve an aggregate query on
+// the client's behalf (mindctl agg).
+type ClientAgg struct {
+	ReqID uint64
+	Index string
+	Rect  schema.Rect
+	TopK  uint32
+}
+
+func (m *ClientAgg) Kind() Kind { return KindClientAgg }
+func (m *ClientAgg) encode(w *Writer) {
+	w.Uvarint(m.ReqID)
+	w.String(m.Index)
+	encodeRect(w, m.Rect)
+	w.Uvarint(uint64(m.TopK))
+}
+func (m *ClientAgg) decode(r *Reader) {
+	m.ReqID = r.Uvarint()
+	m.Index = r.String()
+	m.Rect = decodeRect(r)
+	m.TopK = uint32(r.Uvarint())
+}
+
+// ClientAggResp answers ClientAgg with the merged aggregate.
+type ClientAggResp struct {
+	ReqID      uint64
+	Complete   bool
+	Responders uint32
+	// Shed reports overload refusal, as in ClientAck.
+	Shed bool
+
+	Count uint64
+	Sums  []uint64
+	// Exact reports that the heavy-hitter entries are exact counts, not
+	// estimates (no sketch anywhere evicted or truncated).
+	Exact   bool
+	SketchN uint64
+	Floor   uint64
+	Keys    []uint64
+	Counts  []uint64
+	Errs    []uint64
+}
+
+func (m *ClientAggResp) Kind() Kind { return KindClientAggResp }
+func (m *ClientAggResp) encode(w *Writer) {
+	w.Uvarint(m.ReqID)
+	w.Bool(m.Complete)
+	w.Bool(m.Shed)
+	w.Bool(m.Exact)
+	w.Uvarint(uint64(m.Responders))
+	w.U64(m.Count)
+	w.U64Slice(m.Sums)
+	w.U64(m.SketchN)
+	w.U64(m.Floor)
+	w.U64Slice(m.Keys)
+	w.U64Slice(m.Counts)
+	w.U64Slice(m.Errs)
+}
+func (m *ClientAggResp) decode(r *Reader) {
+	m.ReqID = r.Uvarint()
+	m.Complete = r.Bool()
+	m.Shed = r.Bool()
+	m.Exact = r.Bool()
+	m.Responders = uint32(r.Uvarint())
+	m.Count = r.U64()
+	m.Sums = r.U64Slice()
+	m.SketchN = r.U64()
+	m.Floor = r.U64()
+	m.Keys = r.U64Slice()
+	m.Counts = r.U64Slice()
+	m.Errs = r.U64Slice()
+	if len(m.Counts) != len(m.Keys) || len(m.Errs) != len(m.Keys) {
+		r.fail("sketch slices disagree: %d keys, %d counts, %d errs",
+			len(m.Keys), len(m.Counts), len(m.Errs))
+	}
+}

@@ -18,6 +18,8 @@ const (
 	KindClientQueryResp
 	KindClientVersions
 	KindClientVersionsResp
+	KindClientAgg
+	KindClientAggResp
 
 	clientKindSentinel
 )
@@ -32,6 +34,8 @@ func init() {
 		KindClientQueryResp:    "client-query-resp",
 		KindClientVersions:     "client-versions",
 		KindClientVersionsResp: "client-versions-resp",
+		KindClientAgg:          "client-agg",
+		KindClientAggResp:      "client-agg-resp",
 	} {
 		clientKindNames[k] = name
 	}
@@ -57,6 +61,10 @@ func newClientMessage(k Kind) Message {
 		return &ClientVersions{}
 	case KindClientVersionsResp:
 		return &ClientVersionsResp{}
+	case KindClientAgg:
+		return &ClientAgg{}
+	case KindClientAggResp:
+		return &ClientAggResp{}
 	}
 	return nil
 }

@@ -66,6 +66,11 @@ const (
 	KindCollisionReply
 	KindCollisionHint
 
+	// Aggregate path: COUNT/SUM/top-k answered from the summary layer
+	// (DESIGN.md §4i).
+	KindAggQuery
+	KindAggResp
+
 	kindSentinel
 )
 
@@ -105,6 +110,8 @@ var kindNames = [...]string{
 	KindCollisionProbe:  "collision-probe",
 	KindCollisionReply:  "collision-reply",
 	KindCollisionHint:   "collision-hint",
+	KindAggQuery:        "agg-query",
+	KindAggResp:         "agg-resp",
 }
 
 func (k Kind) String() string {
@@ -236,6 +243,10 @@ func newMessage(k Kind) Message {
 		return &CollisionReply{}
 	case KindCollisionHint:
 		return &CollisionHint{}
+	case KindAggQuery:
+		return &AggQuery{}
+	case KindAggResp:
+		return &AggResp{}
 	}
 	return nil
 }

@@ -181,6 +181,11 @@ func allMessages() []Message {
 		&CollisionProbe{From: ni, Epoch: 6},
 		&CollisionReply{From: ni, Epoch: 7},
 		&CollisionHint{Peer: ni},
+		&AggQuery{ReqID: 32, OriginAddr: "o", Index: "idx", Versions: []uint64{1, 2}, Rect: rect,
+			RegionCode: c, TopK: 8, Hops: 2, Historic: true, Attempt: 1, TreeEpoch: 4},
+		&AggResp{ReqID: 32, From: ni, HasCover: true, Cover: c, Versions: []uint64{1}, Hops: 3,
+			Count: 1000, Sums: []uint64{5, 6, 7}, SketchK: 8, SketchN: 1000, Floor: 12,
+			Keys: []uint64{1, 2}, Counts: []uint64{600, 300}, Errs: []uint64{0, 12}},
 		&ClientInsert{ReqID: 20, Index: "idx", Rec: []uint64{1, 2, 3}},
 		&ClientQuery{ReqID: 21, Index: "idx", Rect: rect},
 		&ClientCreateIndex{ReqID: 22, Schema: testSchema()},
@@ -190,6 +195,10 @@ func allMessages() []Message {
 		&ClientVersions{ReqID: 30},
 		&ClientVersionsResp{ReqID: 30, Addr: "n", Code: "01", Epoch: 4,
 			Entries: []TreeSyncEntry{{Index: "idx", Version: 2, Epoch: 1<<16 | 5}}},
+		&ClientAgg{ReqID: 33, Index: "idx", Rect: rect, TopK: 16},
+		&ClientAggResp{ReqID: 33, Complete: true, Responders: 4, Exact: true,
+			Count: 42, Sums: []uint64{1, 2, 3, 4}, SketchN: 42, Floor: 0,
+			Keys: []uint64{9}, Counts: []uint64{42}, Errs: []uint64{0}},
 		&TriggerInstall{TriggerID: 26, Subscriber: "s", Index: "idx", Rect: rect, Target: c, Hops: 1},
 		&TriggerFire{TriggerID: 27, Index: "idx", From: ni, RecID: 5, Rec: []uint64{9, 9}},
 		&TriggerRemove{OpID: 28, TriggerID: 27},
